@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz='FuzzExpr$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzPred$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzExprGraph$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/lang
+	$(GO) test -fuzz='FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/storage
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+
+	"freejoin/internal/core"
+	"freejoin/internal/entity"
+	"freejoin/internal/lang"
+	"freejoin/internal/relation"
+)
+
+func init() {
+	register("E13", "Section 5 — UnNest/Link query blocks are freely reorderable", runE13)
+}
+
+// section5Store builds the paper's §5 database.
+func section5Store() (*entity.Store, error) {
+	s := entity.NewStore()
+	for _, def := range []entity.TypeDef{
+		{Name: "EMPLOYEE", Scalars: []string{"Name", "D#", "Rank"}, Sets: []string{"ChildName"}},
+		{Name: "REPORT", Scalars: []string{"Title"}},
+		{Name: "DEPARTMENT", Scalars: []string{"D#", "Location"},
+			Refs: map[string]string{"Manager": "EMPLOYEE", "Audit": "REPORT"}},
+	} {
+		if err := s.Define(def); err != nil {
+			return nil, err
+		}
+	}
+	emp := func(name string, d, rank int64, kids ...string) entity.OID {
+		oid, _ := s.New("EMPLOYEE", map[string]relation.Value{
+			"Name": relation.Str(name), "D#": relation.Int(d), "Rank": relation.Int(rank)})
+		for _, k := range kids {
+			_ = s.AddToSet(oid, "ChildName", relation.Str(k))
+		}
+		return oid
+	}
+	ana := emp("ana", 1, 12, "kim", "lee")
+	emp("bo", 1, 4)
+	cruz := emp("cruz", 2, 11, "max")
+	rep, _ := s.New("REPORT", map[string]relation.Value{"Title": relation.Str("audit-zurich")})
+	dept := func(d int64, loc string, mgr, audit entity.OID) {
+		oid, _ := s.New("DEPARTMENT", map[string]relation.Value{
+			"D#": relation.Int(d), "Location": relation.Str(loc)})
+		if mgr != 0 {
+			_ = s.SetRef(oid, "Manager", mgr)
+		}
+		if audit != 0 {
+			_ = s.SetRef(oid, "Audit", audit)
+		}
+	}
+	dept(1, "Zurich", ana, rep)
+	dept(2, "Queretaro", cruz, 0)
+	dept(3, "Boston", 0, 0)
+	return s, nil
+}
+
+func runE13(cfg config) error {
+	store, err := section5Store()
+	if err != nil {
+		return err
+	}
+	queries := []string{
+		`Select All From EMPLOYEE*ChildName, DEPARTMENT
+		 Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'`,
+		`Select All From DEPARTMENT-->Manager-->Audit Where DEPARTMENT.Location = 'Zurich'`,
+		`Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit
+		 Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' and EMPLOYEE.Rank > 10`,
+	}
+	for i, src := range queries {
+		fmt.Printf("--- query %d ---\n%s\n\n", i+1, src)
+		q, err := lang.Parse(src)
+		if err != nil {
+			return err
+		}
+		tr, err := lang.Translate(store, q)
+		if err != nil {
+			return err
+		}
+		fmt.Println("outerjoin form:", tr.Block.StringWithPreds())
+		fmt.Println("analysis:      ", tr.Analysis)
+		res, err := core.Verify(tr.Graph, tr.DB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("implementing trees evaluated: %d, all equal: %v\n", res.ITCount, res.AllEqual)
+		out, err := tr.Eval()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("result:\n%v\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates every experiment in EXPERIMENTS.md —
+// the paper's worked examples, figures, identities and the derived cost
+// studies — printing one section per experiment id (E1..E16).
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -e E1,E15    # run a subset
+//	experiments -n 100000    # table size for the cost experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg config) error
+}
+
+type config struct {
+	n      int // base-table size for cost experiments
+	trials int // randomized trials for property experiments
+	seed   int64
+}
+
+var registry []experiment
+
+func register(id, title string, run func(config) error) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	var (
+		only   = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		n      = flag.Int("n", 100000, "table size for cost experiments")
+		trials = flag.Int("trials", 60, "randomized trials for property experiments")
+		seed   = flag.Int64("seed", 1990, "random seed")
+	)
+	flag.Parse()
+	cfg := config{n: *n, trials: *trials, seed: *seed}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	sort.SliceStable(registry, func(i, j int) bool { return expOrder(registry[i].id) < expOrder(registry[j].id) })
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; known ids:")
+		for _, e := range registry {
+			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.id, e.title)
+		}
+		os.Exit(2)
+	}
+}
+
+// expOrder sorts E2 before E10.
+func expOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment with a tiny
+// configuration, with stdout diverted — a smoke test that the harness
+// regenerating EXPERIMENTS.md cannot rot.
+func TestAllExperimentsRun(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	saved := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = saved }()
+
+	cfg := config{n: 5000, trials: 8, seed: 1990}
+	if len(registry) < 19 {
+		t.Fatalf("registry has %d experiments, want >= 19", len(registry))
+	}
+	for _, e := range registry {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(cfg); err != nil {
+				t.Fatalf("%s (%s): %v", e.id, e.title, err)
+			}
+		})
+	}
+}
+
+func TestExpOrder(t *testing.T) {
+	if expOrder("E2") >= expOrder("E10") {
+		t.Error("numeric experiment ordering broken")
+	}
+}

@@ -1,0 +1,371 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freejoin/internal/algebra"
+	"freejoin/internal/core"
+	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/workload"
+)
+
+func init() {
+	register("E3", "Example 2 — same graph, different results (non-associativity)", runE3)
+	register("E4", "Example 3 — non-strong predicates break identity 12", runE4)
+	register("E5", "Identities 1-10 — randomized verification", runE5)
+	register("E6", "Identities 11-13 — outerjoin reassociation under strongness", runE6)
+	register("E7", "Figure 1 — expression tree vs query graph", runE7)
+	register("E8", "Figure 2 — a nice topology", runE8)
+	register("E9", "Lemma 1 — definitional and forbidden-pattern niceness agree", runE9)
+	register("E10", "Theorem 1 — all implementing trees of nice graphs agree", runE10)
+	register("E11", "Lemma 3 — basic transforms reach every implementing tree", runE11)
+	register("E12", "Section 4 — strong restrictions simplify outerjoins to joins", runE12)
+	register("E14", "Identities 15-16 — generalized outerjoin reassociation", runE14)
+}
+
+func runE3(cfg config) error {
+	r1 := relation.FromRows("R1", []string{"a"}, []any{1})
+	r2 := relation.FromRows("R2", []string{"b"}, []any{1})
+	r3 := relation.FromRows("R3", []string{"c"}, []any{99})
+	db := expr.DB{"R1": r1, "R2": r2, "R3": r3}
+
+	pOJ := predicate.Eq(relation.A("R1", "a"), relation.A("R2", "b"))
+	pJN := predicate.Eq(relation.A("R2", "b"), relation.A("R3", "c"))
+	lhs := expr.NewOuter(expr.NewLeaf("R1"),
+		expr.NewJoin(expr.NewLeaf("R2"), expr.NewLeaf("R3"), pJN), pOJ)
+	rhs := expr.NewJoin(expr.NewOuter(expr.NewLeaf("R1"), expr.NewLeaf("R2"), pOJ),
+		expr.NewLeaf("R3"), pJN)
+
+	g, err := expr.GraphOf(lhs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("query graph (shared by both expressions):")
+	fmt.Print(g)
+	a := core.AnalyzeGraph(g)
+	fmt.Println("analysis:", a)
+
+	for _, tc := range []struct {
+		name string
+		q    *expr.Node
+	}{{"R1 -> (R2 - R3)", lhs}, {"(R1 -> R2) - R3", rhs}} {
+		out, err := tc.q.Eval(db)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s =\n%v", tc.name, out)
+	}
+	fmt.Println("\npaper: the first yields {(r1, -, -)}, the second the empty set")
+	return nil
+}
+
+func runE4(cfg config) error {
+	a := relation.FromRows("A", []string{"a"}, []any{1})
+	b := relation.FromRows("B", []string{"b1", "b2"}, []any{2, nil})
+	c := relation.FromRows("C", []string{"c"}, []any{3})
+
+	pab := predicate.Eq(relation.A("A", "a"), relation.A("B", "b1"))
+	pbc := predicate.NewOr(
+		predicate.Eq(relation.A("B", "b2"), relation.A("C", "c")),
+		predicate.NewIsNull(relation.A("B", "b2")))
+	fmt.Printf("P_ab = %v\nP_bc = %v\n", pab, pbc)
+	fmt.Printf("P_bc strong w.r.t. B? %v\n\n",
+		predicate.StrongWRTScheme(pbc, b.Scheme()))
+
+	oj := func(l, r *relation.Relation, p predicate.Predicate) *relation.Relation {
+		out, err := algebra.LeftOuterJoin(l, r, p)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+	lhs := oj(oj(a, b, pab), c, pbc)
+	rhs := oj(a, oj(b, c, pbc), pab)
+	fmt.Printf("(A -> B) -> C =\n%v\n", lhs)
+	fmt.Printf("A -> (B -> C) =\n%v\n", rhs)
+	fmt.Println("identity 12 fails: the two associations differ because P_bc accepts all-null B")
+	return nil
+}
+
+func runE5(cfg config) error {
+	// The full identity suite lives in internal/algebra's tests; here we
+	// re-run a representative randomized pass and report the counts.
+	rnd := rand.New(rand.NewSource(cfg.seed))
+	pass := 0
+	for trial := 0; trial < cfg.trials*3; trial++ {
+		x := workload.RandomRelation(rnd, "X", 6)
+		y := workload.RandomRelation(rnd, "Y", 6)
+		z := workload.RandomRelation(rnd, "Z", 6)
+		pxy := workload.RandomPredicate(rnd, "X", "Y")
+		pyz := workload.RandomPredicate(rnd, "Y", "Z")
+
+		// Identity 1 (associativity).
+		l1a, _ := algebra.Join(x, y, pxy)
+		l1, _ := algebra.Join(l1a, z, pyz)
+		r1a, _ := algebra.Join(y, z, pyz)
+		r1, _ := algebra.Join(x, r1a, pxy)
+		if !l1.EqualBag(r1) {
+			return fmt.Errorf("identity 1 violated at trial %d", trial)
+		}
+		// Identity 10 (outerjoin expansion).
+		l10, _ := algebra.LeftOuterJoin(x, y, pxy)
+		jn, _ := algebra.Join(x, y, pxy)
+		aj, _ := algebra.Antijoin(x, y, pxy)
+		r10, _ := algebra.Union(jn, aj)
+		if !l10.EqualBag(r10) {
+			return fmt.Errorf("identity 10 violated at trial %d", trial)
+		}
+		pass++
+	}
+	fmt.Printf("identities 1 and 10 verified on %d random databases (full suite: go test ./internal/algebra)\n", pass)
+	return nil
+}
+
+func runE6(cfg config) error {
+	rnd := rand.New(rand.NewSource(cfg.seed + 1))
+	pass := 0
+	for trial := 0; trial < cfg.trials*3; trial++ {
+		x := workload.RandomRelation(rnd, "X", 6)
+		y := workload.RandomRelation(rnd, "Y", 6)
+		z := workload.RandomRelation(rnd, "Z", 6)
+		pxy := workload.RandomPredicate(rnd, "X", "Y")
+		pyz := workload.RandomPredicate(rnd, "Y", "Z")
+		// Identity 12 with strong predicates.
+		la, _ := algebra.LeftOuterJoin(x, y, pxy)
+		l, _ := algebra.LeftOuterJoin(la, z, pyz)
+		ra, _ := algebra.LeftOuterJoin(y, z, pyz)
+		r, _ := algebra.LeftOuterJoin(x, ra, pxy)
+		if !l.EqualBag(r) {
+			return fmt.Errorf("identity 12 violated at trial %d", trial)
+		}
+		pass++
+	}
+	fmt.Printf("identity 12 verified on %d random databases with strong predicates\n", pass)
+
+	// And a found counterexample without strongness.
+	rnd = rand.New(rand.NewSource(cfg.seed + 2))
+	for trial := 0; ; trial++ {
+		if trial > 5000 {
+			return fmt.Errorf("no counterexample found")
+		}
+		x := workload.RandomRelation(rnd, "X", 4)
+		y := workload.RandomRelation(rnd, "Y", 4)
+		z := workload.RandomRelation(rnd, "Z", 4)
+		pxy := workload.RandomPredicate(rnd, "X", "Y")
+		pyz := workload.NonStrongPredicate("Z", "Y")
+		la, _ := algebra.LeftOuterJoin(x, y, pxy)
+		l, _ := algebra.LeftOuterJoin(la, z, pyz)
+		ra, _ := algebra.LeftOuterJoin(y, z, pyz)
+		r, _ := algebra.LeftOuterJoin(x, ra, pxy)
+		if !l.EqualBag(r) {
+			fmt.Printf("counterexample found at trial %d with non-strong %v: |LHS|=%d |RHS|=%d\n",
+				trial, pyz, l.Len(), r.Len())
+			break
+		}
+	}
+	return nil
+}
+
+func runE7(cfg config) error {
+	q := expr.NewOuter(
+		expr.NewJoin(
+			expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"),
+				predicate.Eq(relation.A("R", "a"), relation.A("S", "a"))),
+			expr.NewLeaf("T"),
+			predicate.Eq(relation.A("S", "a"), relation.A("T", "a"))),
+		expr.NewLeaf("U"),
+		predicate.Eq(relation.A("T", "a"), relation.A("U", "a")))
+	fmt.Println("expression tree:", q.StringWithPreds())
+	g, err := expr.GraphOf(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(g)
+	fmt.Println()
+	fmt.Print(g.DOT())
+	its, err := expr.EnumerateITs(g, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("implementing trees (modulo reversal): %d\n", len(its))
+	for _, it := range its {
+		fmt.Println("  ", it)
+	}
+	fmt.Println("note: no tree joins R and T directly — the graph has no R-T edge")
+	return nil
+}
+
+func runE8(cfg config) error {
+	g := graph.New()
+	je := func(u, v string) {
+		_ = g.AddJoinEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a")))
+	}
+	oe := func(u, v string) {
+		_ = g.AddOuterEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a")))
+	}
+	je("R", "S")
+	je("S", "T")
+	je("T", "U")
+	je("U", "R")
+	je("S", "U")
+	oe("R", "V")
+	oe("V", "W")
+	oe("V", "X")
+	oe("T", "Y")
+	fmt.Print(g)
+	ok1, _ := g.IsNiceLemma1()
+	ok2, _ := g.IsNiceDefinitional()
+	fmt.Printf("nice (Lemma 1 form):     %v\n", ok1)
+	fmt.Printf("nice (definitional form): %v\n", ok2)
+	c, _ := expr.CountITs(g, true)
+	fmt.Printf("implementing trees (modulo reversal): %d\n", c)
+	return nil
+}
+
+func runE9(cfg config) error {
+	rnd := rand.New(rand.NewSource(cfg.seed + 3))
+	nice, notNice := 0, 0
+	for trial := 0; trial < cfg.trials*50; trial++ {
+		g := workload.RandomConnectedGraph(rnd, 2+rnd.Intn(6))
+		ok1, _ := g.IsNiceLemma1()
+		ok2, _ := g.IsNiceDefinitional()
+		if ok1 != ok2 {
+			return fmt.Errorf("checkers disagree on\n%v", g)
+		}
+		if ok1 {
+			nice++
+		} else {
+			notNice++
+		}
+	}
+	fmt.Printf("checked %d random connected graphs: %d nice, %d not nice, 0 disagreements\n",
+		nice+notNice, nice, notNice)
+	return nil
+}
+
+func runE10(cfg config) error {
+	rnd := rand.New(rand.NewSource(cfg.seed + 4))
+	graphs, trees := 0, 0
+	for trial := 0; trial < cfg.trials; trial++ {
+		g := workload.RandomNiceGraph(rnd, 1+rnd.Intn(3), rnd.Intn(3))
+		db := workload.RandomDB(rnd, g, 5)
+		res, err := core.Verify(g, db)
+		if err != nil {
+			return err
+		}
+		if !res.AllEqual {
+			return fmt.Errorf("THEOREM VIOLATION on\n%v", g)
+		}
+		graphs++
+		trees += res.ITCount
+	}
+	fmt.Printf("verified %d random nice graphs / %d implementing trees: all evaluations agree\n", graphs, trees)
+
+	// Negative control: the Example 2 graph admits differing trees.
+	g := graph.New()
+	_ = g.AddOuterEdge("X", "Y", predicate.Eq(relation.A("X", "a"), relation.A("Y", "a")))
+	_ = g.AddJoinEdge("Y", "Z", predicate.Eq(relation.A("Y", "a"), relation.A("Z", "a")))
+	for trial := 0; ; trial++ {
+		if trial > 2000 {
+			return fmt.Errorf("no counterexample for the non-nice graph")
+		}
+		db := workload.RandomDB(rnd, g, 4)
+		res, err := core.Verify(g, db)
+		if err != nil {
+			return err
+		}
+		if !res.AllEqual {
+			fmt.Printf("negative control (X -> Y - Z): differing trees found, e.g. %s vs %s\n",
+				res.WitnessA, res.WitnessB)
+			break
+		}
+	}
+	return nil
+}
+
+func runE11(cfg config) error {
+	rnd := rand.New(rand.NewSource(cfg.seed + 5))
+	checked := 0
+	for trial := 0; trial < cfg.trials; trial++ {
+		g := workload.RandomNiceGraph(rnd, 1+rnd.Intn(3), rnd.Intn(3))
+		all, err := expr.EnumerateITs(g, false)
+		if err != nil {
+			return err
+		}
+		if len(all) > 300 {
+			continue
+		}
+		cl, err := expr.Closure(all[rnd.Intn(len(all))], 5000)
+		if err != nil {
+			return err
+		}
+		if len(cl) != len(all) {
+			return fmt.Errorf("closure %d != IT set %d on\n%v", len(cl), len(all), g)
+		}
+		checked++
+	}
+	fmt.Printf("on %d random nice graphs, the BT closure of a random IT equals the full IT set\n", checked)
+	return nil
+}
+
+func runE12(cfg config) error {
+	q, err := parseExample12()
+	if err != nil {
+		return err
+	}
+	fmt.Println("query: ", q.StringWithPreds())
+	simplified, n := core.Simplify(q, core.SimplifyOptions{})
+	fmt.Println("after §4 simplification:", simplified.StringWithPreds())
+	fmt.Printf("outerjoins converted to joins: %d\n", n)
+
+	// The §4 referential-integrity warning.
+	ri := expr.NewOuter(expr.NewLeaf("R1"),
+		expr.NewJoin(expr.NewLeaf("R2"), expr.NewLeaf("R3"),
+			predicate.Eq(relation.A("R2", "a"), relation.A("R3", "a"))),
+		predicate.Eq(relation.A("R1", "a"), relation.A("R2", "a")))
+	ok, reason := core.FreelyReorderable(ri)
+	fmt.Printf("\nRI rewrite R1 -> (R2 - R3): freely reorderable? %v (%s)\n", ok, reason)
+	return nil
+}
+
+func parseExample12() (*expr.Node, error) {
+	// σ[T.a = 1](R -> (S -> T)): the strong restriction converts both
+	// outerjoins.
+	inner := expr.NewOuter(expr.NewLeaf("S"), expr.NewLeaf("T"),
+		predicate.Eq(relation.A("S", "a"), relation.A("T", "a")))
+	q := expr.NewOuter(expr.NewLeaf("R"), inner,
+		predicate.Eq(relation.A("R", "a"), relation.A("S", "a")))
+	return expr.NewRestrict(q, predicate.EqConst(relation.A("T", "a"), relation.Int(1))), nil
+}
+
+func runE14(cfg config) error {
+	rnd := rand.New(rand.NewSource(cfg.seed + 6))
+	pass := 0
+	for trial := 0; trial < cfg.trials*3; trial++ {
+		x := workload.RandomRelation(rnd, "X", 6).Dedup()
+		y := workload.RandomRelation(rnd, "Y", 6).Dedup()
+		z := workload.RandomRelation(rnd, "Z", 6).Dedup()
+		pxy := workload.RandomPredicate(rnd, "X", "Y")
+		pyz := workload.RandomPredicate(rnd, "Y", "Z")
+		// Identity 15.
+		jyz, _ := algebra.Join(y, z, pyz)
+		lhs, _ := algebra.LeftOuterJoin(x, jyz, pxy)
+		ojxy, _ := algebra.LeftOuterJoin(x, y, pxy)
+		rhs, err := algebra.GeneralizedOuterJoin(ojxy, z, pyz, x.Scheme().Attrs())
+		if err != nil {
+			return err
+		}
+		if !lhs.EqualBag(rhs) {
+			return fmt.Errorf("identity 15 violated at trial %d", trial)
+		}
+		pass++
+	}
+	fmt.Printf("identity 15 (X OJ (Y JN Z) = (X OJ Y) GOJ[sch(X)] Z) verified on %d random duplicate-free databases\n", pass)
+	fmt.Println("identity 16 and the GOJ/Dayal refinement are covered by go test ./internal/algebra ./internal/core")
+	return nil
+}

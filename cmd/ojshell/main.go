@@ -1,0 +1,24 @@
+// Command ojshell is an interactive shell over the join/outerjoin
+// engine: define tables and indexes, evaluate expressions, inspect query
+// graphs, check free reorderability, and run the optimizer.
+//
+//	$ ojshell
+//	oj> table R(a) = (1), (2)
+//	oj> table S(a) = (2), (3)
+//	oj> query R ->[R.a = S.a] S
+//	oj> analyze R ->[R.a = S.a] S
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	sh := NewShell(os.Stdout)
+	fmt.Println("freejoin shell — type help for commands, quit to exit")
+	if err := sh.Run(os.Stdin, true); err != nil {
+		fmt.Fprintln(os.Stderr, "ojshell:", err)
+		os.Exit(1)
+	}
+}

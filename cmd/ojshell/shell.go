@@ -1,0 +1,342 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"freejoin/internal/core"
+	"freejoin/internal/expr"
+	"freejoin/internal/optimizer"
+	"freejoin/internal/parse"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// Shell is the interactive session state: a catalog plus the commands
+// that operate on it. It is separated from main for testability.
+type Shell struct {
+	cat *storage.Catalog
+	out io.Writer
+}
+
+// NewShell returns a shell writing to out.
+func NewShell(out io.Writer) *Shell {
+	return &Shell{cat: storage.NewCatalog(), out: out}
+}
+
+// Run processes commands line by line until EOF or \q.
+func (s *Shell) Run(in io.Reader, prompt bool) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if prompt {
+			fmt.Fprint(s.out, "oj> ")
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if line == `\q` || line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := s.Exec(line); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	}
+}
+
+// Exec runs one command.
+func (s *Shell) Exec(line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToLower(cmd) {
+	case "help", `\h`:
+		s.help()
+		return nil
+	case "table":
+		return s.cmdTable(rest)
+	case "index":
+		return s.cmdIndex(rest)
+	case "load":
+		return s.cmdLoad(rest)
+	case "save":
+		return s.cmdSave(rest)
+	case "dump":
+		if rest == "" {
+			return fmt.Errorf("usage: dump file.fjdb")
+		}
+		if err := storage.SaveCatalogFile(rest, s.cat); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "snapshot written to %s\n", rest)
+		return nil
+	case "restore":
+		if rest == "" {
+			return fmt.Errorf("usage: restore file.fjdb")
+		}
+		cat, err := storage.LoadCatalogFile(rest)
+		if err != nil {
+			return err
+		}
+		s.cat = cat
+		fmt.Fprintf(s.out, "restored %d tables from %s\n", len(cat.Tables()), rest)
+		return nil
+	case "tables":
+		for _, n := range s.cat.Tables() {
+			t, _ := s.cat.Table(n)
+			fmt.Fprintf(s.out, "%s%s  (%d rows)\n", n, t.Scheme(), t.Relation().Len())
+		}
+		return nil
+	case "query", "eval":
+		return s.cmdQuery(rest)
+	case "graph":
+		return s.cmdGraph(rest)
+	case "analyze":
+		return s.cmdAnalyze(rest)
+	case "plan":
+		return s.cmdPlan(rest)
+	case "trees":
+		return s.cmdTrees(rest)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (s *Shell) help() {
+	fmt.Fprint(s.out, `commands:
+  table NAME(col, ...) = (v, ...), (v, ...)   define a table; null for nulls
+  load NAME file.csv                          import a table from CSV
+  save NAME file.csv                          export a table to CSV
+  dump file.fjdb / restore file.fjdb          snapshot / restore the whole catalog
+  index NAME col                              build a hash index
+  tables                                      list tables
+  query   EXPR                                evaluate an expression
+  graph   EXPR                                show the query graph
+  analyze EXPR                                free-reorderability analysis
+  trees   EXPR                                list the implementing trees
+  plan    EXPR                                optimize, explain and execute
+  help / quit
+
+expressions:  (R -[R.a = S.a] S) ->[S.b = T.b] T
+operators:    -[p] join,  ->[p] left outerjoin,  <-[p] right outerjoin
+restriction:  sigma[R.a = 1](R ->[R.a = S.a] S)
+`)
+}
+
+// cmdTable parses "NAME(col, col) = (1, 'x'), (2, null)".
+func (s *Shell) cmdTable(rest string) error {
+	head, data, found := strings.Cut(rest, "=")
+	if !found {
+		return fmt.Errorf("usage: table NAME(col, ...) = (v, ...), ...")
+	}
+	head = strings.TrimSpace(head)
+	open := strings.IndexByte(head, '(')
+	if open < 0 || !strings.HasSuffix(head, ")") {
+		return fmt.Errorf("table header must be NAME(col, ...)")
+	}
+	name := strings.TrimSpace(head[:open])
+	var cols []string
+	for _, c := range strings.Split(head[open+1:len(head)-1], ",") {
+		cols = append(cols, strings.TrimSpace(c))
+	}
+	rel := relation.New(relation.SchemeOf(name, cols...))
+	rows, err := parseRows(data, len(cols))
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rel.AppendRaw(r)
+	}
+	s.cat.AddRelation(name, rel)
+	fmt.Fprintf(s.out, "table %s: %d rows\n", name, rel.Len())
+	return nil
+}
+
+// parseRows parses "(v, ...), (v, ...)" with int, float, 'string', null.
+func parseRows(data string, arity int) ([][]relation.Value, error) {
+	var out [][]relation.Value
+	data = strings.TrimSpace(data)
+	for data != "" {
+		if !strings.HasPrefix(data, "(") {
+			return nil, fmt.Errorf("expected '(' at %q", data)
+		}
+		end := strings.IndexByte(data, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("missing ')' in %q", data)
+		}
+		fields := strings.Split(data[1:end], ",")
+		if len(fields) != arity {
+			return nil, fmt.Errorf("row has %d values, want %d", len(fields), arity)
+		}
+		row := make([]relation.Value, len(fields))
+		for i, f := range fields {
+			v, err := parseValue(strings.TrimSpace(f))
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+		data = strings.TrimSpace(data[end+1:])
+		data = strings.TrimPrefix(data, ",")
+		data = strings.TrimSpace(data)
+	}
+	return out, nil
+}
+
+func parseValue(f string) (relation.Value, error) {
+	switch {
+	case strings.EqualFold(f, "null"), f == "-":
+		return relation.Null(), nil
+	case strings.HasPrefix(f, "'") && strings.HasSuffix(f, "'") && len(f) >= 2:
+		return relation.Str(f[1 : len(f)-1]), nil
+	case strings.EqualFold(f, "true"):
+		return relation.Bool(true), nil
+	case strings.EqualFold(f, "false"):
+		return relation.Bool(false), nil
+	default:
+		if i, err := strconv.ParseInt(f, 10, 64); err == nil {
+			return relation.Int(i), nil
+		}
+		if fl, err := strconv.ParseFloat(f, 64); err == nil {
+			return relation.Float(fl), nil
+		}
+		return relation.Value{}, fmt.Errorf("cannot parse value %q", f)
+	}
+}
+
+func (s *Shell) cmdLoad(rest string) error {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return fmt.Errorf("usage: load NAME file.csv")
+	}
+	t, err := s.cat.LoadCSVFile(parts[0], parts[1])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "table %s: %d rows from %s\n", parts[0], t.Relation().Len(), parts[1])
+	return nil
+}
+
+func (s *Shell) cmdSave(rest string) error {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return fmt.Errorf("usage: save NAME file.csv")
+	}
+	if err := s.cat.SaveCSVFile(parts[0], parts[1]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "wrote %s\n", parts[1])
+	return nil
+}
+
+func (s *Shell) cmdIndex(rest string) error {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return fmt.Errorf("usage: index TABLE col")
+	}
+	t, err := s.cat.Table(parts[0])
+	if err != nil {
+		return err
+	}
+	if _, err := t.BuildHashIndex(parts[1]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "hash index on %s.%s\n", parts[0], parts[1])
+	return nil
+}
+
+func (s *Shell) cmdQuery(rest string) error {
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return err
+	}
+	out, err := q.Eval(s.cat)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, out)
+	return nil
+}
+
+func (s *Shell) cmdGraph(rest string) error {
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return err
+	}
+	g, err := expr.GraphOf(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, g)
+	return nil
+}
+
+func (s *Shell) cmdAnalyze(rest string) error {
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return err
+	}
+	a, err := core.Analyze(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, a)
+	return nil
+}
+
+func (s *Shell) cmdTrees(rest string) error {
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return err
+	}
+	g, err := expr.GraphOf(q)
+	if err != nil {
+		return err
+	}
+	n, err := expr.CountITs(g, true)
+	if err != nil {
+		return err
+	}
+	if n > 200 {
+		return fmt.Errorf("%d trees; refusing to list more than 200", n)
+	}
+	its, err := expr.EnumerateITs(g, true)
+	if err != nil {
+		return err
+	}
+	for i, it := range its {
+		marker := " "
+		if it.Equal(q) {
+			marker = "*"
+		}
+		fmt.Fprintf(s.out, "%s %3d: %s\n", marker, i+1, it)
+	}
+	return nil
+}
+
+func (s *Shell) cmdPlan(rest string) error {
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return err
+	}
+	o := optimizer.New(s.cat)
+	p, reordered, err := o.PlanQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "reordered: %v\nplan: %s\n%s", reordered, p.Tree(), p.Explain())
+	out, c, err := o.Execute(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "tuples retrieved: %d\n", c.TuplesRetrieved)
+	fmt.Fprint(s.out, out)
+	return nil
+}

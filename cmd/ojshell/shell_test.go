@@ -1,0 +1,173 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	sh := NewShell(&out)
+	if err := sh.Run(strings.NewReader(script), false); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	out := runScript(t, `
+-- a comment
+table R(a, b) = (1, 'x'), (2, null)
+table S(a) = (2), (3)
+tables
+index S a
+query R ->[R.a = S.a] S
+graph R ->[R.a = S.a] S
+analyze R ->[R.a = S.a] S
+trees (R -[R.a = S.a] S)
+plan R ->[R.a = S.a] S
+quit
+`)
+	for _, want := range []string{
+		"table R: 2 rows",
+		"table S: 2 rows",
+		"hash index on S.a",
+		"freely reorderable",
+		"(2 rows)",
+		"R -> S",
+		"tuples retrieved:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellErrorsAreReported(t *testing.T) {
+	out := runScript(t, `
+bogus command
+table R(a = (1)
+table R(a) = 1, 2
+index R a
+index R
+query R -[bad
+query NOPE -[R.a = S.a] S
+analyze R -[R.a] S
+\q
+`)
+	if n := strings.Count(out, "error:"); n < 6 {
+		t.Errorf("expected >=6 errors, got %d:\n%s", n, out)
+	}
+}
+
+func TestShellCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/r.csv"
+	out := runScript(t, `
+table R(a, b) = (1, 'x'), (2, null)
+save R `+path+`
+load S `+path+`
+query S
+save NOPE `+path+`
+load X `+dir+`/missing.csv
+load X
+save X
+`)
+	if !strings.Contains(out, "wrote "+path) || !strings.Contains(out, "table S: 2 rows") {
+		t.Errorf("csv round trip broken:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("loaded table not queryable:\n%s", out)
+	}
+	if strings.Count(out, "error:") < 4 {
+		t.Errorf("csv error paths not reported:\n%s", out)
+	}
+}
+
+func TestShellSigmaPlan(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2), (3)
+table S(a) = (1), (2)
+index R a
+plan sigma[R.a = 2](R ->[R.a = S.a] S)
+query sigma[R.a = 2](R ->[R.a = S.a] S)
+`)
+	if !strings.Contains(out, "reordered: true") {
+		t.Errorf("sigma plan should reorder via the pipeline:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 rows)") {
+		t.Errorf("sigma query result wrong:\n%s", out)
+	}
+}
+
+func TestShellDumpRestore(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cat.fjdb"
+	out := runScript(t, `
+table R(a) = (1), (2)
+index R a
+dump `+path+`
+table R(a) = (9)
+restore `+path+`
+query R
+dump
+restore
+restore `+dir+`/missing.fjdb
+`)
+	if !strings.Contains(out, "snapshot written") || !strings.Contains(out, "restored 1 tables") {
+		t.Errorf("dump/restore broken:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("restored table content wrong:\n%s", out)
+	}
+	if strings.Count(out, "error:") < 3 {
+		t.Errorf("error paths missing:\n%s", out)
+	}
+}
+
+func TestShellValueParsing(t *testing.T) {
+	out := runScript(t, `
+table T(a, b, c, d, e) = (1, 2.5, 'txt', null, true), (2, -1.5, 'y', -, false)
+query T
+`)
+	if !strings.Contains(out, "(2 rows)") || !strings.Contains(out, "txt") {
+		t.Errorf("value parsing broken:\n%s", out)
+	}
+}
+
+func TestShellTreeListLimit(t *testing.T) {
+	// A 7-chain has 132 trees (listable); a 10-chain exceeds the cap.
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		b.WriteString("table ")
+		b.WriteByte(byte('A' + i))
+		b.WriteString("(a) = (1)\n")
+	}
+	script := b.String()
+	big := "A"
+	for i := 1; i < 10; i++ {
+		big = "(" + big + " -[" + string(byte('A'+i-1)) + ".a = " + string(byte('A'+i)) + ".a] " + string(byte('A'+i)) + ")"
+	}
+	script += "trees " + big + "\n"
+	out := runScript(t, script)
+	if !strings.Contains(out, "refusing to list") {
+		t.Errorf("tree cap not applied:\n%s", out)
+	}
+}
+
+func TestParseValueForms(t *testing.T) {
+	for _, bad := range []string{"abc", "1x", "''x"} {
+		if _, err := parseValue(bad); err == nil && bad != "''x" {
+			t.Errorf("parseValue(%q) should fail", bad)
+		}
+	}
+	v, err := parseValue("3")
+	if err != nil || v.AsInt() != 3 {
+		t.Error("int parse broken")
+	}
+	v, err = parseValue("2.5")
+	if err != nil || v.AsFloat() != 2.5 {
+		t.Error("float parse broken")
+	}
+}

@@ -1,0 +1,14 @@
+// Package freejoin is a from-scratch implementation of Rosenthal &
+// Galindo-Legaria, "Query Graphs, Implementing Trees, and
+// Freely-Reorderable Outerjoins" (SIGMOD 1990): query graphs for
+// join/outerjoin queries, implementing trees and their basic transforms,
+// the free-reorderability theorem as a decision procedure, the §4
+// restriction simplification, the §5 UnNest/Link language, and the §6.2
+// generalized outerjoin — together with the storage, execution and
+// cost-based optimization substrate needed to reproduce the paper's
+// examples end to end.
+//
+// The root package carries the repository-level benchmark harness and
+// integration tests; the library lives under internal/ (see README.md
+// for the map) and the runnable entry points under cmd/ and examples/.
+package freejoin

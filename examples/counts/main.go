@@ -1,0 +1,57 @@
+// Counts: the paper's [MURA89] motivation — Count queries need
+// outerjoins. Counting employees per department over a plain join
+// silently drops empty departments; over the (freely reorderable)
+// outerjoin with COUNT over a non-null employee column it does not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freejoin/internal/algebra"
+	"freejoin/internal/core"
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func main() {
+	db := expr.DB{
+		"Dept": relation.FromRows("Dept", []string{"dno", "name"},
+			[]any{1, "Engineering"}, []any{2, "Sales"}, []any{3, "Archives"}),
+		"Emp": relation.FromRows("Emp", []string{"dno", "id"},
+			[]any{1, 100}, []any{1, 101}, []any{2, 200}),
+	}
+	p := predicate.Eq(relation.A("Dept", "dno"), relation.A("Emp", "dno"))
+	groupCols := []relation.Attr{relation.A("Dept", "dno"), relation.A("Dept", "name")}
+	aggs := []algebra.Agg{{
+		Kind: algebra.CountCol, Col: relation.A("Emp", "id"), As: relation.A("agg", "employees"),
+	}}
+
+	countOver := func(q *expr.Node) *relation.Relation {
+		joined, err := q.Eval(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := algebra.GroupBy(joined, groupCols, aggs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	join := expr.NewJoin(expr.NewLeaf("Dept"), expr.NewLeaf("Emp"), p)
+	fmt.Println("COUNT over the plain join — Archives is silently missing:")
+	fmt.Println(countOver(join))
+
+	outer := expr.NewOuter(expr.NewLeaf("Dept"), expr.NewLeaf("Emp"), p)
+	fmt.Println("COUNT(Emp.id) over Dept -> Emp — Archives counts 0:")
+	fmt.Println(countOver(outer))
+
+	// And the outerjoin block below the aggregate stays freely
+	// reorderable, so an optimizer may still pick any join order.
+	if ok, reason := core.FreelyReorderable(outer); !ok {
+		log.Fatalf("unexpected: %s", reason)
+	}
+	fmt.Println("the outerjoin block under the aggregate is freely reorderable.")
+}

@@ -1,0 +1,3 @@
+module freejoin
+
+go 1.22

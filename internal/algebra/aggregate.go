@@ -1,0 +1,208 @@
+package algebra
+
+import (
+	"fmt"
+
+	"freejoin/internal/relation"
+)
+
+// Grouped aggregation. The paper's introduction lists Count queries
+// [MURA89] among the workloads that force outerjoins into relational
+// plans: counting employees per department must not lose departments with
+// zero employees, so the count runs over DEPARTMENT → EMPLOYEE and counts
+// non-null employee keys. GroupBy provides exactly the SQL-flavored
+// semantics that makes that work: COUNT(col) skips nulls, group keys
+// treat null as equal to null.
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	CountRows AggKind = iota // COUNT(*): rows per group
+	CountCol                 // COUNT(col): non-null values per group
+	SumCol                   // SUM(col): numeric sum, null when no non-null input
+	MinCol                   // MIN(col)
+	MaxCol                   // MAX(col)
+)
+
+// String returns the SQL spelling.
+func (k AggKind) String() string {
+	switch k {
+	case CountRows:
+		return "count(*)"
+	case CountCol:
+		return "count"
+	case SumCol:
+		return "sum"
+	case MinCol:
+		return "min"
+	case MaxCol:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// Agg is one aggregate column specification.
+type Agg struct {
+	Kind AggKind
+	Col  relation.Attr // input column (ignored for CountRows)
+	As   relation.Attr // output column name
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sum     float64
+	sumIsFl bool
+	seen    bool
+	min     relation.Value
+	max     relation.Value
+}
+
+func (st *aggState) add(kind AggKind, v relation.Value) {
+	switch kind {
+	case CountRows:
+		st.count++
+	case CountCol:
+		if !v.IsNull() {
+			st.count++
+		}
+	case SumCol:
+		if v.IsNull() {
+			return
+		}
+		st.seen = true
+		if v.Kind() == relation.KindFloat {
+			st.sumIsFl = true
+		}
+		st.sum += v.AsFloat()
+	case MinCol:
+		if v.IsNull() {
+			return
+		}
+		if !st.seen || v.Compare(st.min) < 0 {
+			st.min = v
+		}
+		st.seen = true
+	case MaxCol:
+		if v.IsNull() {
+			return
+		}
+		if !st.seen || v.Compare(st.max) > 0 {
+			st.max = v
+		}
+		st.seen = true
+	}
+}
+
+func (st *aggState) result(kind AggKind) relation.Value {
+	switch kind {
+	case CountRows, CountCol:
+		return relation.Int(st.count)
+	case SumCol:
+		if !st.seen {
+			return relation.Null()
+		}
+		if st.sumIsFl {
+			return relation.Float(st.sum)
+		}
+		return relation.Int(int64(st.sum))
+	case MinCol:
+		if !st.seen {
+			return relation.Null()
+		}
+		return st.min
+	case MaxCol:
+		if !st.seen {
+			return relation.Null()
+		}
+		return st.max
+	default:
+		return relation.Null()
+	}
+}
+
+// GroupBy groups r by the given columns (nulls group together, as in SQL
+// GROUP BY) and computes the aggregates. The output scheme is the group
+// columns followed by each aggregate's As attribute. With no group
+// columns the whole input is one group (and, unlike SQL aggregates over
+// empty input, an empty relation yields one row of zero counts / null
+// sums, matching the single-group reading).
+func GroupBy(r *relation.Relation, groupCols []relation.Attr, aggs []Agg) (*relation.Relation, error) {
+	gpos := make([]int, len(groupCols))
+	for i, a := range groupCols {
+		p := r.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("algebra: group column %s not in scheme %s", a, r.Scheme())
+		}
+		gpos[i] = p
+	}
+	apos := make([]int, len(aggs))
+	outAttrs := append([]relation.Attr(nil), groupCols...)
+	for i, ag := range aggs {
+		if ag.Kind == CountRows {
+			apos[i] = -1
+		} else {
+			p := r.Scheme().IndexOf(ag.Col)
+			if p < 0 {
+				return nil, fmt.Errorf("algebra: aggregate column %s not in scheme %s", ag.Col, r.Scheme())
+			}
+			apos[i] = p
+		}
+		outAttrs = append(outAttrs, ag.As)
+	}
+	outScheme, err := relation.NewScheme(outAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: group-by output scheme: %w", err)
+	}
+
+	type group struct {
+		key    []relation.Value
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string // deterministic first-seen order
+	var buf []byte
+	for i := 0; i < r.Len(); i++ {
+		row := r.RawRow(i)
+		buf = buf[:0]
+		for _, p := range gpos {
+			buf = relation.AppendKey(buf, row[p])
+		}
+		g, ok := groups[string(buf)]
+		if !ok {
+			key := make([]relation.Value, len(gpos))
+			for k, p := range gpos {
+				key[k] = row[p]
+			}
+			g = &group{key: key, states: make([]aggState, len(aggs))}
+			groups[string(buf)] = g
+			order = append(order, string(buf))
+		}
+		for ai, ag := range aggs {
+			var v relation.Value
+			if apos[ai] >= 0 {
+				v = row[apos[ai]]
+			}
+			g.states[ai].add(ag.Kind, v)
+		}
+	}
+	if len(groups) == 0 && len(groupCols) == 0 {
+		g := &group{states: make([]aggState, len(aggs))}
+		groups[""] = g
+		order = append(order, "")
+	}
+	out := relation.New(outScheme)
+	for _, k := range order {
+		g := groups[k]
+		row := make([]relation.Value, 0, outScheme.Len())
+		row = append(row, g.key...)
+		for ai, ag := range aggs {
+			row = append(row, g.states[ai].result(ag.Kind))
+		}
+		out.AppendRaw(row)
+	}
+	return out, nil
+}

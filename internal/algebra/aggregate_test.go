@@ -1,0 +1,185 @@
+package algebra
+
+import (
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func aggInput() *relation.Relation {
+	return relation.FromRows("R", []string{"g", "v"},
+		[]any{1, 10}, []any{1, nil}, []any{1, 30},
+		[]any{2, 5},
+		[]any{nil, 7}, []any{nil, nil},
+	)
+}
+
+func TestGroupByCounts(t *testing.T) {
+	r := aggInput()
+	out, err := GroupBy(r,
+		[]relation.Attr{relation.A("R", "g")},
+		[]Agg{
+			{Kind: CountRows, As: relation.A("out", "n")},
+			{Kind: CountCol, Col: relation.A("R", "v"), As: relation.A("out", "nv")},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d:\n%v", out.Len(), out)
+	}
+	byKey := map[string][2]int64{}
+	for i := 0; i < out.Len(); i++ {
+		row := out.Row(i)
+		byKey[row.At(0).String()] = [2]int64{row.At(1).AsInt(), row.At(2).AsInt()}
+	}
+	if byKey["1"] != [2]int64{3, 2} {
+		t.Errorf("group 1 = %v", byKey["1"])
+	}
+	if byKey["2"] != [2]int64{1, 1} {
+		t.Errorf("group 2 = %v", byKey["2"])
+	}
+	// Nulls group together (SQL GROUP BY).
+	if byKey["-"] != [2]int64{2, 1} {
+		t.Errorf("null group = %v", byKey["-"])
+	}
+}
+
+func TestGroupBySumMinMax(t *testing.T) {
+	r := aggInput()
+	out, err := GroupBy(r,
+		[]relation.Attr{relation.A("R", "g")},
+		[]Agg{
+			{Kind: SumCol, Col: relation.A("R", "v"), As: relation.A("out", "s")},
+			{Kind: MinCol, Col: relation.A("R", "v"), As: relation.A("out", "lo")},
+			{Kind: MaxCol, Col: relation.A("R", "v"), As: relation.A("out", "hi")},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < out.Len(); i++ {
+		row := out.Row(i)
+		switch row.At(0).String() {
+		case "1":
+			if row.At(1) != relation.Int(40) || row.At(2) != relation.Int(10) || row.At(3) != relation.Int(30) {
+				t.Errorf("group 1: %v", row)
+			}
+		case "2":
+			if row.At(1) != relation.Int(5) {
+				t.Errorf("group 2: %v", row)
+			}
+		}
+	}
+}
+
+func TestGroupBySumAllNull(t *testing.T) {
+	r := relation.FromRows("R", []string{"g", "v"}, []any{1, nil})
+	out, err := GroupBy(r, []relation.Attr{relation.A("R", "g")},
+		[]Agg{
+			{Kind: SumCol, Col: relation.A("R", "v"), As: relation.A("o", "s")},
+			{Kind: MinCol, Col: relation.A("R", "v"), As: relation.A("o", "lo")},
+			{Kind: MaxCol, Col: relation.A("R", "v"), As: relation.A("o", "hi")},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := out.Row(0)
+	if !row.At(1).IsNull() || !row.At(2).IsNull() || !row.At(3).IsNull() {
+		t.Errorf("all-null aggregates must be null: %v", row)
+	}
+}
+
+func TestGroupByFloatSum(t *testing.T) {
+	r := relation.FromRows("R", []string{"v"}, []any{1}, []any{2.5})
+	out, err := GroupBy(r, nil, []Agg{{Kind: SumCol, Col: relation.A("R", "v"), As: relation.A("o", "s")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Row(0).At(0) != relation.Float(3.5) {
+		t.Errorf("sum = %v", out.Row(0).At(0))
+	}
+}
+
+func TestGroupByEmptyInputSingleGroup(t *testing.T) {
+	r := relation.New(relation.SchemeOf("R", "v"))
+	out, err := GroupBy(r, nil, []Agg{
+		{Kind: CountRows, As: relation.A("o", "n")},
+		{Kind: SumCol, Col: relation.A("R", "v"), As: relation.A("o", "s")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Row(0).At(0) != relation.Int(0) || !out.Row(0).At(1).IsNull() {
+		t.Errorf("empty input: %v", out)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	r := aggInput()
+	if _, err := GroupBy(r, []relation.Attr{relation.A("Z", "z")}, nil); err == nil {
+		t.Error("unknown group column must fail")
+	}
+	if _, err := GroupBy(r, nil, []Agg{{Kind: SumCol, Col: relation.A("Z", "z"), As: relation.A("o", "s")}}); err == nil {
+		t.Error("unknown aggregate column must fail")
+	}
+	if _, err := GroupBy(r, []relation.Attr{relation.A("R", "g")},
+		[]Agg{{Kind: CountRows, As: relation.A("R", "g")}}); err == nil {
+		t.Error("output name clash must fail")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for k, want := range map[AggKind]string{
+		CountRows: "count(*)", CountCol: "count", SumCol: "sum", MinCol: "min", MaxCol: "max",
+	} {
+		if k.String() != want {
+			t.Errorf("%d renders %q", k, k.String())
+		}
+	}
+	if AggKind(9).String() == "" {
+		t.Error("unknown kind rendering")
+	}
+}
+
+// TestCountsNeedOuterjoin is the [MURA89] motivation: counting employees
+// per department over a plain join loses empty departments; over the
+// outerjoin with COUNT(non-null employee key) it does not.
+func TestCountsNeedOuterjoin(t *testing.T) {
+	dept := relation.FromRows("D", []string{"dno"}, []any{1}, []any{2}, []any{3})
+	emp := relation.FromRows("E", []string{"dno", "id"},
+		[]any{1, 100}, []any{1, 101}, []any{2, 200})
+	p := predicate.Eq(relation.A("D", "dno"), relation.A("E", "dno"))
+
+	countPer := func(joined *relation.Relation) map[string]int64 {
+		out, err := GroupBy(joined,
+			[]relation.Attr{relation.A("D", "dno")},
+			[]Agg{{Kind: CountCol, Col: relation.A("E", "id"), As: relation.A("o", "n")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[string]int64{}
+		for i := 0; i < out.Len(); i++ {
+			m[out.Row(i).At(0).String()] = out.Row(i).At(1).AsInt()
+		}
+		return m
+	}
+
+	jn, err := Join(dept, emp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJoin := countPer(jn)
+	if _, ok := viaJoin["3"]; ok {
+		t.Fatal("plain join should lose department 3")
+	}
+
+	oj, err := LeftOuterJoin(dept, emp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOuter := countPer(oj)
+	if viaOuter["1"] != 2 || viaOuter["2"] != 1 || viaOuter["3"] != 0 {
+		t.Fatalf("outerjoin counts = %v", viaOuter)
+	}
+}

@@ -1,0 +1,297 @@
+// Package algebra implements the paper's join-like operators as reference
+// (logical) bag semantics over package relation:
+//
+//	JN  [p](R1, R2)  regular join           R1 — R2
+//	OJ  [p](R1, R2)  left outerjoin         R1 → R2
+//	AJ  [p](R1, R2)  antijoin               R1 ▷ R2
+//	SJ  [p](R1, R2)  semijoin               (used by §6.3's outlook)
+//	GOJ [p,S](R1,R2) generalized outerjoin  (§6.2, eqn 14)
+//
+// plus Restrict, Project, Product, FullOuterJoin and the padding Union the
+// paper's identities are stated with. These definitions are the ground
+// truth the rewrite engine (package expr) and the physical executor
+// (package exec) are validated against.
+package algebra
+
+import (
+	"fmt"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// Restrict returns the tuples of r on which p holds (evaluates to True).
+func Restrict(r *relation.Relation, p predicate.Predicate) (*relation.Relation, error) {
+	bound, err := predicate.Bind(p, r.Scheme())
+	if err != nil {
+		return nil, fmt.Errorf("algebra: restrict: %w", err)
+	}
+	out := relation.New(r.Scheme())
+	for i := 0; i < r.Len(); i++ {
+		if bound.Holds(r.RawRow(i)) {
+			out.AppendRaw(r.RawRow(i))
+		}
+	}
+	return out, nil
+}
+
+// Project returns r restricted to the given attributes. With dedup true it
+// is the paper's π (projection with removal of duplicates); with dedup
+// false it keeps bag multiplicities.
+func Project(r *relation.Relation, attrs []relation.Attr, dedup bool) (*relation.Relation, error) {
+	sch, err := r.Scheme().Project(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: project: %w", err)
+	}
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i] = r.Scheme().IndexOf(a)
+	}
+	out := relation.New(sch)
+	for i := 0; i < r.Len(); i++ {
+		row := r.RawRow(i)
+		nv := make([]relation.Value, len(pos))
+		for j, p := range pos {
+			nv[j] = row[p]
+		}
+		out.AppendRaw(nv)
+	}
+	if dedup {
+		out = out.Dedup()
+	}
+	return out, nil
+}
+
+// Product returns the Cartesian product of two relations on disjoint
+// schemes. Query graphs exclude products (joins without edges), but the
+// operator is needed as a building block and baseline.
+func Product(l, r *relation.Relation) (*relation.Relation, error) {
+	sch, err := l.Scheme().Concat(r.Scheme())
+	if err != nil {
+		return nil, fmt.Errorf("algebra: product: %w", err)
+	}
+	out := relation.New(sch)
+	for i := 0; i < l.Len(); i++ {
+		lrow := l.RawRow(i)
+		for j := 0; j < r.Len(); j++ {
+			out.AppendRaw(concatRows(lrow, r.RawRow(j)))
+		}
+	}
+	return out, nil
+}
+
+// Union returns the bag union of two relations after padding both to the
+// union scheme, per the paper's convention ("we first pad the tuples of
+// each relation to scheme sch(X) ∪ sch(Y)"). This makes expressions like
+// (R − S) ∪ (R ▷ S) well-formed.
+func Union(l, r *relation.Relation) (*relation.Relation, error) {
+	target := l.Scheme().UnionFor(r.Scheme())
+	lp, err := l.PadTo(target)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: union: %w", err)
+	}
+	rp, err := r.PadTo(target)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: union: %w", err)
+	}
+	out := lp.Clone()
+	for i := 0; i < rp.Len(); i++ {
+		out.AppendRaw(rp.RawRow(i))
+	}
+	return out, nil
+}
+
+// matchState captures, for each pair of inputs and a predicate, which
+// pairs matched and which left rows matched at least once. All join-like
+// operators derive from it.
+type matchState struct {
+	out          *relation.Relation // concatenated matching rows (the join)
+	leftMatched  []bool
+	rightMatched []bool
+}
+
+func matchRows(l, r *relation.Relation, p predicate.Predicate, needJoinRows bool) (*matchState, error) {
+	sch, err := l.Scheme().Concat(r.Scheme())
+	if err != nil {
+		return nil, fmt.Errorf("algebra: join schemes overlap: %w", err)
+	}
+	st := &matchState{
+		out:          relation.New(sch),
+		leftMatched:  make([]bool, l.Len()),
+		rightMatched: make([]bool, r.Len()),
+	}
+
+	// Hash fast path for pure conjunctive equijoins. Null keys never match
+	// (null = x is Unknown), so rows with a null key column are skipped on
+	// the probe side and never inserted on the build side — exactly the
+	// three-valued semantics of the nested-loop path.
+	if lk, rk, ok := predicate.EquiParts(p, l.Scheme(), r.Scheme()); ok {
+		st.hashMatch(l, r, lk, rk, needJoinRows)
+		return st, nil
+	}
+
+	bound, err := predicate.Bind(p, sch)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: join predicate: %w", err)
+	}
+	buf := make([]relation.Value, sch.Len())
+	for i := 0; i < l.Len(); i++ {
+		lrow := l.RawRow(i)
+		copy(buf, lrow)
+		for j := 0; j < r.Len(); j++ {
+			copy(buf[len(lrow):], r.RawRow(j))
+			if bound.Holds(buf) {
+				st.leftMatched[i] = true
+				st.rightMatched[j] = true
+				if needJoinRows {
+					st.out.AppendRaw(concatRows(lrow, r.RawRow(j)))
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+func (st *matchState) hashMatch(l, r *relation.Relation, lk, rk []relation.Attr, needJoinRows bool) {
+	rpos := make([]int, len(rk))
+	for i, a := range rk {
+		rpos[i] = r.Scheme().IndexOf(a)
+	}
+	lpos := make([]int, len(lk))
+	for i, a := range lk {
+		lpos[i] = l.Scheme().IndexOf(a)
+	}
+	table := make(map[string][]int, r.Len())
+	var buf []byte
+buildLoop:
+	for j := 0; j < r.Len(); j++ {
+		row := r.RawRow(j)
+		buf = buf[:0]
+		for _, p := range rpos {
+			if row[p].IsNull() {
+				continue buildLoop
+			}
+			buf = relation.AppendJoinKey(buf, row[p])
+		}
+		table[string(buf)] = append(table[string(buf)], j)
+	}
+probeLoop:
+	for i := 0; i < l.Len(); i++ {
+		row := l.RawRow(i)
+		buf = buf[:0]
+		for _, p := range lpos {
+			if row[p].IsNull() {
+				continue probeLoop
+			}
+			buf = relation.AppendJoinKey(buf, row[p])
+		}
+		for _, j := range table[string(buf)] {
+			st.leftMatched[i] = true
+			st.rightMatched[j] = true
+			if needJoinRows {
+				st.out.AppendRaw(concatRows(row, r.RawRow(j)))
+			}
+		}
+	}
+}
+
+// Join computes JN[p](l, r): concatenations of tuples satisfying p.
+func Join(l, r *relation.Relation, p predicate.Predicate) (*relation.Relation, error) {
+	st, err := matchRows(l, r, p, true)
+	if err != nil {
+		return nil, err
+	}
+	return st.out, nil
+}
+
+// LeftOuterJoin computes OJ[p](l, r): the join plus each unmatched tuple
+// of l (the preserved relation) padded with nulls on the attributes of r
+// (the null-supplied relation).
+func LeftOuterJoin(l, r *relation.Relation, p predicate.Predicate) (*relation.Relation, error) {
+	st, err := matchRows(l, r, p, true)
+	if err != nil {
+		return nil, err
+	}
+	out := st.out
+	width := r.Scheme().Len()
+	for i, matched := range st.leftMatched {
+		if !matched {
+			out.AppendRaw(padRight(l.RawRow(i), width))
+		}
+	}
+	return out, nil
+}
+
+// FullOuterJoin computes the two-sided outerjoin: join rows plus unmatched
+// tuples of both sides, each null-padded on the other side. The paper sets
+// two-sided outerjoin aside; it is provided for §4's remark on converting
+// 2-sided to 1-sided outerjoins and for completeness.
+func FullOuterJoin(l, r *relation.Relation, p predicate.Predicate) (*relation.Relation, error) {
+	st, err := matchRows(l, r, p, true)
+	if err != nil {
+		return nil, err
+	}
+	out := st.out
+	rw := r.Scheme().Len()
+	for i, matched := range st.leftMatched {
+		if !matched {
+			out.AppendRaw(padRight(l.RawRow(i), rw))
+		}
+	}
+	lw := l.Scheme().Len()
+	for j, matched := range st.rightMatched {
+		if !matched {
+			out.AppendRaw(padLeft(lw, r.RawRow(j)))
+		}
+	}
+	return out, nil
+}
+
+// Antijoin computes AJ[p](l, r) = l ▷ r: the tuples of l with no match in
+// r. Its scheme is sch(l).
+func Antijoin(l, r *relation.Relation, p predicate.Predicate) (*relation.Relation, error) {
+	st, err := matchRows(l, r, p, false)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Scheme())
+	for i, matched := range st.leftMatched {
+		if !matched {
+			out.AppendRaw(l.RawRow(i))
+		}
+	}
+	return out, nil
+}
+
+// Semijoin computes l ⋉ r: the tuples of l with at least one match in r.
+func Semijoin(l, r *relation.Relation, p predicate.Predicate) (*relation.Relation, error) {
+	st, err := matchRows(l, r, p, false)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Scheme())
+	for i, matched := range st.leftMatched {
+		if matched {
+			out.AppendRaw(l.RawRow(i))
+		}
+	}
+	return out, nil
+}
+
+func concatRows(a, b []relation.Value) []relation.Value {
+	nv := make([]relation.Value, 0, len(a)+len(b))
+	nv = append(nv, a...)
+	return append(nv, b...)
+}
+
+func padRight(a []relation.Value, n int) []relation.Value {
+	nv := make([]relation.Value, len(a)+n)
+	copy(nv, a)
+	return nv
+}
+
+func padLeft(n int, b []relation.Value) []relation.Value {
+	nv := make([]relation.Value, n+len(b))
+	copy(nv[n:], b)
+	return nv
+}

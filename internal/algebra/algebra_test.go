@@ -1,0 +1,273 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func mustEq(t *testing.T, got, want *relation.Relation, msg string) {
+	t.Helper()
+	if !got.EqualBag(want) {
+		t.Fatalf("%s:\ngot:\n%v\nwant:\n%v", msg, got, want)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	r := relation.FromRows("R", []string{"a"}, []any{1}, []any{2}, []any{nil}, []any{3})
+	out, err := Restrict(r, predicate.Cmp(predicate.GtOp,
+		predicate.Col(relation.A("R", "a")), predicate.Const(relation.Int(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.FromRows("R", []string{"a"}, []any{2}, []any{3})
+	mustEq(t, out, want, "restrict drops non-True rows incl. null (Unknown)")
+
+	if _, err := Restrict(r, predicate.NewIsNull(relation.A("Z", "z"))); err == nil {
+		t.Error("restrict with unbound attribute must fail")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := relation.FromRows("R", []string{"a", "b"},
+		[]any{1, "x"}, []any{1, "y"}, []any{1, "x"})
+	bag, err := Project(r, []relation.Attr{relation.A("R", "a")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag.Len() != 3 {
+		t.Errorf("bag projection must keep duplicates, got %d rows", bag.Len())
+	}
+	set, err := Project(r, []relation.Attr{relation.A("R", "a")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Errorf("π must dedup, got %d rows", set.Len())
+	}
+	if _, err := Project(r, []relation.Attr{relation.A("Z", "z")}, false); err == nil {
+		t.Error("projecting unknown attribute must fail")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	l := relation.FromRows("R", []string{"a"}, []any{1}, []any{2})
+	r := relation.FromRows("S", []string{"b"}, []any{"x"}, []any{"y"}, []any{"z"})
+	out, err := Product(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 || out.Scheme().Len() != 2 {
+		t.Errorf("product: %d rows, scheme %v", out.Len(), out.Scheme())
+	}
+	if _, err := Product(l, l); err == nil {
+		t.Error("product of overlapping schemes must fail")
+	}
+}
+
+func TestUnionPads(t *testing.T) {
+	l := relation.FromRows("R", []string{"a"}, []any{1})
+	r := relation.FromRows("S", []string{"b"}, []any{"x"})
+	out, err := Union(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New(relation.MustScheme(relation.A("R", "a"), relation.A("S", "b")))
+	want.MustAppend(relation.Int(1), relation.Null())
+	want.MustAppend(relation.Null(), relation.Str("x"))
+	mustEq(t, out, want, "union pads to sch(X) ∪ sch(Y)")
+}
+
+func joinPred() predicate.Predicate {
+	return predicate.Eq(relation.A("R", "k"), relation.A("S", "k"))
+}
+
+func sampleRS() (*relation.Relation, *relation.Relation) {
+	l := relation.FromRows("R", []string{"k", "v"},
+		[]any{1, "r1"}, []any{2, "r2"}, []any{nil, "r3"})
+	r := relation.FromRows("S", []string{"k", "w"},
+		[]any{1, "s1"}, []any{1, "s1b"}, []any{3, "s3"}, []any{nil, "s4"})
+	return l, r
+}
+
+func TestJoin(t *testing.T) {
+	l, r := sampleRS()
+	out, err := Join(l, r, joinPred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New(relation.MustScheme(
+		relation.A("R", "k"), relation.A("R", "v"),
+		relation.A("S", "k"), relation.A("S", "w")))
+	want.MustAppend(relation.Int(1), relation.Str("r1"), relation.Int(1), relation.Str("s1"))
+	want.MustAppend(relation.Int(1), relation.Str("r1"), relation.Int(1), relation.Str("s1b"))
+	mustEq(t, out, want, "equijoin: nulls never match, duplicates multiply")
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	l, r := sampleRS()
+	out, err := LeftOuterJoin(l, r, joinPred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 { // 2 matches + r2, r3 preserved
+		t.Fatalf("outerjoin row count = %d, want 4\n%v", out.Len(), out)
+	}
+	// Every l row appears at least once.
+	proj, err := Project(out, []relation.Attr{relation.A("R", "v")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 3 {
+		t.Errorf("outerjoin must preserve all left tuples, got %v", proj)
+	}
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	l, r := sampleRS()
+	out, err := FullOuterJoin(l, r, joinPred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 matches + 2 left-unmatched + 2 right-unmatched (s3, s4).
+	if out.Len() != 6 {
+		t.Fatalf("full outerjoin row count = %d, want 6\n%v", out.Len(), out)
+	}
+}
+
+func TestAntijoinAndSemijoin(t *testing.T) {
+	l, r := sampleRS()
+	aj, err := Antijoin(l, r, joinPred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAJ := relation.FromRows("R", []string{"k", "v"},
+		[]any{2, "r2"}, []any{nil, "r3"})
+	mustEq(t, aj, wantAJ, "antijoin keeps unmatched left tuples (incl. null key)")
+
+	sj, err := Semijoin(l, r, joinPred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSJ := relation.FromRows("R", []string{"k", "v"}, []any{1, "r1"})
+	mustEq(t, sj, wantSJ, "semijoin keeps matched left tuples once")
+}
+
+func TestJoinSemijoinAntijoinPartitionLeft(t *testing.T) {
+	l, r := sampleRS()
+	sj, _ := Semijoin(l, r, joinPred())
+	aj, _ := Antijoin(l, r, joinPred())
+	both, err := Union(sj, aj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.EqualBag(l) {
+		t.Errorf("semijoin ∪ antijoin must equal the left input:\n%v", both)
+	}
+}
+
+// TestHashAndNestedLoopAgree drives the same equijoin through the hash
+// fast path and through a predicate shape that forces nested loops, and
+// checks the results agree — including on mixed int/float keys, which is
+// what AppendJoinKey canonicalizes.
+func TestHashAndNestedLoopAgree(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	mkVal := func() relation.Value {
+		switch rnd.Intn(5) {
+		case 0:
+			return relation.Null()
+		case 1:
+			return relation.Float(float64(rnd.Intn(4)))
+		default:
+			return relation.Int(int64(rnd.Intn(4)))
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		l := relation.New(relation.SchemeOf("R", "k"))
+		r := relation.New(relation.SchemeOf("S", "k"))
+		for i := 0; i < rnd.Intn(12); i++ {
+			l.MustAppend(mkVal())
+		}
+		for i := 0; i < rnd.Intn(12); i++ {
+			r.MustAppend(mkVal())
+		}
+		eq := joinPred() // hash path
+		// Wrapping in a no-op disjunction disables EquiParts => nested loop.
+		slow := predicate.NewOr(joinPred(), predicate.FalsePred)
+		for _, op := range []func(*relation.Relation, *relation.Relation, predicate.Predicate) (*relation.Relation, error){
+			Join, LeftOuterJoin, FullOuterJoin, Antijoin, Semijoin,
+		} {
+			fast, err := op(l, r, eq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := op(l, r, slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fast.EqualBag(ref) {
+				t.Fatalf("trial %d: hash and nested-loop disagree\nl=%v\nr=%v\nfast=%v\nref=%v",
+					trial, l, r, fast, ref)
+			}
+		}
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	l, _ := sampleRS()
+	if _, err := Join(l, l, joinPred()); err == nil {
+		t.Error("join of overlapping schemes must fail")
+	}
+	r := relation.FromRows("S", []string{"k"}, []any{1})
+	bad := predicate.NewIsNull(relation.A("Z", "z"))
+	if _, err := Join(l, r, bad); err == nil {
+		t.Error("join with unbindable predicate must fail")
+	}
+	if _, err := Union(l, relation.FromRows("R", []string{"k", "v", "x"}, []any{1, "a", "b"})); err != nil {
+		t.Errorf("union of overlapping schemes pads fine: %v", err)
+	}
+}
+
+// TestExample2NonAssociative reproduces the paper's Example 2 (E3 in
+// DESIGN.md): R1 → (R2 − R3) and (R1 → R2) − R3 share a query graph but
+// differ when (r2, r3) does not satisfy the join predicate.
+func TestExample2NonAssociative(t *testing.T) {
+	r1 := relation.FromRows("R1", []string{"a"}, []any{1})
+	r2 := relation.FromRows("R2", []string{"b"}, []any{1})
+	r3 := relation.FromRows("R3", []string{"c"}, []any{99}) // no match for r2
+
+	pOJ := predicate.Eq(relation.A("R1", "a"), relation.A("R2", "b"))
+	pJN := predicate.Eq(relation.A("R2", "b"), relation.A("R3", "c"))
+
+	// R1 → (R2 − R3)
+	inner, err := Join(r2, r3, pJN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, err := LeftOuterJoin(r1, inner, pOJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (R1 → R2) − R3
+	oj, err := LeftOuterJoin(r1, r2, pOJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := Join(oj, r3, pJN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lhs.Len() != 1 {
+		t.Fatalf("LHS must be {(r1,-,-)}, got\n%v", lhs)
+	}
+	row := lhs.Row(0)
+	if row.At(0) != relation.Int(1) || !row.At(1).IsNull() || !row.At(2).IsNull() {
+		t.Fatalf("LHS row = %v, want (1, -, -)", row)
+	}
+	if rhs.Len() != 0 {
+		t.Fatalf("RHS must be empty, got\n%v", rhs)
+	}
+}

@@ -1,0 +1,76 @@
+package algebra
+
+import (
+	"fmt"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// GeneralizedOuterJoin computes GOJ[S][p](l, r) per the paper's eqn (14):
+//
+//	JN(R1,R2) ∪ (π[S](R1) − π[S] JN(R1,R2)) × null_{sch(R1)∪sch(R2)−S}
+//
+// i.e. the join, plus the S-projections of R1 tuples whose S-projection
+// did not appear in the join, padded with nulls outside S. S must be a
+// subset of sch(R1). π removes duplicates, and "−" here is set
+// difference, so each missing S-projection contributes exactly one padded
+// tuple — this is the refinement over Dayal's Generalized-Join that the
+// paper calls out.
+//
+// GOJ generalizes both join and outerjoin:
+//
+//	GOJ[∅]        = JN   (the empty projection appears in any non-empty join)
+//	GOJ[sch(R1)]  = OJ   (on duplicate-free R1)
+func GeneralizedOuterJoin(l, r *relation.Relation, p predicate.Predicate, s []relation.Attr) (*relation.Relation, error) {
+	for _, a := range s {
+		if !l.Scheme().Contains(a) {
+			return nil, fmt.Errorf("algebra: GOJ attribute %s not in left scheme %s", a, l.Scheme())
+		}
+	}
+	join, err := Join(l, r, p)
+	if err != nil {
+		return nil, err
+	}
+	out := join.Clone()
+
+	// Degenerate S = ∅: π[∅](X) is one empty tuple when X is non-empty.
+	// The padded all-null row is added only when R1 is non-empty and the
+	// join is empty.
+	if len(s) == 0 {
+		if l.Len() > 0 && join.Len() == 0 {
+			out.AppendRaw(make([]relation.Value, out.Scheme().Len()))
+		}
+		return out, nil
+	}
+
+	projL, err := Project(l, s, true)
+	if err != nil {
+		return nil, err
+	}
+	projJ, err := Project(join, s, true)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, projJ.Len())
+	for i := 0; i < projJ.Len(); i++ {
+		seen[projJ.Row(i).Key()] = struct{}{}
+	}
+	outSch := out.Scheme()
+	pos := make([]int, len(s))
+	for i, a := range s {
+		pos[i] = outSch.IndexOf(a)
+	}
+	for i := 0; i < projL.Len(); i++ {
+		if _, matched := seen[projL.Row(i).Key()]; matched {
+			continue
+		}
+		row := make([]relation.Value, outSch.Len())
+		src := projL.RawRow(i)
+		for j, dst := range pos {
+			row[dst] = src[j]
+		}
+		out.AppendRaw(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package algebra
+
+// Property-based tests (testing/quick) for the operator invariants the
+// identities build on. Each property takes a compact seed, expands it
+// into relations/predicates deterministically, and asserts a structural
+// invariant of the algebra.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// seedRel expands a byte-slice seed into a small relation.
+func seedRel(name string, seed []byte) *relation.Relation {
+	r := relation.New(relation.SchemeOf(name, "a"))
+	for _, b := range seed {
+		if len(seed) > 10 && int(b)%7 == 0 {
+			r.MustAppend(relation.Null())
+		} else {
+			r.MustAppend(relation.Int(int64(b % 5)))
+		}
+	}
+	return r
+}
+
+func seedPred(op byte, l, r string) predicate.Predicate {
+	ops := []predicate.CmpOp{predicate.EqOp, predicate.NeOp, predicate.LtOp,
+		predicate.LeOp, predicate.GtOp, predicate.GeOp}
+	return predicate.Cmp(ops[int(op)%len(ops)],
+		predicate.Col(relation.A(l, "a")), predicate.Col(relation.A(r, "a")))
+}
+
+func qc(t *testing.T, f any) {
+	t.Helper()
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Join output size never exceeds the product's; every join row satisfies
+// the predicate.
+func TestPropJoinBoundedByProduct(t *testing.T) {
+	qc(t, func(ls, rs []byte, op byte) bool {
+		l, r := seedRel("L", ls), seedRel("R", rs)
+		p := seedPred(op, "L", "R")
+		jn, err := Join(l, r, p)
+		if err != nil {
+			return false
+		}
+		if jn.Len() > l.Len()*r.Len() {
+			return false
+		}
+		bound := predicate.MustBind(p, jn.Scheme())
+		for i := 0; i < jn.Len(); i++ {
+			if !bound.Holds(jn.RawRow(i)) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// The outerjoin's cardinality is at least max(|join|, |L|) and at most
+// |join| + |L|.
+func TestPropOuterjoinCardinality(t *testing.T) {
+	qc(t, func(ls, rs []byte, op byte) bool {
+		l, r := seedRel("L", ls), seedRel("R", rs)
+		p := seedPred(op, "L", "R")
+		jn, err := Join(l, r, p)
+		if err != nil {
+			return false
+		}
+		oj, err := LeftOuterJoin(l, r, p)
+		if err != nil {
+			return false
+		}
+		if oj.Len() < jn.Len() || oj.Len() < l.Len() || oj.Len() > jn.Len()+l.Len() {
+			return false
+		}
+		return true
+	})
+}
+
+// Semijoin and antijoin partition the left input exactly.
+func TestPropSemiAntiPartition(t *testing.T) {
+	qc(t, func(ls, rs []byte, op byte) bool {
+		l, r := seedRel("L", ls), seedRel("R", rs)
+		p := seedPred(op, "L", "R")
+		sj, err1 := Semijoin(l, r, p)
+		aj, err2 := Antijoin(l, r, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		u, err := Union(sj, aj)
+		if err != nil {
+			return false
+		}
+		return u.EqualBag(l)
+	})
+}
+
+// The full outerjoin contains the left outerjoin of either orientation.
+func TestPropFullOuterSupersets(t *testing.T) {
+	qc(t, func(ls, rs []byte, op byte) bool {
+		l, r := seedRel("L", ls), seedRel("R", rs)
+		p := seedPred(op, "L", "R")
+		fo, err := FullOuterJoin(l, r, p)
+		if err != nil {
+			return false
+		}
+		lo, err := LeftOuterJoin(l, r, p)
+		if err != nil {
+			return false
+		}
+		ro, err := LeftOuterJoin(r, l, p)
+		if err != nil {
+			return false
+		}
+		return fo.Len() >= lo.Len() && fo.Len() >= ro.Len() &&
+			fo.Len() <= lo.Len()+ro.Len()
+	})
+}
+
+// Restriction is idempotent and monotone shrinking.
+func TestPropRestrictIdempotent(t *testing.T) {
+	qc(t, func(ls []byte, k uint8) bool {
+		l := seedRel("L", ls)
+		p := predicate.EqConst(relation.A("L", "a"), relation.Int(int64(k%5)))
+		once, err := Restrict(l, p)
+		if err != nil {
+			return false
+		}
+		twice, err := Restrict(once, p)
+		if err != nil {
+			return false
+		}
+		return once.Len() <= l.Len() && twice.EqualBag(once)
+	})
+}
+
+// Union cardinality is additive; dedup projection never grows.
+func TestPropUnionAndProject(t *testing.T) {
+	qc(t, func(ls, rs []byte) bool {
+		l, r := seedRel("L", ls), seedRel("R", rs)
+		u, err := Union(l, r)
+		if err != nil {
+			return false
+		}
+		if u.Len() != l.Len()+r.Len() {
+			return false
+		}
+		pj, err := Project(l, []relation.Attr{relation.A("L", "a")}, true)
+		if err != nil {
+			return false
+		}
+		return pj.Len() <= l.Len() && !pj.HasDuplicates()
+	})
+}
+
+// GOJ contains the join, and its extra rows are null everywhere outside S
+// with an S-projection drawn from the left input.
+func TestPropGOJStructure(t *testing.T) {
+	qc(t, func(ls, rs []byte, op byte) bool {
+		l, r := seedRel("L", ls), seedRel("R", rs)
+		p := seedPred(op, "L", "R")
+		s := []relation.Attr{relation.A("L", "a")}
+		jn, err := Join(l, r, p)
+		if err != nil {
+			return false
+		}
+		goj, err := GeneralizedOuterJoin(l, r, p, s)
+		if err != nil {
+			return false
+		}
+		if goj.Len() < jn.Len() {
+			return false
+		}
+		extras := goj.Len() - jn.Len()
+		// Extras are bounded by the distinct S-projections of L.
+		pl, err := Project(l, s, true)
+		if err != nil {
+			return false
+		}
+		return extras <= pl.Len()
+	})
+}
+
+// GroupBy: group count never exceeds input rows; COUNT(*) totals match.
+func TestPropGroupByTotals(t *testing.T) {
+	qc(t, func(ls []byte) bool {
+		l := seedRel("L", ls)
+		out, err := GroupBy(l, []relation.Attr{relation.A("L", "a")},
+			[]Agg{{Kind: CountRows, As: relation.A("o", "n")}})
+		if err != nil {
+			return false
+		}
+		if out.Len() > l.Len() {
+			return false
+		}
+		var total int64
+		for i := 0; i < out.Len(); i++ {
+			total += out.Row(i).At(1).AsInt()
+		}
+		return total == int64(l.Len())
+	})
+}

@@ -1,0 +1,248 @@
+// Package core is the library's public heart: it implements the paper's
+// free-reorderability theorem (Theorem 1) as a decision procedure,
+// brute-force verification of reorderability by exhaustive implementing-
+// tree evaluation, the §4 simplification of outerjoins under strong
+// restrictions, and the §6.2 generalized-outerjoin reassociation for
+// queries outside the freely-reorderable class.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// Analysis is the outcome of checking a query or graph against the
+// theorem's two preconditions.
+type Analysis struct {
+	Graph *graph.Graph
+
+	// Nice reports whether the graph satisfies the topology condition
+	// (connected join core with outward outerjoin trees); NiceReason
+	// explains a failure in Lemma 1 terms.
+	Nice       bool
+	NiceReason string
+
+	// StrongOK reports whether every outerjoin predicate is provably
+	// strong with respect to the attributes it references from the
+	// null-supplied relation; WeakEdges lists the offenders.
+	StrongOK  bool
+	WeakEdges []graph.Edge
+
+	// Free is the theorem's conclusion: Nice && StrongOK implies every
+	// implementing tree of Graph evaluates to the same result.
+	Free bool
+
+	// SemiExtension is set when the graph contains semijoin edges, so the
+	// topology condition used was IsNiceSemi — the §6.3 extension
+	// validated empirically in this library — rather than Theorem 1's
+	// nice-graph test.
+	SemiExtension bool
+}
+
+// String summarizes the analysis.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	if a.Free {
+		if a.SemiExtension {
+			b.WriteString("freely reorderable (nice graph with pendant semijoins — §6.3 extension — and strong outerjoin predicates)")
+		} else {
+			b.WriteString("freely reorderable (nice graph, strong outerjoin predicates)")
+		}
+		return b.String()
+	}
+	b.WriteString("NOT provably freely reorderable:")
+	if !a.Nice {
+		fmt.Fprintf(&b, " graph is not nice (%s);", a.NiceReason)
+	}
+	if !a.StrongOK {
+		b.WriteString(" non-strong outerjoin predicate(s):")
+		for _, e := range a.WeakEdges {
+			fmt.Fprintf(&b, " [%s]", e)
+		}
+	}
+	return b.String()
+}
+
+// AnalyzeGraph checks the theorem's preconditions on a query graph.
+func AnalyzeGraph(g *graph.Graph) *Analysis {
+	a := &Analysis{Graph: g, StrongOK: true}
+	if g.HasSemiEdges() {
+		a.SemiExtension = true
+		a.Nice, a.NiceReason = g.IsNiceSemi()
+	} else {
+		a.Nice, a.NiceReason = g.IsNice()
+	}
+	for _, e := range g.Edges() {
+		if e.Kind != graph.OuterEdge {
+			continue
+		}
+		// Strong w.r.t. the set of attributes the predicate references
+		// from the null-supplied relation (the §2 convention).
+		refs := relation.NewAttrSet()
+		for attr := range e.Pred.Attrs() {
+			if attr.Rel == e.V {
+				refs.Add(attr)
+			}
+		}
+		if !predicate.StrongWRT(e.Pred, refs) {
+			a.StrongOK = false
+			a.WeakEdges = append(a.WeakEdges, e)
+		}
+	}
+	a.Free = a.Nice && a.StrongOK
+	return a
+}
+
+// Analyze derives graph(q) and checks the theorem's preconditions. The
+// error is non-nil when the graph is undefined (see expr.GraphOf), in
+// which case the query is outside the theory's scope entirely.
+func Analyze(q *expr.Node) (*Analysis, error) {
+	g, err := expr.GraphOf(q)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeGraph(g), nil
+}
+
+// FreelyReorderable reports whether q is provably freely reorderable, with
+// a reason when it is not. It is the one-call form of Analyze.
+func FreelyReorderable(q *expr.Node) (bool, string) {
+	a, err := Analyze(q)
+	if err != nil {
+		return false, err.Error()
+	}
+	if a.Free {
+		return true, ""
+	}
+	return false, a.String()
+}
+
+// VerifyResult reports a brute-force reorderability check: every
+// implementing tree of the graph evaluated on one database.
+type VerifyResult struct {
+	ITCount  int
+	AllEqual bool
+	// On disagreement, two witness trees and their differing results.
+	WitnessA, WitnessB *expr.Node
+	ResultA, ResultB   *relation.Relation
+	// A semijoin graph can admit an implementing tree that is not even
+	// evaluable (a predicate references attributes a semijoin consumed);
+	// such a tree also falsifies free reorderability.
+	InvalidTree *expr.Node
+	InvalidErr  error
+}
+
+// maxVerifyITs caps exhaustive verification; graphs beyond this many ITs
+// should be checked statistically instead.
+const maxVerifyITs = 4096
+
+// Verify exhaustively evaluates every implementing tree of g on src and
+// compares results pairwise (by bag equality over the padded union
+// scheme). It is the executable counterpart of the definition of free
+// reorderability — and the test oracle for Theorem 1.
+func Verify(g *graph.Graph, src expr.Source) (*VerifyResult, error) {
+	count, err := expr.CountITs(g, false)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxVerifyITs {
+		return nil, fmt.Errorf("core: %d implementing trees exceed the verification cap %d", count, maxVerifyITs)
+	}
+	its, err := expr.EnumerateITs(g, false)
+	if err != nil {
+		return nil, err
+	}
+	res := &VerifyResult{ITCount: len(its), AllEqual: true}
+	var first *relation.Relation
+	var firstTree *expr.Node
+	for _, it := range its {
+		if err := expr.CheckVisibility(it); err != nil {
+			res.AllEqual = false
+			res.InvalidTree = it
+			res.InvalidErr = err
+			return res, nil
+		}
+		out, err := it.Eval(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", it, err)
+		}
+		if first == nil {
+			first, firstTree = out, it
+			continue
+		}
+		if !out.EqualBag(first) {
+			res.AllEqual = false
+			res.WitnessA, res.WitnessB = firstTree, it
+			res.ResultA, res.ResultB = first, out
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// VerifySample is the statistical form of Verify for graphs whose IT
+// space exceeds the exhaustive cap: it evaluates k implementing trees
+// sampled uniformly from the modulo-reversal enumeration (plus random
+// reversals) and compares them pairwise. A clean result is evidence, not
+// proof; a disagreement is a definitive counterexample.
+func VerifySample(g *graph.Graph, src expr.Source, k int, rnd *rand.Rand) (*VerifyResult, error) {
+	its, err := expr.EnumerateITs(g, true)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 16
+	}
+	res := &VerifyResult{AllEqual: true}
+	var first *relation.Relation
+	var firstTree *expr.Node
+	for i := 0; i < k; i++ {
+		it := its[rnd.Intn(len(its))]
+		// Walk a few random basic transforms to also cover operand orders
+		// and shapes the canonical enumeration normalizes away.
+		for r := rnd.Intn(3); r > 0; r-- {
+			bts := expr.ApplicableBTs(it)
+			if len(bts) == 0 {
+				break
+			}
+			it = bts[rnd.Intn(len(bts))].Result
+		}
+		res.ITCount++
+		if err := expr.CheckVisibility(it); err != nil {
+			res.AllEqual = false
+			res.InvalidTree = it
+			res.InvalidErr = err
+			return res, nil
+		}
+		out, err := it.Eval(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", it, err)
+		}
+		if first == nil {
+			first, firstTree = out, it
+			continue
+		}
+		if !out.EqualBag(first) {
+			res.AllEqual = false
+			res.WitnessA, res.WitnessB = firstTree, it
+			res.ResultA, res.ResultB = first, out
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// VerifyQuery is Verify on graph(q).
+func VerifyQuery(q *expr.Node, src expr.Source) (*VerifyResult, error) {
+	g, err := expr.GraphOf(q)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(g, src)
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"fmt"
+
+	"freejoin/internal/core"
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// The paper's Theorem 1 as a decision procedure: a join feeding an
+// outerjoin (nice graph, strong key predicate) is freely reorderable;
+// Example 2's shape is not.
+func ExampleFreelyReorderable() {
+	eq := func(u, v string) predicate.Predicate {
+		return predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))
+	}
+	good := expr.NewOuter(
+		expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eq("R", "S")),
+		expr.NewLeaf("T"), eq("S", "T"))
+	ok, _ := core.FreelyReorderable(good)
+	fmt.Println("(R - S) -> T:", ok)
+
+	bad := expr.NewOuter(expr.NewLeaf("R"),
+		expr.NewJoin(expr.NewLeaf("S"), expr.NewLeaf("T"), eq("S", "T")),
+		eq("R", "S"))
+	ok, reason := core.FreelyReorderable(bad)
+	fmt.Println("R -> (S - T):", ok)
+	fmt.Println(reason)
+	// Output:
+	// (R - S) -> T: true
+	// R -> (S - T): false
+	// NOT provably freely reorderable: graph is not nice (null-supplied node S is incident to a join edge (X -> Y - Z));
+}
+
+// Verify evaluates every implementing tree of a query's graph on one
+// database — the brute-force oracle behind the theorem tests.
+func ExampleVerify() {
+	eq := predicate.Eq(relation.A("Dept", "dno"), relation.A("Emp", "dno"))
+	q := expr.NewOuter(expr.NewLeaf("Dept"), expr.NewLeaf("Emp"), eq)
+	db := expr.DB{
+		"Dept": relation.FromRows("Dept", []string{"dno"}, []any{1}, []any{2}),
+		"Emp":  relation.FromRows("Emp", []string{"dno"}, []any{1}),
+	}
+	res, err := core.VerifyQuery(q, db)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("trees: %d, all equal: %v\n", res.ITCount, res.AllEqual)
+	// Output:
+	// trees: 2, all equal: true
+}
+
+// Simplify applies the §4 rule: a restriction that is strong on a
+// null-supplied relation converts the outerjoin into a join.
+func ExampleSimplify() {
+	eq := predicate.Eq(relation.A("R", "a"), relation.A("S", "a"))
+	q := expr.NewRestrict(
+		expr.NewOuter(expr.NewLeaf("R"), expr.NewLeaf("S"), eq),
+		predicate.EqConst(relation.A("S", "a"), relation.Int(1)))
+	simplified, n := core.Simplify(q, core.SimplifyOptions{})
+	fmt.Println("conversions:", n)
+	fmt.Println(simplified)
+	// Output:
+	// conversions: 1
+	// sigma[S.a = 1]((R - S))
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/workload"
+)
+
+func foj(l, r string) *expr.Node {
+	return expr.NewFullOuter(expr.NewLeaf(l), expr.NewLeaf(r), eqp(l, r))
+}
+
+func TestSimplifyFullOuterToLeftOuter(t *testing.T) {
+	// σ[R.a = 1](R <-> S): padding of R (from unmatched S tuples) dies.
+	q := strongRestrict(foj("R", "S"), "R")
+	got, n := Simplify(q, SimplifyOptions{})
+	if n != 1 || got.Left.Op != expr.LeftOuter {
+		t.Fatalf("want LeftOuter conversion, got %d, %v", n, got)
+	}
+}
+
+func TestSimplifyFullOuterToRightOuter(t *testing.T) {
+	q := strongRestrict(foj("R", "S"), "S")
+	got, n := Simplify(q, SimplifyOptions{})
+	if n != 1 || got.Left.Op != expr.RightOuter {
+		t.Fatalf("want RightOuter conversion, got %d, %v", n, got)
+	}
+}
+
+func TestSimplifyFullOuterToJoin(t *testing.T) {
+	// Strong restrictions on both sides: two fixpoint rounds reach a join.
+	q := strongRestrict(strongRestrict(foj("R", "S"), "R"), "S")
+	got, n := Simplify(q, SimplifyOptions{})
+	if got.Left.Left.Op != expr.Join {
+		t.Fatalf("want Join after %d conversions, got %v", n, got)
+	}
+}
+
+func TestSimplifyFullOuterNoChange(t *testing.T) {
+	q := expr.NewRestrict(foj("R", "S"), predicate.NewIsNull(relation.A("R", "a")))
+	if _, n := Simplify(q, SimplifyOptions{}); n != 0 {
+		t.Fatal("non-strong restriction must not convert a full outerjoin")
+	}
+}
+
+func TestSimplifyFullOuterRecursesIntoChildren(t *testing.T) {
+	// σ[T.a = 1]((R <-> S) -> ... no: put an inner LOJ under a FOJ side.
+	// σ[T.a = 1](R <-> (S -> T)): T required converts the FOJ side first?
+	// T is in the right subtree of the FOJ, so the FOJ itself becomes a
+	// RightOuter; the next round converts the inner S -> T to a join.
+	inner := expr.NewOuter(expr.NewLeaf("S"), expr.NewLeaf("T"), eqp("S", "T"))
+	q := strongRestrict(expr.NewFullOuter(expr.NewLeaf("R"), inner, eqp("R", "S")), "T")
+	got, n := Simplify(q, SimplifyOptions{})
+	if n != 2 {
+		t.Fatalf("conversions = %d, got %v", n, got)
+	}
+	if got.Left.Op != expr.RightOuter || got.Left.Right.Op != expr.Join {
+		t.Fatalf("shape = %v", got)
+	}
+}
+
+// TestSimplifyFullOuterPreservesResults: the two-sided conversions never
+// change results, on randomized queries and databases.
+func TestSimplifyFullOuterPreservesResults(t *testing.T) {
+	rnd := rand.New(rand.NewSource(71))
+	converted := 0
+	for trial := 0; trial < 400; trial++ {
+		pxy := workload.RandomPredicate(rnd, "X", "Y")
+		pyz := workload.RandomPredicate(rnd, "Y", "Z")
+		var q *expr.Node
+		switch rnd.Intn(3) {
+		case 0:
+			q = expr.NewFullOuter(expr.NewLeaf("X"),
+				expr.NewFullOuter(expr.NewLeaf("Y"), expr.NewLeaf("Z"), pyz), pxy)
+		case 1:
+			q = expr.NewFullOuter(
+				expr.NewOuter(expr.NewLeaf("X"), expr.NewLeaf("Y"), pxy),
+				expr.NewLeaf("Z"), pyz)
+		default:
+			q = expr.NewOuter(expr.NewLeaf("X"),
+				expr.NewFullOuter(expr.NewLeaf("Y"), expr.NewLeaf("Z"), pyz), pxy)
+		}
+		rel := []string{"X", "Y", "Z"}[rnd.Intn(3)]
+		q = expr.NewRestrict(q, predicate.EqConst(relation.A(rel, "a"), relation.Int(int64(rnd.Intn(3)))))
+		db := expr.DB{
+			"X": workload.RandomRelation(rnd, "X", 5),
+			"Y": workload.RandomRelation(rnd, "Y", 5),
+			"Z": workload.RandomRelation(rnd, "Z", 5),
+		}
+		want, err := q.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simplified, n := Simplify(q, SimplifyOptions{})
+		converted += n
+		got, err := simplified.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualBag(want) {
+			t.Fatalf("trial %d: FOJ simplification changed the result\nq: %s\nsimplified: %s",
+				trial, q.StringWithPreds(), simplified.StringWithPreds())
+		}
+	}
+	if converted == 0 {
+		t.Error("no conversions exercised")
+	}
+}
+
+func TestFullOuterHasNoGraph(t *testing.T) {
+	if _, err := expr.GraphOf(foj("R", "S")); err == nil {
+		t.Fatal("two-sided outerjoin is outside the paper's query graphs")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// §6.2: reassociating queries the basic transforms cannot touch. The
+// expression X → (Y — Z) (Example 2's shape) has no result-preserving
+// reordering within {join, outerjoin}, but identity 15 rewrites it with a
+// generalized outerjoin:
+//
+//	X OJ (Y JN Z)  =  (X OJ Y) GOJ[sch(X)] Z
+//
+// letting an optimizer evaluate X→Y first. The identities assume
+// duplicate-free relations and strong predicates of shapes P_xy and P_yz.
+
+// SchemeSource resolves the scheme of a ground relation; the GOJ rewrite
+// needs sch(X) to build the S attribute set.
+type SchemeSource interface {
+	Scheme(rel string) (*relation.Scheme, error)
+}
+
+// SchemesOf adapts an expr.Source database into a SchemeSource.
+func SchemesOf(src expr.Source) SchemeSource { return schemeAdapter{src} }
+
+type schemeAdapter struct{ src expr.Source }
+
+// Scheme implements SchemeSource by materializing the relation.
+func (s schemeAdapter) Scheme(rel string) (*relation.Scheme, error) {
+	r, err := s.src.Relation(rel)
+	if err != nil {
+		return nil, err
+	}
+	return r.Scheme(), nil
+}
+
+// GOJReassociate applies identity 15 at the root when it matches: given
+// X → (Y — Z) with P_xy between X and the Y side and P_yz between the Y
+// and Z sides, it returns (X → Y) GOJ[sch(X)] Z. ok is false when the
+// shape or the predicate scopes do not match.
+func GOJReassociate(q *expr.Node, schemes SchemeSource) (*expr.Node, bool, error) {
+	if q.Op != expr.LeftOuter || q.Right == nil || q.Right.Op != expr.Join {
+		return nil, false, nil
+	}
+	x, y, z := q.Left, q.Right.Left, q.Right.Right
+	pxy, pyz := q.Pred, q.Right.Pred
+	// P_xy must reference X and Y only (not Z); P_yz must reference Y and
+	// Z only (not X) — the identity's P_xy/P_yz shape requirement.
+	if !predScopedTo(pxy, x, y) || !predScopedTo(pyz, y, z) {
+		return nil, false, nil
+	}
+	var s []relation.Attr
+	for _, rel := range x.Relations() {
+		sch, err := schemes.Scheme(rel)
+		if err != nil {
+			return nil, false, err
+		}
+		s = append(s, sch.Attrs()...)
+	}
+	inner := expr.NewOuter(x, y, pxy)
+	return expr.NewGOJ(inner, z, pyz, s), true, nil
+}
+
+// GOJPushJoin applies identity 16 at the root:
+//
+//	X JN (Y GOJ[S] Z)  =  (X JN Y) GOJ[S ∪ sch(X)] Z
+//
+// legal when S ⊆ sch(Y) and S contains all the X–Y join attributes (and,
+// as everywhere in §6.2, inputs are duplicate-free with strong P_xy/P_yz
+// predicates). Applied repeatedly it floats a generalized outerjoin to
+// the top of a join chain, freeing the joins beneath it for reordering.
+func GOJPushJoin(q *expr.Node, schemes SchemeSource) (*expr.Node, bool, error) {
+	if q.Op != expr.Join || q.Right == nil || q.Right.Op != expr.GOJ {
+		return nil, false, nil
+	}
+	x, y, z := q.Left, q.Right.Left, q.Right.Right
+	pxy, pyz := q.Pred, q.Right.Pred
+	if !predScopedTo(pxy, x, y) || !predScopedTo(pyz, y, z) {
+		return nil, false, nil
+	}
+	// S ⊆ sch(Y): every projection attribute belongs to a Y-side relation.
+	yRels := map[string]bool{}
+	for _, r := range y.Relations() {
+		yRels[r] = true
+	}
+	s := q.Right.GOJAttrs
+	sSet := relation.NewAttrSet(s...)
+	for _, a := range s {
+		if !yRels[a.Rel] {
+			return nil, false, nil
+		}
+	}
+	// S must contain the X–Y join attributes drawn from Y.
+	for a := range pxy.Attrs() {
+		if yRels[a.Rel] && !sSet.Contains(a) {
+			return nil, false, nil
+		}
+	}
+	// S ∪ sch(X).
+	newS := append([]relation.Attr(nil), s...)
+	for _, rel := range x.Relations() {
+		sch, err := schemes.Scheme(rel)
+		if err != nil {
+			return nil, false, err
+		}
+		newS = append(newS, sch.Attrs()...)
+	}
+	inner := expr.NewJoin(x, y, pxy)
+	return expr.NewGOJ(inner, z, pyz, newS), true, nil
+}
+
+// predScopedTo reports whether every relation p references lies in a or
+// b, touching both sides.
+func predScopedTo(p predicate.Predicate, a, b *expr.Node) bool {
+	aRels := map[string]bool{}
+	for _, r := range a.Relations() {
+		aRels[r] = true
+	}
+	bRels := map[string]bool{}
+	for _, r := range b.Relations() {
+		bRels[r] = true
+	}
+	touchesA, touchesB := false, false
+	for _, rel := range predicate.Rels(p) {
+		switch {
+		case aRels[rel]:
+			touchesA = true
+		case bRels[rel]:
+			touchesB = true
+		default:
+			return false
+		}
+	}
+	return touchesA && touchesB
+}

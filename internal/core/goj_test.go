@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/workload"
+)
+
+func TestGOJReassociateShape(t *testing.T) {
+	rnd := rand.New(rand.NewSource(41))
+	db := expr.DB{
+		"X": workload.RandomRelation(rnd, "X", 5).Dedup(),
+		"Y": workload.RandomRelation(rnd, "Y", 5).Dedup(),
+		"Z": workload.RandomRelation(rnd, "Z", 5).Dedup(),
+	}
+	q := expr.NewOuter(expr.NewLeaf("X"),
+		expr.NewJoin(expr.NewLeaf("Y"), expr.NewLeaf("Z"), eqp("Y", "Z")),
+		eqp("X", "Y"))
+	got, ok, err := GOJReassociate(q, SchemesOf(db))
+	if err != nil || !ok {
+		t.Fatalf("rewrite failed: %v %v", ok, err)
+	}
+	if got.Op != expr.GOJ || got.Left.Op != expr.LeftOuter {
+		t.Fatalf("shape = %v", got)
+	}
+	if len(got.GOJAttrs) != db["X"].Scheme().Len() {
+		t.Errorf("S = %v, want sch(X)", got.GOJAttrs)
+	}
+}
+
+// TestGOJReassociatePreservesResults: identity 15 as a tree rewrite, on
+// duplicate-free databases with strong predicates.
+func TestGOJReassociatePreservesResults(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	rewrites := 0
+	for trial := 0; trial < 300; trial++ {
+		db := expr.DB{
+			"X": workload.RandomRelation(rnd, "X", 6).Dedup(),
+			"Y": workload.RandomRelation(rnd, "Y", 6).Dedup(),
+			"Z": workload.RandomRelation(rnd, "Z", 6).Dedup(),
+		}
+		q := expr.NewOuter(expr.NewLeaf("X"),
+			expr.NewJoin(expr.NewLeaf("Y"), expr.NewLeaf("Z"), workload.RandomPredicate(rnd, "Y", "Z")),
+			workload.RandomPredicate(rnd, "X", "Y"))
+		rw, ok, err := GOJReassociate(q, SchemesOf(db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("rewrite must apply to the X -> (Y - Z) shape")
+		}
+		rewrites++
+		want, err := q.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rw.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualBag(want) {
+			t.Fatalf("trial %d: GOJ rewrite changed the result\nq: %s\nrw: %s",
+				trial, q.StringWithPreds(), rw.StringWithPreds())
+		}
+	}
+	if rewrites == 0 {
+		t.Error("no rewrites exercised")
+	}
+}
+
+// TestGOJPushJoinPreservesResults: identity 16 as a tree rewrite — and
+// composed with identity 15, it reorders W JN (X -> (Y - Z)) entirely.
+func TestGOJPushJoinPreservesResults(t *testing.T) {
+	rnd := rand.New(rand.NewSource(45))
+	rewrites := 0
+	for trial := 0; trial < 200; trial++ {
+		db := expr.DB{
+			"W": workload.RandomRelation(rnd, "W", 6).Dedup(),
+			"X": workload.RandomRelation(rnd, "X", 6).Dedup(),
+			"Y": workload.RandomRelation(rnd, "Y", 6).Dedup(),
+			"Z": workload.RandomRelation(rnd, "Z", 6).Dedup(),
+		}
+		schemes := SchemesOf(db)
+		// Build X -> (Y - Z), rewrite via identity 15 to a GOJ, then join
+		// W on top and push it through via identity 16.
+		inner := expr.NewOuter(expr.NewLeaf("X"),
+			expr.NewJoin(expr.NewLeaf("Y"), expr.NewLeaf("Z"), workload.RandomPredicate(rnd, "Y", "Z")),
+			workload.RandomPredicate(rnd, "X", "Y"))
+		goj, ok, err := GOJReassociate(inner, schemes)
+		if err != nil || !ok {
+			t.Fatalf("identity 15 failed: %v %v", ok, err)
+		}
+		pwx := workload.RandomPredicate(rnd, "W", "X")
+		q := expr.NewJoin(expr.NewLeaf("W"), goj, pwx)
+		// goj = (X -> Y) GOJ[sch(X)] Z; S = sch(X) covers the W-X join
+		// attributes, so identity 16 applies.
+		pushed, ok, err := GOJPushJoin(q, schemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("identity 16 should apply to %s", q.StringWithPreds())
+		}
+		rewrites++
+		want, err := expr.NewJoin(expr.NewLeaf("W"), inner, pwx).Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pushed.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualBag(want) {
+			t.Fatalf("trial %d: identity-16 rewrite changed the result\nq: %s\npushed: %s",
+				trial, q.StringWithPreds(), pushed.StringWithPreds())
+		}
+		if pushed.Op != expr.GOJ || pushed.Left.Op != expr.Join {
+			t.Fatalf("shape = %s", pushed)
+		}
+	}
+	if rewrites == 0 {
+		t.Error("no rewrites exercised")
+	}
+}
+
+func TestGOJPushJoinRejections(t *testing.T) {
+	rnd := rand.New(rand.NewSource(46))
+	db := expr.DB{
+		"W": workload.RandomRelation(rnd, "W", 4),
+		"X": workload.RandomRelation(rnd, "X", 4),
+		"Y": workload.RandomRelation(rnd, "Y", 4),
+		"Z": workload.RandomRelation(rnd, "Z", 4),
+	}
+	schemes := SchemesOf(db)
+	leafGOJ := expr.NewGOJ(expr.NewLeaf("Y"), expr.NewLeaf("Z"),
+		eqp("Y", "Z"), db["Y"].Scheme().Attrs())
+
+	// Wrong root op.
+	if _, ok, _ := GOJPushJoin(expr.NewOuter(expr.NewLeaf("X"), leafGOJ, eqp("X", "Y")), schemes); ok {
+		t.Error("outer root must not rewrite")
+	}
+	// Right child not a GOJ.
+	if _, ok, _ := GOJPushJoin(expr.NewJoin(expr.NewLeaf("X"), expr.NewLeaf("Y"), eqp("X", "Y")), schemes); ok {
+		t.Error("leaf right child must not rewrite")
+	}
+	// Join predicate reaching Z (wrong scope).
+	if _, ok, _ := GOJPushJoin(expr.NewJoin(expr.NewLeaf("X"), leafGOJ, eqp("X", "Z")), schemes); ok {
+		t.Error("P_xz scope must not rewrite")
+	}
+	// S not covering the join attribute: S = {Y.b} but join on Y.a.
+	partial := expr.NewGOJ(expr.NewLeaf("Y"), expr.NewLeaf("Z"),
+		eqp("Y", "Z"), []relation.Attr{relation.A("Y", "b")})
+	if _, ok, _ := GOJPushJoin(expr.NewJoin(expr.NewLeaf("X"), partial, eqp("X", "Y")), schemes); ok {
+		t.Error("S missing the join attribute must not rewrite")
+	}
+	// S outside sch(Y): S = sch(Z).
+	foreign := expr.NewGOJ(expr.NewLeaf("Y"), expr.NewLeaf("Z"),
+		eqp("Y", "Z"), db["Z"].Scheme().Attrs())
+	if _, ok, _ := GOJPushJoin(expr.NewJoin(expr.NewLeaf("X"), foreign, eqp("X", "Y")), schemes); ok {
+		t.Error("S outside sch(Y) must not rewrite")
+	}
+	// Unknown scheme.
+	bad := expr.NewJoin(expr.NewLeaf("NOPE"), leafGOJ,
+		predicate.Eq(relation.A("NOPE", "a"), relation.A("Y", "a")))
+	if _, _, err := GOJPushJoin(bad, schemes); err == nil {
+		t.Error("missing scheme must error")
+	}
+}
+
+func TestGOJReassociateRejections(t *testing.T) {
+	rnd := rand.New(rand.NewSource(43))
+	db := expr.DB{
+		"X": workload.RandomRelation(rnd, "X", 4),
+		"Y": workload.RandomRelation(rnd, "Y", 4),
+		"Z": workload.RandomRelation(rnd, "Z", 4),
+	}
+	schemes := SchemesOf(db)
+
+	// Wrong root operator.
+	q1 := expr.NewJoin(expr.NewLeaf("X"), expr.NewLeaf("Y"), eqp("X", "Y"))
+	if _, ok, _ := GOJReassociate(q1, schemes); ok {
+		t.Error("join root must not rewrite")
+	}
+	// Right child is not a join.
+	q2 := expr.NewOuter(expr.NewLeaf("X"), expr.NewLeaf("Y"), eqp("X", "Y"))
+	if _, ok, _ := GOJReassociate(q2, schemes); ok {
+		t.Error("leaf right child must not rewrite")
+	}
+	// P_xy references Z (wrong scope): X -> (Y - Z) with outer pred X.a = Z.a.
+	q3 := expr.NewOuter(expr.NewLeaf("X"),
+		expr.NewJoin(expr.NewLeaf("Y"), expr.NewLeaf("Z"), eqp("Y", "Z")),
+		eqp("X", "Z"))
+	if _, ok, _ := GOJReassociate(q3, schemes); ok {
+		t.Error("P_xz scope must not rewrite (identity 15 needs P_xy)")
+	}
+	// Unknown relation scheme.
+	q4 := expr.NewOuter(expr.NewLeaf("W"),
+		expr.NewJoin(expr.NewLeaf("Y"), expr.NewLeaf("Z"), eqp("Y", "Z")),
+		eqp("W", "Y"))
+	if _, _, err := GOJReassociate(q4, schemes); err == nil {
+		t.Error("missing scheme must error")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+)
+
+// §4: "Unlike joins, we do not usually want to explore alternative
+// positions [for restrictions], but instead just want to do restrictions
+// as early as possible." PushRestrictions implements that: it splits
+// every restriction into conjuncts and sinks each one as deep as legality
+// allows:
+//
+//   - through a regular join, into whichever operand covers the
+//     conjunct's relations (a conjunct spanning both sides merges into
+//     the join predicate — the paper's "moved into the predicate");
+//   - through an outerjoin, into the preserved operand only. A conjunct
+//     over the null-supplied side must NOT move below the padding (σ
+//     discards padded rows the inner input never produced) — that case
+//     is Simplify's job, which converts the outerjoin first when the
+//     conjunct is strong.
+//
+// Run Simplify before PushRestrictions so strong restrictions first
+// convert outerjoins to joins and then sink through them.
+func PushRestrictions(q *expr.Node) *expr.Node {
+	return pushInto(q, nil)
+}
+
+// pushInto rewrites n with the pending conjuncts applied as deep as
+// possible; conjuncts that cannot sink any further wrap n in a Restrict.
+func pushInto(n *expr.Node, pending []predicate.Predicate) *expr.Node {
+	switch n.Op {
+	case expr.Restrict:
+		return pushInto(n.Left, append(append([]predicate.Predicate(nil), pending...),
+			predicate.Conjuncts(n.Pred)...))
+	case expr.Project:
+		// Keep restrictions above projections: a projection may drop the
+		// referenced attributes.
+		child := pushInto(n.Left, nil)
+		out := expr.NewProject(child, n.ProjAttrs, n.ProjDedup)
+		return wrap(out, pending)
+	case expr.Join:
+		leftRels := relSet(n.Left)
+		rightRels := relSet(n.Right)
+		var toLeft, toRight, merge, stay []predicate.Predicate
+		for _, c := range pending {
+			switch {
+			case coveredBy(c, leftRels):
+				toLeft = append(toLeft, c)
+			case coveredBy(c, rightRels):
+				toRight = append(toRight, c)
+			case coveredBy(c, union(leftRels, rightRels)):
+				merge = append(merge, c) // spans both sides: join it
+			default:
+				stay = append(stay, c)
+			}
+		}
+		pred := n.Pred
+		if len(merge) > 0 {
+			pred = predicate.NewAnd(append([]predicate.Predicate{pred}, merge...)...)
+		}
+		out := expr.NewJoin(pushInto(n.Left, toLeft), pushInto(n.Right, toRight), pred)
+		return wrap(out, stay)
+	case expr.LeftOuter, expr.RightOuter:
+		preservedLeft := n.Op == expr.LeftOuter
+		pres, null := n.Left, n.Right
+		if !preservedLeft {
+			pres, null = n.Right, n.Left
+		}
+		presRels := relSet(pres)
+		var toPres, stay []predicate.Predicate
+		for _, c := range pending {
+			if coveredBy(c, presRels) {
+				toPres = append(toPres, c)
+			} else {
+				stay = append(stay, c)
+			}
+		}
+		newPres := pushInto(pres, toPres)
+		newNull := pushInto(null, nil)
+		var out *expr.Node
+		if preservedLeft {
+			out = &expr.Node{Op: n.Op, Left: newPres, Right: newNull, Pred: n.Pred}
+		} else {
+			out = &expr.Node{Op: n.Op, Left: newNull, Right: newPres, Pred: n.Pred}
+		}
+		return wrap(out, stay)
+	case expr.Leaf:
+		return wrap(n, pending)
+	default:
+		// Antijoin, semijoin, GOJ, full outerjoin: recurse without
+		// sinking across (their null/consumption semantics each need
+		// their own legality argument; restrictions stay above).
+		out := n
+		if n.Left != nil || n.Right != nil {
+			cp := *n
+			if n.Left != nil {
+				cp.Left = pushInto(n.Left, nil)
+			}
+			if n.Right != nil {
+				cp.Right = pushInto(n.Right, nil)
+			}
+			out = &cp
+		}
+		return wrap(out, pending)
+	}
+}
+
+func wrap(n *expr.Node, pending []predicate.Predicate) *expr.Node {
+	if len(pending) == 0 {
+		return n
+	}
+	return expr.NewRestrict(n, predicate.NewAnd(pending...))
+}
+
+func relSet(n *expr.Node) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range n.Relations() {
+		out[r] = true
+	}
+	return out
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for r := range a {
+		out[r] = true
+	}
+	for r := range b {
+		out[r] = true
+	}
+	return out
+}
+
+func coveredBy(p predicate.Predicate, rels map[string]bool) bool {
+	for _, r := range predicate.Rels(p) {
+		if !rels[r] {
+			return false
+		}
+	}
+	return true
+}

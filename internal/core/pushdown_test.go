@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/workload"
+)
+
+func restOn(rel string, v int64) predicate.Predicate {
+	return predicate.EqConst(relation.A(rel, "a"), relation.Int(v))
+}
+
+func TestPushThroughJoin(t *testing.T) {
+	q := expr.NewRestrict(
+		expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+		predicate.NewAnd(restOn("R", 1), restOn("S", 2)))
+	got := PushRestrictions(q)
+	s := got.StringWithPreds()
+	if got.Op != expr.Join {
+		t.Fatalf("top restrict should vanish: %s", s)
+	}
+	if got.Left.Op != expr.Restrict || got.Right.Op != expr.Restrict {
+		t.Fatalf("conjuncts should sink to both sides: %s", s)
+	}
+}
+
+func TestPushThroughOuterjoinPreservedOnly(t *testing.T) {
+	q := expr.NewRestrict(
+		expr.NewOuter(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+		predicate.NewAnd(restOn("R", 1), restOn("S", 2)))
+	got := PushRestrictions(q)
+	// R-conjunct sinks to the preserved side; S-conjunct stays above.
+	if got.Op != expr.Restrict {
+		t.Fatalf("null-side conjunct must stay above: %s", got.StringWithPreds())
+	}
+	if !strings.Contains(got.Pred.String(), "S.a") {
+		t.Errorf("staying conjunct = %v", got.Pred)
+	}
+	inner := got.Left
+	if inner.Op != expr.LeftOuter || inner.Left.Op != expr.Restrict {
+		t.Fatalf("preserved-side conjunct did not sink: %s", got.StringWithPreds())
+	}
+}
+
+func TestPushThroughRightOuter(t *testing.T) {
+	q := expr.NewRestrict(
+		expr.NewRightOuter(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+		restOn("S", 1)) // S is preserved under RightOuter
+	got := PushRestrictions(q)
+	if got.Op != expr.RightOuter || got.Right.Op != expr.Restrict {
+		t.Fatalf("preserved-right conjunct did not sink: %s", got.StringWithPreds())
+	}
+}
+
+func TestPushMergesCrossConjunctIntoJoin(t *testing.T) {
+	cross := predicate.Cmp(predicate.LtOp,
+		predicate.Col(relation.A("R", "a")), predicate.Col(relation.A("S", "a")))
+	q := expr.NewRestrict(
+		expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+		cross)
+	got := PushRestrictions(q)
+	if got.Op != expr.Join {
+		t.Fatalf("cross conjunct should merge into the join: %s", got.StringWithPreds())
+	}
+	if !strings.Contains(got.Pred.String(), "R.a < S.a") {
+		t.Errorf("join predicate = %v", got.Pred)
+	}
+}
+
+func TestPushNestedRestricts(t *testing.T) {
+	// σ[R](σ[S](R - S)) collapses and distributes both conjuncts.
+	q := expr.NewRestrict(
+		expr.NewRestrict(
+			expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+			restOn("S", 2)),
+		restOn("R", 1))
+	got := PushRestrictions(q)
+	if got.Op != expr.Join || got.Left.Op != expr.Restrict || got.Right.Op != expr.Restrict {
+		t.Fatalf("nested restricts did not distribute: %s", got.StringWithPreds())
+	}
+}
+
+func TestPushKeepsAboveProjectAndOtherOps(t *testing.T) {
+	qp := expr.NewRestrict(
+		expr.NewProject(expr.NewLeaf("R"), []relation.Attr{relation.A("R", "a")}, false),
+		restOn("R", 1))
+	if got := PushRestrictions(qp); got.Op != expr.Restrict || got.Left.Op != expr.Project {
+		t.Fatalf("restrict must stay above project: %s", got.StringWithPreds())
+	}
+	qa := expr.NewRestrict(
+		expr.NewAnti(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+		restOn("R", 1))
+	if got := PushRestrictions(qa); got.Op != expr.Restrict || got.Left.Op != expr.LeftAnti {
+		t.Fatalf("restrict must stay above antijoin: %s", got.StringWithPreds())
+	}
+}
+
+// TestPushdownPreservesResults: randomized queries with layered
+// restrictions; pushdown (optionally after Simplify) never changes the
+// result.
+func TestPushdownPreservesResults(t *testing.T) {
+	rnd := rand.New(rand.NewSource(51))
+	pushedSomething := false
+	for trial := 0; trial < 400; trial++ {
+		g := workload.RandomNiceGraph(rnd, 1+rnd.Intn(3), rnd.Intn(3))
+		its, err := expr.EnumerateITs(g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := its[rnd.Intn(len(its))]
+		rels := q.Relations()
+		// Layer 1-2 restrictions over random relations.
+		for k := 1 + rnd.Intn(2); k > 0; k-- {
+			rel := rels[rnd.Intn(len(rels))]
+			q = expr.NewRestrict(q, restOn(rel, int64(rnd.Intn(3))))
+		}
+		db := workload.RandomDB(rnd, g, 5)
+		want, err := q.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, withSimplify := range []bool{false, true} {
+			in := q
+			if withSimplify {
+				in, _ = Simplify(in, SimplifyOptions{})
+			}
+			pushed := PushRestrictions(in)
+			if pushed.StringWithPreds() != in.StringWithPreds() {
+				pushedSomething = true
+			}
+			got, err := pushed.Eval(db)
+			if err != nil {
+				t.Fatalf("trial %d: %v\nq=%s\npushed=%s", trial, err,
+					q.StringWithPreds(), pushed.StringWithPreds())
+			}
+			if !got.EqualBag(want) {
+				t.Fatalf("trial %d: pushdown changed the result\nq=%s\npushed=%s",
+					trial, q.StringWithPreds(), pushed.StringWithPreds())
+			}
+		}
+	}
+	if !pushedSomething {
+		t.Error("pushdown never fired")
+	}
+}
+
+// TestSimplifyThenPushSinksThroughConvertedOuterjoin: the §4 pipeline —
+// a strong restriction over the null-supplied side first converts the
+// outerjoin (Simplify), then sinks through the now-regular join
+// (PushRestrictions).
+func TestSimplifyThenPushSinksThroughConvertedOuterjoin(t *testing.T) {
+	q := expr.NewRestrict(
+		expr.NewOuter(expr.NewLeaf("R"), expr.NewLeaf("S"), eqp("R", "S")),
+		restOn("S", 1))
+	simplified, n := Simplify(q, SimplifyOptions{})
+	if n != 1 {
+		t.Fatal("simplify should convert")
+	}
+	pushed := PushRestrictions(simplified)
+	if pushed.Op != expr.Join || pushed.Right.Op != expr.Restrict {
+		t.Fatalf("restriction did not reach the base table: %s", pushed.StringWithPreds())
+	}
+}

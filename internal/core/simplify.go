@@ -1,0 +1,177 @@
+package core
+
+import (
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// The §4 simplification: "Suppose the query includes a predicate
+// (restriction or regular join) that is strong in some attributes of
+// relation R. Consider the path in the implementing tree going from that
+// predicate to R. If an outerjoin is in that path and R is in its
+// null-supplied subtree, then replace the operator by regular join."
+//
+// The rule is applied before query-graph creation, turning queries like
+// σ[T.x = 5](R → (S → T)) into σ[T.x = 5](R → (S — T)) — the padding the
+// inner outerjoin would introduce can never survive the strong
+// restriction, so the outerjoin degenerates to a join.
+
+// SimplifyOptions controls the simplification pass.
+type SimplifyOptions struct {
+	// UseOuterPredicates additionally lets an outerjoin's own predicate
+	// convert outerjoins *inside its null-supplied subtree*: tuples of
+	// that subtree only reach the result through the predicate, so
+	// null-padded tuples it rejects can never matter. The paper's rule
+	// uses only restrictions and regular joins; this extension is sound
+	// (covered by TestSimplifyPreservesResults) but off by default for
+	// paper fidelity.
+	UseOuterPredicates bool
+}
+
+// Simplify applies the §4 outerjoin-to-join rule bottom-up until a fixed
+// point, returning the rewritten tree and the number of outerjoins
+// converted. The input tree is not modified.
+func Simplify(q *expr.Node, opts SimplifyOptions) (*expr.Node, int) {
+	total := 0
+	for {
+		next, n := simplifyOnce(q, map[string]bool{}, opts)
+		total += n
+		if n == 0 {
+			return q, total
+		}
+		q = next
+	}
+}
+
+// simplifyOnce walks the tree carrying the set of relations that some
+// ancestor predicate strongly filters ("required": any tuple null on that
+// relation's referenced attributes is discarded above).
+func simplifyOnce(n *expr.Node, required map[string]bool, opts SimplifyOptions) (*expr.Node, int) {
+	switch n.Op {
+	case expr.Leaf:
+		return n, 0
+	case expr.Restrict:
+		child := addStrongRels(required, n.Pred)
+		newChild, k := simplifyOnce(n.Left, child, opts)
+		if k == 0 {
+			return n, 0
+		}
+		return expr.NewRestrict(newChild, n.Pred), k
+	case expr.Project:
+		newChild, k := simplifyOnce(n.Left, required, opts)
+		if k == 0 {
+			return n, 0
+		}
+		return expr.NewProject(newChild, n.ProjAttrs, n.ProjDedup), k
+	case expr.Join:
+		sub := addStrongRels(required, n.Pred)
+		l, kl := simplifyOnce(n.Left, sub, opts)
+		r, kr := simplifyOnce(n.Right, sub, opts)
+		if kl+kr == 0 {
+			return n, 0
+		}
+		return expr.NewJoin(l, r, n.Pred), kl + kr
+	case expr.FullOuter:
+		// §4's remark: "A similar argument can be used to convert 2-sided
+		// outerjoin to one-sided outerjoin." A strong ancestor predicate
+		// on a relation of one side discards the rows that pad that side,
+		// so the operator drops to the outerjoin preserving that side —
+		// or to a regular join when both sides are strongly filtered.
+		leftReq, rightReq := false, false
+		for _, rel := range n.Left.Relations() {
+			if required[rel] {
+				leftReq = true
+				break
+			}
+		}
+		for _, rel := range n.Right.Relations() {
+			if required[rel] {
+				rightReq = true
+				break
+			}
+		}
+		switch {
+		case leftReq && rightReq:
+			return expr.NewJoin(n.Left, n.Right, n.Pred), 1
+		case leftReq:
+			// Rows padding the left side (unmatched right tuples) die, so
+			// only left-preserved padding remains.
+			return expr.NewOuter(n.Left, n.Right, n.Pred), 1
+		case rightReq:
+			return expr.NewRightOuter(n.Left, n.Right, n.Pred), 1
+		}
+		// Neither side strongly filtered: recurse. Requirements may pass
+		// into both children — a child tuple null on a required relation
+		// only ever yields output rows that stay null there (matched or
+		// padded), all of which the ancestor discards.
+		l, kl := simplifyOnce(n.Left, required, opts)
+		r, kr := simplifyOnce(n.Right, required, opts)
+		if kl+kr == 0 {
+			return n, 0
+		}
+		return expr.NewFullOuter(l, r, n.Pred), kl + kr
+	case expr.LeftOuter, expr.RightOuter:
+		preserved, nullSide := n.Left, n.Right
+		if n.Op == expr.RightOuter {
+			preserved, nullSide = n.Right, n.Left
+		}
+		// Conversion condition: an ancestor strongly filters a relation of
+		// the null-supplied subtree.
+		for _, rel := range nullSide.Relations() {
+			if required[rel] {
+				// Replace by a regular join with the same operands and
+				// predicate; count 1 and let the next fixed-point round
+				// propagate the join predicate's strongness downward.
+				return expr.NewJoin(n.Left, n.Right, n.Pred), 1
+			}
+		}
+		// Recurse. The preserved side keeps the ancestor requirements
+		// (padding never affects it); the null-supplied side drops them —
+		// its tuples are shielded by the padding semantics — unless the
+		// extension lets this operator's own predicate filter it.
+		nullReq := map[string]bool{}
+		if opts.UseOuterPredicates {
+			nullReq = addStrongRels(nullReq, n.Pred)
+		}
+		var l, r *expr.Node
+		var kl, kr int
+		if n.Op == expr.LeftOuter {
+			l, kl = simplifyOnce(preserved, required, opts)
+			r, kr = simplifyOnce(nullSide, nullReq, opts)
+		} else {
+			r, kr = simplifyOnce(preserved, required, opts)
+			l, kl = simplifyOnce(nullSide, nullReq, opts)
+		}
+		if kl+kr == 0 {
+			return n, 0
+		}
+		return &expr.Node{Op: n.Op, Left: l, Right: r, Pred: n.Pred}, kl + kr
+	default:
+		// Antijoin, semijoin, GOJ: leave untouched (outside the §4 rule).
+		return n, 0
+	}
+}
+
+// addStrongRels returns a copy of required extended with every relation R
+// such that p is strong with respect to the attributes p references from
+// R.
+func addStrongRels(required map[string]bool, p predicate.Predicate) map[string]bool {
+	out := make(map[string]bool, len(required)+2)
+	for k, v := range required {
+		out[k] = v
+	}
+	byRel := map[string]relation.AttrSet{}
+	for a := range p.Attrs() {
+		if byRel[a.Rel] == nil {
+			byRel[a.Rel] = relation.NewAttrSet()
+		}
+		byRel[a.Rel].Add(a)
+	}
+	for rel, attrs := range byRel {
+		if predicate.StrongWRT(p, attrs) {
+			out[rel] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package entity implements the object model behind §5's language
+// operators: entities (tuples with identity) that carry scalar fields,
+// set-valued fields (unnested by the * operator) and entity-valued
+// reference fields (followed by the --> operator).
+//
+// Following §5.2, the store exports relational views with object
+// identifiers as ordinary columns, so that the special predicates become
+// plain OID equalities:
+//
+//	NestedIn(@r, @value)  ≡  r.@oid   = value.@owner
+//	LinkedTo(@r, @value)  ≡  r.field@ = value.@oid
+//
+// Both are equality comparisons, hence strong — one half of §5.3's
+// argument that every query block is freely reorderable.
+package entity
+
+import (
+	"fmt"
+	"sort"
+
+	"freejoin/internal/relation"
+)
+
+// OID is an object identifier (the paper's @-prefixed identifier, "e.g. a
+// physical address on disk"). Zero is the null reference.
+type OID int64
+
+// OIDColumn is the column name under which an entity's identifier is
+// exposed in relational views.
+const OIDColumn = "@oid"
+
+// OwnerColumn is the column in an unnested-value view naming the owning
+// entity.
+const OwnerColumn = "@owner"
+
+// RefColumn returns the view column name of an entity-valued field (the
+// stored OID of the referenced entity).
+func RefColumn(field string) string { return field + "@" }
+
+// TypeDef declares an entity type.
+type TypeDef struct {
+	Name    string
+	Scalars []string          // scalar field names, in view column order
+	Sets    []string          // set-valued field names
+	Refs    map[string]string // entity-valued field -> target type name
+}
+
+// Entity is one stored object.
+type Entity struct {
+	ID      OID
+	Type    string
+	Scalars map[string]relation.Value
+	Sets    map[string][]relation.Value
+	Refs    map[string]OID
+}
+
+// Store is an in-memory entity database.
+type Store struct {
+	types    map[string]TypeDef
+	entities map[string][]*Entity // by type, in creation order
+	byOID    map[OID]*Entity
+	nextOID  OID
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		types:    map[string]TypeDef{},
+		entities: map[string][]*Entity{},
+		byOID:    map[OID]*Entity{},
+		nextOID:  1,
+	}
+}
+
+// Define registers an entity type. Referenced target types may be defined
+// later; they are checked at insertion time.
+func (s *Store) Define(def TypeDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("entity: type needs a name")
+	}
+	if _, dup := s.types[def.Name]; dup {
+		return fmt.Errorf("entity: type %s already defined", def.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range def.Scalars {
+		if seen[f] {
+			return fmt.Errorf("entity: duplicate field %s in type %s", f, def.Name)
+		}
+		seen[f] = true
+	}
+	for _, f := range def.Sets {
+		if seen[f] {
+			return fmt.Errorf("entity: duplicate field %s in type %s", f, def.Name)
+		}
+		seen[f] = true
+	}
+	for f := range def.Refs {
+		if seen[f] {
+			return fmt.Errorf("entity: duplicate field %s in type %s", f, def.Name)
+		}
+		seen[f] = true
+	}
+	s.types[def.Name] = def
+	return nil
+}
+
+// Type returns a type definition.
+func (s *Store) Type(name string) (TypeDef, error) {
+	d, ok := s.types[name]
+	if !ok {
+		return TypeDef{}, fmt.Errorf("entity: unknown type %s", name)
+	}
+	return d, nil
+}
+
+// Types lists defined type names, sorted.
+func (s *Store) Types() []string {
+	out := make([]string, 0, len(s.types))
+	for n := range s.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSetField reports whether the type has a set-valued field.
+func (s *Store) HasSetField(typeName, field string) bool {
+	d, ok := s.types[typeName]
+	if !ok {
+		return false
+	}
+	for _, f := range d.Sets {
+		if f == field {
+			return true
+		}
+	}
+	return false
+}
+
+// RefTarget returns the target type of an entity-valued field.
+func (s *Store) RefTarget(typeName, field string) (string, bool) {
+	d, ok := s.types[typeName]
+	if !ok {
+		return "", false
+	}
+	t, ok := d.Refs[field]
+	return t, ok
+}
+
+// New creates an entity with the given scalar values, returning its OID.
+// Missing scalars are null; unknown fields are an error.
+func (s *Store) New(typeName string, scalars map[string]relation.Value) (OID, error) {
+	def, err := s.Type(typeName)
+	if err != nil {
+		return 0, err
+	}
+	known := map[string]bool{}
+	for _, f := range def.Scalars {
+		known[f] = true
+	}
+	for f := range scalars {
+		if !known[f] {
+			return 0, fmt.Errorf("entity: type %s has no scalar field %s", typeName, f)
+		}
+	}
+	e := &Entity{
+		ID:      s.nextOID,
+		Type:    typeName,
+		Scalars: map[string]relation.Value{},
+		Sets:    map[string][]relation.Value{},
+		Refs:    map[string]OID{},
+	}
+	for f, v := range scalars {
+		e.Scalars[f] = v
+	}
+	s.nextOID++
+	s.entities[typeName] = append(s.entities[typeName], e)
+	s.byOID[e.ID] = e
+	return e.ID, nil
+}
+
+// Get returns an entity by OID.
+func (s *Store) Get(oid OID) (*Entity, error) {
+	e, ok := s.byOID[oid]
+	if !ok {
+		return nil, fmt.Errorf("entity: unknown oid %d", oid)
+	}
+	return e, nil
+}
+
+// AddToSet appends a value to a set-valued field.
+func (s *Store) AddToSet(oid OID, field string, v relation.Value) error {
+	e, err := s.Get(oid)
+	if err != nil {
+		return err
+	}
+	if !s.HasSetField(e.Type, field) {
+		return fmt.Errorf("entity: type %s has no set field %s", e.Type, field)
+	}
+	e.Sets[field] = append(e.Sets[field], v)
+	return nil
+}
+
+// SetRef points an entity-valued field at a target entity (0 clears it).
+// The target's type must match the field declaration.
+func (s *Store) SetRef(oid OID, field string, target OID) error {
+	e, err := s.Get(oid)
+	if err != nil {
+		return err
+	}
+	want, ok := s.RefTarget(e.Type, field)
+	if !ok {
+		return fmt.Errorf("entity: type %s has no reference field %s", e.Type, field)
+	}
+	if target != 0 {
+		te, err := s.Get(target)
+		if err != nil {
+			return err
+		}
+		if te.Type != want {
+			return fmt.Errorf("entity: field %s.%s expects %s, got %s", e.Type, field, want, te.Type)
+		}
+	}
+	e.Refs[field] = target
+	return nil
+}
+
+// BaseRelation materializes the relational view of a type under tuple
+// variable varName: columns varName.@oid, the scalar fields, and one
+// OID-valued column per reference field.
+func (s *Store) BaseRelation(typeName, varName string) (*relation.Relation, error) {
+	def, err := s.Type(typeName)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{OIDColumn}
+	cols = append(cols, def.Scalars...)
+	refFields := make([]string, 0, len(def.Refs))
+	for f := range def.Refs {
+		refFields = append(refFields, f)
+	}
+	sort.Strings(refFields)
+	for _, f := range refFields {
+		cols = append(cols, RefColumn(f))
+	}
+	out := relation.New(relation.SchemeOf(varName, cols...))
+	for _, e := range s.entities[typeName] {
+		row := make([]relation.Value, 0, len(cols))
+		row = append(row, relation.Int(int64(e.ID)))
+		for _, f := range def.Scalars {
+			row = append(row, e.Scalars[f]) // zero Value is null
+		}
+		for _, f := range refFields {
+			if t := e.Refs[f]; t != 0 {
+				row = append(row, relation.Int(int64(t)))
+			} else {
+				row = append(row, relation.Null())
+			}
+		}
+		out.AppendRaw(row)
+	}
+	return out, nil
+}
+
+// NestedRelation materializes the paper's ValueOfField view for a
+// set-valued field under tuple variable varName: one row per element,
+// with columns varName.@owner (the owning entity) and varName.<field>.
+// Entities with empty sets contribute no rows — the unnesting outerjoin
+// supplies their null row.
+func (s *Store) NestedRelation(typeName, field, varName string) (*relation.Relation, error) {
+	if _, err := s.Type(typeName); err != nil {
+		return nil, err
+	}
+	if !s.HasSetField(typeName, field) {
+		return nil, fmt.Errorf("entity: type %s has no set field %s", typeName, field)
+	}
+	out := relation.New(relation.SchemeOf(varName, OwnerColumn, field))
+	for _, e := range s.entities[typeName] {
+		for _, v := range e.Sets[field] {
+			out.AppendRaw([]relation.Value{relation.Int(int64(e.ID)), v})
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of entities of a type.
+func (s *Store) Count(typeName string) int { return len(s.entities[typeName]) }

@@ -1,0 +1,213 @@
+package entity
+
+import (
+	"testing"
+
+	"freejoin/internal/relation"
+)
+
+// sampleStore builds the paper's §5 schema: EMPLOYEE with set-valued
+// ChildName, DEPARTMENT with EMPLOYEE-valued Manager and REPORT-valued
+// Audit.
+func sampleStore(t *testing.T) (*Store, OID, OID, OID, OID) {
+	t.Helper()
+	s := NewStore()
+	for _, def := range []TypeDef{
+		{Name: "EMPLOYEE", Scalars: []string{"Name", "D#", "Rank"}, Sets: []string{"ChildName"}},
+		{Name: "REPORT", Scalars: []string{"Title"}},
+		{Name: "DEPARTMENT", Scalars: []string{"D#", "Location"},
+			Refs: map[string]string{"Manager": "EMPLOYEE", "Audit": "REPORT"}},
+	} {
+		if err := s.Define(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emp, err := s.New("EMPLOYEE", map[string]relation.Value{
+		"Name": relation.Str("ana"), "D#": relation.Int(1), "Rank": relation.Int(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp2, err := s.New("EMPLOYEE", map[string]relation.Value{
+		"Name": relation.Str("bo"), "D#": relation.Int(2), "Rank": relation.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.New("REPORT", map[string]relation.Value{"Title": relation.Str("audit-1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := s.New("DEPARTMENT", map[string]relation.Value{
+		"D#": relation.Int(1), "Location": relation.Str("Zurich")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddToSet(emp, "ChildName", relation.Str("kim")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddToSet(emp, "ChildName", relation.Str("lee")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef(dep, "Manager", emp); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef(dep, "Audit", rep); err != nil {
+		t.Fatal(err)
+	}
+	return s, emp, emp2, rep, dep
+}
+
+func TestDefineValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Define(TypeDef{}); err == nil {
+		t.Error("nameless type must fail")
+	}
+	if err := s.Define(TypeDef{Name: "T", Scalars: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate scalar must fail")
+	}
+	if err := s.Define(TypeDef{Name: "T", Scalars: []string{"a"}, Sets: []string{"a"}}); err == nil {
+		t.Error("scalar/set clash must fail")
+	}
+	if err := s.Define(TypeDef{Name: "T", Scalars: []string{"a"}, Refs: map[string]string{"a": "T"}}); err == nil {
+		t.Error("scalar/ref clash must fail")
+	}
+	if err := s.Define(TypeDef{Name: "T", Scalars: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Define(TypeDef{Name: "T"}); err == nil {
+		t.Error("redefinition must fail")
+	}
+	if _, err := s.Type("NOPE"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestNewAndGet(t *testing.T) {
+	s, emp, _, _, _ := sampleStore(t)
+	e, err := s.Get(emp)
+	if err != nil || e.Type != "EMPLOYEE" {
+		t.Fatalf("Get = %v, %v", e, err)
+	}
+	if _, err := s.Get(999); err == nil {
+		t.Error("unknown oid must fail")
+	}
+	if _, err := s.New("NOPE", nil); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if _, err := s.New("EMPLOYEE", map[string]relation.Value{"Bogus": relation.Int(1)}); err == nil {
+		t.Error("unknown scalar field must fail")
+	}
+	if s.Count("EMPLOYEE") != 2 || s.Count("NOPE") != 0 {
+		t.Error("Count broken")
+	}
+	types := s.Types()
+	if len(types) != 3 || types[0] != "DEPARTMENT" {
+		t.Errorf("Types = %v", types)
+	}
+}
+
+func TestSetAndRefValidation(t *testing.T) {
+	s, emp, _, rep, dep := sampleStore(t)
+	if err := s.AddToSet(emp, "Nope", relation.Int(1)); err == nil {
+		t.Error("unknown set field must fail")
+	}
+	if err := s.AddToSet(999, "ChildName", relation.Int(1)); err == nil {
+		t.Error("unknown oid must fail")
+	}
+	if err := s.SetRef(dep, "Nope", emp); err == nil {
+		t.Error("unknown ref field must fail")
+	}
+	if err := s.SetRef(dep, "Manager", rep); err == nil {
+		t.Error("type-mismatched ref must fail")
+	}
+	if err := s.SetRef(dep, "Manager", 999); err == nil {
+		t.Error("dangling ref must fail")
+	}
+	if err := s.SetRef(999, "Manager", emp); err == nil {
+		t.Error("unknown source oid must fail")
+	}
+	if err := s.SetRef(dep, "Audit", 0); err != nil {
+		t.Error("clearing a ref is legal")
+	}
+}
+
+func TestFieldLookups(t *testing.T) {
+	s, _, _, _, _ := sampleStore(t)
+	if !s.HasSetField("EMPLOYEE", "ChildName") || s.HasSetField("EMPLOYEE", "Name") {
+		t.Error("HasSetField broken")
+	}
+	if s.HasSetField("NOPE", "x") {
+		t.Error("unknown type has no fields")
+	}
+	if tgt, ok := s.RefTarget("DEPARTMENT", "Manager"); !ok || tgt != "EMPLOYEE" {
+		t.Error("RefTarget broken")
+	}
+	if _, ok := s.RefTarget("DEPARTMENT", "D#"); ok {
+		t.Error("scalar is not a ref")
+	}
+	if _, ok := s.RefTarget("NOPE", "x"); ok {
+		t.Error("unknown type has no refs")
+	}
+}
+
+func TestBaseRelation(t *testing.T) {
+	s, emp, _, rep, dep := sampleStore(t)
+	r, err := s.BaseRelation("DEPARTMENT", "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	row := r.Row(0)
+	if row.MustGet(relation.A("D", OIDColumn)) != relation.Int(int64(dep)) {
+		t.Error("@oid column broken")
+	}
+	if row.MustGet(relation.A("D", "Location")) != relation.Str("Zurich") {
+		t.Error("scalar column broken")
+	}
+	if row.MustGet(relation.A("D", RefColumn("Manager"))) != relation.Int(int64(emp)) {
+		t.Error("ref column broken")
+	}
+	if row.MustGet(relation.A("D", RefColumn("Audit"))) != relation.Int(int64(rep)) {
+		t.Error("second ref column broken")
+	}
+	if _, err := s.BaseRelation("NOPE", "X"); err == nil {
+		t.Error("unknown type must fail")
+	}
+	// Cleared ref renders null.
+	if err := s.SetRef(dep, "Audit", 0); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := s.BaseRelation("DEPARTMENT", "D")
+	if !r2.Row(0).MustGet(relation.A("D", RefColumn("Audit"))).IsNull() {
+		t.Error("cleared ref must be null")
+	}
+}
+
+func TestNestedRelation(t *testing.T) {
+	s, emp, _, _, _ := sampleStore(t)
+	r, err := s.NestedRelation("EMPLOYEE", "ChildName", "CH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d:\n%v", r.Len(), r)
+	}
+	for i := 0; i < r.Len(); i++ {
+		if r.Row(i).MustGet(relation.A("CH", OwnerColumn)) != relation.Int(int64(emp)) {
+			t.Error("owner column broken")
+		}
+	}
+	if _, err := s.NestedRelation("EMPLOYEE", "Name", "X"); err == nil {
+		t.Error("scalar field must fail")
+	}
+	if _, err := s.NestedRelation("NOPE", "x", "X"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestRefColumnName(t *testing.T) {
+	if RefColumn("Manager") != "Manager@" {
+		t.Errorf("RefColumn = %q", RefColumn("Manager"))
+	}
+}

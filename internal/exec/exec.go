@@ -1,0 +1,368 @@
+// Package exec is the physical execution engine: Volcano-style iterators
+// over the storage layer, with scan/index-lookup accounting. The counter
+// of tuples retrieved from base tables is the cost measure of the paper's
+// Example 1 ("the first expression retrieves 2·10⁷+1 tuples, and the
+// second retrieves only 3").
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// Counters accumulates execution effort across a plan.
+type Counters struct {
+	// TuplesRetrieved counts rows fetched from base tables, by full scans
+	// and by index lookups — the paper's Example 1 metric.
+	TuplesRetrieved int64
+	// RowsProduced counts rows emitted by the operator tree's root.
+	RowsProduced int64
+}
+
+// Iterator is the Volcano operator interface. Next returns the next row
+// and true, or false at end of stream. Rows must be treated as immutable
+// by consumers.
+type Iterator interface {
+	Scheme() *relation.Scheme
+	Open() error
+	Next() ([]relation.Value, bool, error)
+	Close() error
+}
+
+// Collect drains an iterator into a relation, updating RowsProduced.
+func Collect(it Iterator, c *Counters) (*relation.Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := relation.New(it.Scheme())
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out.AppendRaw(row)
+		if c != nil {
+			c.RowsProduced++
+		}
+	}
+	return out, nil
+}
+
+// Scan reads every row of a table.
+type Scan struct {
+	table    *storage.Table
+	counters *Counters
+	pos      int
+}
+
+// NewScan returns a full-table scan.
+func NewScan(t *storage.Table, c *Counters) *Scan {
+	return &Scan{table: t, counters: c}
+}
+
+// Scheme implements Iterator.
+func (s *Scan) Scheme() *relation.Scheme { return s.table.Scheme() }
+
+// Open implements Iterator.
+func (s *Scan) Open() error { s.pos = 0; return nil }
+
+// Next implements Iterator.
+func (s *Scan) Next() ([]relation.Value, bool, error) {
+	if s.pos >= s.table.Relation().Len() {
+		return nil, false, nil
+	}
+	row := s.table.Relation().RawRow(s.pos)
+	s.pos++
+	if s.counters != nil {
+		s.counters.TuplesRetrieved++
+	}
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *Scan) Close() error { return nil }
+
+// IndexScan fetches only the rows of a table whose indexed column equals
+// a constant — the access path a pushed-down equality restriction earns
+// when the column has a hash index. Each fetched row counts as one
+// retrieved tuple.
+type IndexScan struct {
+	table    *storage.Table
+	index    *storage.HashIndex
+	value    relation.Value
+	counters *Counters
+	rows     []int
+	pos      int
+}
+
+// NewIndexScan builds an index scan on the table's hash index over col.
+func NewIndexScan(t *storage.Table, col string, v relation.Value, c *Counters) (*IndexScan, error) {
+	idx, ok := t.HashIndexOn(col)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %s has no hash index on %s", t.Name(), col)
+	}
+	return &IndexScan{table: t, index: idx, value: v, counters: c}, nil
+}
+
+// Scheme implements Iterator.
+func (s *IndexScan) Scheme() *relation.Scheme { return s.table.Scheme() }
+
+// Open implements Iterator.
+func (s *IndexScan) Open() error {
+	s.rows = s.index.Lookup(s.value)
+	s.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (s *IndexScan) Next() ([]relation.Value, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.table.Relation().RawRow(s.rows[s.pos])
+	s.pos++
+	if s.counters != nil {
+		s.counters.TuplesRetrieved++
+	}
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *IndexScan) Close() error { return nil }
+
+// RelationScan iterates an in-memory relation that is not a catalog
+// table (e.g. a materialized intermediate); it does not count as base
+// tuple retrieval.
+type RelationScan struct {
+	rel *relation.Relation
+	pos int
+}
+
+// NewRelationScan wraps a relation as an iterator.
+func NewRelationScan(rel *relation.Relation) *RelationScan {
+	return &RelationScan{rel: rel}
+}
+
+// Scheme implements Iterator.
+func (s *RelationScan) Scheme() *relation.Scheme { return s.rel.Scheme() }
+
+// Open implements Iterator.
+func (s *RelationScan) Open() error { s.pos = 0; return nil }
+
+// Next implements Iterator.
+func (s *RelationScan) Next() ([]relation.Value, bool, error) {
+	if s.pos >= s.rel.Len() {
+		return nil, false, nil
+	}
+	row := s.rel.RawRow(s.pos)
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *RelationScan) Close() error { return nil }
+
+// Filter applies a predicate to its child's rows.
+type Filter struct {
+	child Iterator
+	bound predicate.Bound
+}
+
+// NewFilter compiles p against the child's scheme.
+func NewFilter(child Iterator, p predicate.Predicate) (*Filter, error) {
+	b, err := predicate.Bind(p, child.Scheme())
+	if err != nil {
+		return nil, fmt.Errorf("exec: filter: %w", err)
+	}
+	return &Filter{child: child, bound: b}, nil
+}
+
+// Scheme implements Iterator.
+func (f *Filter) Scheme() *relation.Scheme { return f.child.Scheme() }
+
+// Open implements Iterator.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next implements Iterator.
+func (f *Filter) Next() ([]relation.Value, bool, error) {
+	for {
+		row, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.bound.Holds(row) {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Project restricts rows to a subset of attributes, optionally removing
+// duplicates.
+type Project struct {
+	child  Iterator
+	scheme *relation.Scheme
+	pos    []int
+	dedup  bool
+	seen   map[string]struct{}
+}
+
+// NewProject builds a projection onto attrs.
+func NewProject(child Iterator, attrs []relation.Attr, dedup bool) (*Project, error) {
+	sch, err := child.Scheme().Project(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: project: %w", err)
+	}
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i] = child.Scheme().IndexOf(a)
+	}
+	return &Project{child: child, scheme: sch, pos: pos, dedup: dedup}, nil
+}
+
+// Scheme implements Iterator.
+func (p *Project) Scheme() *relation.Scheme { return p.scheme }
+
+// Open implements Iterator.
+func (p *Project) Open() error {
+	if p.dedup {
+		p.seen = map[string]struct{}{}
+	}
+	return p.child.Open()
+}
+
+// Next implements Iterator.
+func (p *Project) Next() ([]relation.Value, bool, error) {
+	for {
+		row, ok, err := p.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		out := make([]relation.Value, len(p.pos))
+		for i, c := range p.pos {
+			out[i] = row[c]
+		}
+		if p.dedup {
+			var buf []byte
+			for _, v := range out {
+				buf = relation.AppendKey(buf, v)
+			}
+			if _, dup := p.seen[string(buf)]; dup {
+				continue
+			}
+			p.seen[string(buf)] = struct{}{}
+		}
+		return out, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Sort materializes and orders its input by the given columns (ascending,
+// nulls first), enabling merge joins and deterministic output.
+type Sort struct {
+	child Iterator
+	by    []int
+	rows  [][]relation.Value
+	pos   int
+}
+
+// NewSort orders by the listed attributes of the child's scheme.
+func NewSort(child Iterator, by []relation.Attr) (*Sort, error) {
+	pos := make([]int, len(by))
+	for i, a := range by {
+		p := child.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: sort: attribute %s not in scheme %s", a, child.Scheme())
+		}
+		pos[i] = p
+	}
+	return &Sort{child: child, by: pos}, nil
+}
+
+// Scheme implements Iterator.
+func (s *Sort) Scheme() *relation.Scheme { return s.child.Scheme() }
+
+// Open implements Iterator.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	s.rows = s.rows[:0]
+	for {
+		row, ok, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, c := range s.by {
+			if cmp := s.rows[i][c].Compare(s.rows[j][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() ([]relation.Value, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error { return nil }
+
+// materialize drains an iterator into memory (used by blocking joins).
+func materialize(it Iterator) ([][]relation.Value, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows [][]relation.Value
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+func concatRows(a, b []relation.Value) []relation.Value {
+	out := make([]relation.Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func padRight(a []relation.Value, n int) []relation.Value {
+	out := make([]relation.Value, len(a)+n)
+	copy(out, a)
+	return out
+}

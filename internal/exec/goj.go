@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"fmt"
+
+	"freejoin/internal/relation"
+)
+
+// HashGOJ computes the generalized outerjoin GOJ[S][p](left, right) of
+// §6.2 with the "slightly modified join algorithm" the paper promises: a
+// hash join over the equi-keys that additionally tracks which distinct
+// S-projections of the left input appeared in at least one join row; at
+// end-of-stream the missing projections are emitted padded with nulls.
+type HashGOJ struct {
+	left, right Iterator
+	scheme      *relation.Scheme
+	lkeys       []int
+	rkeys       []int
+	spos        []int // S columns within the left scheme
+	soutPos     []int // S columns within the output scheme
+	mode        JoinMode
+
+	table   map[string][][]relation.Value
+	matched map[string]struct{}         // S-projections seen in join rows
+	all     map[string][]relation.Value // every distinct S-projection of the left input
+	order   []string                    // first-seen order of S-projections
+	pending [][]relation.Value
+	tail    int  // index into order while draining unmatched projections
+	drained bool // left input exhausted
+}
+
+// NewHashGOJ builds the operator. s must be attributes of the left
+// scheme.
+func NewHashGOJ(left, right Iterator, leftKeys, rightKeys []relation.Attr, s []relation.Attr) (*HashGOJ, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: hash GOJ needs matching non-empty key lists")
+	}
+	sch, err := left.Scheme().Concat(right.Scheme())
+	if err != nil {
+		return nil, fmt.Errorf("exec: GOJ schemes overlap: %w", err)
+	}
+	g := &HashGOJ{left: left, right: right, scheme: sch, mode: InnerMode}
+	for _, a := range leftKeys {
+		p := left.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: GOJ key %s not in left scheme", a)
+		}
+		g.lkeys = append(g.lkeys, p)
+	}
+	for _, a := range rightKeys {
+		p := right.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: GOJ key %s not in right scheme", a)
+		}
+		g.rkeys = append(g.rkeys, p)
+	}
+	for _, a := range s {
+		p := left.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: GOJ projection attribute %s not in left scheme", a)
+		}
+		g.spos = append(g.spos, p)
+		g.soutPos = append(g.soutPos, sch.IndexOf(a))
+	}
+	return g, nil
+}
+
+// Scheme implements Iterator.
+func (g *HashGOJ) Scheme() *relation.Scheme { return g.scheme }
+
+// Open implements Iterator.
+func (g *HashGOJ) Open() error {
+	rows, err := materialize(g.right)
+	if err != nil {
+		return err
+	}
+	g.table = make(map[string][][]relation.Value, len(rows))
+	var buf []byte
+build:
+	for _, row := range rows {
+		buf = buf[:0]
+		for _, k := range g.rkeys {
+			if row[k].IsNull() {
+				continue build
+			}
+			buf = relation.AppendJoinKey(buf, row[k])
+		}
+		g.table[string(buf)] = append(g.table[string(buf)], row)
+	}
+	g.matched = map[string]struct{}{}
+	g.all = map[string][]relation.Value{}
+	g.order = nil
+	g.pending = nil
+	g.tail = 0
+	g.drained = false
+	return g.left.Open()
+}
+
+// sKey computes the duplicate-free S-projection key of a left row.
+func (g *HashGOJ) sKey(lrow []relation.Value) string {
+	var buf []byte
+	for _, p := range g.spos {
+		buf = relation.AppendKey(buf, lrow[p])
+	}
+	return string(buf)
+}
+
+// Next implements Iterator.
+func (g *HashGOJ) Next() ([]relation.Value, bool, error) {
+	for {
+		if len(g.pending) > 0 {
+			out := g.pending[0]
+			g.pending = g.pending[1:]
+			return out, true, nil
+		}
+		if g.drained {
+			// Emit the S-projections that never joined, padded.
+			for g.tail < len(g.order) {
+				key := g.order[g.tail]
+				g.tail++
+				if _, ok := g.matched[key]; ok {
+					continue
+				}
+				proj := g.all[key]
+				row := make([]relation.Value, g.scheme.Len())
+				for i, dst := range g.soutPos {
+					row[dst] = proj[i]
+				}
+				return row, true, nil
+			}
+			return nil, false, nil
+		}
+		lrow, ok, err := g.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.drained = true
+			continue
+		}
+		skey := g.sKey(lrow)
+		if _, seen := g.all[skey]; !seen {
+			proj := make([]relation.Value, len(g.spos))
+			for i, p := range g.spos {
+				proj[i] = lrow[p]
+			}
+			g.all[skey] = proj
+			g.order = append(g.order, skey)
+		}
+		var buf []byte
+		nullKey := false
+		for _, k := range g.lkeys {
+			if lrow[k].IsNull() {
+				nullKey = true
+				break
+			}
+			buf = relation.AppendJoinKey(buf, lrow[k])
+		}
+		if nullKey {
+			continue
+		}
+		for _, rrow := range g.table[string(buf)] {
+			g.matched[skey] = struct{}{}
+			g.pending = append(g.pending, concatRows(lrow, rrow))
+		}
+	}
+}
+
+// Close implements Iterator.
+func (g *HashGOJ) Close() error {
+	g.table, g.matched, g.all = nil, nil, nil
+	g.pending, g.order = nil, nil
+	return g.left.Close()
+}

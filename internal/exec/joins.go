@@ -1,0 +1,499 @@
+package exec
+
+import (
+	"fmt"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// JoinMode selects the join-family semantics of a physical join.
+type JoinMode uint8
+
+// Join modes. LeftOuterMode preserves the left (outer/probe) input.
+const (
+	InnerMode JoinMode = iota
+	LeftOuterMode
+	SemiMode
+	AntiMode
+)
+
+// String returns the mode name.
+func (m JoinMode) String() string {
+	switch m {
+	case InnerMode:
+		return "inner"
+	case LeftOuterMode:
+		return "leftouter"
+	case SemiMode:
+		return "semi"
+	case AntiMode:
+		return "anti"
+	default:
+		return fmt.Sprintf("JoinMode(%d)", uint8(m))
+	}
+}
+
+// outputScheme computes a join's output scheme for a mode: semi/anti
+// output only left rows.
+func outputScheme(l, r *relation.Scheme, mode JoinMode) (*relation.Scheme, error) {
+	if mode == SemiMode || mode == AntiMode {
+		return l, nil
+	}
+	sch, err := l.Concat(r)
+	if err != nil {
+		return nil, fmt.Errorf("exec: join schemes overlap: %w", err)
+	}
+	return sch, nil
+}
+
+// HashJoin joins two inputs on equi-key columns: the right input is built
+// into a hash table at Open, the left probes. A residual predicate (the
+// non-equi remainder, if any) filters matches.
+type HashJoin struct {
+	left, right Iterator
+	scheme      *relation.Scheme
+	lkeys       []int
+	rkeys       []int
+	residual    *predicate.Bound
+	mode        JoinMode
+
+	table   map[string][][]relation.Value
+	pending [][]relation.Value
+	rwidth  int
+}
+
+// NewHashJoin builds a hash join on leftKeys = rightKeys (attribute lists
+// of equal length). residual may be nil.
+func NewHashJoin(left, right Iterator, leftKeys, rightKeys []relation.Attr, residual predicate.Predicate, mode JoinMode) (*HashJoin, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: hash join needs matching non-empty key lists")
+	}
+	sch, err := outputScheme(left.Scheme(), right.Scheme(), mode)
+	if err != nil {
+		return nil, err
+	}
+	h := &HashJoin{left: left, right: right, scheme: sch, mode: mode, rwidth: right.Scheme().Len()}
+	for _, a := range leftKeys {
+		p := left.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: hash join key %s not in left scheme", a)
+		}
+		h.lkeys = append(h.lkeys, p)
+	}
+	for _, a := range rightKeys {
+		p := right.Scheme().IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: hash join key %s not in right scheme", a)
+		}
+		h.rkeys = append(h.rkeys, p)
+	}
+	if residual != nil {
+		full, err := left.Scheme().Concat(right.Scheme())
+		if err != nil {
+			return nil, err
+		}
+		b, err := predicate.Bind(residual, full)
+		if err != nil {
+			return nil, fmt.Errorf("exec: hash join residual: %w", err)
+		}
+		h.residual = &b
+	}
+	return h, nil
+}
+
+// Scheme implements Iterator.
+func (h *HashJoin) Scheme() *relation.Scheme { return h.scheme }
+
+// Open implements Iterator: builds the hash table from the right input.
+func (h *HashJoin) Open() error {
+	rows, err := materialize(h.right)
+	if err != nil {
+		return err
+	}
+	h.table = make(map[string][][]relation.Value, len(rows))
+	var buf []byte
+build:
+	for _, row := range rows {
+		buf = buf[:0]
+		for _, k := range h.rkeys {
+			if row[k].IsNull() {
+				continue build
+			}
+			buf = relation.AppendJoinKey(buf, row[k])
+		}
+		h.table[string(buf)] = append(h.table[string(buf)], row)
+	}
+	h.pending = nil
+	return h.left.Open()
+}
+
+// Next implements Iterator.
+func (h *HashJoin) Next() ([]relation.Value, bool, error) {
+	for {
+		if len(h.pending) > 0 {
+			out := h.pending[0]
+			h.pending = h.pending[1:]
+			return out, true, nil
+		}
+		lrow, ok, err := h.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		matches := h.probe(lrow)
+		switch h.mode {
+		case InnerMode, LeftOuterMode:
+			for _, rrow := range matches {
+				h.pending = append(h.pending, concatRows(lrow, rrow))
+			}
+			if len(matches) == 0 && h.mode == LeftOuterMode {
+				return padRight(lrow, h.rwidth), true, nil
+			}
+		case SemiMode:
+			if len(matches) > 0 {
+				return lrow, true, nil
+			}
+		case AntiMode:
+			if len(matches) == 0 {
+				return lrow, true, nil
+			}
+		}
+	}
+}
+
+// probe returns the right rows matching lrow (keys plus residual).
+func (h *HashJoin) probe(lrow []relation.Value) [][]relation.Value {
+	var buf []byte
+	for _, k := range h.lkeys {
+		if lrow[k].IsNull() {
+			return nil
+		}
+		buf = relation.AppendJoinKey(buf, lrow[k])
+	}
+	candidates := h.table[string(buf)]
+	if h.residual == nil {
+		return candidates
+	}
+	var out [][]relation.Value
+	for _, rrow := range candidates {
+		if h.residual.Holds(concatRows(lrow, rrow)) {
+			out = append(out, rrow)
+		}
+	}
+	return out
+}
+
+// Close implements Iterator.
+func (h *HashJoin) Close() error {
+	h.table = nil
+	h.pending = nil
+	return h.left.Close()
+}
+
+// NestedLoopJoin joins on an arbitrary predicate; the right input is
+// materialized once at Open.
+type NestedLoopJoin struct {
+	left, right Iterator
+	scheme      *relation.Scheme
+	bound       predicate.Bound
+	mode        JoinMode
+
+	rrows   [][]relation.Value
+	rwidth  int
+	pending [][]relation.Value
+}
+
+// NewNestedLoopJoin builds a nested-loop join with predicate p.
+func NewNestedLoopJoin(left, right Iterator, p predicate.Predicate, mode JoinMode) (*NestedLoopJoin, error) {
+	sch, err := outputScheme(left.Scheme(), right.Scheme(), mode)
+	if err != nil {
+		return nil, err
+	}
+	full, err := left.Scheme().Concat(right.Scheme())
+	if err != nil {
+		return nil, err
+	}
+	b, err := predicate.Bind(p, full)
+	if err != nil {
+		return nil, fmt.Errorf("exec: nested-loop predicate: %w", err)
+	}
+	return &NestedLoopJoin{left: left, right: right, scheme: sch, bound: b,
+		mode: mode, rwidth: right.Scheme().Len()}, nil
+}
+
+// Scheme implements Iterator.
+func (n *NestedLoopJoin) Scheme() *relation.Scheme { return n.scheme }
+
+// Open implements Iterator.
+func (n *NestedLoopJoin) Open() error {
+	rows, err := materialize(n.right)
+	if err != nil {
+		return err
+	}
+	n.rrows = rows
+	n.pending = nil
+	return n.left.Open()
+}
+
+// Next implements Iterator.
+func (n *NestedLoopJoin) Next() ([]relation.Value, bool, error) {
+	for {
+		if len(n.pending) > 0 {
+			out := n.pending[0]
+			n.pending = n.pending[1:]
+			return out, true, nil
+		}
+		lrow, ok, err := n.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		matched := false
+		for _, rrow := range n.rrows {
+			full := concatRows(lrow, rrow)
+			if !n.bound.Holds(full) {
+				continue
+			}
+			matched = true
+			switch n.mode {
+			case InnerMode, LeftOuterMode:
+				n.pending = append(n.pending, full)
+			case SemiMode, AntiMode:
+				// Existence decided; stop scanning.
+			}
+			if n.mode == SemiMode || n.mode == AntiMode {
+				break
+			}
+		}
+		switch n.mode {
+		case LeftOuterMode:
+			if !matched {
+				return padRight(lrow, n.rwidth), true, nil
+			}
+		case SemiMode:
+			if matched {
+				return lrow, true, nil
+			}
+		case AntiMode:
+			if !matched {
+				return lrow, true, nil
+			}
+		}
+	}
+}
+
+// Close implements Iterator.
+func (n *NestedLoopJoin) Close() error {
+	n.rrows = nil
+	n.pending = nil
+	return n.left.Close()
+}
+
+// IndexJoin drives the join from the left input and fetches matching
+// inner rows through a hash index on a base table — the access path of
+// Example 1's cheap plan. Each fetched inner row counts as one retrieved
+// tuple.
+type IndexJoin struct {
+	left     Iterator
+	inner    *storage.Table
+	index    *storage.HashIndex
+	outerKey int
+	scheme   *relation.Scheme
+	residual *predicate.Bound
+	mode     JoinMode
+	counters *Counters
+
+	pending [][]relation.Value
+	iwidth  int
+}
+
+// NewIndexJoin probes inner's hash index on idxCol with the value of
+// outerKey in each left row. residual may be nil.
+func NewIndexJoin(left Iterator, inner *storage.Table, idxCol string, outerKey relation.Attr,
+	residual predicate.Predicate, mode JoinMode, c *Counters) (*IndexJoin, error) {
+	idx, ok := inner.HashIndexOn(idxCol)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %s has no hash index on %s", inner.Name(), idxCol)
+	}
+	kp := left.Scheme().IndexOf(outerKey)
+	if kp < 0 {
+		return nil, fmt.Errorf("exec: outer key %s not in left scheme %s", outerKey, left.Scheme())
+	}
+	sch, err := outputScheme(left.Scheme(), inner.Scheme(), mode)
+	if err != nil {
+		return nil, err
+	}
+	j := &IndexJoin{left: left, inner: inner, index: idx, outerKey: kp, scheme: sch,
+		mode: mode, counters: c, iwidth: inner.Scheme().Len()}
+	if residual != nil {
+		full, err := left.Scheme().Concat(inner.Scheme())
+		if err != nil {
+			return nil, err
+		}
+		b, err := predicate.Bind(residual, full)
+		if err != nil {
+			return nil, fmt.Errorf("exec: index join residual: %w", err)
+		}
+		j.residual = &b
+	}
+	return j, nil
+}
+
+// Scheme implements Iterator.
+func (j *IndexJoin) Scheme() *relation.Scheme { return j.scheme }
+
+// Open implements Iterator.
+func (j *IndexJoin) Open() error { j.pending = nil; return j.left.Open() }
+
+// Next implements Iterator.
+func (j *IndexJoin) Next() ([]relation.Value, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			out := j.pending[0]
+			j.pending = j.pending[1:]
+			return out, true, nil
+		}
+		lrow, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		matched := false
+		for _, pos := range j.index.Lookup(lrow[j.outerKey]) {
+			irow := j.inner.Relation().RawRow(pos)
+			if j.counters != nil {
+				j.counters.TuplesRetrieved++
+			}
+			full := concatRows(lrow, irow)
+			if j.residual != nil && !j.residual.Holds(full) {
+				continue
+			}
+			matched = true
+			if j.mode == InnerMode || j.mode == LeftOuterMode {
+				j.pending = append(j.pending, full)
+			} else {
+				break
+			}
+		}
+		switch j.mode {
+		case LeftOuterMode:
+			if !matched {
+				return padRight(lrow, j.iwidth), true, nil
+			}
+		case SemiMode:
+			if matched {
+				return lrow, true, nil
+			}
+		case AntiMode:
+			if !matched {
+				return lrow, true, nil
+			}
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *IndexJoin) Close() error { j.pending = nil; return j.left.Close() }
+
+// MergeJoin equi-joins two inputs sorted on their key columns. Inner and
+// left-outer modes are supported; duplicates on both sides produce the
+// full cross product of each matching group.
+type MergeJoin struct {
+	left, right Iterator
+	scheme      *relation.Scheme
+	lkey, rkey  int
+	mode        JoinMode
+	rwidth      int
+
+	lrows, rrows [][]relation.Value
+	li, ri       int
+	pending      [][]relation.Value
+}
+
+// NewMergeJoin joins inputs that must already be sorted ascending on
+// leftKey / rightKey (wrap with NewSort otherwise).
+func NewMergeJoin(left, right Iterator, leftKey, rightKey relation.Attr, mode JoinMode) (*MergeJoin, error) {
+	if mode != InnerMode && mode != LeftOuterMode {
+		return nil, fmt.Errorf("exec: merge join supports inner and leftouter modes, got %s", mode)
+	}
+	lk := left.Scheme().IndexOf(leftKey)
+	rk := right.Scheme().IndexOf(rightKey)
+	if lk < 0 || rk < 0 {
+		return nil, fmt.Errorf("exec: merge join keys missing from schemes")
+	}
+	sch, err := outputScheme(left.Scheme(), right.Scheme(), mode)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeJoin{left: left, right: right, scheme: sch, lkey: lk, rkey: rk,
+		mode: mode, rwidth: right.Scheme().Len()}, nil
+}
+
+// Scheme implements Iterator.
+func (m *MergeJoin) Scheme() *relation.Scheme { return m.scheme }
+
+// Open implements Iterator. Inputs are materialized: group-wise cross
+// products need random access within runs.
+func (m *MergeJoin) Open() error {
+	var err error
+	if m.lrows, err = materialize(m.left); err != nil {
+		return err
+	}
+	if m.rrows, err = materialize(m.right); err != nil {
+		return err
+	}
+	m.li, m.ri = 0, 0
+	m.pending = nil
+	return nil
+}
+
+// Next implements Iterator.
+func (m *MergeJoin) Next() ([]relation.Value, bool, error) {
+	for {
+		if len(m.pending) > 0 {
+			out := m.pending[0]
+			m.pending = m.pending[1:]
+			return out, true, nil
+		}
+		if m.li >= len(m.lrows) {
+			return nil, false, nil
+		}
+		lrow := m.lrows[m.li]
+		lv := lrow[m.lkey]
+		if lv.IsNull() {
+			// Null keys never match.
+			m.li++
+			if m.mode == LeftOuterMode {
+				return padRight(lrow, m.rwidth), true, nil
+			}
+			continue
+		}
+		// Advance right past smaller (or null) keys.
+		for m.ri < len(m.rrows) {
+			rv := m.rrows[m.ri][m.rkey]
+			if !rv.IsNull() && rv.Compare(lv) >= 0 {
+				break
+			}
+			m.ri++
+		}
+		// Collect the right run equal to lv.
+		matched := 0
+		for k := m.ri; k < len(m.rrows); k++ {
+			rv := m.rrows[k][m.rkey]
+			if rv.IsNull() || rv.Compare(lv) != 0 {
+				break
+			}
+			m.pending = append(m.pending, concatRows(lrow, m.rrows[k]))
+			matched++
+		}
+		m.li++
+		if matched == 0 && m.mode == LeftOuterMode {
+			return padRight(lrow, m.rwidth), true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (m *MergeJoin) Close() error {
+	m.lrows, m.rrows, m.pending = nil, nil, nil
+	return nil
+}

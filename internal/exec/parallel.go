@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"freejoin/internal/relation"
+)
+
+// ParallelHashJoin is a partitioned (grace-style) equijoin: both inputs
+// are materialized, hash-partitioned on the join key, and the partitions
+// are joined by a pool of workers. It supports the same inner/outer/semi/
+// anti modes as HashJoin and produces identical bags (row order differs).
+// It is the concurrency ablation for the serial hash join: worthwhile on
+// large inputs, pure overhead on small ones (see BenchmarkParallelJoin).
+type ParallelHashJoin struct {
+	left, right Iterator
+	scheme      *relation.Scheme
+	lkey, rkey  int
+	mode        JoinMode
+	workers     int
+	rwidth      int
+
+	out [][]relation.Value
+	pos int
+}
+
+// NewParallelHashJoin joins on a single key pair with the given worker
+// count (0 means GOMAXPROCS).
+func NewParallelHashJoin(left, right Iterator, leftKey, rightKey relation.Attr, mode JoinMode, workers int) (*ParallelHashJoin, error) {
+	lk := left.Scheme().IndexOf(leftKey)
+	rk := right.Scheme().IndexOf(rightKey)
+	if lk < 0 || rk < 0 {
+		return nil, fmt.Errorf("exec: parallel join keys missing from schemes")
+	}
+	sch, err := outputScheme(left.Scheme(), right.Scheme(), mode)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelHashJoin{left: left, right: right, scheme: sch,
+		lkey: lk, rkey: rk, mode: mode, workers: workers,
+		rwidth: right.Scheme().Len()}, nil
+}
+
+// Scheme implements Iterator.
+func (p *ParallelHashJoin) Scheme() *relation.Scheme { return p.scheme }
+
+// Open implements Iterator: partitions, joins in parallel, and buffers
+// the result.
+func (p *ParallelHashJoin) Open() error {
+	lrows, err := materialize(p.left)
+	if err != nil {
+		return err
+	}
+	rrows, err := materialize(p.right)
+	if err != nil {
+		return err
+	}
+	n := p.workers
+	lparts := make([][][]relation.Value, n)
+	rparts := make([][][]relation.Value, n)
+	var nullLeft [][]relation.Value // left rows with null keys (outer/anti only)
+	var buf []byte
+	for _, row := range lrows {
+		v := row[p.lkey]
+		if v.IsNull() {
+			nullLeft = append(nullLeft, row)
+			continue
+		}
+		buf = relation.AppendJoinKey(buf[:0], v)
+		h := fnv32(buf) % uint32(n)
+		lparts[h] = append(lparts[h], row)
+	}
+	for _, row := range rrows {
+		v := row[p.rkey]
+		if v.IsNull() {
+			continue
+		}
+		buf = relation.AppendJoinKey(buf[:0], v)
+		h := fnv32(buf) % uint32(n)
+		rparts[h] = append(rparts[h], row)
+	}
+
+	results := make([][][]relation.Value, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = p.joinPartition(lparts[w], rparts[w])
+		}(w)
+	}
+	wg.Wait()
+
+	p.out = p.out[:0]
+	for _, res := range results {
+		p.out = append(p.out, res...)
+	}
+	// Null-keyed left rows never match: pad or emit per mode.
+	for _, row := range nullLeft {
+		switch p.mode {
+		case LeftOuterMode:
+			p.out = append(p.out, padRight(row, p.rwidth))
+		case AntiMode:
+			p.out = append(p.out, row)
+		}
+	}
+	p.pos = 0
+	return nil
+}
+
+// joinPartition runs the serial hash-join logic on one partition.
+func (p *ParallelHashJoin) joinPartition(lrows, rrows [][]relation.Value) [][]relation.Value {
+	table := make(map[string][][]relation.Value, len(rrows))
+	var buf []byte
+	for _, row := range rrows {
+		buf = relation.AppendJoinKey(buf[:0], row[p.rkey])
+		table[string(buf)] = append(table[string(buf)], row)
+	}
+	var out [][]relation.Value
+	for _, lrow := range lrows {
+		buf = relation.AppendJoinKey(buf[:0], lrow[p.lkey])
+		matches := table[string(buf)]
+		switch p.mode {
+		case InnerMode, LeftOuterMode:
+			for _, rrow := range matches {
+				out = append(out, concatRows(lrow, rrow))
+			}
+			if len(matches) == 0 && p.mode == LeftOuterMode {
+				out = append(out, padRight(lrow, p.rwidth))
+			}
+		case SemiMode:
+			if len(matches) > 0 {
+				out = append(out, lrow)
+			}
+		case AntiMode:
+			if len(matches) == 0 {
+				out = append(out, lrow)
+			}
+		}
+	}
+	return out
+}
+
+// Next implements Iterator.
+func (p *ParallelHashJoin) Next() ([]relation.Value, bool, error) {
+	if p.pos >= len(p.out) {
+		return nil, false, nil
+	}
+	row := p.out[p.pos]
+	p.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (p *ParallelHashJoin) Close() error {
+	p.out = nil
+	return nil
+}
+
+// fnv32 is the FNV-1a hash over the key encoding.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func TestParallelHashJoinAllModes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(41))
+	key := predicate.Eq(relation.A("R", "k"), relation.A("S", "k"))
+	for trial := 0; trial < 40; trial++ {
+		lrel := randRel(rnd, "R", rnd.Intn(20))
+		rrel := randRel(rnd, "S", rnd.Intn(20))
+		for _, mode := range allModes {
+			for _, workers := range []int{0, 1, 3} {
+				ls, _ := scanOf(t, "R", lrel, nil)
+				rs, _ := scanOf(t, "S", rrel, nil)
+				pj, err := NewParallelHashJoin(ls, rs,
+					relation.A("R", "k"), relation.A("S", "k"), mode, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Collect(pj, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := refFor(t, mode, lrel, rrel, key)
+				if !got.EqualBag(want) {
+					t.Fatalf("trial %d mode %s workers %d: parallel join mismatch\ngot:\n%v\nwant:\n%v",
+						trial, mode, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelHashJoinErrors(t *testing.T) {
+	lrel := randRel(rand.New(rand.NewSource(1)), "R", 3)
+	rrel := randRel(rand.New(rand.NewSource(2)), "S", 3)
+	ls, _ := scanOf(t, "R", lrel, nil)
+	rs, _ := scanOf(t, "S", rrel, nil)
+	if _, err := NewParallelHashJoin(ls, rs, relation.A("Z", "z"), relation.A("S", "k"), InnerMode, 2); err == nil {
+		t.Error("bad left key must fail")
+	}
+	if _, err := NewParallelHashJoin(ls, rs, relation.A("R", "k"), relation.A("Z", "z"), InnerMode, 2); err == nil {
+		t.Error("bad right key must fail")
+	}
+	if _, err := NewParallelHashJoin(ls, ls, relation.A("R", "k"), relation.A("R", "k"), InnerMode, 2); err == nil {
+		t.Error("overlapping schemes must fail")
+	}
+}

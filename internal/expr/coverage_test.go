@@ -1,0 +1,106 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// Local coverage for pieces primarily exercised from package core.
+
+func TestOpSymbolsAndFullOuter(t *testing.T) {
+	fo := NewFullOuter(NewLeaf("R"), NewLeaf("S"), eqp("R", "S"))
+	if fo.String() != "(R <-> S)" {
+		t.Errorf("full outer renders %q", fo.String())
+	}
+	rev, ok := reverse(fo)
+	if !ok || rev.Op != FullOuter || rev.Left.Rel != "S" {
+		t.Errorf("full outer reversal: %v", rev)
+	}
+	semi := NewSemi(NewLeaf("R"), NewLeaf("S"), eqp("R", "S"))
+	if semi.String() != "(R |x S)" {
+		t.Errorf("semijoin renders %q", semi.String())
+	}
+	srev, ok := reverse(semi)
+	if !ok || srev.Op != RightSemi || srev.String() != "(S x| R)" {
+		t.Errorf("semijoin reversal: %v", srev)
+	}
+	back, ok := reverse(srev)
+	if !ok || !back.Equal(semi) {
+		t.Error("semijoin reversal must be an involution")
+	}
+	goj := NewGOJ(NewLeaf("R"), NewLeaf("S"), eqp("R", "S"), nil)
+	if !strings.Contains(goj.StringWithPreds(), "goj") {
+		t.Errorf("goj renders %q", goj.StringWithPreds())
+	}
+	if _, ok := reverse(goj); ok {
+		t.Error("GOJ has no symmetric form")
+	}
+	if (&Node{Op: Op(77), Left: NewLeaf("R"), Right: NewLeaf("S")}).opSymbol() != "?" {
+		t.Error("unknown op symbol")
+	}
+}
+
+func TestEqualNilHandling(t *testing.T) {
+	var a *Node
+	if !a.Equal(nil) {
+		t.Error("nil equals nil")
+	}
+	if a.Equal(NewLeaf("R")) || NewLeaf("R").Equal(nil) {
+		t.Error("nil never equals a node")
+	}
+	if NewLeaf("R").render(false) == "<nil>" {
+		t.Error("render of leaf broken")
+	}
+	var n *Node
+	if n.render(false) != "<nil>" {
+		t.Error("nil render")
+	}
+}
+
+func TestVisibilityLocal(t *testing.T) {
+	// Semijoin output hides the consumed side.
+	q := NewSemi(NewLeaf("A"), NewLeaf("B"), eqp("A", "B"))
+	vis := q.VisibleRels()
+	if !vis["A"] || vis["B"] {
+		t.Errorf("visible = %v", vis)
+	}
+	// RightSemi hides the left.
+	rq := &Node{Op: RightSemi, Left: NewLeaf("A"), Right: NewLeaf("B"), Pred: eqp("A", "B")}
+	vis = rq.VisibleRels()
+	if vis["A"] || !vis["B"] {
+		t.Errorf("rightsemi visible = %v", vis)
+	}
+	// Projection and restriction pass visibility through.
+	p := NewProject(NewRestrict(q, eqpLocal("A")), nil, false)
+	if !p.VisibleRels()["A"] {
+		t.Error("project/restrict visibility")
+	}
+	// CheckVisibility on valid / invalid restriction targets.
+	if err := CheckVisibility(NewRestrict(q, eqpLocal("A"))); err != nil {
+		t.Errorf("restrict over visible rel: %v", err)
+	}
+	if err := CheckVisibility(NewRestrict(q, eqpLocal("B"))); err == nil {
+		t.Error("restrict over consumed rel must fail")
+	}
+	// Left-subtree violations propagate.
+	bad := NewJoin(
+		NewRestrict(q, eqpLocal("B")),
+		NewLeaf("C"), eqp("A", "C"))
+	if err := CheckVisibility(bad); err == nil {
+		t.Error("nested violation must propagate")
+	}
+	// Right-subtree violations propagate.
+	bad2 := NewJoin(NewLeaf("C"),
+		NewRestrict(q, eqpLocal("B")), eqp("A", "C"))
+	if err := CheckVisibility(bad2); err == nil {
+		t.Error("right nested violation must propagate")
+	}
+}
+
+// eqpLocal builds the single-relation predicate rel.a = 1.
+func eqpLocal(rel string) predicate.Predicate {
+	return predicate.EqConst(relation.A(rel, "a"), relation.Int(1))
+}

@@ -1,0 +1,200 @@
+package expr
+
+import (
+	"fmt"
+
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+)
+
+// Implementing-tree enumeration. An IT of a graph G corresponds to a
+// recursive partition of G's nodes into connected halves, where each
+// split's cut edges form a single operator: a set of join edges collapses
+// into one join whose predicate is their conjunction, and a single
+// outerjoin edge (with no join edges beside it) becomes an outerjoin
+// directed along the edge. Splits whose cut mixes kinds or contains more
+// than one outerjoin edge are not expressible as one operator, so they
+// yield no ITs — exactly the "connectivity-preserving parenthesizations"
+// of §1.3.
+
+// EnumerateITs returns every implementing tree of g. With moduloReversal
+// true, only one representative per reversal class is produced: joins put
+// the side holding g's lowest-index node on the left, and outerjoins put
+// the preserved side on the left. With moduloReversal false both
+// orientations of every operator are produced, so the count multiplies by
+// 2^(operators).
+//
+// The graph must be connected and non-empty. Enumeration is exponential;
+// it is intended for graphs of at most ~10 nodes (use CountITs to size a
+// graph first).
+func EnumerateITs(g *graph.Graph, moduloReversal bool) ([]*Node, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("expr: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("expr: graph is not connected")
+	}
+	e := &enumerator{g: g, modulo: moduloReversal, memo: map[graph.NodeSet][]*Node{}}
+	return e.trees(g.AllNodes()), nil
+}
+
+// CountITs returns the number of implementing trees of g without
+// materializing them.
+func CountITs(g *graph.Graph, moduloReversal bool) (int64, error) {
+	if g.NumNodes() == 0 {
+		return 0, fmt.Errorf("expr: empty graph")
+	}
+	if !g.Connected() {
+		return 0, fmt.Errorf("expr: graph is not connected")
+	}
+	e := &enumerator{g: g, modulo: moduloReversal, counts: map[graph.NodeSet]int64{}}
+	return e.count(g.AllNodes()), nil
+}
+
+type enumerator struct {
+	g      *graph.Graph
+	modulo bool
+	memo   map[graph.NodeSet][]*Node
+	counts map[graph.NodeSet]int64
+}
+
+// Split is a valid binary partition of a node set: the cut edges collapse
+// into one operator. For Op == LeftOuter, S1Preserved tells which half is
+// the preserved side.
+type Split struct {
+	S1, S2      graph.NodeSet
+	Op          Op // Join or LeftOuter
+	Pred        predicate.Predicate
+	S1Preserved bool
+}
+
+// ValidSplits enumerates the valid binary partitions of the connected
+// node set s of g — the split rule that defines implementing trees. Each
+// unordered partition appears exactly once (S1 holds the lowest-index
+// node). The optimizer's plan enumeration and the IT enumerator share
+// this rule.
+func ValidSplits(g *graph.Graph, s graph.NodeSet) []Split {
+	var out []Split
+	low := lowestBit(s)
+	// Iterate proper submasks of s that contain the lowest bit, so each
+	// unordered partition {s1, s2} is visited exactly once.
+	for sub := (s - 1) & s; sub != 0; sub = (sub - 1) & s {
+		if !sub.Has(low) {
+			continue
+		}
+		s1, s2 := sub, s&^sub
+		if !g.ConnectedSet(s1) || !g.ConnectedSet(s2) {
+			continue
+		}
+		cut := g.CutEdges(s1, s2)
+		if len(cut) == 0 {
+			continue // would be a Cartesian product: excluded from ITs
+		}
+		directed := 0
+		for _, edge := range cut {
+			if edge.Kind != graph.JoinEdge {
+				directed++
+			}
+		}
+		switch {
+		case directed == 0:
+			preds := make([]predicate.Predicate, len(cut))
+			for i, edge := range cut {
+				preds[i] = edge.Pred
+			}
+			out = append(out, Split{S1: s1, S2: s2, Op: Join, Pred: predicate.NewAnd(preds...), S1Preserved: true})
+		case directed == 1 && len(cut) == 1:
+			edge := cut[0]
+			op := LeftOuter
+			if edge.Kind == graph.SemiEdge {
+				op = Semijoin
+			}
+			out = append(out, Split{S1: s1, S2: s2, Op: op, Pred: edge.Pred,
+				S1Preserved: s1.Has(g.IndexOf(edge.U))})
+		default:
+			// Mixed cut or several directed edges: no single operator.
+		}
+	}
+	return out
+}
+
+// splits adapts ValidSplits to the enumerator's callback style.
+func (e *enumerator) splits(s graph.NodeSet, f func(s1, s2 graph.NodeSet, op Op, pred predicate.Predicate, s1Preserved bool)) {
+	for _, sp := range ValidSplits(e.g, s) {
+		f(sp.S1, sp.S2, sp.Op, sp.Pred, sp.S1Preserved)
+	}
+}
+
+func (e *enumerator) trees(s graph.NodeSet) []*Node {
+	if got, ok := e.memo[s]; ok {
+		return got
+	}
+	if s.Count() == 1 {
+		leaf := []*Node{NewLeaf(e.g.NamesOf(s)[0])}
+		e.memo[s] = leaf
+		return leaf
+	}
+	var out []*Node
+	e.splits(s, func(s1, s2 graph.NodeSet, op Op, pred predicate.Predicate, s1Preserved bool) {
+		t1 := e.trees(s1)
+		t2 := e.trees(s2)
+		mkDirected := func(pres, cons *Node) (canonical, reversed *Node) {
+			if op == Semijoin {
+				return NewSemi(pres, cons, pred), &Node{Op: RightSemi, Left: cons, Right: pres, Pred: pred}
+			}
+			return NewOuter(pres, cons, pred), NewRightOuter(cons, pres, pred)
+		}
+		for _, l := range t1 {
+			for _, r := range t2 {
+				switch {
+				case op == Join && e.modulo:
+					out = append(out, NewJoin(l, r, pred))
+				case op == Join:
+					out = append(out, NewJoin(l, r, pred), NewJoin(r, l, pred))
+				default:
+					pres, cons := l, r
+					if !s1Preserved {
+						pres, cons = r, l
+					}
+					canonical, reversed := mkDirected(pres, cons)
+					if e.modulo {
+						// Canonical form: preserved side on the left.
+						out = append(out, canonical)
+					} else {
+						out = append(out, canonical, reversed)
+					}
+				}
+			}
+		}
+	})
+	e.memo[s] = out
+	return out
+}
+
+func (e *enumerator) count(s graph.NodeSet) int64 {
+	if got, ok := e.counts[s]; ok {
+		return got
+	}
+	if s.Count() == 1 {
+		e.counts[s] = 1
+		return 1
+	}
+	var total int64
+	e.splits(s, func(s1, s2 graph.NodeSet, op Op, pred predicate.Predicate, s1Preserved bool) {
+		prod := e.count(s1) * e.count(s2)
+		if !e.modulo {
+			prod *= 2
+		}
+		total += prod
+	})
+	e.counts[s] = total
+	return total
+}
+
+func lowestBit(s graph.NodeSet) int {
+	i := 0
+	for !s.Has(i) {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,95 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func eq(u, v string) predicate.Predicate {
+	return predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))
+}
+
+// EnumerateITs lists every implementing tree of a query graph — the
+// plan space the free-reorderability theorem makes safe.
+func ExampleEnumerateITs() {
+	q := expr.NewOuter(
+		expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eq("R", "S")),
+		expr.NewLeaf("T"), eq("S", "T"))
+	g, err := expr.GraphOf(q)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	its, err := expr.EnumerateITs(g, true)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, it := range its {
+		fmt.Println(it)
+	}
+	// Output:
+	// ((R - S) -> T)
+	// (R - (S -> T))
+}
+
+// ApplicableBTs enumerates the §3.2 basic transforms of a tree.
+func ExampleApplicableBTs() {
+	q := expr.NewJoin(
+		expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eq("R", "S")),
+		expr.NewLeaf("T"), eq("S", "T"))
+	for _, bt := range expr.ApplicableBTs(q) {
+		fmt.Printf("%s: %s\n", bt.Kind, bt.Result)
+	}
+	// Output:
+	// reversal: (T - (R - S))
+	// reassociation: (R - (S - T))
+	// reversal: ((S - R) - T)
+}
+
+// TreeCondition checks reorderability directly on the expression tree
+// (the §6.3 conjecture).
+func ExampleTreeCondition() {
+	good := expr.NewOuter(
+		expr.NewJoin(expr.NewLeaf("R"), expr.NewLeaf("S"), eq("R", "S")),
+		expr.NewLeaf("T"), eq("S", "T"))
+	ok, _ := expr.TreeCondition(good)
+	fmt.Println(ok)
+
+	bad := expr.NewOuter(expr.NewLeaf("R"),
+		expr.NewJoin(expr.NewLeaf("S"), expr.NewLeaf("T"), eq("S", "T")),
+		eq("R", "S"))
+	ok, reason := expr.TreeCondition(bad)
+	fmt.Println(ok)
+	fmt.Println(reason)
+	// Output:
+	// true
+	// false
+	// null-supplied operand (S - T) of an outerjoin is created by a regular join
+}
+
+// Eval runs a query bottom-up against a database, with the reference bag
+// semantics.
+func ExampleNode_Eval() {
+	q := expr.NewOuter(expr.NewLeaf("Dept"), expr.NewLeaf("Emp"),
+		predicate.Eq(relation.A("Dept", "dno"), relation.A("Emp", "dno")))
+	db := expr.DB{
+		"Dept": relation.FromRows("Dept", []string{"dno"}, []any{1}, []any{2}),
+		"Emp":  relation.FromRows("Emp", []string{"dno", "name"}, []any{1, "ada"}),
+	}
+	out, err := q.Eval(db)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(out)
+	// Output:
+	// Dept.dno  Emp.dno  Emp.name
+	// --------  -------  --------
+	// 1         1        ada
+	// 2         -        -
+	// (2 rows)
+}

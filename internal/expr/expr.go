@@ -1,0 +1,376 @@
+// Package expr implements the paper's operator trees: queries as
+// expressions with a bottom-up evaluation rule. A tree whose graph equals
+// a given query graph is an *implementing tree* (IT) of that graph; the
+// package provides graph extraction (graphof.go), the two basic
+// transforms — reversal and reassociation — with their applicability
+// conditions (transform.go), and exhaustive enumeration of all ITs of a
+// graph (enumerate.go).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"freejoin/internal/algebra"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// Op identifies the operator at a tree node.
+type Op uint8
+
+// Operators. LeftOuter preserves the left operand (the paper's R1 → R2);
+// RightOuter is its "symmetric form" (R1 ← R2), introduced by reversal
+// BTs. LeftAnti/RightAnti are the antijoin and its symmetric form;
+// Semijoin, GOJ, Restrict and Project complete the algebra of §2, §4 and
+// §6.2.
+const (
+	Leaf Op = iota
+	Join
+	LeftOuter
+	RightOuter
+	FullOuter
+	LeftAnti
+	RightAnti
+	Semijoin
+	RightSemi
+	GOJ
+	Restrict
+	Project
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case Leaf:
+		return "leaf"
+	case Join:
+		return "join"
+	case LeftOuter:
+		return "leftouter"
+	case RightOuter:
+		return "rightouter"
+	case FullOuter:
+		return "fullouter"
+	case LeftAnti:
+		return "antijoin"
+	case RightAnti:
+		return "rightanti"
+	case Semijoin:
+		return "semijoin"
+	case RightSemi:
+		return "rightsemi"
+	case GOJ:
+		return "goj"
+	case Restrict:
+		return "restrict"
+	case Project:
+		return "project"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Node is an immutable expression-tree node. Transforms construct new
+// nodes and share unchanged subtrees.
+type Node struct {
+	Op          Op
+	Rel         string              // Leaf: ground relation name
+	Left, Right *Node               // binary operators; Restrict/Project use Left only
+	Pred        predicate.Predicate // join-like operators and Restrict
+	GOJAttrs    []relation.Attr     // GOJ: the S attribute set
+	ProjAttrs   []relation.Attr     // Project
+	ProjDedup   bool                // Project: π (dedup) vs bag projection
+}
+
+// NewLeaf returns a leaf referencing a ground relation.
+func NewLeaf(rel string) *Node { return &Node{Op: Leaf, Rel: rel} }
+
+// NewJoin returns l — r on p.
+func NewJoin(l, r *Node, p predicate.Predicate) *Node {
+	return &Node{Op: Join, Left: l, Right: r, Pred: p}
+}
+
+// NewOuter returns l → r on p (left preserved, right null-supplied).
+func NewOuter(l, r *Node, p predicate.Predicate) *Node {
+	return &Node{Op: LeftOuter, Left: l, Right: r, Pred: p}
+}
+
+// NewRightOuter returns l ← r on p (right preserved, left null-supplied).
+func NewRightOuter(l, r *Node, p predicate.Predicate) *Node {
+	return &Node{Op: RightOuter, Left: l, Right: r, Pred: p}
+}
+
+// NewFullOuter returns the two-sided outerjoin of l and r on p. The
+// paper sets two-sided outerjoin aside for its reorderability theory; it
+// participates here in evaluation and in the §4 simplification (a strong
+// predicate above converts it toward one-sided outerjoin or join).
+func NewFullOuter(l, r *Node, p predicate.Predicate) *Node {
+	return &Node{Op: FullOuter, Left: l, Right: r, Pred: p}
+}
+
+// NewAnti returns l ▷ r on p.
+func NewAnti(l, r *Node, p predicate.Predicate) *Node {
+	return &Node{Op: LeftAnti, Left: l, Right: r, Pred: p}
+}
+
+// NewSemi returns l ⋉ r on p.
+func NewSemi(l, r *Node, p predicate.Predicate) *Node {
+	return &Node{Op: Semijoin, Left: l, Right: r, Pred: p}
+}
+
+// NewGOJ returns GOJ[S][p](l, r).
+func NewGOJ(l, r *Node, p predicate.Predicate, s []relation.Attr) *Node {
+	return &Node{Op: GOJ, Left: l, Right: r, Pred: p, GOJAttrs: s}
+}
+
+// NewRestrict returns σ[p](child).
+func NewRestrict(child *Node, p predicate.Predicate) *Node {
+	return &Node{Op: Restrict, Left: child, Pred: p}
+}
+
+// NewProject returns the projection of child onto attrs; dedup selects π
+// (set) semantics.
+func NewProject(child *Node, attrs []relation.Attr, dedup bool) *Node {
+	return &Node{Op: Project, Left: child, ProjAttrs: attrs, ProjDedup: dedup}
+}
+
+// IsJoinLike reports whether the node is a binary join-family operator.
+func (n *Node) IsJoinLike() bool {
+	switch n.Op {
+	case Join, LeftOuter, RightOuter, FullOuter, LeftAnti, RightAnti, Semijoin, RightSemi, GOJ:
+		return true
+	}
+	return false
+}
+
+// Relations appends the ground relations referenced by the subtree, in
+// leaf order.
+func (n *Node) Relations() []string {
+	var out []string
+	n.walkLeaves(func(rel string) { out = append(out, rel) })
+	return out
+}
+
+func (n *Node) walkLeaves(f func(string)) {
+	if n == nil {
+		return
+	}
+	if n.Op == Leaf {
+		f(n.Rel)
+		return
+	}
+	n.Left.walkLeaves(f)
+	n.Right.walkLeaves(f)
+}
+
+// RelationSet returns the set of ground relations in the subtree, erroring
+// on duplicates (the paper assumes no relation is used more than once).
+func (n *Node) RelationSet() (map[string]bool, error) {
+	set := map[string]bool{}
+	for _, r := range n.Relations() {
+		if set[r] {
+			return nil, fmt.Errorf("expr: relation %s used more than once", r)
+		}
+		set[r] = true
+	}
+	return set, nil
+}
+
+// Size returns the number of leaves.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	if n.Op == Leaf {
+		return 1
+	}
+	return n.Left.Size() + n.Right.Size()
+}
+
+// Source resolves ground relation names to relations.
+type Source interface {
+	Relation(name string) (*relation.Relation, error)
+}
+
+// DB is the simplest Source: a name → relation map.
+type DB map[string]*relation.Relation
+
+// Relation implements Source.
+func (d DB) Relation(name string) (*relation.Relation, error) {
+	r, ok := d[name]
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown relation %s", name)
+	}
+	return r, nil
+}
+
+// Eval evaluates the expression bottom-up against src using the reference
+// algebra (package algebra). This is the paper's eval(Q).
+func (n *Node) Eval(src Source) (*relation.Relation, error) {
+	switch n.Op {
+	case Leaf:
+		return src.Relation(n.Rel)
+	case Restrict:
+		child, err := n.Left.Eval(src)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Restrict(child, n.Pred)
+	case Project:
+		child, err := n.Left.Eval(src)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Project(child, n.ProjAttrs, n.ProjDedup)
+	}
+	l, err := n.Left.Eval(src)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.Right.Eval(src)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case Join:
+		return algebra.Join(l, r, n.Pred)
+	case LeftOuter:
+		return algebra.LeftOuterJoin(l, r, n.Pred)
+	case RightOuter:
+		return algebra.LeftOuterJoin(r, l, n.Pred)
+	case FullOuter:
+		return algebra.FullOuterJoin(l, r, n.Pred)
+	case LeftAnti:
+		return algebra.Antijoin(l, r, n.Pred)
+	case RightAnti:
+		return algebra.Antijoin(r, l, n.Pred)
+	case Semijoin:
+		return algebra.Semijoin(l, r, n.Pred)
+	case RightSemi:
+		return algebra.Semijoin(r, l, n.Pred)
+	case GOJ:
+		return algebra.GeneralizedOuterJoin(l, r, n.Pred, n.GOJAttrs)
+	default:
+		return nil, fmt.Errorf("expr: cannot evaluate operator %s", n.Op)
+	}
+}
+
+// String renders the expression in the paper's infix notation without
+// predicates, e.g. "((R - S) -> T)".
+func (n *Node) String() string { return n.render(false) }
+
+// StringWithPreds renders the expression including operator predicates;
+// it is a canonical key for trees (used by the BT-closure search).
+func (n *Node) StringWithPreds() string { return n.render(true) }
+
+func (n *Node) render(preds bool) string {
+	if n == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	n.renderTo(&b, preds)
+	return b.String()
+}
+
+func (n *Node) renderTo(b *strings.Builder, preds bool) {
+	switch n.Op {
+	case Leaf:
+		b.WriteString(n.Rel)
+		return
+	case Restrict:
+		b.WriteString("sigma[")
+		b.WriteString(n.Pred.String())
+		b.WriteString("](")
+		n.Left.renderTo(b, preds)
+		b.WriteString(")")
+		return
+	case Project:
+		b.WriteString("pi[")
+		for i, a := range n.ProjAttrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString("](")
+		n.Left.renderTo(b, preds)
+		b.WriteString(")")
+		return
+	}
+	b.WriteString("(")
+	n.Left.renderTo(b, preds)
+	b.WriteString(" ")
+	b.WriteString(n.opSymbol())
+	if preds && n.Pred != nil {
+		b.WriteString("[")
+		b.WriteString(predKey(n.Pred))
+		b.WriteString("]")
+	}
+	if n.Op == GOJ {
+		b.WriteString("{")
+		for i, a := range n.GOJAttrs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString("}")
+	}
+	b.WriteString(" ")
+	n.Right.renderTo(b, preds)
+	b.WriteString(")")
+}
+
+func (n *Node) opSymbol() string {
+	switch n.Op {
+	case Join:
+		return "-"
+	case LeftOuter:
+		return "->"
+	case RightOuter:
+		return "<-"
+	case FullOuter:
+		return "<->"
+	case LeftAnti:
+		return ">"
+	case RightAnti:
+		return "<"
+	case Semijoin:
+		return "|x"
+	case RightSemi:
+		return "x|"
+	case GOJ:
+		return "goj"
+	default:
+		return "?"
+	}
+}
+
+// predKey renders a predicate with its top-level conjuncts in sorted
+// order, so that operators carrying the same conjunct set compare equal
+// regardless of how the conjunction was assembled (enumeration vs
+// conjunct-moving reassociations).
+func predKey(p predicate.Predicate) string {
+	cs := predicate.Conjuncts(p)
+	if len(cs) == 1 {
+		return cs[0].String()
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " and ")
+}
+
+// Equal reports structural equality of two trees, comparing operators,
+// relations, predicate renderings (modulo conjunct order), and attribute
+// lists.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	return n.StringWithPreds() == m.StringWithPreds()
+}

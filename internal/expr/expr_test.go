@@ -1,0 +1,181 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/algebra"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// eqp returns the equijoin predicate u.a = v.a.
+func eqp(u, v string) predicate.Predicate {
+	return predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))
+}
+
+func testDB() DB {
+	return DB{
+		"R": relation.FromRows("R", []string{"a"}, []any{1}, []any{2}, []any{3}),
+		"S": relation.FromRows("S", []string{"a"}, []any{2}, []any{3}, []any{4}),
+		"T": relation.FromRows("T", []string{"a"}, []any{3}, []any{5}),
+	}
+}
+
+func TestConstructorsAndBasics(t *testing.T) {
+	q := NewOuter(NewJoin(NewLeaf("R"), NewLeaf("S"), eqp("R", "S")), NewLeaf("T"), eqp("S", "T"))
+	if q.Size() != 3 {
+		t.Errorf("Size = %d", q.Size())
+	}
+	rels := q.Relations()
+	if len(rels) != 3 || rels[0] != "R" || rels[2] != "T" {
+		t.Errorf("Relations = %v", rels)
+	}
+	set, err := q.RelationSet()
+	if err != nil || len(set) != 3 {
+		t.Errorf("RelationSet = %v, %v", set, err)
+	}
+	if !q.IsJoinLike() || NewLeaf("R").IsJoinLike() {
+		t.Error("IsJoinLike broken")
+	}
+	dup := NewJoin(NewLeaf("R"), NewLeaf("R"), eqp("R", "R"))
+	if _, err := dup.RelationSet(); err == nil {
+		t.Error("duplicate relation must be rejected")
+	}
+}
+
+func TestString(t *testing.T) {
+	q := NewOuter(NewJoin(NewLeaf("R"), NewLeaf("S"), eqp("R", "S")), NewLeaf("T"), eqp("S", "T"))
+	if got := q.String(); got != "((R - S) -> T)" {
+		t.Errorf("String = %q", got)
+	}
+	wp := q.StringWithPreds()
+	if !strings.Contains(wp, "R.a = S.a") || !strings.Contains(wp, "S.a = T.a") {
+		t.Errorf("StringWithPreds = %q", wp)
+	}
+	ro := NewRightOuter(NewLeaf("R"), NewLeaf("S"), eqp("R", "S"))
+	if ro.String() != "(R <- S)" {
+		t.Errorf("RightOuter renders %q", ro.String())
+	}
+	aj := NewAnti(NewLeaf("R"), NewLeaf("S"), eqp("R", "S"))
+	if aj.String() != "(R > S)" {
+		t.Errorf("Anti renders %q", aj.String())
+	}
+	sg := NewRestrict(NewLeaf("R"), predicate.EqConst(relation.A("R", "a"), relation.Int(1)))
+	if !strings.HasPrefix(sg.String(), "sigma[") {
+		t.Errorf("Restrict renders %q", sg.String())
+	}
+	pj := NewProject(NewLeaf("R"), []relation.Attr{relation.A("R", "a")}, true)
+	if !strings.HasPrefix(pj.String(), "pi[") {
+		t.Errorf("Project renders %q", pj.String())
+	}
+}
+
+func TestPredKeyCanonicalizesConjunctOrder(t *testing.T) {
+	p1 := predicate.NewAnd(eqp("R", "S"), eqp("S", "T"))
+	p2 := predicate.NewAnd(eqp("S", "T"), eqp("R", "S"))
+	a := NewJoin(NewLeaf("R"), NewLeaf("S"), p1)
+	b := NewJoin(NewLeaf("R"), NewLeaf("S"), p2)
+	if a.StringWithPreds() != b.StringWithPreds() {
+		t.Error("conjunct order must not affect the canonical key")
+	}
+	if !a.Equal(b) {
+		t.Error("Equal must ignore conjunct order")
+	}
+	if a.Equal(NewLeaf("R")) || !a.Equal(a) {
+		t.Error("Equal basic cases broken")
+	}
+}
+
+func TestEvalMatchesAlgebra(t *testing.T) {
+	db := testDB()
+	r, s := db["R"], db["S"]
+	p := eqp("R", "S")
+
+	cases := []struct {
+		name string
+		q    *Node
+		want func() (*relation.Relation, error)
+	}{
+		{"leaf", NewLeaf("R"), func() (*relation.Relation, error) { return r, nil }},
+		{"join", NewJoin(NewLeaf("R"), NewLeaf("S"), p),
+			func() (*relation.Relation, error) { return algebra.Join(r, s, p) }},
+		{"leftouter", NewOuter(NewLeaf("R"), NewLeaf("S"), p),
+			func() (*relation.Relation, error) { return algebra.LeftOuterJoin(r, s, p) }},
+		{"rightouter", NewRightOuter(NewLeaf("R"), NewLeaf("S"), p),
+			func() (*relation.Relation, error) { return algebra.LeftOuterJoin(s, r, p) }},
+		{"anti", NewAnti(NewLeaf("R"), NewLeaf("S"), p),
+			func() (*relation.Relation, error) { return algebra.Antijoin(r, s, p) }},
+		{"rightanti", &Node{Op: RightAnti, Left: NewLeaf("R"), Right: NewLeaf("S"), Pred: p},
+			func() (*relation.Relation, error) { return algebra.Antijoin(s, r, p) }},
+		{"semi", NewSemi(NewLeaf("R"), NewLeaf("S"), p),
+			func() (*relation.Relation, error) { return algebra.Semijoin(r, s, p) }},
+		{"goj", NewGOJ(NewLeaf("R"), NewLeaf("S"), p, r.Scheme().Attrs()),
+			func() (*relation.Relation, error) {
+				return algebra.GeneralizedOuterJoin(r, s, p, r.Scheme().Attrs())
+			}},
+		{"restrict", NewRestrict(NewLeaf("R"), predicate.EqConst(relation.A("R", "a"), relation.Int(2))),
+			func() (*relation.Relation, error) {
+				return algebra.Restrict(r, predicate.EqConst(relation.A("R", "a"), relation.Int(2)))
+			}},
+		{"project", NewProject(NewJoin(NewLeaf("R"), NewLeaf("S"), p), []relation.Attr{relation.A("S", "a")}, true),
+			func() (*relation.Relation, error) {
+				j, err := algebra.Join(r, s, p)
+				if err != nil {
+					return nil, err
+				}
+				return algebra.Project(j, []relation.Attr{relation.A("S", "a")}, true)
+			}},
+	}
+	for _, tc := range cases {
+		got, err := tc.q.Eval(db)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := tc.want()
+		if err != nil {
+			t.Fatalf("%s want: %v", tc.name, err)
+		}
+		if !got.EqualBag(want) {
+			t.Errorf("%s: Eval mismatch:\ngot\n%v\nwant\n%v", tc.name, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := testDB()
+	if _, err := NewLeaf("NOPE").Eval(db); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	bad := NewJoin(NewLeaf("R"), NewLeaf("S"), predicate.NewIsNull(relation.A("Z", "z")))
+	if _, err := bad.Eval(db); err == nil {
+		t.Error("unbindable predicate must fail")
+	}
+	if _, err := NewJoin(NewLeaf("NOPE"), NewLeaf("S"), eqp("R", "S")).Eval(db); err == nil {
+		t.Error("error in left subtree must propagate")
+	}
+	if _, err := NewJoin(NewLeaf("R"), NewLeaf("NOPE"), eqp("R", "S")).Eval(db); err == nil {
+		t.Error("error in right subtree must propagate")
+	}
+	if _, err := NewRestrict(NewLeaf("NOPE"), predicate.TruePred).Eval(db); err == nil {
+		t.Error("restrict child error must propagate")
+	}
+	if _, err := (&Node{Op: Op(99), Left: NewLeaf("R"), Right: NewLeaf("S")}).Eval(db); err == nil {
+		t.Error("unknown op must fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		Leaf: "leaf", Join: "join", LeftOuter: "leftouter", RightOuter: "rightouter",
+		LeftAnti: "antijoin", RightAnti: "rightanti", Semijoin: "semijoin",
+		GOJ: "goj", Restrict: "restrict", Project: "project",
+	} {
+		if op.String() != want {
+			t.Errorf("Op %d renders %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.Contains(Op(77).String(), "77") {
+		t.Error("unknown op rendering")
+	}
+}

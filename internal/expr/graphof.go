@@ -1,0 +1,123 @@
+package expr
+
+import (
+	"fmt"
+
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+)
+
+// GraphOf derives the query graph of a Join/Outerjoin expression — the
+// paper's graph(Q). It returns an error whenever the paper deems the
+// graph undefined:
+//
+//   - a relation is used more than once,
+//   - a join-predicate conjunct does not reference exactly two ground
+//     relations, one in each operand subtree,
+//   - an outerjoin predicate does not reference exactly two ground
+//     relations, one per side, or
+//   - the expression contains operators outside {join, outerjoin} (a
+//     restriction, projection, antijoin, semijoin or GOJ has no edge kind
+//     in the paper's graphs).
+//
+// Parallel join edges between the same pair of relations are collapsed
+// into one, conjoining their predicate conjuncts.
+func GraphOf(q *Node) (*graph.Graph, error) {
+	if _, err := q.RelationSet(); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	if err := addToGraph(g, q); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func addToGraph(g *graph.Graph, n *Node) error {
+	switch n.Op {
+	case Leaf:
+		return g.AddNode(n.Rel)
+	case Join, LeftOuter, RightOuter, Semijoin, RightSemi:
+		// handled below; semijoin edges are the §6.3 extension
+	default:
+		return fmt.Errorf("expr: graph undefined for operator %s", n.Op)
+	}
+	if err := addToGraph(g, n.Left); err != nil {
+		return err
+	}
+	if err := addToGraph(g, n.Right); err != nil {
+		return err
+	}
+	leftRels := setOf(n.Left.Relations())
+	rightRels := setOf(n.Right.Relations())
+
+	switch n.Op {
+	case Join:
+		for _, conj := range predicate.Conjuncts(n.Pred) {
+			u, v, err := endpointRels(conj, leftRels, rightRels)
+			if err != nil {
+				return fmt.Errorf("expr: join conjunct %v: %w", conj, err)
+			}
+			if err := g.AddJoinEdge(u, v, conj); err != nil {
+				return err
+			}
+		}
+	case LeftOuter, RightOuter:
+		u, v, err := endpointRels(n.Pred, leftRels, rightRels)
+		if err != nil {
+			return fmt.Errorf("expr: outerjoin predicate %v: %w", n.Pred, err)
+		}
+		if n.Op == RightOuter {
+			// Preserved side is the right operand; v (the right-side
+			// relation) preserves, u is null-supplied.
+			u, v = v, u
+		}
+		return g.AddOuterEdge(u, v, n.Pred)
+	case Semijoin, RightSemi:
+		u, v, err := endpointRels(n.Pred, leftRels, rightRels)
+		if err != nil {
+			return fmt.Errorf("expr: semijoin predicate %v: %w", n.Pred, err)
+		}
+		if n.Op == RightSemi {
+			u, v = v, u // output side is the right operand
+		}
+		return g.AddSemiEdge(u, v, n.Pred)
+	}
+	return nil
+}
+
+// endpointRels validates that p references exactly two ground relations,
+// one per side, returning (leftRel, rightRel).
+func endpointRels(p predicate.Predicate, leftRels, rightRels map[string]bool) (string, string, error) {
+	rels := predicate.Rels(p)
+	if len(rels) != 2 {
+		return "", "", fmt.Errorf("references %d ground relations, want 2", len(rels))
+	}
+	a, b := rels[0], rels[1]
+	switch {
+	case leftRels[a] && rightRels[b]:
+		return a, b, nil
+	case leftRels[b] && rightRels[a]:
+		return b, a, nil
+	default:
+		return "", "", fmt.Errorf("must reference one relation per operand (got %s, %s)", a, b)
+	}
+}
+
+func setOf(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// Implements reports whether q is an implementing tree of g, i.e.
+// graph(q) is defined and equals g.
+func Implements(q *Node, g *graph.Graph) bool {
+	qg, err := GraphOf(q)
+	if err != nil {
+		return false
+	}
+	return qg.Equal(g)
+}

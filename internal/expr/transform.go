@@ -1,0 +1,266 @@
+package expr
+
+import (
+	"fmt"
+
+	"freejoin/internal/predicate"
+)
+
+// BTKind distinguishes the two basic transforms of §3.2.
+type BTKind uint8
+
+// Basic transform kinds.
+const (
+	Reversal BTKind = iota
+	Reassociation
+)
+
+// String returns the transform-kind name.
+func (k BTKind) String() string {
+	if k == Reassociation {
+		return "reassociation"
+	}
+	return "reversal"
+}
+
+// BT is one applicable basic transform of a tree, together with the tree
+// it produces. Path addresses the affected node from the root (0 = left
+// child, 1 = right child).
+type BT struct {
+	Kind   BTKind
+	Path   []int
+	Result *Node
+}
+
+// String describes the transform.
+func (b BT) String() string {
+	return fmt.Sprintf("%s at %v => %s", b.Kind, b.Path, b.Result)
+}
+
+// reverse returns the reversal of a join-like node: children exchanged
+// and the operator replaced by its symmetric form (— stays —, → becomes
+// ←, ▷ becomes ◁ and vice versa).
+func reverse(n *Node) (*Node, bool) {
+	var sym Op
+	switch n.Op {
+	case Join:
+		sym = Join
+	case LeftOuter:
+		sym = RightOuter
+	case RightOuter:
+		sym = LeftOuter
+	case FullOuter:
+		sym = FullOuter
+	case LeftAnti:
+		sym = RightAnti
+	case RightAnti:
+		sym = LeftAnti
+	case Semijoin:
+		sym = RightSemi
+	case RightSemi:
+		sym = Semijoin
+	default:
+		return nil, false
+	}
+	return &Node{Op: sym, Left: n.Right, Right: n.Left, Pred: n.Pred}, true
+}
+
+// reassociate attempts the reassociation BT [Q1 ⊙1 Q2 ⊙2 Q3] at n, which
+// must have the shape ((Q1 ⊙1 Q2) ⊙2 Q3); it yields (Q1 ⊙1 (Q2 ⊙2 Q3)).
+// Applicability per §3.2:
+//
+//   - the predicate of ⊙2 must reference some relation in Q2 (otherwise
+//     the new inner operator would join Q2 and Q3 without support), and
+//   - any conjunct of ⊙2 referencing Q1 must be moved to ⊙1; moving a
+//     conjunct is only legal when both operators are regular joins.
+//
+// Only join and outerjoin operators participate (the IT operator set).
+func reassociate(n *Node) (*Node, bool) {
+	if !isJoinOrOuter(n.Op) {
+		return nil, false
+	}
+	inner := n.Left
+	if inner == nil || !isJoinOrOuter(inner.Op) {
+		return nil, false
+	}
+	q1, q2, q3 := inner.Left, inner.Right, n.Right
+	q1Rels := setOf(q1.Relations())
+	q2Rels := setOf(q2.Relations())
+
+	var stay, move []predicate.Predicate
+	for _, conj := range predicate.Conjuncts(n.Pred) {
+		refsQ1, refsQ2 := false, false
+		for _, rel := range predicate.Rels(conj) {
+			if q1Rels[rel] {
+				refsQ1 = true
+			}
+			if q2Rels[rel] {
+				refsQ2 = true
+			}
+		}
+		switch {
+		case refsQ1 && !refsQ2:
+			move = append(move, conj)
+		case refsQ2 && !refsQ1:
+			stay = append(stay, conj)
+		default:
+			// A conjunct referencing both Q1 and Q2 (or neither) cannot be
+			// placed by the reassociation.
+			return nil, false
+		}
+	}
+	if len(stay) == 0 {
+		return nil, false // ⊙2's predicate must reference Q2
+	}
+	if len(move) > 0 && (n.Op != Join || inner.Op != Join) {
+		return nil, false // conjunct movement requires two regular joins
+	}
+	newInner := &Node{Op: n.Op, Left: q2, Right: q3, Pred: predicate.NewAnd(stay...)}
+	newRootPred := inner.Pred
+	if len(move) > 0 {
+		newRootPred = predicate.NewAnd(append([]predicate.Predicate{inner.Pred}, move...)...)
+	}
+	return &Node{Op: inner.Op, Left: q1, Right: newInner, Pred: newRootPred}, true
+}
+
+func isJoinOrOuter(op Op) bool {
+	return op == Join || op == LeftOuter || op == RightOuter
+}
+
+// ApplicableBTs enumerates every basic transform applicable anywhere in
+// the tree, returning the transformed trees (unchanged subtrees are
+// shared).
+func ApplicableBTs(q *Node) []BT {
+	var out []BT
+	collectBTs(q, nil, func(path []int, replace func(*Node) *Node) {
+		node := nodeAt(q, path)
+		if rev, ok := reverse(node); ok {
+			out = append(out, BT{Kind: Reversal, Path: append([]int(nil), path...), Result: replace(rev)})
+		}
+		if re, ok := reassociate(node); ok {
+			out = append(out, BT{Kind: Reassociation, Path: append([]int(nil), path...), Result: replace(re)})
+		}
+	})
+	return out
+}
+
+// collectBTs walks internal nodes, handing each visitor a path and a
+// function that rebuilds the whole tree with the node at that path
+// replaced.
+func collectBTs(root *Node, path []int, visit func(path []int, replace func(*Node) *Node)) {
+	node := nodeAt(root, path)
+	if node == nil || node.Op == Leaf {
+		return
+	}
+	visit(path, func(repl *Node) *Node { return replaceAt(root, path, repl) })
+	// Copy the path per branch: append on a shared backing array would let
+	// the two recursive calls clobber each other's suffix.
+	if node.Left != nil {
+		collectBTs(root, append(append([]int(nil), path...), 0), visit)
+	}
+	if node.Right != nil {
+		collectBTs(root, append(append([]int(nil), path...), 1), visit)
+	}
+}
+
+func nodeAt(root *Node, path []int) *Node {
+	n := root
+	for _, step := range path {
+		if n == nil {
+			return nil
+		}
+		if step == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+func replaceAt(root *Node, path []int, repl *Node) *Node {
+	if len(path) == 0 {
+		return repl
+	}
+	cp := *root
+	if path[0] == 0 {
+		cp.Left = replaceAt(root.Left, path[1:], repl)
+	} else {
+		cp.Right = replaceAt(root.Right, path[1:], repl)
+	}
+	return &cp
+}
+
+// Closure computes the set of trees reachable from q by sequences of
+// basic transforms (BFS over the BT graph). Trees are keyed by their
+// canonical rendering. limit caps the number of distinct trees explored;
+// exceeding it returns an error (guard against combinatorial blowup).
+func Closure(q *Node, limit int) (map[string]*Node, error) {
+	seen := map[string]*Node{q.StringWithPreds(): q}
+	frontier := []*Node{q}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, bt := range ApplicableBTs(cur) {
+			key := bt.Result.StringWithPreds()
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			if len(seen) >= limit {
+				return nil, fmt.Errorf("expr: BT closure exceeds limit %d", limit)
+			}
+			seen[key] = bt.Result
+			frontier = append(frontier, bt.Result)
+		}
+	}
+	return seen, nil
+}
+
+// BTPath searches for a sequence of basic transforms mapping q to target
+// (Lemma 3 constructively, via BFS). It returns the intermediate trees
+// from q to target inclusive, or an error if the target is unreachable
+// within limit distinct trees.
+func BTPath(q, target *Node, limit int) ([]*Node, error) {
+	targetKey := target.StringWithPreds()
+	type entry struct {
+		node *Node
+		prev string
+	}
+	seen := map[string]entry{q.StringWithPreds(): {node: q}}
+	frontier := []*Node{q}
+	found := q.StringWithPreds() == targetKey
+	for len(frontier) > 0 && !found {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		curKey := cur.StringWithPreds()
+		for _, bt := range ApplicableBTs(cur) {
+			key := bt.Result.StringWithPreds()
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			if len(seen) >= limit {
+				return nil, fmt.Errorf("expr: BT path search exceeds limit %d", limit)
+			}
+			seen[key] = entry{node: bt.Result, prev: curKey}
+			if key == targetKey {
+				found = true
+				break
+			}
+			frontier = append(frontier, bt.Result)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("expr: no BT path from %s to %s", q, target)
+	}
+	// Reconstruct the path backwards.
+	var path []*Node
+	for key := targetKey; ; {
+		e := seen[key]
+		path = append([]*Node{e.node}, path...)
+		if e.prev == "" {
+			break
+		}
+		key = e.prev
+	}
+	return path, nil
+}

@@ -1,0 +1,115 @@
+package expr
+
+import (
+	"fmt"
+
+	"freejoin/internal/predicate"
+)
+
+// Tree-level reorderability conditions — the second §6.3 conjecture:
+// "we conjecture that there are also simple conditions on the expression
+// trees. For example, the null-supplied input of an operand should not be
+// created by a regular join, nor involved later as an operand of a
+// regular join."
+//
+// TreeCondition makes the conjecture precise and checkable directly on a
+// join/outerjoin expression, without building the query graph:
+//
+//  1. the null-supplied operand of an outerjoin contains no regular join
+//     ("not created by a regular join", applied hereditarily — in a nice
+//     graph the outerjoin forest hangs strictly outside the join core);
+//  2. a regular join's predicate references no relation that an outerjoin
+//     below has already null-supplied ("nor involved later as an operand
+//     of a regular join");
+//  3. an outerjoin's predicate does not target a relation that is already
+//     null-supplied inside the null-supplied operand (the X → Y ← Z
+//     pattern seen from the tree).
+//
+// TestTreeConditionMatchesGraphNiceness validates the conjecture
+// empirically: on random well-formed trees, TreeCondition agrees exactly
+// with the graph-side niceness test.
+
+// TreeCondition checks the conditions above. It requires a well-formed
+// join/outerjoin expression (each predicate referencing one relation per
+// operand); other operators are rejected.
+func TreeCondition(q *Node) (bool, string) {
+	_, reason := treeWalk(q)
+	return reason == "", reason
+}
+
+// treeWalk returns the set of null-supplied ("nullable") relations of the
+// subtree and the first violation found ("" if none).
+func treeWalk(n *Node) (nullable map[string]bool, reason string) {
+	switch n.Op {
+	case Leaf:
+		return map[string]bool{}, ""
+	case Join:
+		ln, reason := treeWalk(n.Left)
+		if reason != "" {
+			return nil, reason
+		}
+		rn, reason := treeWalk(n.Right)
+		if reason != "" {
+			return nil, reason
+		}
+		for _, rel := range predicate.Rels(n.Pred) {
+			if ln[rel] || rn[rel] {
+				return nil, fmt.Sprintf(
+					"regular join predicate %v references null-supplied relation %s", n.Pred, rel)
+			}
+		}
+		for r := range rn {
+			ln[r] = true
+		}
+		return ln, ""
+	case LeftOuter, RightOuter:
+		preserved, nullSide := n.Left, n.Right
+		if n.Op == RightOuter {
+			preserved, nullSide = n.Right, n.Left
+		}
+		if j := findJoin(nullSide); j != nil {
+			return nil, fmt.Sprintf(
+				"null-supplied operand %s of an outerjoin is created by a regular join", nullSide)
+		}
+		pn, reason := treeWalk(preserved)
+		if reason != "" {
+			return nil, reason
+		}
+		nn, reason := treeWalk(nullSide)
+		if reason != "" {
+			return nil, reason
+		}
+		nullRels := map[string]bool{}
+		for _, rel := range nullSide.Relations() {
+			nullRels[rel] = true
+		}
+		for _, rel := range predicate.Rels(n.Pred) {
+			if nn[rel] {
+				return nil, fmt.Sprintf(
+					"outerjoin targets %s, already null-supplied inside its operand (X -> Y <- Z)", rel)
+			}
+			_ = nullRels
+		}
+		out := pn
+		for r := range nullRels {
+			out[r] = true
+		}
+		return out, ""
+	default:
+		return nil, fmt.Sprintf("operator %s is outside the join/outerjoin tree conditions", n.Op)
+	}
+}
+
+// findJoin returns a Join node within the subtree, or nil.
+func findJoin(n *Node) *Node {
+	if n == nil || n.Op == Leaf {
+		return nil
+	}
+	if n.Op == Join {
+		return n
+	}
+	if j := findJoin(n.Left); j != nil {
+		return j
+	}
+	return findJoin(n.Right)
+}

@@ -1,0 +1,81 @@
+package expr
+
+import (
+	"fmt"
+
+	"freejoin/internal/predicate"
+)
+
+// Attribute visibility. Join and outerjoin operators concatenate schemes,
+// so every relation in a subtree stays visible. Semijoins do not: the
+// consumed side's attributes are gone from the output, so an implementing
+// tree of a semijoin graph can be *syntactically* an IT yet reference
+// attributes that no longer exist — the reason "semijoin edges in series"
+// are a forbidden subgraph (§6.3). CheckVisibility is the static test;
+// evaluation of an invalid tree would fail at predicate binding.
+
+// VisibleRels returns the ground relations whose attributes appear in the
+// subtree's output scheme.
+func (n *Node) VisibleRels() map[string]bool {
+	switch n.Op {
+	case Leaf:
+		return map[string]bool{n.Rel: true}
+	case Restrict:
+		return n.Left.VisibleRels()
+	case Project:
+		// Approximation: projection restricts attributes, not whole
+		// relations; treat every input relation as still visible.
+		return n.Left.VisibleRels()
+	case Semijoin, LeftAnti:
+		return n.Left.VisibleRels()
+	case RightSemi, RightAnti:
+		return n.Right.VisibleRels()
+	default:
+		out := n.Left.VisibleRels()
+		for r := range n.Right.VisibleRels() {
+			out[r] = true
+		}
+		return out
+	}
+}
+
+// CheckVisibility verifies that every operator's predicate references
+// only relations visible in its operands' outputs. Trees built from
+// join/outerjoin operators always pass; semijoin (and antijoin) trees can
+// fail.
+func CheckVisibility(n *Node) error {
+	switch n.Op {
+	case Leaf:
+		return nil
+	case Restrict:
+		if err := CheckVisibility(n.Left); err != nil {
+			return err
+		}
+		return predVisible(n.Pred, n.Left.VisibleRels())
+	case Project:
+		return CheckVisibility(n.Left)
+	}
+	if err := CheckVisibility(n.Left); err != nil {
+		return err
+	}
+	if err := CheckVisibility(n.Right); err != nil {
+		return err
+	}
+	if n.Pred == nil {
+		return nil
+	}
+	visible := n.Left.VisibleRels()
+	for r := range n.Right.VisibleRels() {
+		visible[r] = true
+	}
+	return predVisible(n.Pred, visible)
+}
+
+func predVisible(p predicate.Predicate, visible map[string]bool) error {
+	for _, rel := range predicate.Rels(p) {
+		if !visible[rel] {
+			return fmt.Errorf("expr: predicate %v references %s, whose attributes a semijoin already consumed", p, rel)
+		}
+	}
+	return nil
+}

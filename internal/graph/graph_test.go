@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// p returns a placeholder equijoin predicate between u.a and v.a.
+func p(u, v string) predicate.Predicate {
+	return predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))
+}
+
+func mustJoin(t *testing.T, g *Graph, u, v string) {
+	t.Helper()
+	if err := g.AddJoinEdge(u, v, p(u, v)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustOuter(t *testing.T, g *Graph, u, v string) {
+	t.Helper()
+	if err := g.AddOuterEdge(u, v, p(u, v)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNodesAndEdges(t *testing.T) {
+	g := New()
+	g.MustAddNode("R")
+	g.MustAddNode("R") // idempotent
+	if g.NumNodes() != 1 {
+		t.Fatal("AddNode must be idempotent")
+	}
+	mustJoin(t, g, "R", "S")
+	mustOuter(t, g, "S", "T")
+	if g.NumNodes() != 3 || len(g.Edges()) != 2 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), len(g.Edges()))
+	}
+	if !g.HasNode("T") || g.HasNode("X") {
+		t.Error("HasNode broken")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New()
+	if err := g.AddJoinEdge("R", "R", p("R", "R")); err == nil {
+		t.Error("join self-loop must be rejected")
+	}
+	if err := g.AddOuterEdge("R", "R", p("R", "R")); err == nil {
+		t.Error("outer self-loop must be rejected")
+	}
+}
+
+func TestParallelJoinEdgesCollapse(t *testing.T) {
+	g := New()
+	p1 := predicate.Eq(relation.A("R", "fname"), relation.A("S", "fname"))
+	p2 := predicate.Eq(relation.A("R", "lname"), relation.A("S", "lname"))
+	if err := g.AddJoinEdge("R", "S", p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddJoinEdge("S", "R", p2); err != nil { // reversed orientation
+		t.Fatal(err)
+	}
+	if len(g.Edges()) != 1 {
+		t.Fatalf("parallel join edges must collapse, got %d edges", len(g.Edges()))
+	}
+	got := g.Edges()[0].Pred.String()
+	if !strings.Contains(got, "fname") || !strings.Contains(got, "lname") {
+		t.Errorf("collapsed predicate = %q", got)
+	}
+}
+
+func TestMixedParallelEdgesRejected(t *testing.T) {
+	g := New()
+	mustOuter(t, g, "R", "S")
+	if err := g.AddJoinEdge("R", "S", p("R", "S")); err == nil {
+		t.Error("join parallel to outerjoin must be rejected")
+	}
+	if err := g.AddOuterEdge("S", "R", p("S", "R")); err == nil {
+		t.Error("second outer edge between same pair must be rejected")
+	}
+
+	h := New()
+	mustJoin(t, h, "R", "S")
+	if err := h.AddOuterEdge("R", "S", p("R", "S")); err == nil {
+		t.Error("outerjoin parallel to join must be rejected")
+	}
+}
+
+func TestNodeSetOps(t *testing.T) {
+	g := New()
+	for _, n := range []string{"A", "B", "C"} {
+		g.MustAddNode(n)
+	}
+	s := g.SetOf("A", "C")
+	if !s.Has(0) || s.Has(1) || !s.Has(2) {
+		t.Error("SetOf broken")
+	}
+	if s.Count() != 2 {
+		t.Error("Count broken")
+	}
+	names := g.NamesOf(s)
+	if len(names) != 2 || names[0] != "A" || names[1] != "C" {
+		t.Errorf("NamesOf = %v", names)
+	}
+	if g.AllNodes() != 0b111 {
+		t.Errorf("AllNodes = %b", g.AllNodes())
+	}
+	if New().AllNodes() != 0 {
+		t.Error("empty AllNodes")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustOuter(t, g, "B", "C")
+	g.MustAddNode("D")
+	if g.Connected() {
+		t.Error("D is isolated; graph not connected")
+	}
+	if !g.ConnectedSet(g.SetOf("A", "B", "C")) {
+		t.Error("A,B,C connected")
+	}
+	if g.ConnectedSet(g.SetOf("A", "C")) {
+		t.Error("A,C not connected without B")
+	}
+	if !g.ConnectedSet(g.SetOf("D")) || !g.ConnectedSet(0) {
+		t.Error("singletons and empty set are connected")
+	}
+}
+
+func TestCutAndWithinEdges(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustJoin(t, g, "B", "C")
+	mustOuter(t, g, "A", "D")
+	s1 := g.SetOf("A", "B")
+	s2 := g.SetOf("C", "D")
+	cut := g.CutEdges(s1, s2)
+	if len(cut) != 2 {
+		t.Fatalf("cut = %v", cut)
+	}
+	within := g.EdgesWithin(s1)
+	if len(within) != 1 || within[0].U != "A" {
+		t.Fatalf("within = %v", within)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustJoin(t, g, "B", "C")
+	sub := g.InducedSubgraph(g.SetOf("A", "B"))
+	if sub.NumNodes() != 2 || len(sub.Edges()) != 1 {
+		t.Fatalf("induced: %v", sub)
+	}
+}
+
+func TestGraphEqual(t *testing.T) {
+	mk := func() *Graph {
+		g := New()
+		mustJoin(t, g, "A", "B")
+		mustOuter(t, g, "B", "C")
+		return g
+	}
+	g, h := mk(), mk()
+	if !g.Equal(h) {
+		t.Error("identical graphs must be Equal")
+	}
+	// Join edge orientation is canonicalized.
+	h2 := New()
+	if err := h2.AddJoinEdge("B", "A", p("A", "B")); err != nil {
+		t.Fatal(err)
+	}
+	mustOuter(t, h2, "B", "C")
+	if !g.Equal(h2) {
+		t.Error("join edge orientation must not matter")
+	}
+	// Outer edge orientation matters.
+	h3 := New()
+	mustJoin(t, h3, "A", "B")
+	if err := h3.AddOuterEdge("C", "B", p("B", "C")); err != nil {
+		t.Fatal(err)
+	}
+	if g.Equal(h3) {
+		t.Error("outer edge orientation must matter")
+	}
+	h4 := mk()
+	mustJoin(t, h4, "C", "D")
+	if g.Equal(h4) {
+		t.Error("different sizes must not be Equal")
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge{U: "A", V: "B", Kind: OuterEdge, Pred: p("A", "B")}
+	if e.Other("A") != "B" || e.Other("B") != "A" {
+		t.Error("Other broken")
+	}
+	if !e.Touches("A") || e.Touches("C") {
+		t.Error("Touches broken")
+	}
+	if !strings.Contains(e.String(), "A -> B") {
+		t.Errorf("Edge.String = %q", e.String())
+	}
+	je := Edge{U: "A", V: "B", Kind: JoinEdge, Pred: p("A", "B")}
+	if !strings.Contains(je.String(), "A - B") {
+		t.Errorf("join Edge.String = %q", je.String())
+	}
+	if JoinEdge.String() != "join" || OuterEdge.String() != "outerjoin" {
+		t.Error("EdgeKind.String broken")
+	}
+}
+
+func TestStringAndDOT(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustOuter(t, g, "B", "C")
+	g.MustAddNode("Z")
+	s := g.String()
+	if !strings.Contains(s, "3 edges") && !strings.Contains(s, "2 edges") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(s, "Z (isolated)") {
+		t.Errorf("isolated node missing: %q", s)
+	}
+	dot := g.DOT()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "dir=none") {
+		t.Errorf("DOT = %q", dot)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	g := New()
+	for i := 0; i < 64; i++ {
+		g.MustAddNode(strings.Repeat("x", i+1))
+	}
+	if err := g.AddNode("overflow"); err == nil {
+		t.Error("65th node must be rejected")
+	}
+}

@@ -1,0 +1,197 @@
+package graph
+
+import "fmt"
+
+// Niceness analyses. The paper gives two characterizations proved
+// equivalent by its Lemma 1; we implement both and property-test their
+// agreement (DESIGN.md experiment E9).
+
+// IsNiceLemma1 checks the Lemma 1 form on a connected graph:
+//
+//  1. there are no cycles composed of outerjoin edges,
+//  2. there is no path of the form X → Y — Z (a null-supplied node
+//     incident to a join edge), and
+//  3. there is no path of the form X → Y ← Z (a node null-supplied by two
+//     outerjoins).
+//
+// It reports ok=false with a human-readable reason naming the violated
+// condition. A disconnected graph is not a query graph and is rejected.
+func (g *Graph) IsNiceLemma1() (ok bool, reason string) {
+	if g.HasSemiEdges() {
+		return false, "semijoin edges are outside Theorem 1 (use IsNiceSemi)"
+	}
+	if !g.Connected() {
+		return false, "graph is not connected"
+	}
+	// Condition 3: at most one incoming outerjoin edge per node, and
+	// condition 2: no node with an incoming outerjoin edge touches a join
+	// edge.
+	for _, n := range g.nodes {
+		incoming := 0
+		touchesJoin := false
+		for _, e := range g.edges {
+			if e.Kind == OuterEdge && e.V == n {
+				incoming++
+			}
+			if e.Kind == JoinEdge && e.Touches(n) {
+				touchesJoin = true
+			}
+		}
+		if incoming >= 2 {
+			return false, fmt.Sprintf("node %s is null-supplied by two outerjoins (X -> Y <- Z)", n)
+		}
+		if incoming >= 1 && touchesJoin {
+			return false, fmt.Sprintf("null-supplied node %s is incident to a join edge (X -> Y - Z)", n)
+		}
+	}
+	// Condition 1: the outerjoin edges, with direction ignored, are
+	// acyclic (a forest).
+	if g.outerEdgesHaveCycle() {
+		return false, "outerjoin edges form a cycle"
+	}
+	return true, ""
+}
+
+// outerEdgesHaveCycle reports whether the undirected graph formed by the
+// outerjoin edges alone contains a cycle (union-find over endpoints).
+func (g *Graph) outerEdgesHaveCycle() bool {
+	parent := make([]int, len(g.nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.edges {
+		if e.Kind != OuterEdge {
+			continue
+		}
+		ru, rv := find(g.index(e.U)), find(g.index(e.V))
+		if ru == rv {
+			return true
+		}
+		parent[ru] = rv
+	}
+	return false
+}
+
+// IsNiceDefinitional checks the definitional form on a connected graph:
+// G = G1 ∪ G2 where G1 is connected and has only join edges, G2 is a
+// forest of outerjoin edges directed outward (away from the roots), and
+// G1 ∩ G2 is exactly the set of forest roots.
+func (g *Graph) IsNiceDefinitional() (ok bool, reason string) {
+	if g.HasSemiEdges() {
+		return false, "semijoin edges are outside Theorem 1 (use IsNiceSemi)"
+	}
+	if !g.Connected() {
+		return false, "graph is not connected"
+	}
+	// G1's node set: nodes incident to join edges. If there are no join
+	// edges, G1 is a single node — the unique root of the outerjoin
+	// forest (which must then be a single tree).
+	joinNodes := map[string]bool{}
+	for _, e := range g.edges {
+		if e.Kind == JoinEdge {
+			joinNodes[e.U] = true
+			joinNodes[e.V] = true
+		}
+	}
+	// G1 must be connected using join edges only.
+	if len(joinNodes) > 0 {
+		var s NodeSet
+		for n := range joinNodes {
+			s = s.With(g.index(n))
+		}
+		if !g.joinConnected(s) {
+			return false, "join edges do not form a connected core"
+		}
+	}
+	// G2: the outerjoin edges must form a forest...
+	if g.outerEdgesHaveCycle() {
+		return false, "outerjoin edges form a cycle"
+	}
+	// ... directed outward: walking from any node with an incoming outer
+	// edge, that node must have exactly one incoming edge (forest +
+	// orientation), and must not belong to G1.
+	incoming := map[string]int{}
+	for _, e := range g.edges {
+		if e.Kind == OuterEdge {
+			incoming[e.V]++
+		}
+	}
+	roots := 0
+	hasOuter := false
+	for _, e := range g.edges {
+		if e.Kind != OuterEdge {
+			continue
+		}
+		hasOuter = true
+		if incoming[e.V] > 1 {
+			return false, fmt.Sprintf("outerjoin edges into %s do not form an outward tree", e.V)
+		}
+		if joinNodes[e.V] {
+			return false, fmt.Sprintf("non-root forest node %s lies in the join core", e.V)
+		}
+		if incoming[e.U] == 0 {
+			// e.U is a forest root: it must lie in G1. With join edges
+			// present that means it touches a join edge; without any join
+			// edges G1 is a single node, so all roots must coincide.
+			if len(joinNodes) > 0 && !joinNodes[e.U] {
+				// A root outside the join core is only acceptable if it is
+				// an interior node of no tree and G1∩G2 = roots fails.
+				return false, fmt.Sprintf("outerjoin tree root %s is not in the join core", e.U)
+			}
+			roots++
+		}
+	}
+	if len(joinNodes) == 0 && hasOuter {
+		// Pure outerjoin graph: count distinct root nodes; must be one.
+		rootSet := map[string]bool{}
+		for _, e := range g.edges {
+			if e.Kind == OuterEdge && incoming[e.U] == 0 {
+				rootSet[e.U] = true
+			}
+		}
+		if len(rootSet) != 1 {
+			return false, "outerjoin forest without a join core must be a single tree"
+		}
+	}
+	return true, ""
+}
+
+// joinConnected reports whether the node set s is connected using join
+// edges only.
+func (g *Graph) joinConnected(s NodeSet) bool {
+	start := 0
+	for !s.Has(start) {
+		start++
+	}
+	seen := NodeSet(0).With(start)
+	frontier := []int{start}
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		name := g.nodes[n]
+		for _, e := range g.edges {
+			if e.Kind != JoinEdge || !e.Touches(name) {
+				continue
+			}
+			o := g.index(e.Other(name))
+			if s.Has(o) && !seen.Has(o) {
+				seen = seen.With(o)
+				frontier = append(frontier, o)
+			}
+		}
+	}
+	return seen == s
+}
+
+// IsNice reports whether the graph is "nice" (the precondition of the
+// free-reorderability theorem, with strongness checked separately). It
+// uses the Lemma 1 form; IsNiceDefinitional is the cross-check.
+func (g *Graph) IsNice() (bool, string) { return g.IsNiceLemma1() }

@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkBoth(t *testing.T, g *Graph, want bool, label string) {
+	t.Helper()
+	got1, reason1 := g.IsNiceLemma1()
+	got2, reason2 := g.IsNiceDefinitional()
+	if got1 != want {
+		t.Errorf("%s: IsNiceLemma1 = %v (%s), want %v", label, got1, reason1, want)
+	}
+	if got2 != want {
+		t.Errorf("%s: IsNiceDefinitional = %v (%s), want %v", label, got2, reason2, want)
+	}
+	if got, _ := g.IsNice(); got != got1 {
+		t.Errorf("%s: IsNice disagrees with IsNiceLemma1", label)
+	}
+}
+
+func TestNiceSingleNode(t *testing.T) {
+	g := New()
+	g.MustAddNode("R")
+	checkBoth(t, g, true, "single node")
+}
+
+func TestNicePureJoinChain(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustJoin(t, g, "B", "C")
+	mustJoin(t, g, "C", "D")
+	checkBoth(t, g, true, "join chain")
+}
+
+func TestNiceJoinCycle(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustJoin(t, g, "B", "C")
+	mustJoin(t, g, "C", "A")
+	checkBoth(t, g, true, "join cycle is nice (cycles only forbidden for outerjoins)")
+}
+
+func TestNicePureOuterChain(t *testing.T) {
+	g := New()
+	mustOuter(t, g, "A", "B")
+	mustOuter(t, g, "B", "C")
+	checkBoth(t, g, true, "outer chain")
+}
+
+func TestNiceOuterTree(t *testing.T) {
+	g := New()
+	mustOuter(t, g, "A", "B")
+	mustOuter(t, g, "A", "C")
+	mustOuter(t, g, "C", "D")
+	checkBoth(t, g, true, "outward tree from a single root")
+}
+
+// TestFigure2Nice encodes a topology in the spirit of the paper's Fig. 2:
+// a connected join core with outerjoin trees growing outward from core
+// nodes (DESIGN.md experiment E8).
+func TestFigure2Nice(t *testing.T) {
+	g := New()
+	// Join core: a 4-cycle with a chord.
+	mustJoin(t, g, "R", "S")
+	mustJoin(t, g, "S", "T")
+	mustJoin(t, g, "T", "U")
+	mustJoin(t, g, "U", "R")
+	mustJoin(t, g, "S", "U")
+	// Outerjoin trees going outward.
+	mustOuter(t, g, "R", "V")
+	mustOuter(t, g, "V", "W")
+	mustOuter(t, g, "V", "X")
+	mustOuter(t, g, "T", "Y")
+	checkBoth(t, g, true, "figure 2 topology")
+}
+
+func TestNotNiceOuterIntoJoin(t *testing.T) {
+	// X → Y — Z: the graph of Example 2.
+	g := New()
+	mustOuter(t, g, "X", "Y")
+	mustJoin(t, g, "Y", "Z")
+	checkBoth(t, g, false, "X -> Y - Z")
+}
+
+func TestNotNiceSharedNullSupplier(t *testing.T) {
+	// X → Y ← Z.
+	g := New()
+	mustOuter(t, g, "X", "Y")
+	mustOuter(t, g, "Z", "Y")
+	checkBoth(t, g, false, "X -> Y <- Z")
+}
+
+func TestNotNiceOuterCycle(t *testing.T) {
+	g := New()
+	mustOuter(t, g, "A", "B")
+	mustOuter(t, g, "B", "C")
+	mustOuter(t, g, "C", "A")
+	checkBoth(t, g, false, "outerjoin cycle")
+
+	// Undirected outer cycle: A → B, A → C, B → ... share endpoints.
+	h := New()
+	mustOuter(t, h, "A", "B")
+	mustOuter(t, h, "A", "C")
+	mustOuter(t, h, "B", "D")
+	mustOuter(t, h, "C", "D") // D now has two incoming, also a cycle
+	checkBoth(t, h, false, "undirected outer cycle")
+}
+
+func TestNotNiceDisconnected(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	g.MustAddNode("C")
+	checkBoth(t, g, false, "disconnected")
+}
+
+func TestNotNiceTwoJoinComponentsBridgedByOuter(t *testing.T) {
+	// A—B and C—D cores bridged by B → C: C is null-supplied and touches
+	// a join edge.
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustJoin(t, g, "C", "D")
+	mustOuter(t, g, "B", "C")
+	checkBoth(t, g, false, "bridged join cores")
+}
+
+func TestNiceOuterBelowOuterBranching(t *testing.T) {
+	// Core A—B; B → C; C → D and C → E (branching below a non-core node).
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustOuter(t, g, "B", "C")
+	mustOuter(t, g, "C", "D")
+	mustOuter(t, g, "C", "E")
+	checkBoth(t, g, true, "branching outer tree below core")
+}
+
+// randomGraph builds an arbitrary connected graph over n nodes: a random
+// spanning tree plus extra random edges, each join or outer with random
+// orientation. Many samples are not nice; both checkers must agree on
+// every one (Lemma 1, DESIGN.md experiment E9).
+func randomGraph(rnd *rand.Rand, n int) *Graph {
+	g := New()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+		g.MustAddNode(names[i])
+	}
+	addRandomEdge := func(u, v string) {
+		if rnd.Intn(2) == 0 {
+			_ = g.AddJoinEdge(u, v, p(u, v))
+		} else if rnd.Intn(2) == 0 {
+			_ = g.AddOuterEdge(u, v, p(u, v))
+		} else {
+			_ = g.AddOuterEdge(v, u, p(v, u))
+		}
+	}
+	for i := 1; i < n; i++ {
+		addRandomEdge(names[i], names[rnd.Intn(i)])
+	}
+	extra := rnd.Intn(n)
+	for k := 0; k < extra; k++ {
+		i, j := rnd.Intn(n), rnd.Intn(n)
+		if i != j {
+			addRandomEdge(names[i], names[j])
+		}
+	}
+	return g
+}
+
+func TestLemma1Equivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	agreeNice, agreeNot := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		g := randomGraph(rnd, 2+rnd.Intn(6))
+		got1, r1 := g.IsNiceLemma1()
+		got2, r2 := g.IsNiceDefinitional()
+		if got1 != got2 {
+			t.Fatalf("trial %d: checkers disagree (lemma1=%v %q, def=%v %q) on\n%v",
+				trial, got1, r1, got2, r2, g)
+		}
+		if got1 {
+			agreeNice++
+		} else {
+			agreeNot++
+		}
+	}
+	if agreeNice == 0 || agreeNot == 0 {
+		t.Errorf("generator must cover both outcomes: nice=%d notNice=%d", agreeNice, agreeNot)
+	}
+}
+
+func TestNiceSubgraphObservation(t *testing.T) {
+	// "If G' is a connected subgraph of a nice graph G, then G' is also
+	// nice." Check on random nice graphs and random connected subsets.
+	rnd := rand.New(rand.NewSource(23))
+	checked := 0
+	for trial := 0; trial < 2000 && checked < 300; trial++ {
+		g := randomGraph(rnd, 2+rnd.Intn(6))
+		if ok, _ := g.IsNice(); !ok {
+			continue
+		}
+		all := g.AllNodes()
+		for s := NodeSet(1); s <= all; s++ {
+			if s&all != s || !g.ConnectedSet(s) {
+				continue
+			}
+			sub := g.InducedSubgraph(s)
+			if ok, reason := sub.IsNice(); !ok {
+				t.Fatalf("connected subgraph of nice graph not nice (%s):\nG=%v\nG'=%v", reason, g, sub)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no subgraphs checked")
+	}
+}

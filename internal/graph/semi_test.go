@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSemi(t *testing.T, g *Graph, u, v string) {
+	t.Helper()
+	if err := g.AddSemiEdge(u, v, p(u, v)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSemiEdge(t *testing.T) {
+	g := New()
+	mustSemi(t, g, "A", "B")
+	if !g.HasSemiEdges() {
+		t.Fatal("HasSemiEdges broken")
+	}
+	if err := g.AddSemiEdge("A", "A", p("A", "A")); err == nil {
+		t.Error("self-loop must fail")
+	}
+	if err := g.AddSemiEdge("B", "A", p("B", "A")); err == nil {
+		t.Error("parallel semi edge must fail")
+	}
+	if err := g.AddJoinEdge("A", "B", p("A", "B")); err == nil {
+		t.Error("join parallel to semi must fail")
+	}
+	if !strings.Contains(g.Edges()[0].String(), "A ~> B") {
+		t.Errorf("semi edge renders %q", g.Edges()[0])
+	}
+	if SemiEdge.String() != "semijoin" {
+		t.Error("kind name")
+	}
+	if !strings.Contains(g.DOT(), "style=dashed") {
+		t.Error("DOT must mark semi edges")
+	}
+}
+
+func TestTheorem1CheckersRejectSemiEdges(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustSemi(t, g, "A", "C")
+	if ok, reason := g.IsNiceLemma1(); ok || !strings.Contains(reason, "semijoin") {
+		t.Errorf("IsNiceLemma1 = %v %q", ok, reason)
+	}
+	if ok, _ := g.IsNiceDefinitional(); ok {
+		t.Error("IsNiceDefinitional must reject semi edges")
+	}
+}
+
+func TestWithoutSemiEdges(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustSemi(t, g, "A", "C")
+	sk := g.WithoutSemiEdges()
+	if sk.NumNodes() != 2 || len(sk.Edges()) != 1 || sk.HasNode("C") {
+		t.Fatalf("skeleton = %v", sk)
+	}
+	// A consumed node with other edges stays.
+	h := New()
+	mustSemi(t, h, "A", "B")
+	mustJoin(t, h, "B", "C")
+	sk2 := h.WithoutSemiEdges()
+	if !sk2.HasNode("B") || len(sk2.Edges()) != 1 {
+		t.Fatalf("skeleton2 = %v", sk2)
+	}
+}
+
+func TestIsNiceSemiPositive(t *testing.T) {
+	cases := []func() *Graph{
+		func() *Graph { // single semijoin pair
+			g := New()
+			mustSemi(t, g, "A", "B")
+			return g
+		},
+		func() *Graph { // pendant semijoin off a join core
+			g := New()
+			mustJoin(t, g, "A", "B")
+			mustSemi(t, g, "A", "Z")
+			return g
+		},
+		func() *Graph { // two semijoins off the same node
+			g := New()
+			mustJoin(t, g, "A", "B")
+			mustSemi(t, g, "A", "X")
+			mustSemi(t, g, "A", "Y")
+			return g
+		},
+		func() *Graph { // semijoin + outward outerjoin, disjoint targets
+			g := New()
+			mustJoin(t, g, "A", "B")
+			mustOuter(t, g, "B", "C")
+			mustSemi(t, g, "A", "Z")
+			return g
+		},
+	}
+	for i, mk := range cases {
+		g := mk()
+		if ok, reason := g.IsNiceSemi(); !ok {
+			t.Errorf("case %d should be nice-with-semi: %s\n%v", i, reason, g)
+		}
+	}
+}
+
+func TestIsNiceSemiForbiddenPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *Graph
+	}{
+		{"semijoin edges in series (§6.3)", func() *Graph {
+			g := New()
+			mustSemi(t, g, "A", "B")
+			mustSemi(t, g, "B", "C")
+			return g
+		}},
+		{"consumed node also joins", func() *Graph {
+			g := New()
+			mustSemi(t, g, "A", "B")
+			mustJoin(t, g, "B", "C")
+			return g
+		}},
+		{"consumed node also null-supplied", func() *Graph {
+			g := New()
+			mustSemi(t, g, "A", "B")
+			mustOuter(t, g, "C", "B")
+			return g
+		}},
+		{"null-supplied source", func() *Graph {
+			g := New()
+			mustOuter(t, g, "A", "B")
+			mustSemi(t, g, "B", "C")
+			return g
+		}},
+		{"skeleton not nice", func() *Graph {
+			g := New()
+			mustOuter(t, g, "A", "B")
+			mustJoin(t, g, "B", "C") // X -> Y - Z already forbidden
+			mustSemi(t, g, "C", "Z")
+			return g
+		}},
+		{"disconnected", func() *Graph {
+			g := New()
+			mustSemi(t, g, "A", "B")
+			g.MustAddNode("Q")
+			return g
+		}},
+	}
+	for _, tc := range cases {
+		if ok, _ := tc.mk().IsNiceSemi(); ok {
+			t.Errorf("%s must be rejected", tc.name)
+		}
+	}
+}
+
+func TestIsNiceSemiCoincidesWithoutSemiEdges(t *testing.T) {
+	g := New()
+	mustJoin(t, g, "A", "B")
+	mustOuter(t, g, "B", "C")
+	ok1, _ := g.IsNice()
+	ok2, _ := g.IsNiceSemi()
+	if ok1 != ok2 || !ok1 {
+		t.Error("IsNiceSemi must agree with IsNice on semi-free graphs")
+	}
+}

@@ -1,0 +1,129 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/core"
+	"freejoin/internal/relation"
+)
+
+// TestEnclosingRestriction: §5.1 forbids derived attributes in the block's
+// own Where but allows them "in an enclosing query block"; the enclosing
+// restriction then drives the §4 simplification, converting the
+// unnesting outerjoin back into a join.
+func TestEnclosingRestriction(t *testing.T) {
+	s := paperStore(t)
+	q, err := Parse("Select All From EMPLOYEE*ChildName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Translate(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tr.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 employees: ana with 2 children, cruz with 1, bo childless (null).
+	if base.Len() != 4 {
+		t.Fatalf("base rows = %d:\n%v", base.Len(), base)
+	}
+
+	restricted, err := tr.RestrictEnclosing(s, "EMPLOYEE_ChildName.ChildName = 'kim'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := restricted.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("restricted rows = %d:\n%v", out.Len(), out)
+	}
+	if v, _ := out.Row(0).Get(relation.A("EMPLOYEE", "Name")); v != relation.Str("ana") {
+		t.Errorf("restricted row = %v", out.Row(0))
+	}
+
+	// The strong restriction over the derived (null-supplied) variable
+	// lets §4 convert the unnesting outerjoin into a join.
+	simplified, n := core.Simplify(restricted.Expr, core.SimplifyOptions{})
+	if n != 1 {
+		t.Fatalf("conversions = %d:\n%s", n, restricted.Expr.StringWithPreds())
+	}
+	if !strings.Contains(simplified.String(), "- EMPLOYEE_ChildName") {
+		t.Errorf("outerjoin not converted: %s", simplified)
+	}
+	// Semantics preserved.
+	after, err := simplified.Eval(restricted.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.EqualBag(out) {
+		t.Fatal("simplification changed the enclosing-block result")
+	}
+}
+
+func TestEnclosingRestrictionErrors(t *testing.T) {
+	s := paperStore(t)
+	q, _ := Parse("Select All From EMPLOYEE*ChildName")
+	tr, err := Translate(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"NOPE.x = 1",
+		"EMPLOYEE.Nope = 1",
+		"EMPLOYEE_ChildName.Nope = 1",
+		"EMPLOYEE.Rank",
+		"EMPLOYEE.Rank = ",
+		"1 = ",
+	} {
+		if _, err := tr.RestrictEnclosing(s, bad); err == nil {
+			t.Errorf("RestrictEnclosing(%q) should fail", bad)
+		}
+	}
+	// Constant-only condition is allowed at this level (it restricts
+	// nothing variable-specific but is well-formed).
+	if _, err := tr.RestrictEnclosing(s, "1 = 1"); err != nil {
+		t.Errorf("constant condition should parse: %v", err)
+	}
+}
+
+func TestParseConditionStandalone(t *testing.T) {
+	c, err := ParseCondition("E.x >= 2.5")
+	if err != nil || c.Op != ">=" || c.Left.Var != "E" || !c.Right.IsNumber {
+		t.Fatalf("ParseCondition = %+v, %v", c, err)
+	}
+	if _, err := ParseCondition("E.x = 1 extra"); err == nil {
+		t.Error("trailing input must fail")
+	}
+	if _, err := ParseCondition("= 1"); err == nil {
+		t.Error("missing left operand must fail")
+	}
+}
+
+// TestEnclosingRestrictionStillEvaluable double-checks that the enclosing
+// restriction composes with string/float literals and derived link
+// variables.
+func TestEnclosingRestrictionOnLinkedVariable(t *testing.T) {
+	s := paperStore(t)
+	q, _ := Parse("Select All From DEPARTMENT-->Manager")
+	tr, err := Translate(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := tr.RestrictEnclosing(s, "DEPARTMENT_Manager.Rank > 11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := restricted.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only ana (rank 12) manages a department.
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d:\n%v", out.Len(), out)
+	}
+}

@@ -1,0 +1,42 @@
+package lang_test
+
+import (
+	"fmt"
+	"log"
+
+	"freejoin/internal/entity"
+	"freejoin/internal/lang"
+	"freejoin/internal/relation"
+)
+
+// The §5 language end to end: UnNest compiles to an outerjoin over the
+// ValueOfField view, and the block is freely reorderable.
+func Example() {
+	store := entity.NewStore()
+	if err := store.Define(entity.TypeDef{
+		Name:    "EMPLOYEE",
+		Scalars: []string{"Name", "D#"},
+		Sets:    []string{"ChildName"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ana, _ := store.New("EMPLOYEE", map[string]relation.Value{
+		"Name": relation.Str("ana"), "D#": relation.Int(1)})
+	_ = store.AddToSet(ana, "ChildName", relation.Str("kim"))
+	if _, err := store.New("EMPLOYEE", map[string]relation.Value{
+		"Name": relation.Str("bo"), "D#": relation.Int(1)}); err != nil {
+		log.Fatal(err)
+	}
+
+	tr, out, err := lang.Run(store, "Select All From EMPLOYEE*ChildName")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("block:", tr.Block)
+	fmt.Println("freely reorderable:", tr.Analysis.Free)
+	fmt.Println("rows:", out.Len()) // ana+kim, bo+null
+	// Output:
+	// block: (EMPLOYEE -> EMPLOYEE_ChildName)
+	// freely reorderable: true
+	// rows: 2
+}

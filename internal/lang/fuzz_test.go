@@ -1,0 +1,35 @@
+package lang
+
+import "testing"
+
+// FuzzParse checks the §5 language parser never panics on arbitrary
+// input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"Select All From EMPLOYEE",
+		"Select All From EMPLOYEE*ChildName, DEPARTMENT Where EMPLOYEE.D# = DEPARTMENT.D#",
+		"select all from DEPARTMENT-->Manager-->Audit where DEPARTMENT.Location = 'Zurich'",
+		"select all from E*F-->G where E.x > 2.5 and E.y <> 'a'",
+		"select",
+		"select all from E where E.x =",
+		"--",
+		"'unterminated",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.From) == 0 {
+			t.Fatalf("parsed query without From items: %q", src)
+		}
+		for _, item := range q.From {
+			if item.Base == "" {
+				t.Fatalf("from item without base: %q", src)
+			}
+			_ = item.String()
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package lang implements §5's query language: SQL-style
+// Select-From-Where blocks whose From-list supports the UnNest (*) and
+// Link (-->) operators over the entity store, translated to join/
+// outerjoin expressions exactly as §5.2 prescribes. The §5.3 observation —
+// every query block is freely reorderable — is checked by the translator
+// and exercised in the tests.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokStar
+	tokArrow // -->
+	tokCmp   // = <> < <= > >=
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// String renders the token for error messages.
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// isIdentRune allows letters, digits, underscore, and the paper's '#'
+// (as in D#) and '@' (OID columns) inside identifiers.
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' || r == '@' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || r == '#'
+}
+
+// lex splits the input into tokens.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	runes := []rune(src)
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == ',':
+			out = append(out, token{tokComma, ",", i})
+			i++
+		case r == '.':
+			out = append(out, token{tokDot, ".", i})
+			i++
+		case r == '*':
+			out = append(out, token{tokStar, "*", i})
+			i++
+		case r == '(':
+			out = append(out, token{tokLParen, "(", i})
+			i++
+		case r == ')':
+			out = append(out, token{tokRParen, ")", i})
+			i++
+		case r == '-':
+			if strings.HasPrefix(string(runes[i:]), "-->") {
+				out = append(out, token{tokArrow, "-->", i})
+				i += 3
+			} else if i+1 < len(runes) && unicode.IsDigit(runes[i+1]) {
+				j := i + 1
+				for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.') {
+					j++
+				}
+				out = append(out, token{tokNumber, string(runes[i:j]), i})
+				i = j
+			} else {
+				return nil, fmt.Errorf("lang: unexpected '-' at %d (did you mean -->?)", i)
+			}
+		case r == '=':
+			out = append(out, token{tokCmp, "=", i})
+			i++
+		case r == '<':
+			if i+1 < len(runes) && runes[i+1] == '>' {
+				out = append(out, token{tokCmp, "<>", i})
+				i += 2
+			} else if i+1 < len(runes) && runes[i+1] == '=' {
+				out = append(out, token{tokCmp, "<=", i})
+				i += 2
+			} else {
+				out = append(out, token{tokCmp, "<", i})
+				i++
+			}
+		case r == '>':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				out = append(out, token{tokCmp, ">=", i})
+				i += 2
+			} else {
+				out = append(out, token{tokCmp, ">", i})
+				i++
+			}
+		case r == '\'':
+			j := i + 1
+			for j < len(runes) && runes[j] != '\'' {
+				j++
+			}
+			if j >= len(runes) {
+				return nil, fmt.Errorf("lang: unterminated string at %d", i)
+			}
+			out = append(out, token{tokString, string(runes[i+1 : j]), i})
+			i = j + 1
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.') {
+				j++
+			}
+			out = append(out, token{tokNumber, string(runes[i:j]), i})
+			i = j
+		case isIdentRune(r, true):
+			j := i
+			for j < len(runes) && isIdentRune(runes[j], false) {
+				j++
+			}
+			out = append(out, token{tokIdent, string(runes[i:j]), i})
+			i = j
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at %d", r, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(runes)})
+	return out, nil
+}

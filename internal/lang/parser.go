@@ -1,0 +1,259 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StepKind is a From-list postfix operator.
+type StepKind uint8
+
+// From-item postfix operators.
+const (
+	Unnest StepKind = iota // *Field
+	Link                   // -->Field
+)
+
+// String returns the operator's surface syntax.
+func (k StepKind) String() string {
+	if k == Link {
+		return "-->"
+	}
+	return "*"
+}
+
+// Step is one postfix application in a From-item.
+type Step struct {
+	Kind  StepKind
+	Field string
+}
+
+// FromItem is a base entity type followed by UnNest/Link steps, e.g.
+// EMPLOYEE*ChildName or DEPARTMENT-->Manager-->Audit.
+type FromItem struct {
+	Base  string
+	Steps []Step
+}
+
+// String renders the item in surface syntax.
+func (f FromItem) String() string {
+	var b strings.Builder
+	b.WriteString(f.Base)
+	for _, s := range f.Steps {
+		b.WriteString(s.Kind.String())
+		b.WriteString(s.Field)
+	}
+	return b.String()
+}
+
+// Operand of a Where comparison: a qualified attribute or a literal.
+type Operand struct {
+	Var, Field string // qualified attribute when Var != ""
+	Lit        string // literal text otherwise
+	IsString   bool
+	IsNumber   bool
+}
+
+// Condition is one conjunct of the Where clause: left op right.
+type Condition struct {
+	Op          string // = <> < <= > >=
+	Left, Right Operand
+}
+
+// Query is a parsed Select-From-Where block.
+type Query struct {
+	From  []FromItem
+	Where []Condition
+}
+
+// Parse parses "SELECT ALL FROM item, item... [WHERE cond AND cond...]".
+// Keywords are case-insensitive. Per §5.1, the select list is ALL (the
+// operators determine the scheme), and the Where clause is a conjunction
+// of comparisons over base-relation attributes.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) keyword(word string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if !p.keyword(word) {
+		return fmt.Errorf("lang: expected %s, got %s", word, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("lang: expected identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("all"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, *item)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, *cond)
+			if p.keyword("and") {
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("lang: trailing input at %s", p.peek())
+	}
+	return q, nil
+}
+
+func (p *parser) parseFromItem() (*FromItem, error) {
+	base, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	item := &FromItem{Base: base}
+	for {
+		switch p.peek().kind {
+		case tokStar:
+			p.next()
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.Steps = append(item.Steps, Step{Kind: Unnest, Field: f})
+		case tokArrow:
+			p.next()
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.Steps = append(item.Steps, Step{Kind: Link, Field: f})
+		default:
+			return item, nil
+		}
+	}
+}
+
+// ParseCondition parses a single comparison "operand op operand" on its
+// own — the form used by enclosing-block restrictions (§5.1 lets derived
+// attributes be "restricted in an enclosing query block").
+func ParseCondition(src string) (*Condition, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	cond, err := p.parseCondition()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("lang: trailing input at %s", p.peek())
+	}
+	return cond, nil
+}
+
+func (p *parser) parseCondition() (*Condition, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op.kind != tokCmp {
+		return nil, fmt.Errorf("lang: expected comparison operator, got %s", op)
+	}
+	p.next()
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &Condition{Op: op.text, Left: *left, Right: *right}, nil
+}
+
+func (p *parser) parseOperand() (*Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		if p.peek().kind != tokDot {
+			return nil, fmt.Errorf("lang: expected '.' after %q (attributes are Var.Field)", t.text)
+		}
+		p.next()
+		f, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Operand{Var: t.text, Field: f}, nil
+	case tokNumber:
+		p.next()
+		if _, err := strconv.ParseFloat(t.text, 64); err != nil {
+			return nil, fmt.Errorf("lang: bad number %q", t.text)
+		}
+		return &Operand{Lit: t.text, IsNumber: true}, nil
+	case tokString:
+		p.next()
+		return &Operand{Lit: t.text, IsString: true}, nil
+	default:
+		return nil, fmt.Errorf("lang: expected attribute or literal, got %s", t)
+	}
+}

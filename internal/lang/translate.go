@@ -1,0 +1,414 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"freejoin/internal/core"
+	"freejoin/internal/entity"
+	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// Translation is the outerjoin-algebra form of a query block, per §5.2:
+// every * and --> became an outerjoin with a strong OID-equality
+// predicate; Where conjuncts between two variables became join edges, and
+// single-variable conjuncts a restriction on top.
+type Translation struct {
+	// Block is the join/outerjoin tree (the freely reorderable unit).
+	Block *expr.Node
+	// Expr is Block wrapped in the Where restriction, if any.
+	Expr *expr.Node
+	// Graph is graph(Block).
+	Graph *graph.Graph
+	// Analysis is the theorem check of Graph; §5.3 guarantees
+	// Analysis.Free for every parsable block.
+	Analysis *core.Analysis
+	// DB materializes one relation per tuple variable.
+	DB expr.DB
+}
+
+// Eval evaluates the translated query.
+func (t *Translation) Eval() (*relation.Relation, error) { return t.Expr.Eval(t.DB) }
+
+// RestrictEnclosing applies an enclosing-block restriction to the
+// translated query (§5.1: attributes derived by * and --> "may be
+// restricted in an enclosing query block"). Unlike Where conditions, the
+// condition may reference derived variables. It returns a new Translation
+// whose Expr carries the extra restriction; combined with core.Simplify,
+// a strong restriction over a derived variable converts its introducing
+// outerjoin back into a regular join (the §4 rule).
+func (t *Translation) RestrictEnclosing(store *entity.Store, src string) (*Translation, error) {
+	cond, err := ParseCondition(src)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := t.enclosingPredicate(store, cond)
+	if err != nil {
+		return nil, err
+	}
+	out := *t
+	out.Expr = expr.NewRestrict(t.Expr, pred)
+	return &out, nil
+}
+
+// enclosingPredicate compiles an enclosing-block condition; any variable
+// of the block (base or derived) may appear, and columns are validated
+// against the materialized relation schemes.
+func (t *Translation) enclosingPredicate(store *entity.Store, cond *Condition) (predicate.Predicate, error) {
+	var ops [2]predicate.Term
+	for i, o := range []Operand{cond.Left, cond.Right} {
+		switch {
+		case o.Var != "":
+			rel, ok := t.DB[o.Var]
+			if !ok {
+				return nil, fmt.Errorf("lang: unknown variable %s", o.Var)
+			}
+			attr := relation.A(o.Var, o.Field)
+			if !rel.Scheme().Contains(attr) {
+				return nil, fmt.Errorf("lang: variable %s has no column %s", o.Var, o.Field)
+			}
+			ops[i] = predicate.Col(attr)
+		case o.IsNumber:
+			if strings.Contains(o.Lit, ".") {
+				f, _ := strconv.ParseFloat(o.Lit, 64)
+				ops[i] = predicate.Const(relation.Float(f))
+			} else {
+				n, _ := strconv.ParseInt(o.Lit, 10, 64)
+				ops[i] = predicate.Const(relation.Int(n))
+			}
+		case o.IsString:
+			ops[i] = predicate.Const(relation.Str(o.Lit))
+		default:
+			return nil, fmt.Errorf("lang: bad operand")
+		}
+	}
+	op, err := cmpOpOf(cond.Op)
+	if err != nil {
+		return nil, err
+	}
+	return predicate.Cmp(op, ops[0], ops[1]), nil
+}
+
+func cmpOpOf(s string) (predicate.CmpOp, error) {
+	switch s {
+	case "=":
+		return predicate.EqOp, nil
+	case "<>":
+		return predicate.NeOp, nil
+	case "<":
+		return predicate.LtOp, nil
+	case "<=":
+		return predicate.LeOp, nil
+	case ">":
+		return predicate.GtOp, nil
+	case ">=":
+		return predicate.GeOp, nil
+	default:
+		return 0, fmt.Errorf("lang: unknown operator %q", s)
+	}
+}
+
+// Run parses, translates and evaluates a query block in one call.
+func Run(store *entity.Store, src string) (*Translation, *relation.Relation, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := Translate(store, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := tr.Eval()
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, out, nil
+}
+
+// chainVar tracks one variable introduced by a From-item chain.
+type chainVar struct {
+	name     string
+	typeName string
+	nested   bool   // introduced by *: a ValueOfField relation
+	field    string // the nested field (for column resolution)
+}
+
+// Translate compiles a parsed query block against an entity store.
+func Translate(store *entity.Store, q *Query) (*Translation, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("lang: empty From list")
+	}
+	tr := &Translation{DB: expr.DB{}}
+	g := graph.New()
+
+	vars := map[string]chainVar{} // by variable name
+	baseVars := map[string]bool{}
+	type outerEdge struct {
+		from, to string
+		pred     predicate.Predicate
+	}
+	var outers []outerEdge
+
+	addVar := func(v chainVar, rel *relation.Relation) error {
+		if _, dup := vars[v.name]; dup {
+			return fmt.Errorf("lang: tuple variable %s used twice", v.name)
+		}
+		vars[v.name] = v
+		tr.DB[v.name] = rel
+		return g.AddNode(v.name)
+	}
+
+	for _, item := range q.From {
+		// Base relation variable.
+		baseRel, err := store.BaseRelation(item.Base, item.Base)
+		if err != nil {
+			return nil, err
+		}
+		if err := addVar(chainVar{name: item.Base, typeName: item.Base}, baseRel); err != nil {
+			return nil, err
+		}
+		baseVars[item.Base] = true
+
+		// Steps. A field is resolved against the chain so far, most
+		// recent variable first (DEPARTMENT-->Manager-->Audit resolves
+		// Audit on DEPARTMENT).
+		chain := []chainVar{vars[item.Base]}
+		for _, step := range item.Steps {
+			owner, ok := resolveField(store, chain, step)
+			if !ok {
+				return nil, fmt.Errorf("lang: no variable in %s has %s field %s",
+					item, step.Kind, step.Field)
+			}
+			varName := owner.name + "_" + step.Field
+			var nv chainVar
+			var rel *relation.Relation
+			var pred predicate.Predicate
+			switch step.Kind {
+			case Unnest:
+				// OJ[NestedIn(@r, @value)](R, ValueOfField).
+				rel, err = store.NestedRelation(owner.typeName, step.Field, varName)
+				if err != nil {
+					return nil, err
+				}
+				nv = chainVar{name: varName, typeName: owner.typeName, nested: true, field: step.Field}
+				pred = predicate.Eq(
+					relation.A(owner.name, entity.OIDColumn),
+					relation.A(varName, entity.OwnerColumn))
+			case Link:
+				// OJ[LinkedTo(@r, @value)](R, DomainOfField).
+				target, _ := store.RefTarget(owner.typeName, step.Field)
+				rel, err = store.BaseRelation(target, varName)
+				if err != nil {
+					return nil, err
+				}
+				nv = chainVar{name: varName, typeName: target}
+				pred = predicate.Eq(
+					relation.A(owner.name, entity.RefColumn(step.Field)),
+					relation.A(varName, entity.OIDColumn))
+			}
+			if err := addVar(nv, rel); err != nil {
+				return nil, err
+			}
+			if err := g.AddOuterEdge(owner.name, varName, pred); err != nil {
+				return nil, err
+			}
+			outers = append(outers, outerEdge{from: owner.name, to: varName, pred: pred})
+			chain = append(chain, nv)
+		}
+	}
+
+	// Where conjuncts.
+	var restrictions []predicate.Predicate
+	for _, cond := range q.Where {
+		pred, rels, err := condPredicate(store, vars, baseVars, cond)
+		if err != nil {
+			return nil, err
+		}
+		switch len(rels) {
+		case 1:
+			restrictions = append(restrictions, pred)
+		case 2:
+			if err := g.AddJoinEdge(rels[0], rels[1], pred); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("lang: condition must reference one or two variables")
+		}
+	}
+
+	if !g.Connected() {
+		return nil, fmt.Errorf("lang: query is a Cartesian product (join conditions do not connect the From items)")
+	}
+
+	// Build an implementing tree: join core first (base variables in
+	// join-reachable order), then outerjoin edges outward.
+	block, err := buildTree(g)
+	if err != nil {
+		return nil, err
+	}
+	tr.Block = block
+	tr.Graph = g
+	tr.Analysis = core.AnalyzeGraph(g)
+	tr.Expr = block
+	if len(restrictions) > 0 {
+		tr.Expr = expr.NewRestrict(block, predicate.NewAnd(restrictions...))
+	}
+	return tr, nil
+}
+
+// resolveField finds the chain variable owning a step's field, searching
+// the most recent variables first.
+func resolveField(store *entity.Store, chain []chainVar, step Step) (chainVar, bool) {
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := chain[i]
+		if v.nested {
+			continue // value relations have no further fields
+		}
+		switch step.Kind {
+		case Unnest:
+			if store.HasSetField(v.typeName, step.Field) {
+				return v, true
+			}
+		case Link:
+			if _, ok := store.RefTarget(v.typeName, step.Field); ok {
+				return v, true
+			}
+		}
+	}
+	return chainVar{}, false
+}
+
+// condPredicate compiles a Where condition into a predicate and the
+// variables it references. Per §5.1, attributes from the right side of *
+// and --> cannot appear in the Where list — only base variables may.
+func condPredicate(store *entity.Store, vars map[string]chainVar, baseVars map[string]bool, cond Condition) (predicate.Predicate, []string, error) {
+	var ops [2]predicate.Term
+	seen := map[string]bool{}
+	for i, o := range []Operand{cond.Left, cond.Right} {
+		switch {
+		case o.Var != "":
+			v, ok := vars[o.Var]
+			if !ok {
+				return nil, nil, fmt.Errorf("lang: unknown variable %s", o.Var)
+			}
+			if !baseVars[o.Var] {
+				return nil, nil, fmt.Errorf(
+					"lang: attribute %s.%s is derived by * or --> and cannot appear in Where (restrict in an enclosing block)",
+					o.Var, o.Field)
+			}
+			def, err := store.Type(v.typeName)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !hasScalar(def, o.Field) {
+				return nil, nil, fmt.Errorf("lang: type %s has no scalar field %s", v.typeName, o.Field)
+			}
+			ops[i] = predicate.Col(relation.A(o.Var, o.Field))
+			seen[o.Var] = true
+		case o.IsNumber:
+			if strings.Contains(o.Lit, ".") {
+				f, _ := strconv.ParseFloat(o.Lit, 64)
+				ops[i] = predicate.Const(relation.Float(f))
+			} else {
+				n, _ := strconv.ParseInt(o.Lit, 10, 64)
+				ops[i] = predicate.Const(relation.Int(n))
+			}
+		case o.IsString:
+			ops[i] = predicate.Const(relation.Str(o.Lit))
+		default:
+			return nil, nil, fmt.Errorf("lang: bad operand")
+		}
+	}
+	op, err := cmpOpOf(cond.Op)
+	if err != nil {
+		return nil, nil, err
+	}
+	rels := make([]string, 0, 2)
+	for v := range seen {
+		rels = append(rels, v)
+	}
+	if len(rels) == 0 {
+		return nil, nil, fmt.Errorf("lang: condition references no variable")
+	}
+	return predicate.Cmp(op, ops[0], ops[1]), rels, nil
+}
+
+func hasScalar(def entity.TypeDef, field string) bool {
+	if field == entity.OIDColumn {
+		return true
+	}
+	for _, f := range def.Scalars {
+		if f == field {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTree constructs one implementing tree of a connected nice graph:
+// grow from the first node, attaching join edges before outerjoin edges,
+// always in the direction the edges allow.
+func buildTree(g *graph.Graph) (*expr.Node, error) {
+	nodes := g.Nodes()
+	inTree := map[string]bool{nodes[0]: true}
+	tree := expr.NewLeaf(nodes[0])
+	for len(inTree) < len(nodes) {
+		progress := false
+		// Join edges first: collect every join edge between the tree and
+		// one outside node, conjoining parallel cut edges.
+		for _, cand := range nodes {
+			if inTree[cand] {
+				continue
+			}
+			var preds []predicate.Predicate
+			ok := true
+			for _, e := range g.Edges() {
+				if !e.Touches(cand) || !inTree[e.Other(cand)] {
+					continue
+				}
+				if e.Kind != graph.JoinEdge {
+					ok = false // outer edge in the cut: postpone
+					break
+				}
+				preds = append(preds, e.Pred)
+			}
+			if ok && len(preds) > 0 {
+				tree = expr.NewJoin(tree, expr.NewLeaf(cand), predicate.NewAnd(preds...))
+				inTree[cand] = true
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Outer edges outward: from a tree node to an outside node, with
+		// no other cut edges to that node.
+		for _, e := range g.Edges() {
+			if e.Kind != graph.OuterEdge || !inTree[e.U] || inTree[e.V] {
+				continue
+			}
+			single := true
+			for _, o := range g.Edges() {
+				if o != e && o.Touches(e.V) && inTree[o.Other(e.V)] {
+					single = false
+					break
+				}
+			}
+			if !single {
+				continue
+			}
+			tree = expr.NewOuter(tree, expr.NewLeaf(e.V), e.Pred)
+			inTree[e.V] = true
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("lang: cannot linearize query graph (not a nice query block)")
+		}
+	}
+	return tree, nil
+}

@@ -1,0 +1,119 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"freejoin/internal/exec"
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// Build lowers a plan to a physical iterator tree, wiring the counter
+// through scans and index lookups.
+func (o *Optimizer) Build(p *Plan, c *exec.Counters) (exec.Iterator, error) {
+	if p.IsLeaf() {
+		t, err := o.cat.Table(p.Table)
+		if err != nil {
+			return nil, err
+		}
+		if p.Algo == AlgoIndexScan {
+			return exec.NewIndexScan(t, p.IndexCol, p.IndexVal, c)
+		}
+		return exec.NewScan(t, c), nil
+	}
+	if p.Op == expr.GOJ {
+		return o.buildGOJ(p, c)
+	}
+	if p.Op == expr.Restrict {
+		return o.buildFilter(p, c)
+	}
+	left, err := o.Build(p.Left, c)
+	if err != nil {
+		return nil, err
+	}
+	mode := exec.InnerMode
+	if p.Op == expr.LeftOuter {
+		mode = exec.LeftOuterMode
+	}
+	switch p.Algo {
+	case AlgoIndex:
+		t, err := o.cat.Table(p.Right.Table)
+		if err != nil {
+			return nil, err
+		}
+		lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
+		if !ok || len(lk) != 1 || rk[0].Name != p.IndexCol {
+			return nil, fmt.Errorf("optimizer: index plan predicate mismatch: %v", p.Pred)
+		}
+		return exec.NewIndexJoin(left, t, p.IndexCol, lk[0], nil, mode, c)
+	case AlgoHash:
+		right, err := o.Build(p.Right, c)
+		if err != nil {
+			return nil, err
+		}
+		lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: hash plan predicate mismatch: %v", p.Pred)
+		}
+		return exec.NewHashJoin(left, right, lk, rk, nil, mode)
+	case AlgoNL:
+		right, err := o.Build(p.Right, c)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewNestedLoopJoin(left, right, p.Pred, mode)
+	case AlgoMerge:
+		right, err := o.Build(p.Right, c)
+		if err != nil {
+			return nil, err
+		}
+		lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
+		if !ok || len(lk) != 1 {
+			return nil, fmt.Errorf("optimizer: merge plan predicate mismatch: %v", p.Pred)
+		}
+		ls, err := exec.NewSort(left, lk)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := exec.NewSort(right, rk)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewMergeJoin(ls, rs, lk[0], rk[0], mode)
+	default:
+		return nil, fmt.Errorf("optimizer: cannot build algorithm %s", p.Algo)
+	}
+}
+
+// Execute lowers and runs a plan, returning the result relation and the
+// execution counters (tuples retrieved, rows produced).
+func (o *Optimizer) Execute(p *Plan) (*relation.Relation, *exec.Counters, error) {
+	var c exec.Counters
+	it, err := o.Build(p, &c)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := exec.Collect(it, &c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &c, nil
+}
+
+// Run optimizes and executes a query in one call, reporting whether
+// reordering applied.
+func (o *Optimizer) Run(q *expr.Node) (*relation.Relation, *exec.Counters, bool, error) {
+	p, reordered, err := o.Optimize(q)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	out, c, err := o.Execute(p)
+	return out, c, reordered, err
+}
+
+// CatalogOf exposes the optimizer's catalog (a storage.Catalog implements
+// both expr.Source and core.SchemeSource, which callers often need
+// alongside planning).
+func (o *Optimizer) CatalogOf() *storage.Catalog { return o.cat }

@@ -1,0 +1,98 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// estimator tests: the cardinality model's fixed points.
+
+func estimatorCatalog(t *testing.T) *Optimizer {
+	t.Helper()
+	cat := storage.NewCatalog()
+	// R: 100 rows, a has 100 distinct values (a key), b has 10.
+	r := relation.New(relation.SchemeOf("R", "a", "b"))
+	for i := 0; i < 100; i++ {
+		r.AppendRaw([]relation.Value{relation.Int(int64(i)), relation.Int(int64(i % 10))})
+	}
+	cat.AddRelation("R", r)
+	// S: 50 rows, a has 50 distinct values.
+	s := relation.New(relation.SchemeOf("S", "a"))
+	for i := 0; i < 50; i++ {
+		s.AppendRaw([]relation.Value{relation.Int(int64(i))})
+	}
+	cat.AddRelation("S", s)
+	return New(cat)
+}
+
+func TestEstimateEquijoinUsesMaxNDV(t *testing.T) {
+	o := estimatorCatalog(t)
+	l, _ := o.scanPlan("R")
+	r, _ := o.scanPlan("S")
+	sp := expr.Split{Op: expr.Join, Pred: eqp("R", "S")}
+	// sel = 1/max(ndv) = 1/100 → 100*50/100 = 50 rows.
+	if got := o.estimateJoinRows(sp, l, r); got != 50 {
+		t.Errorf("equijoin estimate = %v, want 50", got)
+	}
+}
+
+func TestEstimateNonEquiDefaultSelectivity(t *testing.T) {
+	o := estimatorCatalog(t)
+	l, _ := o.scanPlan("R")
+	r, _ := o.scanPlan("S")
+	gt := predicate.Cmp(predicate.GtOp,
+		predicate.Col(relation.A("R", "a")), predicate.Col(relation.A("S", "a")))
+	sp := expr.Split{Op: expr.Join, Pred: gt}
+	want := 100.0 * 50.0 * defaultSel
+	if got := o.estimateJoinRows(sp, l, r); math.Abs(got-want) > 1e-9 {
+		t.Errorf("theta estimate = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateOuterjoinFloor(t *testing.T) {
+	o := estimatorCatalog(t)
+	l, _ := o.scanPlan("R")
+	r, _ := o.scanPlan("S")
+	// Very selective predicate: join estimate below |L|, but outerjoin
+	// preserves every left row.
+	p := predicate.NewAnd(eqp("R", "S"), predicate.Eq(relation.A("R", "b"), relation.A("S", "a")))
+	sp := expr.Split{Op: expr.LeftOuter, Pred: p, S1Preserved: true}
+	if got := o.estimateJoinRows(sp, l, r); got != 100 {
+		t.Errorf("outerjoin floor = %v, want |L| = 100", got)
+	}
+}
+
+func TestEstimateFloorsAtOne(t *testing.T) {
+	o := estimatorCatalog(t)
+	l, _ := o.scanPlan("S")
+	r, _ := o.scanPlan("S")
+	// Conjunction of many equalities drives the estimate below 1.
+	p := predicate.NewAnd(eqp("R", "S"), eqp("R", "S"), eqp("R", "S"))
+	sp := expr.Split{Op: expr.Join, Pred: p}
+	if got := o.estimateJoinRows(sp, l, r); got != 1 {
+		t.Errorf("estimate floor = %v, want 1", got)
+	}
+}
+
+func TestEstimateUnknownTableDefaults(t *testing.T) {
+	o := estimatorCatalog(t)
+	if got := o.attrNDV(relation.A("NOPE", "x")); got != defaultNDV {
+		t.Errorf("unknown table ndv = %v", got)
+	}
+	// Non-comparison conjunct → default selectivity.
+	l, _ := o.scanPlan("R")
+	r, _ := o.scanPlan("S")
+	if got := o.conjunctSelectivity(predicate.NewIsNull(relation.A("R", "a")), l, r); got != defaultSel {
+		t.Errorf("is-null selectivity = %v", got)
+	}
+	// Constant comparison: ndv from the single column side.
+	c := predicate.EqConst(relation.A("R", "b"), relation.Int(1))
+	if got := o.conjunctSelectivity(c, l, r); got != 0.1 {
+		t.Errorf("const eq selectivity = %v, want 0.1", got)
+	}
+}

@@ -1,0 +1,123 @@
+package optimizer
+
+import (
+	"freejoin/internal/algebra"
+	"freejoin/internal/core"
+	"freejoin/internal/exec"
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// Generalized-outerjoin planning (§6.2). Example 2's shape X → (Y — Z)
+// is not freely reorderable, so the DP cannot touch it; identity 15
+// nevertheless allows (X → Y) GOJ[sch(X)] Z, letting the engine evaluate
+// the cheap X → Y side first. OptimizeWithGOJ extends Optimize with that
+// rewrite, and the Plan/Build layers gain a GOJ operator (hash-based when
+// the predicate is a pure equijoin, reference algebra otherwise).
+
+// planGOJ builds a plan node for GOJ[S][pred](l, r).
+func (o *Optimizer) planGOJ(l, r *Plan, pred predicate.Predicate, s []relation.Attr) (*Plan, error) {
+	scheme, err := l.Scheme.Concat(r.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	// Cardinality: the join rows plus at most one row per distinct
+	// S-projection; approximate with the outerjoin-style floor.
+	sp := expr.Split{Op: expr.LeftOuter, Pred: pred, S1Preserved: true}
+	outRows := o.estimateJoinRows(sp, l, r)
+	cost := l.EstRows*costProbePerRow + r.EstRows*costBuildPerRow
+	return &Plan{
+		Left: l, Right: r, Op: expr.GOJ, Pred: pred, GOJAttrs: s,
+		Scheme: scheme, EstRows: outRows,
+		Cost: l.Cost + r.Cost + cost + outRows*costOutputPerRow,
+	}, nil
+}
+
+// buildGOJ lowers a GOJ plan node.
+func (o *Optimizer) buildGOJ(p *Plan, c *exec.Counters) (exec.Iterator, error) {
+	left, err := o.Build(p.Left, c)
+	if err != nil {
+		return nil, err
+	}
+	right, err := o.Build(p.Right, c)
+	if err != nil {
+		return nil, err
+	}
+	if lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme); ok {
+		return exec.NewHashGOJ(left, right, lk, rk, p.GOJAttrs)
+	}
+	// General predicate: materialize and use the reference algebra.
+	lrel, err := exec.Collect(left, nil)
+	if err != nil {
+		return nil, err
+	}
+	rrel, err := exec.Collect(right, nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := algebra.GeneralizedOuterJoin(lrel, rrel, p.Pred, p.GOJAttrs)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewRelationScan(out), nil
+}
+
+// OptimizeWithGOJ plans q like Optimize, but when q is not freely
+// reorderable it additionally tries the §6.2 GOJ reassociation at the
+// root and keeps whichever of {fixed-order plan, GOJ plan} the cost model
+// prefers. The string result names the strategy used: "reordered",
+// "fixed", or "goj".
+func (o *Optimizer) OptimizeWithGOJ(q *expr.Node) (*Plan, string, error) {
+	p, reordered, err := o.Optimize(q)
+	if err != nil {
+		return nil, "", err
+	}
+	if reordered {
+		return p, "reordered", nil
+	}
+	rw, ok, err := core.GOJReassociate(q, o.cat)
+	if err != nil || !ok {
+		return p, "fixed", err
+	}
+	gp, err := o.planExprWithGOJ(rw)
+	if err != nil {
+		// The rewrite exists but cannot be planned; keep the fixed plan.
+		return p, "fixed", nil
+	}
+	if gp.Cost < p.Cost {
+		return gp, "goj", nil
+	}
+	return p, "fixed", nil
+}
+
+// planForcedGOJ applies the §6.2 rewrite when it matches and plans it
+// regardless of estimated cost (an exploration hook used by tests and the
+// experiment harness).
+func (o *Optimizer) planForcedGOJ(q *expr.Node) (*Plan, bool, error) {
+	rw, ok, err := core.GOJReassociate(q, o.cat)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	p, err := o.planExprWithGOJ(rw)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// planExprWithGOJ is PlanFixed extended with GOJ nodes.
+func (o *Optimizer) planExprWithGOJ(q *expr.Node) (*Plan, error) {
+	if q.Op != expr.GOJ {
+		return o.PlanFixed(q)
+	}
+	l, err := o.planExprWithGOJ(q.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.planExprWithGOJ(q.Right)
+	if err != nil {
+		return nil, err
+	}
+	return o.planGOJ(l, r, q.Pred, q.GOJAttrs)
+}

@@ -1,0 +1,275 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"freejoin/internal/core"
+	"freejoin/internal/exec"
+	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// PlanQuery is the full §4 planning pipeline for queries that carry
+// restrictions:
+//
+//  1. Simplify: strong restrictions convert outerjoins to joins;
+//  2. PushRestrictions: conjuncts sink to the base tables they cover;
+//  3. if the remaining operator block (restrictions now only at leaves
+//     or on top) is freely reorderable, run the DP over its graph with
+//     the leaf filters folded into the scans; otherwise keep the written
+//     order. Residual top-level restrictions become Filter operators.
+//
+// The boolean reports whether reordering applied.
+func (o *Optimizer) PlanQuery(q *expr.Node) (*Plan, bool, error) {
+	q, _ = core.Simplify(q, core.SimplifyOptions{})
+	q = core.PushRestrictions(q)
+
+	// Peel restrictions that stayed on top.
+	var top []predicate.Predicate
+	for q.Op == expr.Restrict {
+		top = append(top, q.Pred)
+		q = q.Left
+	}
+
+	plan, reordered, err := o.planBlock(q)
+	if err != nil {
+		return nil, false, err
+	}
+	for i := len(top) - 1; i >= 0; i-- {
+		plan = o.filterPlan(plan, top[i])
+	}
+	return plan, reordered, nil
+}
+
+// planBlock plans a join/outerjoin block whose only restrictions sit
+// directly over leaves.
+func (o *Optimizer) planBlock(q *expr.Node) (*Plan, bool, error) {
+	stripped, filters, pure := stripLeafFilters(q)
+	if pure {
+		if a, err := core.Analyze(stripped); err == nil && a.Free && !a.SemiExtension {
+			p, err := o.optimizeGraph(a.Graph, filters)
+			if err == nil {
+				return p, true, nil
+			}
+		}
+	}
+	p, err := o.planFixedRestricted(q)
+	return p, false, err
+}
+
+// stripLeafFilters removes σ-over-leaf wrappers, returning the bare tree,
+// the per-relation filter map, and whether the remainder is a pure
+// join/outerjoin tree (no interior restrictions or other operators).
+func stripLeafFilters(q *expr.Node) (*expr.Node, map[string]predicate.Predicate, bool) {
+	filters := map[string]predicate.Predicate{}
+	var walk func(n *expr.Node) (*expr.Node, bool)
+	walk = func(n *expr.Node) (*expr.Node, bool) {
+		switch n.Op {
+		case expr.Leaf:
+			return n, true
+		case expr.Restrict:
+			inner, ok := walk(n.Left)
+			if ok && inner.Op == expr.Leaf {
+				rel := inner.Rel
+				if prev, ok := filters[rel]; ok {
+					filters[rel] = predicate.NewAnd(prev, n.Pred)
+				} else {
+					filters[rel] = n.Pred
+				}
+				return inner, true
+			}
+			return n, false
+		case expr.Join, expr.LeftOuter, expr.RightOuter:
+			l, okL := walk(n.Left)
+			if !okL {
+				return n, false
+			}
+			r, okR := walk(n.Right)
+			if !okR {
+				return n, false
+			}
+			return &expr.Node{Op: n.Op, Left: l, Right: r, Pred: n.Pred}, true
+		default:
+			return n, false
+		}
+	}
+	out, ok := walk(q)
+	return out, filters, ok
+}
+
+// optimizeGraph is the DP of OptimizeGraph with per-relation filters
+// folded into the leaf plans.
+func (o *Optimizer) optimizeGraph(g *graph.Graph, filters map[string]predicate.Predicate) (*Plan, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("optimizer: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("optimizer: graph is not connected")
+	}
+	best := make(map[graph.NodeSet]*Plan)
+	for _, name := range g.Nodes() {
+		p, err := o.leafPlan(name, filters[name])
+		if err != nil {
+			return nil, err
+		}
+		best[g.SetOf(name)] = p
+	}
+	all := g.AllNodes()
+	n := g.NumNodes()
+	for size := 2; size <= n; size++ {
+		for s := graph.NodeSet(1); s <= all; s++ {
+			if s.Count() != size || s&all != s || !g.ConnectedSet(s) {
+				continue
+			}
+			var bestPlan *Plan
+			for _, sp := range expr.ValidSplits(g, s) {
+				p1, p2 := best[sp.S1], best[sp.S2]
+				if p1 == nil || p2 == nil {
+					continue
+				}
+				for _, cand := range o.joinPlans(sp, p1, p2) {
+					if bestPlan == nil || cand.Cost < bestPlan.Cost {
+						bestPlan = cand
+					}
+				}
+			}
+			if bestPlan != nil {
+				best[s] = bestPlan
+			}
+		}
+	}
+	p := best[all]
+	if p == nil {
+		return nil, fmt.Errorf("optimizer: no plan (graph admits no implementing tree)")
+	}
+	return p, nil
+}
+
+// leafPlan plans a base-table access under an optional pushed-down
+// filter. A conjunct of the form col = const over a hash-indexed column
+// upgrades the access path to an index scan; remaining conjuncts apply as
+// a residual filter.
+func (o *Optimizer) leafPlan(name string, filter predicate.Predicate) (*Plan, error) {
+	scan, err := o.scanPlan(name)
+	if err != nil {
+		return nil, err
+	}
+	if filter == nil {
+		return scan, nil
+	}
+	t, err := o.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	conjuncts := predicate.Conjuncts(filter)
+	for i, c := range conjuncts {
+		col, val, ok := constEquality(c, name)
+		if !ok {
+			continue
+		}
+		if _, hasIdx := t.HashIndexOn(col); !hasIdx {
+			continue
+		}
+		rows := float64(t.Stats().Rows) / ndvOf(t, col)
+		if rows < 1 {
+			rows = 1
+		}
+		p := &Plan{
+			Table: name, Algo: AlgoIndexScan, IndexCol: col, IndexVal: val,
+			Scheme: scan.Scheme, EstRows: rows,
+			Cost: rows * costLookup,
+		}
+		rest := append(append([]predicate.Predicate(nil), conjuncts[:i]...), conjuncts[i+1:]...)
+		if len(rest) > 0 {
+			return o.filterPlan(p, predicate.NewAnd(rest...)), nil
+		}
+		return p, nil
+	}
+	return o.filterPlan(scan, filter), nil
+}
+
+// constEquality matches "rel.col = const" (either operand order).
+func constEquality(p predicate.Predicate, rel string) (string, relation.Value, bool) {
+	cmp, ok := p.(*predicate.Comparison)
+	if !ok || cmp.Op != predicate.EqOp {
+		return "", relation.Value{}, false
+	}
+	a, b := cmp.Left, cmp.Right
+	if a.IsConst() {
+		a, b = b, a
+	}
+	if a.IsConst() || !b.IsConst() {
+		return "", relation.Value{}, false
+	}
+	if a.Attr().Rel != rel || b.Value().IsNull() {
+		return "", relation.Value{}, false
+	}
+	return a.Attr().Name, b.Value(), true
+}
+
+// filterPlan wraps a plan in a Filter with a selectivity-scaled estimate.
+func (o *Optimizer) filterPlan(child *Plan, pred predicate.Predicate) *Plan {
+	sel := 1.0
+	for _, c := range predicate.Conjuncts(pred) {
+		sel *= o.conjunctSelectivity(c, child, child)
+	}
+	rows := child.EstRows * sel
+	if rows < 1 {
+		rows = 1
+	}
+	return &Plan{
+		Op: expr.Restrict, Left: child, Pred: pred,
+		Scheme: child.Scheme, EstRows: rows,
+		Cost: child.Cost + child.EstRows + rows*costOutputPerRow,
+	}
+}
+
+// planFixedRestricted is PlanFixed extended with Restrict nodes.
+func (o *Optimizer) planFixedRestricted(q *expr.Node) (*Plan, error) {
+	if q.Op == expr.Restrict {
+		child, err := o.planFixedRestricted(q.Left)
+		if err != nil {
+			return nil, err
+		}
+		return o.filterPlan(child, q.Pred), nil
+	}
+	if q.Op == expr.Leaf {
+		return o.scanPlan(q.Rel)
+	}
+	if q.Op != expr.Join && q.Op != expr.LeftOuter && q.Op != expr.RightOuter {
+		return nil, fmt.Errorf("optimizer: cannot plan operator %s", q.Op)
+	}
+	l, err := o.planFixedRestricted(q.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.planFixedRestricted(q.Right)
+	if err != nil {
+		return nil, err
+	}
+	op := q.Op
+	if op == expr.RightOuter {
+		l, r = r, l
+		op = expr.LeftOuter
+	}
+	sp := expr.Split{Op: op, Pred: q.Pred, S1Preserved: true}
+	cands := o.fixedJoinPlans(sp, l, r)
+	bestPlan := cands[0]
+	for _, c := range cands[1:] {
+		if c.Cost < bestPlan.Cost {
+			bestPlan = c
+		}
+	}
+	return bestPlan, nil
+}
+
+// buildFilter lowers a Restrict plan node.
+func (o *Optimizer) buildFilter(p *Plan, c *exec.Counters) (exec.Iterator, error) {
+	child, err := o.Build(p.Left, c)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewFilter(child, p.Pred)
+}

@@ -1,0 +1,92 @@
+package parse
+
+import (
+	"testing"
+
+	"freejoin/internal/expr"
+)
+
+// FuzzExpr checks the expression parser never panics and that every
+// successfully parsed expression round-trips through rendering: parsing
+// the canonical rendering yields an equal tree.
+func FuzzExpr(f *testing.F) {
+	for _, seed := range []string{
+		"R",
+		"R -[R.a = S.a] S",
+		"(R -[R.a = S.a] S) ->[S.a = T.a] T",
+		"R <-[R.a = S.a] S",
+		"R ->[R.a = S.a or S.a is null] S",
+		"R -[R.a = 1.5 and R.b <> 'x'] S",
+		"R -[R.a >= -3] S",
+		"((((A -[A.a=B.a] B) -[B.a=C.a] C) ->[C.a=D.a] D) <-[D.a=E.a] E)",
+		"R -[",
+		"R - S",
+		"'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Expr(src)
+		if err != nil {
+			return
+		}
+		rendered := q.StringWithPreds()
+		// Rendering uses the same surface syntax, so it must re-parse to
+		// an equal tree.
+		back, err := Expr(rendered)
+		if err != nil {
+			t.Fatalf("rendered form does not parse: %q from %q: %v", rendered, src, err)
+		}
+		if !back.Equal(q) {
+			t.Fatalf("round trip mismatch: %q -> %q -> %q", src, rendered, back.StringWithPreds())
+		}
+	})
+}
+
+// FuzzPred checks the predicate parser never panics and round-trips.
+func FuzzPred(f *testing.F) {
+	for _, seed := range []string{
+		"R.a = S.a",
+		"R.a = S.a or S.a is null",
+		"R.a < 3 and R.b >= 2.5 and R.c <> 'x'",
+		"R.a is not null",
+		"R.a =",
+		"1 = 2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Pred(src)
+		if err != nil {
+			return
+		}
+		back, err := Pred(p.String())
+		if err != nil {
+			t.Fatalf("rendered predicate does not parse: %q from %q: %v", p.String(), src, err)
+		}
+		if back.String() != p.String() {
+			t.Fatalf("round trip mismatch: %q -> %q -> %q", src, p.String(), back.String())
+		}
+	})
+}
+
+// FuzzExprGraph checks that graph construction on parsed expressions
+// never panics (it may return errors).
+func FuzzExprGraph(f *testing.F) {
+	f.Add("(R -[R.a = S.a] S) ->[S.a = T.a] T")
+	f.Add("R ->[R.a = R.b] S")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Expr(src)
+		if err != nil {
+			return
+		}
+		if g, err := expr.GraphOf(q); err == nil {
+			g.IsNice()
+			g.IsNiceSemi()
+			if _, err := expr.CountITs(g, true); err != nil {
+				// Disconnected graphs cannot arise from a parsed tree.
+				t.Fatalf("connected graph failed to count: %v", err)
+			}
+		}
+	})
+}

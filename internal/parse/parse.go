@@ -1,0 +1,434 @@
+// Package parse reads join/outerjoin expressions in the paper's infix
+// notation, for the command-line tools and examples:
+//
+//	expr :=  term { op '[' pred ']' term }        (left-associative)
+//	op   :=  '-' | '->' | '<-'                    (join, outerjoin, symmetric outerjoin)
+//	term :=  IDENT | '(' expr ')'
+//	pred :=  orterm { 'or' orterm }
+//	orterm := factor { 'and' factor }
+//	factor := operand cmp operand
+//	        | operand 'is' ['not'] 'null'
+//	cmp  :=  '=' | '<>' | '<' | '<=' | '>' | '>='
+//	operand := IDENT '.' IDENT | NUMBER | 'string'
+//
+// Example: (R -[R.a = S.a] S) ->[S.b = T.b or T.b is null] T
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+type tkind uint8
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tNumber
+	tString
+	tDot
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tJoin       // -
+	tLeftOuter  // ->
+	tRightOuter // <-
+	tCmp        // = <> < <= > >=
+)
+
+type tok struct {
+	kind tkind
+	text string
+}
+
+func lex(src string) ([]tok, error) {
+	runes := []rune(src)
+	var out []tok
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '.':
+			out = append(out, tok{tDot, "."})
+			i++
+		case r == '(':
+			out = append(out, tok{tLParen, "("})
+			i++
+		case r == ')':
+			out = append(out, tok{tRParen, ")"})
+			i++
+		case r == '[':
+			out = append(out, tok{tLBracket, "["})
+			i++
+		case r == ']':
+			out = append(out, tok{tRBracket, "]"})
+			i++
+		case r == '-':
+			if i+1 < len(runes) && runes[i+1] == '>' {
+				out = append(out, tok{tLeftOuter, "->"})
+				i += 2
+			} else if i+1 < len(runes) && unicode.IsDigit(runes[i+1]) {
+				j := scanNumber(runes, i+1)
+				out = append(out, tok{tNumber, string(runes[i:j])})
+				i = j
+			} else {
+				out = append(out, tok{tJoin, "-"})
+				i++
+			}
+		case r == '<':
+			switch {
+			case i+1 < len(runes) && runes[i+1] == '-':
+				out = append(out, tok{tRightOuter, "<-"})
+				i += 2
+			case i+1 < len(runes) && runes[i+1] == '>':
+				out = append(out, tok{tCmp, "<>"})
+				i += 2
+			case i+1 < len(runes) && runes[i+1] == '=':
+				out = append(out, tok{tCmp, "<="})
+				i += 2
+			default:
+				out = append(out, tok{tCmp, "<"})
+				i++
+			}
+		case r == '>':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				out = append(out, tok{tCmp, ">="})
+				i += 2
+			} else {
+				out = append(out, tok{tCmp, ">"})
+				i++
+			}
+		case r == '=':
+			out = append(out, tok{tCmp, "="})
+			i++
+		case r == '\'':
+			j := i + 1
+			for j < len(runes) && runes[j] != '\'' {
+				j++
+			}
+			if j >= len(runes) {
+				return nil, fmt.Errorf("parse: unterminated string")
+			}
+			out = append(out, tok{tString, string(runes[i+1 : j])})
+			i = j + 1
+		case unicode.IsDigit(r):
+			j := scanNumber(runes, i)
+			out = append(out, tok{tNumber, string(runes[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_' || r == '@':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) ||
+				runes[j] == '_' || runes[j] == '#' || runes[j] == '@') {
+				j++
+			}
+			out = append(out, tok{tIdent, string(runes[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("parse: unexpected character %q", r)
+		}
+	}
+	return append(out, tok{tEOF, ""}), nil
+}
+
+// scanNumber consumes a numeric literal starting at i: digits and dots,
+// optionally followed by a scientific-notation exponent (e.g. 1e+06, the
+// form strconv renders large floats in). Returns the index past the
+// literal; strconv validates the exact shape later.
+func scanNumber(runes []rune, i int) int {
+	j := i
+	for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.') {
+		j++
+	}
+	if j < len(runes) && (runes[j] == 'e' || runes[j] == 'E') {
+		k := j + 1
+		if k < len(runes) && (runes[k] == '+' || runes[k] == '-') {
+			k++
+		}
+		if k < len(runes) && unicode.IsDigit(runes[k]) {
+			for k < len(runes) && unicode.IsDigit(runes[k]) {
+				k++
+			}
+			return k
+		}
+	}
+	return j
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok { return p.toks[p.pos] }
+
+func (p *parser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tkind, what string) (tok, error) {
+	t := p.peek()
+	if t.kind != k {
+		return tok{}, fmt.Errorf("parse: expected %s, got %q", what, t.text)
+	}
+	return p.next(), nil
+}
+
+// Expr parses a join/outerjoin expression.
+func Expr(src string) (*expr.Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("parse: trailing input %q", p.peek().text)
+	}
+	return n, nil
+}
+
+// Pred parses a predicate on its own.
+func Pred(src string) (predicate.Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pr, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("parse: trailing input %q", p.peek().text)
+	}
+	return pr, nil
+}
+
+func (p *parser) parseExpr() (*expr.Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var mk func(l, r *expr.Node, pr predicate.Predicate) *expr.Node
+		switch p.peek().kind {
+		case tJoin:
+			mk = expr.NewJoin
+		case tLeftOuter:
+			mk = expr.NewOuter
+		case tRightOuter:
+			mk = expr.NewRightOuter
+		default:
+			return left, nil
+		}
+		p.next()
+		if _, err := p.expect(tLBracket, "'['"); err != nil {
+			return nil, err
+		}
+		pr, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = mk(left, right, pr)
+	}
+}
+
+func (p *parser) parseTerm() (*expr.Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tIdent:
+		// sigma[pred](expr) — a restriction (§4).
+		if strings.EqualFold(t.text, "sigma") && p.toks[p.pos+1].kind == tLBracket {
+			p.next()
+			p.next() // '['
+			pr, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tLParen, "'('"); err != nil {
+				return nil, err
+			}
+			child, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return expr.NewRestrict(child, pr), nil
+		}
+		p.next()
+		return expr.NewLeaf(t.text), nil
+	case tLParen:
+		p.next()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("parse: expected relation or '(', got %q", t.text)
+	}
+}
+
+func (p *parser) parsePred() (predicate.Predicate, error) {
+	left, err := p.parseAndPred()
+	if err != nil {
+		return nil, err
+	}
+	disj := []predicate.Predicate{left}
+	for p.isKeyword("or") {
+		p.next()
+		right, err := p.parseAndPred()
+		if err != nil {
+			return nil, err
+		}
+		disj = append(disj, right)
+	}
+	return predicate.NewOr(disj...), nil
+}
+
+func (p *parser) parseAndPred() (predicate.Predicate, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	conj := []predicate.Predicate{left}
+	for p.isKeyword("and") {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, right)
+	}
+	return predicate.NewAnd(conj...), nil
+}
+
+func (p *parser) isKeyword(word string) bool {
+	t := p.peek()
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+func (p *parser) parseFactor() (predicate.Predicate, error) {
+	// Parenthesized sub-predicate (also the rendered form of Or).
+	if p.peek().kind == tLParen {
+		p.next()
+		inner, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL.
+	if p.isKeyword("is") {
+		p.next()
+		negated := false
+		if p.isKeyword("not") {
+			p.next()
+			negated = true
+		}
+		if !p.isKeyword("null") {
+			return nil, fmt.Errorf("parse: expected NULL after IS, got %q", p.peek().text)
+		}
+		p.next()
+		if left.IsConst() {
+			return nil, fmt.Errorf("parse: IS NULL needs an attribute")
+		}
+		if negated {
+			return predicate.NewIsNotNull(left.Attr()), nil
+		}
+		return predicate.NewIsNull(left.Attr()), nil
+	}
+	opTok, err := p.expect(tCmp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var op predicate.CmpOp
+	switch opTok.text {
+	case "=":
+		op = predicate.EqOp
+	case "<>":
+		op = predicate.NeOp
+	case "<":
+		op = predicate.LtOp
+	case "<=":
+		op = predicate.LeOp
+	case ">":
+		op = predicate.GtOp
+	case ">=":
+		op = predicate.GeOp
+	}
+	return predicate.Cmp(op, left, right), nil
+}
+
+func (p *parser) parseOperand() (predicate.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tIdent:
+		p.next()
+		if _, err := p.expect(tDot, "'.' (attributes are Rel.Name)"); err != nil {
+			return predicate.Term{}, err
+		}
+		f, err := p.expect(tIdent, "attribute name")
+		if err != nil {
+			return predicate.Term{}, err
+		}
+		return predicate.Col(relation.A(t.text, f.text)), nil
+	case tNumber:
+		p.next()
+		if n, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return predicate.Const(relation.Int(n)), nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return predicate.Term{}, fmt.Errorf("parse: bad number %q", t.text)
+		}
+		return predicate.Const(relation.Float(f)), nil
+	case tString:
+		p.next()
+		return predicate.Const(relation.Str(t.text)), nil
+	default:
+		return predicate.Term{}, fmt.Errorf("parse: expected attribute or literal, got %q", t.text)
+	}
+}

@@ -1,0 +1,156 @@
+package parse
+
+import (
+	"testing"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func TestExprShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // expr.Node.String (no predicates)
+	}{
+		{"R", "R"},
+		{"R -[R.a = S.a] S", "(R - S)"},
+		{"R ->[R.a = S.a] S", "(R -> S)"},
+		{"R <-[R.a = S.a] S", "(R <- S)"},
+		{"(R -[R.a = S.a] S) ->[S.a = T.a] T", "((R - S) -> T)"},
+		{"R ->[R.a = S.a] (S -[S.a = T.a] T)", "(R -> (S - T))"},
+		// Left associativity without parens.
+		{"R -[R.a = S.a] S -[S.a = T.a] T", "((R - S) - T)"},
+	}
+	for _, tc := range cases {
+		n, err := Expr(tc.src)
+		if err != nil {
+			t.Fatalf("Expr(%q): %v", tc.src, err)
+		}
+		if n.String() != tc.want {
+			t.Errorf("Expr(%q) = %s, want %s", tc.src, n, tc.want)
+		}
+	}
+}
+
+func TestSigmaSyntax(t *testing.T) {
+	n, err := Expr("sigma[R.a = 1](R ->[R.a = S.a] S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != expr.Restrict || n.Left.Op != expr.LeftOuter {
+		t.Fatalf("shape = %v", n)
+	}
+	if n.String() != "sigma[R.a = 1]((R -> S))" {
+		t.Errorf("render = %q", n.String())
+	}
+	// Nested sigma and sigma over a leaf.
+	n2, err := Expr("sigma[S.a > 2](sigma[R.a = 1](R) -[R.a = S.a] S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Op != expr.Restrict || n2.Left.Op != expr.Join || n2.Left.Left.Op != expr.Restrict {
+		t.Fatalf("nested shape = %v", n2)
+	}
+	// A relation literally named sigma still parses as a leaf.
+	n3, err := Expr("sigma -[sigma.a = S.a] S")
+	if err != nil || n3.Left.Op != expr.Leaf || n3.Left.Rel != "sigma" {
+		t.Fatalf("sigma-named relation: %v %v", n3, err)
+	}
+	for _, bad := range []string{
+		"sigma[R.a = 1]", "sigma[R.a = 1](R", "sigma[R.a](R)", "sigma[](R)",
+	} {
+		if _, err := Expr(bad); err == nil {
+			t.Errorf("Expr(%q) should fail", bad)
+		}
+	}
+}
+
+func TestExprRoundTripsThroughGraph(t *testing.T) {
+	n, err := Expr("(R -[R.a = S.a and R.b = S.b] S) ->[S.a = T.a] T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := expr.GraphOf(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || len(g.Edges()) != 2 {
+		t.Fatalf("graph: %v", g)
+	}
+}
+
+func TestPredShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"R.a = S.a", "R.a = S.a"},
+		{"R.a <> S.a", "R.a <> S.a"},
+		{"R.a < 3", "R.a < 3"},
+		{"R.a <= 3.5", "R.a <= 3.5"},
+		{"R.a > 'x'", "R.a > 'x'"},
+		{"R.a >= -2", "R.a >= -2"},
+		{"R.a is null", "R.a is null"},
+		{"R.a is not null", "R.a is not null"},
+		{"R.a = S.a and R.b = S.b", "R.a = S.a and R.b = S.b"},
+		{"R.a = S.a or R.a is null", "(R.a = S.a or R.a is null)"},
+		{"R.a = S.a and R.b = S.b or R.c = S.c", "(R.a = S.a and R.b = S.b or R.c = S.c)"},
+	}
+	for _, tc := range cases {
+		p, err := Pred(tc.src)
+		if err != nil {
+			t.Fatalf("Pred(%q): %v", tc.src, err)
+		}
+		if p.String() != tc.want {
+			t.Errorf("Pred(%q) = %q, want %q", tc.src, p, tc.want)
+		}
+	}
+}
+
+func TestPredEvaluates(t *testing.T) {
+	p, err := Pred("R.a = 1 or R.a is null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := relation.SchemeOf("R", "a")
+	if p.Eval(relation.MustTuple(sch, relation.Int(1))) != predicate.True {
+		t.Error("1 should match")
+	}
+	if p.Eval(relation.MustTuple(sch, relation.Null())) != predicate.True {
+		t.Error("null should match via is-null")
+	}
+	if p.Eval(relation.MustTuple(sch, relation.Int(2))) != predicate.False {
+		t.Error("2 should not match")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	exprCases := []string{
+		"", "(", "(R", "R -", "R -[", "R -[R.a = S.a", "R -[R.a = S.a]",
+		"R S", "R -[] S", "R -[R.a] S", "R -[R.a =] S", "R -[R = S.a] S",
+		"R -[R.a = S.a] S extra", "R -['u] S", "R ?",
+		"R -[R.a is S.a] S", "R -[3 is null] S",
+	}
+	for _, src := range exprCases {
+		if _, err := Expr(src); err == nil {
+			t.Errorf("Expr(%q) should fail", src)
+		}
+	}
+	predCases := []string{"", "R.a", "R.a = = 1", "R.a = 1 extra", "R.a is", "R.a is not"}
+	for _, src := range predCases {
+		if _, err := Pred(src); err == nil {
+			t.Errorf("Pred(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexNegativeAndFloats(t *testing.T) {
+	p, err := Pred("R.a = -3")
+	if err != nil || p.String() != "R.a = -3" {
+		t.Errorf("negative literal: %v %v", p, err)
+	}
+	if _, err := Pred("R.a = 1.2.3"); err == nil {
+		t.Error("malformed float should fail")
+	}
+}

@@ -1,0 +1,119 @@
+package predicate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"freejoin/internal/relation"
+)
+
+func TestBindMatchesEval(t *testing.T) {
+	sch := relation.MustScheme(ra, rb, sa)
+	preds := []Predicate{
+		Eq(ra, sa),
+		EqConst(rb, relation.Int(2)),
+		Cmp(GtOp, Col(ra), Col(rb)),
+		NewAnd(Eq(ra, sa), Cmp(LeOp, Col(rb), Const(relation.Int(5)))),
+		NewOr(NewIsNull(ra), Eq(rb, sa)),
+		NewNot(Eq(ra, rb)),
+		NewIsNotNull(sa),
+		TruePred, FalsePred,
+	}
+	f := func(a, b, c int8, na, nb, nc bool) bool {
+		mk := func(x int8, null bool) relation.Value {
+			if null {
+				return relation.Null()
+			}
+			return relation.Int(int64(x % 4))
+		}
+		row := []relation.Value{mk(a, na), mk(b, nb), mk(c, nc)}
+		tp := relation.MustTuple(sch, row...)
+		for _, p := range preds {
+			bound := MustBind(p, sch)
+			if bound.EvalRow(row) != p.Eval(tp) {
+				return false
+			}
+			if bound.Holds(row) != (p.Eval(tp) == True) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBindMissingAttrFails(t *testing.T) {
+	sch := relation.MustScheme(ra)
+	for _, p := range []Predicate{
+		Eq(ra, sa),
+		NewIsNull(sa),
+		NewAnd(EqConst(ra, relation.Int(1)), Eq(ra, sa)),
+		NewOr(EqConst(ra, relation.Int(1)), Eq(ra, sa)),
+		NewNot(Eq(ra, sa)),
+	} {
+		if _, err := Bind(p, sch); err == nil {
+			t.Errorf("Bind(%v) over %v should fail", p, sch)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustBind should panic")
+			}
+		}()
+		MustBind(Eq(ra, sa), sch)
+	}()
+}
+
+func TestBindShortCircuit(t *testing.T) {
+	sch := relation.MustScheme(ra, rb)
+	row := []relation.Value{relation.Int(1), relation.Null()}
+	and := MustBind(NewAnd(EqConst(ra, relation.Int(2)), Eq(ra, rb)), sch)
+	if and.EvalRow(row) != False {
+		t.Error("F and U must be False")
+	}
+	or := MustBind(NewOr(EqConst(ra, relation.Int(1)), Eq(ra, rb)), sch)
+	if or.EvalRow(row) != True {
+		t.Error("T or U must be True")
+	}
+}
+
+func TestEquiParts(t *testing.T) {
+	lsch := relation.SchemeOf("R", "a", "b")
+	rsch := relation.SchemeOf("S", "a", "b")
+	sb := relation.A("S", "b")
+
+	// Simple equijoin.
+	l, r, ok := EquiParts(Eq(ra, sa), lsch, rsch)
+	if !ok || len(l) != 1 || l[0] != ra || r[0] != sa {
+		t.Fatalf("EquiParts simple: %v %v %v", l, r, ok)
+	}
+	// Reversed operand order still resolves.
+	l, r, ok = EquiParts(Eq(sa, ra), lsch, rsch)
+	if !ok || l[0] != ra || r[0] != sa {
+		t.Fatalf("EquiParts reversed: %v %v %v", l, r, ok)
+	}
+	// Multi-conjunct equijoin.
+	l, r, ok = EquiParts(NewAnd(Eq(ra, sa), Eq(rb, sb)), lsch, rsch)
+	if !ok || len(l) != 2 {
+		t.Fatalf("EquiParts multi: %v %v %v", l, r, ok)
+	}
+	// Non-equi conjunct disables the fast path.
+	if _, _, ok = EquiParts(NewAnd(Eq(ra, sa), Cmp(LtOp, Col(rb), Col(sb))), lsch, rsch); ok {
+		t.Error("non-equi conjunct must disable EquiParts")
+	}
+	// Constant comparison disables it.
+	if _, _, ok = EquiParts(EqConst(ra, relation.Int(1)), lsch, rsch); ok {
+		t.Error("constant comparison must disable EquiParts")
+	}
+	// Same-side equality disables it.
+	if _, _, ok = EquiParts(Eq(ra, rb), lsch, rsch); ok {
+		t.Error("same-side equality must disable EquiParts")
+	}
+	// Disjunction disables it.
+	if _, _, ok = EquiParts(NewOr(Eq(ra, sa), Eq(rb, sb)), lsch, rsch); ok {
+		t.Error("Or must disable EquiParts")
+	}
+}

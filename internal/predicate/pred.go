@@ -1,0 +1,412 @@
+package predicate
+
+import (
+	"fmt"
+	"strings"
+
+	"freejoin/internal/relation"
+)
+
+// Predicate is a truth-valued function of a tuple. Implementations are
+// immutable; they may be shared freely between expression trees.
+type Predicate interface {
+	// Eval computes the predicate's truth value on a tuple. Attributes the
+	// predicate references that are missing from the tuple's scheme are
+	// treated as null; operators normally Bind predicates instead, which
+	// validates the scheme up front.
+	Eval(t relation.Tuple) Tri
+
+	// Attrs returns the set of attributes the predicate references.
+	Attrs() relation.AttrSet
+
+	// possible abstractly evaluates the predicate given that every
+	// attribute in nulled is null and every other attribute is arbitrary.
+	// It returns the set of truth values the predicate could take.
+	possible(nulled relation.AttrSet) triSet
+
+	fmt.Stringer
+}
+
+// StrongWRT reports whether p is provably strong with respect to the
+// attribute set s: whenever all attributes of s are null, p cannot hold.
+// The analysis is conservative — a false answer means "not provably
+// strong", never that a counterexample exists.
+func StrongWRT(p Predicate, s relation.AttrSet) bool {
+	return !p.possible(s).has(True)
+}
+
+// StrongWRTScheme reports strongness with respect to all attributes of a
+// scheme (the paper's "strong with respect to a relation R").
+func StrongWRTScheme(p Predicate, sch *relation.Scheme) bool {
+	return StrongWRT(p, sch.AttrSet())
+}
+
+// Rels returns the sorted ground-relation names the predicate references.
+func Rels(p Predicate) []string { return p.Attrs().Rels() }
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EqOp CmpOp = iota
+	NeOp
+	LtOp
+	LeOp
+	GtOp
+	GeOp
+)
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case EqOp:
+		return "="
+	case NeOp:
+		return "<>"
+	case LtOp:
+		return "<"
+	case LeOp:
+		return "<="
+	case GtOp:
+		return ">"
+	case GeOp:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+func (o CmpOp) eval(a, b relation.Value) Tri {
+	if a.IsNull() || b.IsNull() {
+		return Unknown
+	}
+	if !a.Comparable(b) {
+		// Heterogeneous comparison: SQL would reject it statically; our
+		// dynamically-typed evaluator treats it as Unknown, which keeps
+		// comparisons strong and evaluation total.
+		return Unknown
+	}
+	c := a.Compare(b)
+	var ok bool
+	switch o {
+	case EqOp:
+		ok = c == 0
+	case NeOp:
+		ok = c != 0
+	case LtOp:
+		ok = c < 0
+	case LeOp:
+		ok = c <= 0
+	case GtOp:
+		ok = c > 0
+	case GeOp:
+		ok = c >= 0
+	}
+	if ok {
+		return True
+	}
+	return False
+}
+
+// Term is an operand of a comparison: an attribute or a constant.
+type Term struct {
+	attr    relation.Attr
+	isConst bool
+	val     relation.Value
+}
+
+// Col makes an attribute term.
+func Col(a relation.Attr) Term { return Term{attr: a} }
+
+// Const makes a constant term.
+func Const(v relation.Value) Term { return Term{isConst: true, val: v} }
+
+// IsConst reports whether the term is a constant.
+func (t Term) IsConst() bool { return t.isConst }
+
+// Attr returns the attribute of a column term (zero Attr for constants).
+func (t Term) Attr() relation.Attr { return t.attr }
+
+// Value returns the constant of a constant term.
+func (t Term) Value() relation.Value { return t.val }
+
+func (t Term) get(tp relation.Tuple) relation.Value {
+	if t.isConst {
+		return t.val
+	}
+	v, _ := tp.Get(t.attr) // absent attribute reads as null
+	return v
+}
+
+// String renders the term.
+func (t Term) String() string {
+	if t.isConst {
+		if t.val.Kind() == relation.KindString {
+			return "'" + t.val.String() + "'"
+		}
+		return t.val.String()
+	}
+	return t.attr.String()
+}
+
+// Comparison is "left op right" under SQL null semantics.
+type Comparison struct {
+	Op          CmpOp
+	Left, Right Term
+}
+
+// Cmp builds a comparison predicate.
+func Cmp(op CmpOp, left, right Term) *Comparison {
+	return &Comparison{Op: op, Left: left, Right: right}
+}
+
+// Eq builds the equality "a = b" of two attributes — the common equijoin
+// conjunct.
+func Eq(a, b relation.Attr) *Comparison { return Cmp(EqOp, Col(a), Col(b)) }
+
+// EqConst builds "a = v".
+func EqConst(a relation.Attr, v relation.Value) *Comparison {
+	return Cmp(EqOp, Col(a), Const(v))
+}
+
+// Eval implements Predicate.
+func (c *Comparison) Eval(t relation.Tuple) Tri {
+	return c.Op.eval(c.Left.get(t), c.Right.get(t))
+}
+
+// Attrs implements Predicate.
+func (c *Comparison) Attrs() relation.AttrSet {
+	s := relation.NewAttrSet()
+	if !c.Left.isConst {
+		s.Add(c.Left.attr)
+	}
+	if !c.Right.isConst {
+		s.Add(c.Right.attr)
+	}
+	return s
+}
+
+func (c *Comparison) possible(nulled relation.AttrSet) triSet {
+	leftNull := !c.Left.isConst && nulled.Contains(c.Left.attr)
+	rightNull := !c.Right.isConst && nulled.Contains(c.Right.attr)
+	if leftNull || rightNull {
+		return setUnknown
+	}
+	if c.Left.isConst && c.Right.isConst {
+		return single(c.Op.eval(c.Left.val, c.Right.val))
+	}
+	// An attribute outside the nulled set may itself hold null at run
+	// time, so Unknown stays possible.
+	return setAll
+}
+
+// String implements Predicate.
+func (c *Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// And is n-ary conjunction. Conjuncts at the top level of a join predicate
+// become the individual edges of the query graph.
+type And struct{ Conj []Predicate }
+
+// NewAnd conjoins predicates, flattening nested Ands.
+func NewAnd(ps ...Predicate) Predicate {
+	flat := make([]Predicate, 0, len(ps))
+	for _, p := range ps {
+		if a, ok := p.(*And); ok {
+			flat = append(flat, a.Conj...)
+		} else {
+			flat = append(flat, p)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &And{Conj: flat}
+}
+
+// Eval implements Predicate.
+func (a *And) Eval(t relation.Tuple) Tri {
+	out := True
+	for _, p := range a.Conj {
+		out = out.And(p.Eval(t))
+		if out == False {
+			return False
+		}
+	}
+	return out
+}
+
+// Attrs implements Predicate.
+func (a *And) Attrs() relation.AttrSet {
+	s := relation.NewAttrSet()
+	for _, p := range a.Conj {
+		s.AddAll(p.Attrs())
+	}
+	return s
+}
+
+func (a *And) possible(nulled relation.AttrSet) triSet {
+	out := single(True)
+	for _, p := range a.Conj {
+		out = out.apply2(p.possible(nulled), Tri.And)
+	}
+	return out
+}
+
+// String implements Predicate.
+func (a *And) String() string { return joinStrings(a.Conj, " and ") }
+
+// Or is n-ary disjunction.
+type Or struct{ Disj []Predicate }
+
+// NewOr disjoins predicates, flattening nested Ors.
+func NewOr(ps ...Predicate) Predicate {
+	flat := make([]Predicate, 0, len(ps))
+	for _, p := range ps {
+		if o, ok := p.(*Or); ok {
+			flat = append(flat, o.Disj...)
+		} else {
+			flat = append(flat, p)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Or{Disj: flat}
+}
+
+// Eval implements Predicate.
+func (o *Or) Eval(t relation.Tuple) Tri {
+	out := False
+	for _, p := range o.Disj {
+		out = out.Or(p.Eval(t))
+		if out == True {
+			return True
+		}
+	}
+	return out
+}
+
+// Attrs implements Predicate.
+func (o *Or) Attrs() relation.AttrSet {
+	s := relation.NewAttrSet()
+	for _, p := range o.Disj {
+		s.AddAll(p.Attrs())
+	}
+	return s
+}
+
+func (o *Or) possible(nulled relation.AttrSet) triSet {
+	out := single(False)
+	for _, p := range o.Disj {
+		out = out.apply2(p.possible(nulled), Tri.Or)
+	}
+	return out
+}
+
+// String implements Predicate.
+func (o *Or) String() string { return "(" + joinStrings(o.Disj, " or ") + ")" }
+
+// Not negates a predicate under Kleene logic.
+type Not struct{ P Predicate }
+
+// NewNot builds a negation.
+func NewNot(p Predicate) *Not { return &Not{P: p} }
+
+// Eval implements Predicate.
+func (n *Not) Eval(t relation.Tuple) Tri { return n.P.Eval(t).Not() }
+
+// Attrs implements Predicate.
+func (n *Not) Attrs() relation.AttrSet { return n.P.Attrs() }
+
+func (n *Not) possible(nulled relation.AttrSet) triSet {
+	return n.P.possible(nulled).apply1(Tri.Not)
+}
+
+// String implements Predicate.
+func (n *Not) String() string { return "not (" + n.P.String() + ")" }
+
+// IsNull tests an attribute for null; it never yields Unknown. A predicate
+// containing "a is null" positively is the canonical non-strong predicate
+// (Example 3 of the paper).
+type IsNull struct {
+	A       relation.Attr
+	Negated bool // "is not null"
+}
+
+// NewIsNull builds "a is null".
+func NewIsNull(a relation.Attr) *IsNull { return &IsNull{A: a} }
+
+// NewIsNotNull builds "a is not null".
+func NewIsNotNull(a relation.Attr) *IsNull { return &IsNull{A: a, Negated: true} }
+
+// Eval implements Predicate.
+func (p *IsNull) Eval(t relation.Tuple) Tri {
+	v, _ := t.Get(p.A)
+	if v.IsNull() != p.Negated {
+		return True
+	}
+	return False
+}
+
+// Attrs implements Predicate.
+func (p *IsNull) Attrs() relation.AttrSet { return relation.NewAttrSet(p.A) }
+
+func (p *IsNull) possible(nulled relation.AttrSet) triSet {
+	if nulled.Contains(p.A) {
+		if p.Negated {
+			return setFalse
+		}
+		return setTrue
+	}
+	return setFalse | setTrue
+}
+
+// String implements Predicate.
+func (p *IsNull) String() string {
+	if p.Negated {
+		return p.A.String() + " is not null"
+	}
+	return p.A.String() + " is null"
+}
+
+// Literal is a constant truth value; TruePred and FalsePred are the usual
+// instances.
+type Literal struct{ V Tri }
+
+// TruePred always holds; FalsePred never holds.
+var (
+	TruePred  = &Literal{V: True}
+	FalsePred = &Literal{V: False}
+)
+
+// Eval implements Predicate.
+func (l *Literal) Eval(relation.Tuple) Tri { return l.V }
+
+// Attrs implements Predicate.
+func (l *Literal) Attrs() relation.AttrSet { return relation.NewAttrSet() }
+
+func (l *Literal) possible(relation.AttrSet) triSet { return single(l.V) }
+
+// String implements Predicate.
+func (l *Literal) String() string { return l.V.String() }
+
+// Conjuncts splits a predicate into its top-level conjuncts; a non-And
+// predicate is its own single conjunct. Query-graph construction gives
+// each conjunct of a join its own edge.
+func Conjuncts(p Predicate) []Predicate {
+	if a, ok := p.(*And); ok {
+		return append([]Predicate(nil), a.Conj...)
+	}
+	return []Predicate{p}
+}
+
+func joinStrings(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,290 @@
+package predicate
+
+import (
+	"testing"
+
+	"freejoin/internal/relation"
+)
+
+var (
+	ra = relation.A("R", "a")
+	rb = relation.A("R", "b")
+	sa = relation.A("S", "a")
+)
+
+func tup(vals ...relation.Value) relation.Tuple {
+	attrs := []relation.Attr{ra, rb, sa}
+	return relation.MustTuple(relation.MustScheme(attrs[:len(vals)]...), vals...)
+}
+
+func TestTriTables(t *testing.T) {
+	vals := []Tri{False, Unknown, True}
+	andTable := [3][3]Tri{
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{False, Unknown, True},
+	}
+	orTable := [3][3]Tri{
+		{False, Unknown, True},
+		{Unknown, Unknown, True},
+		{True, True, True},
+	}
+	notTable := [3]Tri{True, Unknown, False}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := a.And(b); got != andTable[i][j] {
+				t.Errorf("%v AND %v = %v", a, b, got)
+			}
+			if got := a.Or(b); got != orTable[i][j] {
+				t.Errorf("%v OR %v = %v", a, b, got)
+			}
+		}
+		if got := a.Not(); got != notTable[i] {
+			t.Errorf("NOT %v = %v", a, got)
+		}
+	}
+	if !True.Holds() || False.Holds() || Unknown.Holds() {
+		t.Error("Holds must select only True")
+	}
+	if False.String() != "false" || Unknown.String() != "unknown" || True.String() != "true" {
+		t.Error("Tri.String broken")
+	}
+}
+
+func TestComparisonEval(t *testing.T) {
+	i := relation.Int
+	cases := []struct {
+		op   CmpOp
+		a, b relation.Value
+		want Tri
+	}{
+		{EqOp, i(1), i(1), True},
+		{EqOp, i(1), i(2), False},
+		{NeOp, i(1), i(2), True},
+		{LtOp, i(1), i(2), True},
+		{LeOp, i(2), i(2), True},
+		{GtOp, i(3), i(2), True},
+		{GeOp, i(1), i(2), False},
+		{EqOp, relation.Null(), i(1), Unknown},
+		{EqOp, i(1), relation.Null(), Unknown},
+		{EqOp, relation.Null(), relation.Null(), Unknown},
+		{LtOp, i(1), relation.Str("x"), Unknown}, // heterogeneous
+		{EqOp, i(2), relation.Float(2.0), True},  // numeric coercion
+	}
+	for _, tc := range cases {
+		p := Cmp(tc.op, Col(ra), Col(rb))
+		got := p.Eval(tup(tc.a, tc.b))
+		if got != tc.want {
+			t.Errorf("%v %v %v = %v, want %v", tc.a, tc.op, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestComparisonMissingAttrReadsNull(t *testing.T) {
+	p := Eq(ra, relation.A("Z", "z"))
+	if got := p.Eval(tup(relation.Int(1))); got != Unknown {
+		t.Errorf("missing attr should evaluate as null -> Unknown, got %v", got)
+	}
+}
+
+func TestAndOrNotEval(t *testing.T) {
+	pT := EqConst(ra, relation.Int(1))
+	pF := EqConst(ra, relation.Int(2))
+	row := tup(relation.Int(1), relation.Null())
+	pU := Eq(ra, rb) // b null -> Unknown
+
+	if NewAnd(pT, pT).Eval(row) != True {
+		t.Error("T and T")
+	}
+	if NewAnd(pT, pF).Eval(row) != False {
+		t.Error("T and F")
+	}
+	if NewAnd(pT, pU).Eval(row) != Unknown {
+		t.Error("T and U")
+	}
+	if NewAnd(pF, pU).Eval(row) != False {
+		t.Error("F and U short-circuits to F")
+	}
+	if NewOr(pF, pT).Eval(row) != True {
+		t.Error("F or T")
+	}
+	if NewOr(pF, pU).Eval(row) != Unknown {
+		t.Error("F or U")
+	}
+	if NewNot(pU).Eval(row) != Unknown {
+		t.Error("not U = U")
+	}
+	if NewNot(pT).Eval(row) != False {
+		t.Error("not T = F")
+	}
+}
+
+func TestNewAndFlattensAndSingleton(t *testing.T) {
+	p1, p2, p3 := Eq(ra, rb), Eq(ra, sa), Eq(rb, sa)
+	a := NewAnd(NewAnd(p1, p2), p3)
+	and, ok := a.(*And)
+	if !ok || len(and.Conj) != 3 {
+		t.Fatalf("flattening failed: %v", a)
+	}
+	if NewAnd(p1) != p1 {
+		t.Error("singleton And must unwrap")
+	}
+	o := NewOr(NewOr(p1, p2), p3)
+	or, ok := o.(*Or)
+	if !ok || len(or.Disj) != 3 {
+		t.Fatalf("Or flattening failed: %v", o)
+	}
+	if NewOr(p2) != p2 {
+		t.Error("singleton Or must unwrap")
+	}
+}
+
+func TestIsNullEval(t *testing.T) {
+	row := tup(relation.Null(), relation.Int(1))
+	if NewIsNull(ra).Eval(row) != True {
+		t.Error("a is null")
+	}
+	if NewIsNull(rb).Eval(row) != False {
+		t.Error("b is null must be false")
+	}
+	if NewIsNotNull(ra).Eval(row) != False {
+		t.Error("a is not null must be false")
+	}
+	if NewIsNotNull(rb).Eval(row) != True {
+		t.Error("b is not null")
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	row := tup(relation.Int(1))
+	if TruePred.Eval(row) != True || FalsePred.Eval(row) != False {
+		t.Error("literals broken")
+	}
+	if len(TruePred.Attrs()) != 0 {
+		t.Error("literal references no attrs")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	p := NewAnd(Eq(ra, sa), NewOr(EqConst(rb, relation.Int(1)), NewIsNull(ra)))
+	attrs := p.Attrs()
+	if len(attrs) != 3 || !attrs.Contains(ra) || !attrs.Contains(rb) || !attrs.Contains(sa) {
+		t.Errorf("Attrs = %v", attrs.Sorted())
+	}
+	if rels := Rels(p); len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Errorf("Rels = %v", rels)
+	}
+}
+
+func TestStrongness(t *testing.T) {
+	rSet := relation.NewAttrSet(ra, rb)
+	sSet := relation.NewAttrSet(sa)
+
+	cases := []struct {
+		name string
+		p    Predicate
+		set  relation.AttrSet
+		want bool
+	}{
+		{"equality is strong wrt its operand", Eq(ra, sa), rSet, true},
+		{"equality is strong wrt the other side too", Eq(ra, sa), sSet, true},
+		{"equality not referencing the set", Eq(ra, rb), sSet, false},
+		{"comparison vs constant is strong", EqConst(ra, relation.Int(1)), rSet, true},
+		{"is-null is NOT strong (Example 3)", NewIsNull(ra), rSet, false},
+		{"is-not-null is strong", NewIsNotNull(ra), rSet, true},
+		{"eq OR is-null is NOT strong (Example 3's P_bc)",
+			NewOr(Eq(ra, sa), NewIsNull(ra)), rSet, false},
+		{"eq OR eq is strong when both reference the set",
+			NewOr(Eq(ra, sa), Eq(rb, sa)), rSet, true},
+		{"eq OR eq not strong when one disjunct misses the set",
+			NewOr(Eq(ra, sa), EqConst(sa, relation.Int(1))), rSet, false},
+		{"conjunction is strong if any conjunct is",
+			NewAnd(NewIsNull(ra), Eq(rb, sa)), rSet, true},
+		{"negated comparison still cannot be True on nulls",
+			NewNot(Eq(ra, sa)), rSet, true},
+		{"negated is-null is strong", NewNot(NewIsNull(ra)), rSet, true},
+		{"negated is-not-null is not strong", NewNot(NewIsNotNull(ra)), rSet, false},
+		{"true literal is not strong", TruePred, rSet, false},
+		{"false literal is vacuously strong", FalsePred, rSet, true},
+		{"constant-false comparison is strong",
+			Cmp(EqOp, Const(relation.Int(1)), Const(relation.Int(2))), rSet, true},
+		{"constant-true comparison is not strong",
+			Cmp(EqOp, Const(relation.Int(1)), Const(relation.Int(1))), rSet, false},
+	}
+	for _, tc := range cases {
+		if got := StrongWRT(tc.p, tc.set); got != tc.want {
+			t.Errorf("%s: StrongWRT(%v, %v) = %v, want %v", tc.name, tc.p, tc.set.Sorted(), got, tc.want)
+		}
+	}
+}
+
+// TestStrongnessSound verifies the analysis is sound: whenever StrongWRT
+// says a predicate is strong w.r.t. {a}, evaluating it on tuples with a
+// null never yields True.
+func TestStrongnessSound(t *testing.T) {
+	preds := []Predicate{
+		Eq(ra, rb), Eq(ra, sa), NewIsNull(ra), NewIsNotNull(ra),
+		NewOr(Eq(ra, sa), NewIsNull(ra)),
+		NewAnd(Eq(ra, sa), NewIsNull(rb)),
+		NewNot(Eq(ra, sa)),
+		NewNot(NewAnd(NewIsNull(ra), NewIsNull(rb))),
+		TruePred, FalsePred,
+	}
+	vals := []relation.Value{relation.Null(), relation.Int(0), relation.Int(1), relation.Str("x")}
+	set := relation.NewAttrSet(ra)
+	for _, p := range preds {
+		if !StrongWRT(p, set) {
+			continue
+		}
+		for _, bv := range vals {
+			for _, sv := range vals {
+				row := tup(relation.Null(), bv, sv)
+				if p.Eval(row) == True {
+					t.Errorf("unsound: %v declared strong wrt {R.a} but True on %v", p, row)
+				}
+			}
+		}
+	}
+}
+
+func TestStrongWRTScheme(t *testing.T) {
+	sch := relation.SchemeOf("R", "a", "b")
+	if !StrongWRTScheme(Eq(ra, sa), sch) {
+		t.Error("eq referencing R.a is strong wrt scheme of R")
+	}
+	if StrongWRTScheme(EqConst(sa, relation.Int(1)), sch) {
+		t.Error("predicate not touching R cannot be strong wrt R")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	p1, p2 := Eq(ra, sa), Eq(rb, sa)
+	cs := Conjuncts(NewAnd(p1, p2))
+	if len(cs) != 2 {
+		t.Fatalf("Conjuncts = %d", len(cs))
+	}
+	if cs := Conjuncts(p1); len(cs) != 1 || cs[0] != Predicate(p1) {
+		t.Error("single predicate is its own conjunct")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := NewAnd(
+		Eq(ra, sa),
+		NewOr(EqConst(rb, relation.Str("x")), NewIsNull(rb)),
+		NewNot(Cmp(LtOp, Col(ra), Const(relation.Int(3)))),
+	)
+	got := p.String()
+	want := "R.a = S.a and (R.b = 'x' or R.b is null) and not (R.a < 3)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if NewIsNotNull(ra).String() != "R.a is not null" {
+		t.Error("is not null rendering")
+	}
+	for op, s := range map[CmpOp]string{EqOp: "=", NeOp: "<>", LtOp: "<", LeOp: "<=", GtOp: ">", GeOp: ">=", CmpOp(77): "?"} {
+		if op.String() != s {
+			t.Errorf("op %d renders %q", op, op.String())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package predicate implements restriction and join predicates over the
+// relational model of package relation, using SQL-style three-valued logic
+// (comparisons against null are Unknown, and only True selects a tuple).
+//
+// Its central analysis is the paper's notion of a predicate being *strong*
+// with respect to a set of attributes S: whenever a tuple is null on all of
+// S, the predicate does not hold. Strongness of outerjoin predicates with
+// respect to the null-supplied relation is one of the two preconditions of
+// the free-reorderability theorem (Theorem 1) and of identity 12.
+package predicate
+
+// Tri is a three-valued truth value.
+type Tri uint8
+
+// Truth values. The zero value is False.
+const (
+	False Tri = iota
+	Unknown
+	True
+)
+
+// String returns the truth value's name.
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "false"
+	case Unknown:
+		return "unknown"
+	case True:
+		return "true"
+	default:
+		return "Tri(?)"
+	}
+}
+
+// Holds reports whether the truth value selects a tuple: only True does.
+// This makes every comparison automatically strong w.r.t. its operands,
+// matching the paper's treatment of join predicates over nullable columns.
+func (t Tri) Holds() bool { return t == True }
+
+// And is Kleene conjunction.
+func (t Tri) And(u Tri) Tri {
+	if t == False || u == False {
+		return False
+	}
+	if t == Unknown || u == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or is Kleene disjunction.
+func (t Tri) Or(u Tri) Tri {
+	if t == True || u == True {
+		return True
+	}
+	if t == Unknown || u == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not is Kleene negation.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// triSet is a set of possible truth values, used by the abstract
+// interpreter behind the strongness analysis.
+type triSet uint8
+
+const (
+	setFalse   triSet = 1 << False
+	setUnknown triSet = 1 << Unknown
+	setTrue    triSet = 1 << True
+	setAll            = setFalse | setUnknown | setTrue
+)
+
+func single(t Tri) triSet { return 1 << t }
+
+func (s triSet) has(t Tri) bool { return s&(1<<t) != 0 }
+
+// apply lifts a binary Tri operation to sets (cross product).
+func (s triSet) apply2(u triSet, op func(Tri, Tri) Tri) triSet {
+	var out triSet
+	for a := False; a <= True; a++ {
+		if !s.has(a) {
+			continue
+		}
+		for b := False; b <= True; b++ {
+			if u.has(b) {
+				out |= single(op(a, b))
+			}
+		}
+	}
+	return out
+}
+
+// apply1 lifts a unary Tri operation to sets.
+func (s triSet) apply1(op func(Tri) Tri) triSet {
+	var out triSet
+	for a := False; a <= True; a++ {
+		if s.has(a) {
+			out |= single(op(a))
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package relation
+
+import "fmt"
+
+// V converts a Go literal to a Value: nil → null, bool, int/int64,
+// float64, string. Any other type panics. It keeps table literals in tests
+// and examples readable.
+func V(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null()
+	case Value:
+		return t
+	case bool:
+		return Bool(t)
+	case int:
+		return Int(int64(t))
+	case int64:
+		return Int(t)
+	case float64:
+		return Float(t)
+	case string:
+		return Str(t)
+	default:
+		panic(fmt.Sprintf("relation: unsupported literal type %T", x))
+	}
+}
+
+// FromRows builds a relation for ground relation rel with the given column
+// names and row literals (see V for accepted literal types).
+func FromRows(rel string, names []string, rows ...[]any) *Relation {
+	r := New(SchemeOf(rel, names...))
+	for _, row := range rows {
+		if len(row) != len(names) {
+			panic(fmt.Sprintf("relation: row arity %d does not match %d columns of %s", len(row), len(names), rel))
+		}
+		vals := make([]Value, len(row))
+		for i, x := range row {
+			vals[i] = V(x)
+		}
+		r.AppendRaw(vals)
+	}
+	return r
+}

@@ -1,0 +1,280 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is a qualified attribute name. The paper assumes database relations
+// have mutually disjoint schemes, which qualification by ground-relation
+// name guarantees (several copies of a relation are used with renamed
+// attributes, i.e. a different Rel qualifier).
+type Attr struct {
+	Rel  string // ground relation (or tuple variable) the attribute belongs to
+	Name string
+}
+
+// A returns the attribute Rel.Name; it is a convenience constructor for
+// tests and examples.
+func A(rel, name string) Attr { return Attr{Rel: rel, Name: name} }
+
+// ParseAttr parses "Rel.Name". It returns an error if the dot is missing.
+func ParseAttr(s string) (Attr, error) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return Attr{}, fmt.Errorf("relation: attribute %q is not of the form Rel.Name", s)
+	}
+	return Attr{Rel: s[:i], Name: s[i+1:]}, nil
+}
+
+// String returns "Rel.Name".
+func (a Attr) String() string { return a.Rel + "." + a.Name }
+
+// AttrSet is a set of attributes.
+type AttrSet map[Attr]struct{}
+
+// NewAttrSet builds a set from the given attributes.
+func NewAttrSet(attrs ...Attr) AttrSet {
+	s := make(AttrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s AttrSet) Contains(a Attr) bool { _, ok := s[a]; return ok }
+
+// Add inserts an attribute.
+func (s AttrSet) Add(a Attr) { s[a] = struct{}{} }
+
+// AddAll inserts every attribute of t.
+func (s AttrSet) AddAll(t AttrSet) {
+	for a := range t {
+		s[a] = struct{}{}
+	}
+}
+
+// Rels returns the set of relation qualifiers appearing in the set, sorted.
+func (s AttrSet) Rels() []string {
+	seen := map[string]struct{}{}
+	for a := range s {
+		seen[a.Rel] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sorted returns the attributes in deterministic order.
+func (s AttrSet) Sorted() []Attr {
+	out := make([]Attr, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Intersects reports whether the two sets share an attribute.
+func (s AttrSet) Intersects(t AttrSet) bool {
+	small, big := s, t
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for a := range small {
+		if _, ok := big[a]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every attribute of s is in t.
+func (s AttrSet) SubsetOf(t AttrSet) bool {
+	for a := range s {
+		if _, ok := t[a]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Scheme is an ordered set of attributes with O(1) position lookup. The
+// order is the column order of relations over the scheme; two schemes with
+// the same attributes in different orders are equal as sets (EqualSet) but
+// lay out rows differently.
+type Scheme struct {
+	attrs []Attr
+	index map[Attr]int
+}
+
+// NewScheme builds a scheme; duplicate attributes are an error because the
+// paper's database schemes are mutually disjoint attribute sets.
+func NewScheme(attrs ...Attr) (*Scheme, error) {
+	s := &Scheme{attrs: append([]Attr(nil), attrs...), index: make(map[Attr]int, len(attrs))}
+	for i, a := range s.attrs {
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %s in scheme", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustScheme is NewScheme that panics on error; for literals in tests and
+// examples.
+func MustScheme(attrs ...Attr) *Scheme {
+	s, err := NewScheme(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SchemeOf builds a scheme for one ground relation rel with the given
+// column names.
+func SchemeOf(rel string, names ...string) *Scheme {
+	attrs := make([]Attr, len(names))
+	for i, n := range names {
+		attrs[i] = Attr{Rel: rel, Name: n}
+	}
+	return MustScheme(attrs...)
+}
+
+// Len returns the number of attributes.
+func (s *Scheme) Len() int { return len(s.attrs) }
+
+// At returns the i-th attribute.
+func (s *Scheme) At(i int) Attr { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Scheme) Attrs() []Attr { return append([]Attr(nil), s.attrs...) }
+
+// AttrSet returns the attributes as a set.
+func (s *Scheme) AttrSet() AttrSet {
+	out := make(AttrSet, len(s.attrs))
+	for _, a := range s.attrs {
+		out[a] = struct{}{}
+	}
+	return out
+}
+
+// IndexOf returns the position of a, or -1 if absent.
+func (s *Scheme) IndexOf(a Attr) int {
+	if i, ok := s.index[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether a is in the scheme.
+func (s *Scheme) Contains(a Attr) bool { _, ok := s.index[a]; return ok }
+
+// ContainsAll reports whether every attribute in set is in the scheme.
+func (s *Scheme) ContainsAll(set AttrSet) bool {
+	for a := range set {
+		if !s.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether the schemes share no attribute.
+func (s *Scheme) Disjoint(t *Scheme) bool {
+	for _, a := range t.attrs {
+		if s.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns the scheme s ++ t; per the paper's concatenation
+// convention the schemes must be disjoint.
+func (s *Scheme) Concat(t *Scheme) (*Scheme, error) {
+	if !s.Disjoint(t) {
+		return nil, fmt.Errorf("relation: concatenating overlapping schemes %s and %s", s, t)
+	}
+	return NewScheme(append(s.Attrs(), t.attrs...)...)
+}
+
+// UnionFor returns the padded scheme used by the paper's union convention:
+// the attributes of s followed by those of t not already present. Unlike
+// Concat it tolerates overlap, because union compares relations after
+// padding both sides to sch(X) ∪ sch(Y).
+func (s *Scheme) UnionFor(t *Scheme) *Scheme {
+	attrs := s.Attrs()
+	for _, a := range t.attrs {
+		if !s.Contains(a) {
+			attrs = append(attrs, a)
+		}
+	}
+	return MustScheme(attrs...)
+}
+
+// Project returns a scheme restricted to the listed attributes, in the
+// listed order; every attribute must exist in s.
+func (s *Scheme) Project(attrs []Attr) (*Scheme, error) {
+	for _, a := range attrs {
+		if !s.Contains(a) {
+			return nil, fmt.Errorf("relation: projection attribute %s not in scheme %s", a, s)
+		}
+	}
+	return NewScheme(attrs...)
+}
+
+// EqualSet reports whether the two schemes contain the same attributes,
+// regardless of order.
+func (s *Scheme) EqualSet(t *Scheme) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for _, a := range t.attrs {
+		if !s.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the schemes are identical including column order.
+func (s *Scheme) Equal(t *Scheme) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i, a := range s.attrs {
+		if t.attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Rels returns the distinct ground-relation qualifiers in the scheme,
+// sorted.
+func (s *Scheme) Rels() []string { return s.AttrSet().Rels() }
+
+// String renders the scheme as "(A.x, A.y, B.z)".
+func (s *Scheme) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestParseAttr(t *testing.T) {
+	a, err := ParseAttr("R.x")
+	if err != nil || a != (Attr{Rel: "R", Name: "x"}) {
+		t.Fatalf("ParseAttr(R.x) = %v, %v", a, err)
+	}
+	for _, bad := range []string{"Rx", ".x", "R.", ""} {
+		if _, err := ParseAttr(bad); err == nil {
+			t.Errorf("ParseAttr(%q) should fail", bad)
+		}
+	}
+	if A("R", "x").String() != "R.x" {
+		t.Error("Attr.String broken")
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	s := NewAttrSet(A("R", "x"), A("S", "y"))
+	if !s.Contains(A("R", "x")) || s.Contains(A("R", "z")) {
+		t.Error("Contains broken")
+	}
+	s.Add(A("R", "z"))
+	if !s.Contains(A("R", "z")) {
+		t.Error("Add broken")
+	}
+	other := NewAttrSet(A("T", "w"))
+	s.AddAll(other)
+	if !s.Contains(A("T", "w")) {
+		t.Error("AddAll broken")
+	}
+	rels := s.Rels()
+	if len(rels) != 3 || rels[0] != "R" || rels[1] != "S" || rels[2] != "T" {
+		t.Errorf("Rels = %v", rels)
+	}
+	if !NewAttrSet(A("R", "x")).SubsetOf(s) {
+		t.Error("SubsetOf broken")
+	}
+	if s.SubsetOf(NewAttrSet(A("R", "x"))) {
+		t.Error("SubsetOf must be false for proper superset")
+	}
+	if !s.Intersects(NewAttrSet(A("S", "y"), A("Q", "q"))) {
+		t.Error("Intersects broken (positive)")
+	}
+	if s.Intersects(NewAttrSet(A("Q", "q"))) {
+		t.Error("Intersects broken (negative)")
+	}
+	sorted := NewAttrSet(A("B", "b"), A("A", "z"), A("A", "a")).Sorted()
+	want := []Attr{A("A", "a"), A("A", "z"), A("B", "b")}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", sorted, want)
+		}
+	}
+}
+
+func TestSchemeBasics(t *testing.T) {
+	s := SchemeOf("R", "a", "b", "c")
+	if s.Len() != 3 || s.At(1) != A("R", "b") {
+		t.Fatal("SchemeOf broken")
+	}
+	if s.IndexOf(A("R", "c")) != 2 || s.IndexOf(A("R", "z")) != -1 {
+		t.Error("IndexOf broken")
+	}
+	if !s.Contains(A("R", "a")) || s.Contains(A("S", "a")) {
+		t.Error("Contains broken")
+	}
+	if !s.ContainsAll(NewAttrSet(A("R", "a"), A("R", "b"))) {
+		t.Error("ContainsAll positive broken")
+	}
+	if s.ContainsAll(NewAttrSet(A("R", "a"), A("S", "x"))) {
+		t.Error("ContainsAll negative broken")
+	}
+	if got := s.String(); got != "(R.a, R.b, R.c)" {
+		t.Errorf("String = %q", got)
+	}
+	if rels := s.Rels(); len(rels) != 1 || rels[0] != "R" {
+		t.Errorf("Rels = %v", rels)
+	}
+}
+
+func TestSchemeDuplicateRejected(t *testing.T) {
+	if _, err := NewScheme(A("R", "a"), A("R", "a")); err == nil {
+		t.Fatal("duplicate attribute must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustScheme must panic on duplicates")
+		}
+	}()
+	MustScheme(A("R", "a"), A("R", "a"))
+}
+
+func TestSchemeConcat(t *testing.T) {
+	r := SchemeOf("R", "a")
+	s := SchemeOf("S", "b")
+	rs, err := r.Concat(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 || rs.At(0) != A("R", "a") || rs.At(1) != A("S", "b") {
+		t.Errorf("Concat = %v", rs)
+	}
+	if _, err := rs.Concat(r); err == nil {
+		t.Error("overlapping Concat must fail")
+	}
+}
+
+func TestSchemeUnionFor(t *testing.T) {
+	r := SchemeOf("R", "a", "b")
+	s := MustScheme(A("R", "b"), A("S", "c"))
+	u := r.UnionFor(s)
+	if u.Len() != 3 || u.At(2) != A("S", "c") {
+		t.Errorf("UnionFor = %v", u)
+	}
+}
+
+func TestSchemeProject(t *testing.T) {
+	s := SchemeOf("R", "a", "b", "c")
+	p, err := s.Project([]Attr{A("R", "c"), A("R", "a")})
+	if err != nil || p.Len() != 2 || p.At(0) != A("R", "c") {
+		t.Fatalf("Project = %v, %v", p, err)
+	}
+	if _, err := s.Project([]Attr{A("S", "x")}); err == nil {
+		t.Error("projecting a missing attribute must fail")
+	}
+}
+
+func TestSchemeEquality(t *testing.T) {
+	a := SchemeOf("R", "x", "y")
+	b := MustScheme(A("R", "y"), A("R", "x"))
+	if !a.EqualSet(b) {
+		t.Error("EqualSet must ignore order")
+	}
+	if a.Equal(b) {
+		t.Error("Equal must respect order")
+	}
+	if a.EqualSet(SchemeOf("R", "x")) {
+		t.Error("EqualSet must compare sizes")
+	}
+	if a.EqualSet(SchemeOf("R", "x", "z")) {
+		t.Error("EqualSet must compare membership")
+	}
+	if !a.Equal(SchemeOf("R", "x", "y")) {
+		t.Error("Equal positive broken")
+	}
+}
+
+func TestSchemeDisjoint(t *testing.T) {
+	a := SchemeOf("R", "x")
+	b := SchemeOf("S", "x")
+	if !a.Disjoint(b) {
+		t.Error("R.x and S.x are distinct attrs")
+	}
+	if a.Disjoint(a) {
+		t.Error("a scheme is not disjoint from itself")
+	}
+}
+
+func TestSchemeAttrsCopy(t *testing.T) {
+	s := SchemeOf("R", "a", "b")
+	attrs := s.Attrs()
+	attrs[0] = A("X", "x")
+	if s.At(0) != A("R", "a") {
+		t.Error("Attrs must return a copy")
+	}
+	set := s.AttrSet()
+	if len(set) != 2 || !set.Contains(A("R", "b")) {
+		t.Error("AttrSet broken")
+	}
+}

@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a row viewed through its scheme. It borrows (does not copy) the
+// underlying value slice, so a Tuple is a cheap read-only view.
+type Tuple struct {
+	scheme *Scheme
+	vals   []Value
+}
+
+// NewTuple wraps a value slice with its scheme. The arity must match.
+func NewTuple(scheme *Scheme, vals []Value) (Tuple, error) {
+	if len(vals) != scheme.Len() {
+		return Tuple{}, fmt.Errorf("relation: tuple arity %d does not match scheme %s", len(vals), scheme)
+	}
+	return Tuple{scheme: scheme, vals: vals}, nil
+}
+
+// MustTuple is NewTuple that panics on error.
+func MustTuple(scheme *Scheme, vals ...Value) Tuple {
+	t, err := NewTuple(scheme, vals)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NullTuple returns the all-null tuple on the scheme (the paper's null_S).
+func NullTuple(scheme *Scheme) Tuple {
+	return Tuple{scheme: scheme, vals: make([]Value, scheme.Len())}
+}
+
+// Scheme returns the tuple's scheme.
+func (t Tuple) Scheme() *Scheme { return t.scheme }
+
+// Len returns the number of fields.
+func (t Tuple) Len() int { return len(t.vals) }
+
+// At returns the i-th field.
+func (t Tuple) At(i int) Value { return t.vals[i] }
+
+// Values returns the underlying value slice; callers must not modify it.
+func (t Tuple) Values() []Value { return t.vals }
+
+// Get returns the value of attribute a and whether the attribute exists.
+func (t Tuple) Get(a Attr) (Value, bool) {
+	i := t.scheme.IndexOf(a)
+	if i < 0 {
+		return Value{}, false
+	}
+	return t.vals[i], true
+}
+
+// MustGet returns the value of attribute a, panicking if absent. Operators
+// resolve attribute positions ahead of time; MustGet is for tests and
+// diagnostics.
+func (t Tuple) MustGet(a Attr) Value {
+	v, ok := t.Get(a)
+	if !ok {
+		panic(fmt.Sprintf("relation: attribute %s not in scheme %s", a, t.scheme))
+	}
+	return v
+}
+
+// AllNullOn reports whether every attribute of the given set that appears
+// in the tuple's scheme is null. It is the hypothesis of the paper's
+// "strong predicate" definition: a predicate p is strong w.r.t. S when
+// p(t)=False for every t whose S-attributes are all null.
+func (t Tuple) AllNullOn(set AttrSet) bool {
+	for a := range set {
+		if i := t.scheme.IndexOf(a); i >= 0 && !t.vals[i].IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat concatenates two tuples on disjoint schemes (the paper's (t1,t2)).
+func (t Tuple) Concat(u Tuple) (Tuple, error) {
+	sch, err := t.scheme.Concat(u.scheme)
+	if err != nil {
+		return Tuple{}, err
+	}
+	vals := make([]Value, 0, len(t.vals)+len(u.vals))
+	vals = append(vals, t.vals...)
+	vals = append(vals, u.vals...)
+	return Tuple{scheme: sch, vals: vals}, nil
+}
+
+// PadTo pads the tuple onto a superscheme, placing nulls in attributes the
+// tuple does not have (the paper's padding with null_{S'-S}). Every
+// attribute of the tuple's scheme must appear in target.
+func (t Tuple) PadTo(target *Scheme) (Tuple, error) {
+	vals := make([]Value, target.Len())
+	for i, a := range t.scheme.attrs {
+		j := target.IndexOf(a)
+		if j < 0 {
+			return Tuple{}, fmt.Errorf("relation: cannot pad: %s not in target scheme %s", a, target)
+		}
+		vals[j] = t.vals[i]
+	}
+	return Tuple{scheme: target, vals: vals}, nil
+}
+
+// Identical reports field-wise Go-level equality of two tuples over equal
+// schemes (null == null). It returns false when the schemes differ.
+func (t Tuple) Identical(u Tuple) bool {
+	if !t.scheme.Equal(u.scheme) {
+		return false
+	}
+	for i := range t.vals {
+		if t.vals[i] != u.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns an unambiguous byte-string encoding of the row, used for bag
+// comparison and hashing. Two rows over the same scheme have equal keys
+// iff they are Identical.
+func (t Tuple) Key() string { return string(appendRowKey(nil, t.vals)) }
+
+func appendRowKey(b []byte, vals []Value) []byte {
+	for _, v := range vals {
+		b = v.appendKey(b)
+	}
+	return b
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

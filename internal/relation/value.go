@@ -1,0 +1,284 @@
+// Package relation implements the relational data model of Rosenthal &
+// Galindo-Legaria (SIGMOD 1990): schemes of qualified attributes, tuples
+// whose fields may be null, and finite bag relations, together with the
+// concatenation, padding and union conventions the paper's algebra relies
+// on.
+//
+// Relations are bags (duplicates permitted): the paper explicitly prefers
+// algebraic proofs that remain valid "in an environment where duplicates
+// are permitted", so equality of query results is multiset equality (see
+// Relation.EqualBag).
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds. KindNull is the zero value, so an uninitialized Value is
+// the SQL null, matching the paper's null-padding convention.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single attribute value. The zero Value is null. Values are
+// comparable with == (suitable as map keys), but note that == treats two
+// nulls as identical; predicate evaluation instead uses three-valued logic
+// (see package predicate).
+type Value struct {
+	kind Kind
+	i    int64 // also stores bool as 0/1
+	f    float64
+	s    string
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value. The name collides with fmt.Stringer
+// deliberately only at package level; the method is Value.Text/Value.String.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean content; it panics if the kind is not bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("relation: AsBool on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// AsInt returns the integer content; it panics if the kind is not int.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("relation: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric content widened to float64; it panics if the
+// kind is neither int nor float.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		panic(fmt.Sprintf("relation: AsFloat on %s value", v.kind))
+	}
+}
+
+// AsString returns the string content; it panics if the kind is not string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("relation: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Identical reports Go-level equality: two nulls are identical, and values
+// of different kinds are never identical (no numeric coercion). Use this
+// for grouping and duplicate elimination; use Compare3VL semantics in
+// package predicate for query predicates.
+func (v Value) Identical(w Value) bool { return v == w }
+
+// Comparable reports whether the two values can be ordered by Compare
+// without a type error: both non-null and of the same kind, or both
+// numeric.
+func (v Value) Comparable(w Value) bool {
+	if v.kind == KindNull || w.kind == KindNull {
+		return false
+	}
+	if v.kind == w.kind {
+		return true
+	}
+	return v.isNumeric() && w.isNumeric()
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders two values: -1, 0 or +1. Nulls sort before all non-null
+// values, and distinct kinds order by kind tag (bool < int/float < string);
+// ints and floats compare numerically. This is a total order used for
+// canonical sorting and ordered indexes, not for predicate truth.
+func (v Value) Compare(w Value) int {
+	vk, wk := v.orderClass(), w.orderClass()
+	if vk != wk {
+		if vk < wk {
+			return -1
+		}
+		return 1
+	}
+	switch vk {
+	case 0: // both null
+		return 0
+	case 1: // bool
+		return cmpInt64(v.i, w.i)
+	case 2: // numeric
+		if v.kind == KindInt && w.kind == KindInt {
+			return cmpInt64(v.i, w.i)
+		}
+		return cmpFloat64(v.AsFloat(), w.AsFloat())
+	default: // string
+		return strings.Compare(v.s, w.s)
+	}
+}
+
+func (v Value) orderClass() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// Order NaNs deterministically before everything else.
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display; null renders as "-" following the
+// paper's figures (e.g. "(r1, -, -)").
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "-"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return v.s
+	}
+}
+
+// AppendKey appends an unambiguous encoding of the value to b, used to
+// build hash keys for bag comparison, hash joins and hash indexes. Two
+// values have equal encodings iff they are Identical.
+func AppendKey(b []byte, v Value) []byte { return v.appendKey(b) }
+
+// AppendJoinKey appends an encoding under which two non-null values have
+// equal keys iff an equality predicate would hold between them
+// (Compare == 0). It differs from AppendKey on numerics: an integral
+// float encodes like the equal int, so hash joins agree with the
+// nested-loop three-valued comparison semantics. Callers must skip null
+// values (null never equi-matches).
+func AppendJoinKey(b []byte, v Value) []byte {
+	if v.kind == KindFloat {
+		f := v.f
+		if f == math.Trunc(f) && f >= -9.2e18 && f <= 9.2e18 {
+			return Int(int64(f)).appendKey(b)
+		}
+	}
+	return v.appendKey(b)
+}
+
+// appendKey appends an unambiguous encoding of the value, used to build
+// hash keys for bag comparison and hash joins.
+func (v Value) appendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 'N')
+	case KindBool:
+		if v.i != 0 {
+			return append(b, 'T')
+		}
+		return append(b, 'F')
+	case KindInt:
+		b = append(b, 'I')
+		b = strconv.AppendInt(b, v.i, 10)
+		return append(b, '|')
+	case KindFloat:
+		b = append(b, 'D')
+		b = strconv.AppendUint(b, math.Float64bits(v.f), 16)
+		return append(b, '|')
+	default:
+		b = append(b, 'S')
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		b = append(b, v.s...)
+		return b
+	}
+}

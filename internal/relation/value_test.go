@@ -1,0 +1,193 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueZeroIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be null")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("kind = %v, want null", v.Kind())
+	}
+	if v.String() != "-" {
+		t.Fatalf("null renders as %q, want -", v.String())
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if got := Bool(true); !got.AsBool() || got.Kind() != KindBool {
+		t.Errorf("Bool(true) = %v", got)
+	}
+	if got := Bool(false); got.AsBool() {
+		t.Errorf("Bool(false).AsBool() = true")
+	}
+	if got := Int(-7); got.AsInt() != -7 || got.Kind() != KindInt {
+		t.Errorf("Int(-7) = %v", got)
+	}
+	if got := Float(2.5); got.AsFloat() != 2.5 || got.Kind() != KindFloat {
+		t.Errorf("Float(2.5) = %v", got)
+	}
+	if got := Str("x"); got.AsString() != "x" || got.Kind() != KindString {
+		t.Errorf("Str(x) = %v", got)
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Errorf("Int.AsFloat widening failed")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Null().AsBool() },
+		func() { Int(1).AsBool() },
+		func() { Str("a").AsInt() },
+		func() { Bool(true).AsFloat() },
+		func() { Int(1).AsString() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValueIdentical(t *testing.T) {
+	if !Null().Identical(Null()) {
+		t.Error("null must be Identical to null (grouping semantics)")
+	}
+	if Int(1).Identical(Float(1)) {
+		t.Error("no numeric coercion in Identical")
+	}
+	if !Int(5).Identical(Int(5)) || Int(5).Identical(Int(6)) {
+		t.Error("int Identical broken")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null(), Bool(false), Bool(true),
+		Int(-3), Float(-1.5), Int(0), Float(0.5), Int(2),
+		Str(""), Str("a"), Str("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			// Int(0) vs Float(0.0) style ties don't appear in this list.
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueCompareNumericCross(t *testing.T) {
+	if Int(2).Compare(Float(2.0)) != 0 {
+		t.Error("Int(2) should compare equal to Float(2.0)")
+	}
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("Int(2) < Float(2.5) expected")
+	}
+	nan := Float(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN must compare equal to itself for a total order")
+	}
+	if nan.Compare(Float(0)) != -1 || Float(0).Compare(nan) != 1 {
+		t.Error("NaN must order before numbers deterministically")
+	}
+}
+
+func TestValueComparable(t *testing.T) {
+	if Null().Comparable(Int(1)) || Int(1).Comparable(Null()) {
+		t.Error("null is not comparable")
+	}
+	if !Int(1).Comparable(Float(2)) {
+		t.Error("numerics are mutually comparable")
+	}
+	if Int(1).Comparable(Str("a")) {
+		t.Error("int and string are not comparable")
+	}
+	if !Str("a").Comparable(Str("b")) {
+		t.Error("strings are comparable")
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	vals := []Value{
+		Null(), Bool(true), Bool(false), Int(0), Int(1), Int(-1),
+		Float(0), Float(1), Str(""), Str("N"), Str("I1|"), Str("0"),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := string(v.appendKey(nil))
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestValueKeyPropertyEqualIffIdentical(t *testing.T) {
+	f := func(a, b int64, s1, s2 string, pick uint8) bool {
+		mk := func(p uint8, i int64, s string) Value {
+			switch p % 4 {
+			case 0:
+				return Null()
+			case 1:
+				return Int(i)
+			case 2:
+				return Str(s)
+			default:
+				return Float(float64(i) / 3)
+			}
+		}
+		v, w := mk(pick, a, s1), mk(pick>>2, b, s2)
+		return (string(v.appendKey(nil)) == string(w.appendKey(nil))) == v.Identical(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", Kind(99): "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "-"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(42), "42"},
+		{Float(1.5), "1.5"},
+		{Str("hi"), "hi"},
+	} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"freejoin/internal/relation"
+)
+
+// CSV import/export, so the shell and downstream users can move real
+// data in and out. The first record is the header (column names); field
+// types are inferred per value: integer, then float, then string; an
+// empty field is null.
+
+// ReadCSV reads a relation named relName from CSV data. The header row
+// supplies the column names; every record must match its width.
+func ReadCSV(r io.Reader, relName string) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: csv header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("storage: csv header is empty")
+	}
+	seen := map[string]bool{}
+	for _, col := range header {
+		if col == "" {
+			return nil, fmt.Errorf("storage: csv header has an empty column name")
+		}
+		if seen[col] {
+			return nil, fmt.Errorf("storage: csv header repeats column %q", col)
+		}
+		seen[col] = true
+	}
+	rel := relation.New(relation.SchemeOf(relName, header...))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv: %w", err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("storage: csv line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make([]relation.Value, len(rec))
+		for i, f := range rec {
+			row[i] = inferValue(f)
+		}
+		rel.AppendRaw(row)
+	}
+}
+
+// inferValue parses a CSV field: empty → null, then int, float, string.
+func inferValue(f string) relation.Value {
+	if f == "" {
+		return relation.Null()
+	}
+	if i, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return relation.Int(i)
+	}
+	if fl, err := strconv.ParseFloat(f, 64); err == nil {
+		return relation.Float(fl)
+	}
+	return relation.Str(f)
+}
+
+// WriteCSV writes the relation with a header of unqualified column names;
+// nulls become empty fields.
+func WriteCSV(w io.Writer, rel *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	sch := rel.Scheme()
+	header := make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		header[i] = sch.At(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("storage: csv write: %w", err)
+	}
+	rec := make([]string, sch.Len())
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.RawRow(i)
+		for c, v := range row {
+			if v.IsNull() {
+				rec[c] = ""
+			} else {
+				rec[c] = v.String()
+			}
+		}
+		// encoding/csv writes a single empty field as a blank line, which
+		// readers then skip; quote it explicitly so the row survives.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return fmt.Errorf("storage: csv write: %w", err)
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return fmt.Errorf("storage: csv write: %w", err)
+			}
+			continue
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: csv write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSVFile reads path into the catalog under name.
+func (c *Catalog) LoadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	rel, err := ReadCSV(f, name)
+	if err != nil {
+		return nil, err
+	}
+	return c.AddRelation(name, rel), nil
+}
+
+// SaveCSVFile writes the named table to path.
+func (c *Catalog) SaveCSVFile(name, path string) error {
+	t, err := c.Table(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	return WriteCSV(f, t.Relation())
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"freejoin/internal/relation"
+)
+
+func TestReadCSVInference(t *testing.T) {
+	src := "id,score,name\n1,2.5,ada\n2,,bob\n,3.0,\n"
+	rel, err := ReadCSV(strings.NewReader(src), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 || rel.Scheme().Len() != 3 {
+		t.Fatalf("shape: %v", rel)
+	}
+	r0 := rel.Row(0)
+	if r0.At(0) != relation.Int(1) || r0.At(1) != relation.Float(2.5) || r0.At(2) != relation.Str("ada") {
+		t.Errorf("row 0 = %v", r0)
+	}
+	if !rel.Row(1).At(1).IsNull() || !rel.Row(2).At(0).IsNull() || !rel.Row(2).At(2).IsNull() {
+		t.Error("empty fields must be null")
+	}
+	if rel.Scheme().At(0) != relation.A("R", "id") {
+		t.Error("columns must be qualified by the relation name")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "R"); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), "R"); err == nil {
+		t.Error("ragged record must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,\"b\n1,2\n"), "R"); err == nil {
+		t.Error("malformed quoting must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel := relation.FromRows("R", []string{"a", "b"},
+		[]any{1, "x,with comma"}, []any{nil, "line\nbreak"}, []any{2.5, nil})
+	var buf strings.Builder
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualBag(rel) {
+		t.Fatalf("round trip mismatch:\nin:\n%v\nout:\n%v", rel, back)
+	}
+}
+
+func TestCSVFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.csv")
+	cat := NewCatalog()
+	cat.AddRelation("R", relation.FromRows("R", []string{"a"}, []any{1}, []any{2}))
+	if err := cat.SaveCSVFile("R", path); err != nil {
+		t.Fatal(err)
+	}
+	cat2 := NewCatalog()
+	tb, err := cat2.LoadCSVFile("S", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Relation().Len() != 2 {
+		t.Fatalf("loaded %d rows", tb.Relation().Len())
+	}
+	if err := cat.SaveCSVFile("NOPE", path); err == nil {
+		t.Error("saving unknown table must fail")
+	}
+	if _, err := cat2.LoadCSVFile("X", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("loading missing file must fail")
+	}
+	if err := cat.SaveCSVFile("R", filepath.Join(dir, "nodir", "x.csv")); err == nil {
+		t.Error("unwritable path must fail")
+	}
+}

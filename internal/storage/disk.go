@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"freejoin/internal/relation"
+)
+
+// Binary catalog snapshots: a compact, versioned format for persisting a
+// whole catalog (schemes, rows, and which indexes to rebuild) to disk.
+// Layout (all integers little-endian):
+//
+//	magic "FJDB" | u16 version | u32 tableCount
+//	per table: str name | u32 cols | per col (str rel, str attr)
+//	           u32 hashIndexCount | per index str column
+//	           u64 rowCount | rows…
+//	per value: u8 kind | payload (bool: u8; int: i64; float: f64 bits;
+//	           string: str; null: nothing)
+//
+// Strings are u32 length + bytes. Indexes are rebuilt on load (they are
+// derived state, so snapshots stay small and versions stay simple).
+
+const (
+	diskMagic   = "FJDB"
+	diskVersion = 1
+)
+
+// SaveCatalog writes a snapshot of every table to w.
+func SaveCatalog(w io.Writer, c *Catalog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(diskMagic); err != nil {
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	names := c.Tables()
+	if err := writeU16(bw, diskVersion); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t, err := c.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		sch := t.Scheme()
+		if err := writeU32(bw, uint32(sch.Len())); err != nil {
+			return err
+		}
+		for i := 0; i < sch.Len(); i++ {
+			a := sch.At(i)
+			if err := writeString(bw, a.Rel); err != nil {
+				return err
+			}
+			if err := writeString(bw, a.Name); err != nil {
+				return err
+			}
+		}
+		var idxCols []string
+		for i := 0; i < sch.Len(); i++ {
+			if _, ok := t.HashIndexOn(sch.At(i).Name); ok {
+				idxCols = append(idxCols, sch.At(i).Name)
+			}
+		}
+		if err := writeU32(bw, uint32(len(idxCols))); err != nil {
+			return err
+		}
+		for _, col := range idxCols {
+			if err := writeString(bw, col); err != nil {
+				return err
+			}
+		}
+		rel := t.Relation()
+		if err := binary.Write(bw, binary.LittleEndian, uint64(rel.Len())); err != nil {
+			return err
+		}
+		for i := 0; i < rel.Len(); i++ {
+			for _, v := range rel.RawRow(i) {
+				if err := writeValue(bw, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCatalog reads a snapshot into a fresh catalog, rebuilding the
+// recorded hash indexes.
+func LoadCatalog(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(diskMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != diskMagic {
+		return nil, fmt.Errorf("storage: not a catalog snapshot")
+	}
+	version, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != diskVersion {
+		return nil, fmt.Errorf("storage: snapshot version %d not supported", version)
+	}
+	tables, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	cat := NewCatalog()
+	for ti := uint32(0); ti < tables; ti++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if cols == 0 || cols > 1<<16 {
+			return nil, fmt.Errorf("storage: snapshot table %s has implausible column count %d", name, cols)
+		}
+		attrs := make([]relation.Attr, cols)
+		for ci := range attrs {
+			rel, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			attr, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			attrs[ci] = relation.Attr{Rel: rel, Name: attr}
+		}
+		scheme, err := relation.NewScheme(attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("storage: snapshot table %s: %w", name, err)
+		}
+		idxCount, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if idxCount > cols {
+			return nil, fmt.Errorf("storage: snapshot table %s has %d indexes over %d columns", name, idxCount, cols)
+		}
+		idxCols := make([]string, idxCount)
+		for i := range idxCols {
+			if idxCols[i], err = readString(br); err != nil {
+				return nil, err
+			}
+		}
+		var rowCount uint64
+		if err := binary.Read(br, binary.LittleEndian, &rowCount); err != nil {
+			return nil, fmt.Errorf("storage: snapshot row count: %w", err)
+		}
+		rel := relation.New(scheme)
+		for ri := uint64(0); ri < rowCount; ri++ {
+			row := make([]relation.Value, cols)
+			for ci := range row {
+				if row[ci], err = readValue(br); err != nil {
+					return nil, fmt.Errorf("storage: snapshot table %s row %d: %w", name, ri, err)
+				}
+			}
+			rel.AppendRaw(row)
+		}
+		t := cat.AddRelation(name, rel)
+		for _, col := range idxCols {
+			if _, err := t.BuildHashIndex(col); err != nil {
+				return nil, fmt.Errorf("storage: snapshot index: %w", err)
+			}
+		}
+	}
+	return cat, nil
+}
+
+// SaveCatalogFile writes a snapshot to path.
+func SaveCatalogFile(path string, c *Catalog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	if err := SaveCatalog(f, c); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadCatalogFile reads a snapshot from path.
+func LoadCatalogFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	return LoadCatalog(f)
+}
+
+// value kind tags on disk.
+const (
+	diskNull uint8 = iota
+	diskBool
+	diskInt
+	diskFloat
+	diskString
+)
+
+func writeValue(w io.Writer, v relation.Value) error {
+	switch v.Kind() {
+	case relation.KindNull:
+		return writeU8(w, diskNull)
+	case relation.KindBool:
+		if err := writeU8(w, diskBool); err != nil {
+			return err
+		}
+		if v.AsBool() {
+			return writeU8(w, 1)
+		}
+		return writeU8(w, 0)
+	case relation.KindInt:
+		if err := writeU8(w, diskInt); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, v.AsInt())
+	case relation.KindFloat:
+		if err := writeU8(w, diskFloat); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, math.Float64bits(v.AsFloat()))
+	case relation.KindString:
+		if err := writeU8(w, diskString); err != nil {
+			return err
+		}
+		return writeString(w, v.AsString())
+	default:
+		return fmt.Errorf("storage: cannot serialize value kind %v", v.Kind())
+	}
+}
+
+func readValue(r *bufio.Reader) (relation.Value, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return relation.Value{}, err
+	}
+	switch kind {
+	case diskNull:
+		return relation.Null(), nil
+	case diskBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Bool(b != 0), nil
+	case diskInt:
+		var i int64
+		if err := binary.Read(r, binary.LittleEndian, &i); err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Int(i), nil
+	case diskFloat:
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Float(math.Float64frombits(bits)), nil
+	case diskString:
+		s, err := readString(r)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Str(s), nil
+	default:
+		return relation.Value{}, fmt.Errorf("storage: unknown value tag %d", kind)
+	}
+}
+
+func writeU8(w io.Writer, v uint8) error {
+	_, err := w.Write([]byte{v})
+	return err
+}
+
+func writeU16(w io.Writer, v uint16) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func readU16(r io.Reader) (uint16, error) {
+	var v uint16
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+// maxDiskString caps string lengths so corrupted snapshots cannot force
+// huge allocations.
+const maxDiskString = 1 << 24
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxDiskString {
+		return fmt.Errorf("storage: string too long to serialize (%d bytes)", len(s))
+	}
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxDiskString {
+		return "", fmt.Errorf("storage: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,269 @@
+// Package storage provides the in-memory storage substrate the physical
+// executor and optimizer run on: tables with hash and ordered indexes, a
+// catalog with per-column statistics, and the index-lookup access path
+// that Example 1's cost argument relies on ("assume that these keys have
+// indexes").
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"freejoin/internal/relation"
+)
+
+// Table is a named relation plus its indexes and statistics.
+type Table struct {
+	name    string
+	rel     *relation.Relation
+	hash    map[string]*HashIndex    // by column name
+	ordered map[string]*OrderedIndex // by column name
+	stats   *TableStats
+}
+
+// NewTable wraps a relation as a table. The relation is owned by the
+// table afterwards: callers must not append to it (indexes and stats are
+// built once).
+func NewTable(name string, rel *relation.Relation) *Table {
+	return &Table{
+		name:    name,
+		rel:     rel,
+		hash:    map[string]*HashIndex{},
+		ordered: map[string]*OrderedIndex{},
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Relation returns the underlying relation.
+func (t *Table) Relation() *relation.Relation { return t.rel }
+
+// Scheme returns the table's scheme.
+func (t *Table) Scheme() *relation.Scheme { return t.rel.Scheme() }
+
+// colIndex resolves a column name (unqualified) to its position.
+func (t *Table) colIndex(col string) (int, error) {
+	i := t.rel.Scheme().IndexOf(relation.Attr{Rel: t.name, Name: col})
+	if i < 0 {
+		return 0, fmt.Errorf("storage: table %s has no column %s", t.name, col)
+	}
+	return i, nil
+}
+
+// BuildHashIndex builds (or rebuilds) a hash index on the column. Null
+// keys are not indexed — they can never equi-match.
+func (t *Table) BuildHashIndex(col string) (*HashIndex, error) {
+	pos, err := t.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	idx := &HashIndex{table: t, col: col, pos: pos, buckets: make(map[string][]int, t.rel.Len())}
+	var buf []byte
+	for i := 0; i < t.rel.Len(); i++ {
+		v := t.rel.RawRow(i)[pos]
+		if v.IsNull() {
+			continue
+		}
+		buf = relation.AppendJoinKey(buf[:0], v)
+		idx.buckets[string(buf)] = append(idx.buckets[string(buf)], i)
+	}
+	t.hash[col] = idx
+	return idx, nil
+}
+
+// HashIndexOn returns the hash index on col, if built.
+func (t *Table) HashIndexOn(col string) (*HashIndex, bool) {
+	idx, ok := t.hash[col]
+	return idx, ok
+}
+
+// BuildOrderedIndex builds (or rebuilds) an ordered index on the column.
+// Nulls sort first but are excluded from range scans.
+func (t *Table) BuildOrderedIndex(col string) (*OrderedIndex, error) {
+	pos, err := t.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	idx := &OrderedIndex{table: t, col: col, pos: pos, order: make([]int, t.rel.Len())}
+	for i := range idx.order {
+		idx.order[i] = i
+	}
+	sort.SliceStable(idx.order, func(a, b int) bool {
+		return t.rel.RawRow(idx.order[a])[pos].Compare(t.rel.RawRow(idx.order[b])[pos]) < 0
+	})
+	t.ordered[col] = idx
+	return idx, nil
+}
+
+// OrderedIndexOn returns the ordered index on col, if built.
+func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
+	idx, ok := t.ordered[col]
+	return idx, ok
+}
+
+// HashIndex maps join-key encodings to row positions.
+type HashIndex struct {
+	table   *Table
+	col     string
+	pos     int
+	buckets map[string][]int
+}
+
+// Col returns the indexed column name.
+func (ix *HashIndex) Col() string { return ix.col }
+
+// Lookup returns the positions of rows whose key equals v (never matches
+// null).
+func (ix *HashIndex) Lookup(v relation.Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	return ix.buckets[string(relation.AppendJoinKey(nil, v))]
+}
+
+// Buckets returns the number of distinct keys.
+func (ix *HashIndex) Buckets() int { return len(ix.buckets) }
+
+// OrderedIndex keeps row positions sorted by a column, enabling range
+// scans and ordered iteration (merge joins).
+type OrderedIndex struct {
+	table *Table
+	col   string
+	pos   int
+	order []int
+}
+
+// Col returns the indexed column name.
+func (ix *OrderedIndex) Col() string { return ix.col }
+
+// Range returns the positions of rows with lo <= col <= hi (null bounds
+// mean unbounded on that side); null column values never match.
+func (ix *OrderedIndex) Range(lo, hi relation.Value) []int {
+	rel := ix.table.rel
+	// Lower bound: first non-null position >= lo.
+	start := sort.Search(len(ix.order), func(i int) bool {
+		v := rel.RawRow(ix.order[i])[ix.pos]
+		if v.IsNull() {
+			return false // nulls sort first; skip
+		}
+		if lo.IsNull() {
+			return true
+		}
+		return v.Compare(lo) >= 0
+	})
+	end := sort.Search(len(ix.order), func(i int) bool {
+		v := rel.RawRow(ix.order[i])[ix.pos]
+		if v.IsNull() {
+			return false
+		}
+		if hi.IsNull() {
+			return false
+		}
+		return v.Compare(hi) > 0
+	})
+	if hi.IsNull() {
+		end = len(ix.order)
+	}
+	if start >= end {
+		return nil
+	}
+	return ix.order[start:end]
+}
+
+// TableStats carries the optimizer's statistics for one table.
+type TableStats struct {
+	Rows     int
+	Distinct map[string]int // per-column number of distinct non-null values
+	NullFrac map[string]float64
+}
+
+// Stats returns the table's statistics, computing them on first use.
+func (t *Table) Stats() *TableStats {
+	if t.stats != nil {
+		return t.stats
+	}
+	st := &TableStats{
+		Rows:     t.rel.Len(),
+		Distinct: map[string]int{},
+		NullFrac: map[string]float64{},
+	}
+	sch := t.rel.Scheme()
+	for c := 0; c < sch.Len(); c++ {
+		seen := map[string]struct{}{}
+		nulls := 0
+		var buf []byte
+		for i := 0; i < t.rel.Len(); i++ {
+			v := t.rel.RawRow(i)[c]
+			if v.IsNull() {
+				nulls++
+				continue
+			}
+			buf = relation.AppendJoinKey(buf[:0], v)
+			seen[string(buf)] = struct{}{}
+		}
+		name := sch.At(c).Name
+		st.Distinct[name] = len(seen)
+		if t.rel.Len() > 0 {
+			st.NullFrac[name] = float64(nulls) / float64(t.rel.Len())
+		}
+	}
+	t.stats = st
+	return st
+}
+
+// Catalog is a set of tables. It implements expr.Source (by table
+// relation) and the optimizer's scheme/statistics lookups.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// Add registers a table, replacing any previous table of the same name.
+func (c *Catalog) Add(t *Table) { c.tables[t.Name()] = t }
+
+// AddRelation wraps and registers a relation under its name.
+func (c *Catalog) AddRelation(name string, rel *relation.Relation) *Table {
+	t := NewTable(name, rel)
+	c.Add(t)
+	return t
+}
+
+// Table returns a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %s", name)
+	}
+	return t, nil
+}
+
+// Tables lists the table names, sorted.
+func (c *Catalog) Tables() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relation implements expr.Source.
+func (c *Catalog) Relation(name string) (*relation.Relation, error) {
+	t, err := c.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Relation(), nil
+}
+
+// Scheme implements core.SchemeSource.
+func (c *Catalog) Scheme(name string) (*relation.Scheme, error) {
+	t, err := c.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Scheme(), nil
+}

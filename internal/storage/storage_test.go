@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"testing"
+
+	"freejoin/internal/relation"
+)
+
+func sampleTable() *Table {
+	rel := relation.FromRows("R", []string{"k", "v"},
+		[]any{1, "a"}, []any{2, "b"}, []any{2, "c"}, []any{nil, "d"}, []any{5, "e"})
+	return NewTable("R", rel)
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := sampleTable()
+	if tb.Name() != "R" || tb.Relation().Len() != 5 {
+		t.Fatal("table construction broken")
+	}
+	if tb.Scheme().Len() != 2 {
+		t.Fatal("scheme broken")
+	}
+	if _, err := tb.colIndex("nope"); err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	tb := sampleTable()
+	if _, ok := tb.HashIndexOn("k"); ok {
+		t.Fatal("index should not exist yet")
+	}
+	idx, err := tb.BuildHashIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tb.HashIndexOn("k"); !ok || got != idx {
+		t.Fatal("index not registered")
+	}
+	if idx.Col() != "k" {
+		t.Error("Col broken")
+	}
+	if rows := idx.Lookup(relation.Int(2)); len(rows) != 2 {
+		t.Errorf("Lookup(2) = %v", rows)
+	}
+	if rows := idx.Lookup(relation.Int(99)); rows != nil {
+		t.Errorf("Lookup(99) = %v", rows)
+	}
+	if rows := idx.Lookup(relation.Null()); rows != nil {
+		t.Error("null lookups never match")
+	}
+	// Int/float key canonicalization.
+	if rows := idx.Lookup(relation.Float(2.0)); len(rows) != 2 {
+		t.Errorf("Lookup(2.0) = %v (join-key canonicalization)", rows)
+	}
+	if idx.Buckets() != 3 { // keys 1, 2, 5 (null excluded)
+		t.Errorf("Buckets = %d", idx.Buckets())
+	}
+	if _, err := tb.BuildHashIndex("nope"); err == nil {
+		t.Error("indexing unknown column must fail")
+	}
+}
+
+func TestOrderedIndex(t *testing.T) {
+	tb := sampleTable()
+	idx, err := tb.BuildOrderedIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tb.OrderedIndexOn("k"); !ok || got != idx {
+		t.Fatal("index not registered")
+	}
+	if idx.Col() != "k" {
+		t.Error("Col broken")
+	}
+	keyAt := func(pos int) int64 {
+		return tb.Relation().RawRow(pos)[0].AsInt()
+	}
+	rows := idx.Range(relation.Int(2), relation.Int(5))
+	if len(rows) != 3 {
+		t.Fatalf("Range(2,5) = %v", rows)
+	}
+	for _, p := range rows {
+		if k := keyAt(p); k < 2 || k > 5 {
+			t.Errorf("row %d key %d out of range", p, k)
+		}
+	}
+	// Unbounded below.
+	if rows := idx.Range(relation.Null(), relation.Int(1)); len(rows) != 1 || keyAt(rows[0]) != 1 {
+		t.Errorf("Range(-inf,1) = %v", rows)
+	}
+	// Unbounded above.
+	if rows := idx.Range(relation.Int(5), relation.Null()); len(rows) != 1 {
+		t.Errorf("Range(5,inf) = %v", rows)
+	}
+	// Fully unbounded: all non-null rows.
+	if rows := idx.Range(relation.Null(), relation.Null()); len(rows) != 4 {
+		t.Errorf("Range(-inf,inf) = %v", rows)
+	}
+	// Empty range.
+	if rows := idx.Range(relation.Int(7), relation.Int(9)); len(rows) != 0 {
+		t.Errorf("Range(7,9) = %v", rows)
+	}
+	if _, err := tb.BuildOrderedIndex("nope"); err == nil {
+		t.Error("indexing unknown column must fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tb := sampleTable()
+	st := tb.Stats()
+	if st.Rows != 5 {
+		t.Errorf("Rows = %d", st.Rows)
+	}
+	if st.Distinct["k"] != 3 || st.Distinct["v"] != 5 {
+		t.Errorf("Distinct = %v", st.Distinct)
+	}
+	if st.NullFrac["k"] != 0.2 || st.NullFrac["v"] != 0 {
+		t.Errorf("NullFrac = %v", st.NullFrac)
+	}
+	if tb.Stats() != st {
+		t.Error("stats must be cached")
+	}
+	empty := NewTable("E", relation.New(relation.SchemeOf("E", "x")))
+	est := empty.Stats()
+	if est.Rows != 0 || est.NullFrac["x"] != 0 {
+		t.Errorf("empty stats = %+v", est)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tb := sampleTable()
+	c.Add(tb)
+	c.AddRelation("S", relation.FromRows("S", []string{"x"}, []any{1}))
+
+	got, err := c.Table("R")
+	if err != nil || got != tb {
+		t.Fatal("Table lookup broken")
+	}
+	if _, err := c.Table("NOPE"); err == nil {
+		t.Error("unknown table must fail")
+	}
+	names := c.Tables()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("Tables = %v", names)
+	}
+	rel, err := c.Relation("S")
+	if err != nil || rel.Len() != 1 {
+		t.Error("Relation broken")
+	}
+	if _, err := c.Relation("NOPE"); err == nil {
+		t.Error("Relation of unknown table must fail")
+	}
+	sch, err := c.Scheme("R")
+	if err != nil || sch.Len() != 2 {
+		t.Error("Scheme broken")
+	}
+	if _, err := c.Scheme("NOPE"); err == nil {
+		t.Error("Scheme of unknown table must fail")
+	}
+}

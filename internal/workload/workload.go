@@ -1,0 +1,240 @@
+// Package workload generates randomized query graphs, expression trees
+// and databases for the test suite and the benchmark harness: random nice
+// graphs (join core + outward outerjoin trees), arbitrary connected
+// graphs, chain/star topologies, and matching random databases.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// NodeColumns is the column list every generated ground relation carries.
+var NodeColumns = []string{"a", "b"}
+
+// RandomPredicate returns a comparison between random columns of u and v.
+// Comparisons are always strong w.r.t. both sides; equality is biased so
+// generated joins are neither empty nor full products.
+func RandomPredicate(rnd *rand.Rand, u, v string) predicate.Predicate {
+	ops := []predicate.CmpOp{predicate.EqOp, predicate.NeOp, predicate.LtOp,
+		predicate.LeOp, predicate.GtOp, predicate.GeOp}
+	op := predicate.EqOp
+	if rnd.Intn(3) == 0 {
+		op = ops[rnd.Intn(len(ops))]
+	}
+	uc := NodeColumns[rnd.Intn(len(NodeColumns))]
+	vc := NodeColumns[rnd.Intn(len(NodeColumns))]
+	return predicate.Cmp(op, predicate.Col(relation.A(u, uc)), predicate.Col(relation.A(v, vc)))
+}
+
+// NonStrongPredicate returns "u.a = v.a or v.a is null", which is not
+// strong with respect to v (the Example 3 shape).
+func NonStrongPredicate(u, v string) predicate.Predicate {
+	return predicate.NewOr(
+		predicate.Eq(relation.A(u, "a"), relation.A(v, "a")),
+		predicate.NewIsNull(relation.A(v, "a")),
+	)
+}
+
+// nodeName returns the name of generated node i: A, B, ..., Z, N26, N27...
+func nodeName(i int) string {
+	if i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("N%d", i)
+}
+
+// RandomNiceGraph builds a random graph satisfying the theorem's
+// topology: a connected join core of coreNodes relations (random spanning
+// tree plus optional extra join edges, possibly cyclic) with outerNodes
+// further relations attached as outward-directed outerjoin trees. Every
+// generated predicate is a comparison, hence strong. The result always
+// passes IsNice.
+func RandomNiceGraph(rnd *rand.Rand, coreNodes, outerNodes int) *graph.Graph {
+	if coreNodes < 1 {
+		coreNodes = 1
+	}
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	// Join core: spanning tree + extras.
+	for i := 1; i < coreNodes; i++ {
+		u, v := nodeName(i), nodeName(rnd.Intn(i))
+		mustAdd(g.AddJoinEdge(u, v, RandomPredicate(rnd, u, v)))
+	}
+	for k := rnd.Intn(coreNodes); k > 0; k-- {
+		i, j := rnd.Intn(coreNodes), rnd.Intn(coreNodes)
+		if i != j {
+			// Ignore rejections from parallel-edge rules (collapse is fine).
+			_ = g.AddJoinEdge(nodeName(i), nodeName(j), RandomPredicate(rnd, nodeName(i), nodeName(j)))
+		}
+	}
+	// Outerjoin forest: each new node hangs off any existing node that is
+	// either in the core or already an outerjoin-tree node, directed
+	// outward. Attaching below a non-core node extends that tree.
+	for i := coreNodes; i < coreNodes+outerNodes; i++ {
+		u := nodeName(rnd.Intn(i)) // any existing node
+		v := nodeName(i)
+		mustAdd(g.AddOuterEdge(u, v, RandomPredicate(rnd, u, v)))
+	}
+	return g
+}
+
+// RandomConnectedGraph builds an arbitrary connected graph: a spanning
+// tree plus extra edges, each independently join or outerjoin with random
+// orientation. Most larger samples are not nice.
+func RandomConnectedGraph(rnd *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	add := func(u, v string) {
+		switch rnd.Intn(3) {
+		case 0:
+			_ = g.AddJoinEdge(u, v, RandomPredicate(rnd, u, v))
+		case 1:
+			_ = g.AddOuterEdge(u, v, RandomPredicate(rnd, u, v))
+		default:
+			_ = g.AddOuterEdge(v, u, RandomPredicate(rnd, v, u))
+		}
+	}
+	for i := 1; i < n; i++ {
+		add(nodeName(i), nodeName(rnd.Intn(i)))
+	}
+	for k := rnd.Intn(n); k > 0; k-- {
+		i, j := rnd.Intn(n), rnd.Intn(n)
+		if i != j {
+			add(nodeName(i), nodeName(j))
+		}
+	}
+	return g
+}
+
+// JoinChainGraph returns the pure join chain A - B - ... of n nodes.
+func JoinChainGraph(n int) *graph.Graph {
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	for i := 1; i < n; i++ {
+		u, v := nodeName(i-1), nodeName(i)
+		mustAdd(g.AddJoinEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))))
+	}
+	return g
+}
+
+// OuterChainGraph returns the outerjoin chain A -> B -> ... of n nodes.
+func OuterChainGraph(n int) *graph.Graph {
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	for i := 1; i < n; i++ {
+		u, v := nodeName(i-1), nodeName(i)
+		mustAdd(g.AddOuterEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))))
+	}
+	return g
+}
+
+// StarGraph returns a join star: center A joined to k leaves.
+func StarGraph(k int) *graph.Graph {
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	for i := 1; i <= k; i++ {
+		u, v := nodeName(0), nodeName(i)
+		mustAdd(g.AddJoinEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))))
+	}
+	return g
+}
+
+// CoreWithTreesGraph returns a join chain core of coreN nodes with one
+// outerjoin chain of outerN nodes hanging off the last core node — the
+// Fig. 2 shape, deterministic (for benches).
+func CoreWithTreesGraph(coreN, outerN int) *graph.Graph {
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	for i := 1; i < coreN; i++ {
+		u, v := nodeName(i-1), nodeName(i)
+		mustAdd(g.AddJoinEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))))
+	}
+	for i := coreN; i < coreN+outerN; i++ {
+		u, v := nodeName(i-1), nodeName(i)
+		mustAdd(g.AddOuterEdge(u, v, predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))))
+	}
+	return g
+}
+
+// RandomSemiGraph builds a random graph satisfying the §6.3 extension's
+// conditions: a RandomNiceGraph core plus semiNodes pendant relations,
+// each consumed by a semijoin edge whose source is any non-null-supplied
+// existing node. Every sample passes IsNiceSemi.
+func RandomSemiGraph(rnd *rand.Rand, coreNodes, outerNodes, semiNodes int) *graph.Graph {
+	g := RandomNiceGraph(rnd, coreNodes, outerNodes)
+	// Identify nodes that are not null-supplied (no incoming outer edge).
+	nullSupplied := map[string]bool{}
+	for _, e := range g.Edges() {
+		if e.Kind == graph.OuterEdge {
+			nullSupplied[e.V] = true
+		}
+	}
+	var sources []string
+	for _, n := range g.Nodes() {
+		if !nullSupplied[n] {
+			sources = append(sources, n)
+		}
+	}
+	base := g.NumNodes()
+	for i := 0; i < semiNodes; i++ {
+		u := sources[rnd.Intn(len(sources))]
+		v := nodeName(base + i)
+		mustAdd(g.AddSemiEdge(u, v, RandomPredicate(rnd, u, v)))
+	}
+	return g
+}
+
+// RandomDB builds a database for a graph: every node receives a relation
+// over NodeColumns with up to maxRows rows of small-domain integers and
+// occasional nulls (domain smallness forces join matches).
+func RandomDB(rnd *rand.Rand, g *graph.Graph, maxRows int) expr.DB {
+	db := expr.DB{}
+	for _, n := range g.Nodes() {
+		db[n] = RandomRelation(rnd, n, maxRows)
+	}
+	return db
+}
+
+// RandomRelation builds one random relation over NodeColumns.
+func RandomRelation(rnd *rand.Rand, name string, maxRows int) *relation.Relation {
+	r := relation.New(relation.SchemeOf(name, NodeColumns...))
+	rows := rnd.Intn(maxRows + 1)
+	for i := 0; i < rows; i++ {
+		vals := make([]relation.Value, len(NodeColumns))
+		for j := range vals {
+			if rnd.Intn(7) == 0 {
+				vals[j] = relation.Null()
+			} else {
+				vals[j] = relation.Int(int64(rnd.Intn(4)))
+			}
+		}
+		r.AppendRaw(vals)
+	}
+	return r
+}
+
+// UniformRelation builds a relation of exactly n rows with key column "a"
+// holding 0..n-1 and "b" holding values uniform in [0, domain). It is the
+// deterministic table used by the benchmark harness.
+func UniformRelation(rnd *rand.Rand, name string, n int, domain int64) *relation.Relation {
+	r := relation.New(relation.SchemeOf(name, NodeColumns...))
+	for i := 0; i < n; i++ {
+		r.AppendRaw([]relation.Value{
+			relation.Int(int64(i)),
+			relation.Int(rnd.Int63n(domain)),
+		})
+	}
+	return r
+}
+
+func mustAdd(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func TestRandomNiceGraphIsNice(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		g := RandomNiceGraph(rnd, 1+rnd.Intn(4), rnd.Intn(4))
+		if ok, reason := g.IsNice(); !ok {
+			t.Fatalf("trial %d: generated graph not nice (%s):\n%v", trial, reason, g)
+		}
+		if ok, reason := g.IsNiceDefinitional(); !ok {
+			t.Fatalf("trial %d: definitional check fails (%s):\n%v", trial, reason, g)
+		}
+		// Strongness holds for every outer edge (comparisons are strong).
+		for _, e := range g.Edges() {
+			refs := relation.NewAttrSet()
+			for a := range e.Pred.Attrs() {
+				if a.Rel == e.V {
+					refs.Add(a)
+				}
+			}
+			if len(refs) > 0 && !predicate.StrongWRT(e.Pred, refs) {
+				t.Fatalf("generated predicate not strong: %v", e)
+			}
+		}
+	}
+}
+
+func TestRandomConnectedGraph(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	nice, notNice := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		g := RandomConnectedGraph(rnd, 2+rnd.Intn(5))
+		if !g.Connected() {
+			t.Fatalf("trial %d: graph not connected:\n%v", trial, g)
+		}
+		if ok, _ := g.IsNice(); ok {
+			nice++
+		} else {
+			notNice++
+		}
+	}
+	if nice == 0 || notNice == 0 {
+		t.Errorf("generator should produce both nice and non-nice graphs: %d/%d", nice, notNice)
+	}
+}
+
+func TestRandomSemiGraphSatisfiesExtension(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		g := RandomSemiGraph(rnd, 1+rnd.Intn(3), rnd.Intn(3), 1+rnd.Intn(3))
+		if !g.HasSemiEdges() {
+			t.Fatal("generator must add semijoin edges")
+		}
+		if ok, reason := g.IsNiceSemi(); !ok {
+			t.Fatalf("trial %d: %s\n%v", trial, reason, g)
+		}
+		// Theorem 1's own checker must reject it (semijoin edges are out
+		// of scope there).
+		if ok, _ := g.IsNice(); ok {
+			t.Fatal("IsNice must reject semijoin graphs")
+		}
+	}
+}
+
+func TestDeterministicTopologies(t *testing.T) {
+	if g := JoinChainGraph(4); g.NumNodes() != 4 || len(g.Edges()) != 3 {
+		t.Error("JoinChainGraph shape")
+	}
+	if g := OuterChainGraph(3); g.NumNodes() != 3 || len(g.Edges()) != 2 {
+		t.Error("OuterChainGraph shape")
+	} else if ok, _ := g.IsNice(); !ok {
+		t.Error("outer chain must be nice")
+	}
+	if g := StarGraph(5); g.NumNodes() != 6 || len(g.Edges()) != 5 {
+		t.Error("StarGraph shape")
+	}
+	g := CoreWithTreesGraph(3, 2)
+	if g.NumNodes() != 5 || len(g.Edges()) != 4 {
+		t.Error("CoreWithTreesGraph shape")
+	}
+	if ok, _ := g.IsNice(); !ok {
+		t.Error("CoreWithTreesGraph must be nice")
+	}
+}
+
+func TestRandomDBCoversNodes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	g := RandomNiceGraph(rnd, 3, 2)
+	db := RandomDB(rnd, g, 6)
+	if len(db) != g.NumNodes() {
+		t.Fatalf("db has %d relations, graph %d nodes", len(db), g.NumNodes())
+	}
+	for _, n := range g.Nodes() {
+		r, err := expr.DB(db).Relation(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Scheme().Len() != len(NodeColumns) {
+			t.Errorf("relation %s scheme %v", n, r.Scheme())
+		}
+		if r.Len() > 6 {
+			t.Errorf("relation %s too large: %d", n, r.Len())
+		}
+	}
+}
+
+func TestUniformRelation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	r := UniformRelation(rnd, "R", 100, 10)
+	if r.Len() != 100 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		k := row.At(0).AsInt()
+		if seen[k] {
+			t.Fatal("key column must be unique")
+		}
+		seen[k] = true
+		if b := row.At(1).AsInt(); b < 0 || b >= 10 {
+			t.Fatalf("b out of domain: %d", b)
+		}
+	}
+}
+
+func TestNodeNameOverflow(t *testing.T) {
+	if nodeName(0) != "A" || nodeName(25) != "Z" || nodeName(26) != "N26" {
+		t.Error("nodeName broken")
+	}
+}
+
+func TestNonStrongPredicateShape(t *testing.T) {
+	p := NonStrongPredicate("X", "Y")
+	yAttrs := relation.NewAttrSet(relation.A("Y", "a"))
+	if predicate.StrongWRT(p, yAttrs) {
+		t.Error("NonStrongPredicate must not be strong wrt its null-supplied side")
+	}
+	xAttrs := relation.NewAttrSet(relation.A("X", "a"))
+	if predicate.StrongWRT(p, xAttrs) {
+		t.Error("disjunction with is-null is not strong wrt X either")
+	}
+}
