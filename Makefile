@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+.PHONY: all check build test race cover bench experiments fuzz fmt vet clean
 
-all: build test
+all: check
+
+check: build vet test race
 
 build:
 	$(GO) build ./...

@@ -87,7 +87,7 @@ func runE1(cfg config) error {
 		fmt.Printf("%-34s %12d %12d %12s\n", tc.name, rows, got, d.Round(time.Microsecond))
 	}
 
-	p, reordered, err := o.Optimize(outerFirst)
+	p, tr, err := o.OptimizeTrace(outerFirst)
 	if err != nil {
 		return err
 	}
@@ -96,8 +96,14 @@ func runE1(cfg config) error {
 		return err
 	}
 	fmt.Printf("%-34s %12d %12d %12s\n", "optimizer (DP over the graph)", rows, got, d.Round(time.Microsecond))
-	fmt.Printf("\nreordered=%v, chosen plan: %s\n", reordered, p.Tree())
-	fmt.Printf("paper: bad order retrieves 2N+1, good order 3 (shape check, scaled N)\n")
+	fmt.Printf("\nreordered=%v, chosen plan: %s\n", tr.Reordered(), p.Tree())
+
+	_, _, text, err := o.ExplainAnalyze(p, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-operator breakdown (EXPLAIN ANALYZE of the chosen plan):\n%s", text)
+	fmt.Printf("\npaper: bad order retrieves 2N+1, good order 3 (shape check, scaled N)\n")
 	return nil
 }
 
@@ -235,7 +241,7 @@ func runE15(cfg config) error {
 		if err != nil {
 			return err
 		}
-		opt, err := o.OptimizeGraph(g)
+		opt, tr, err := o.OptimizeGraphTrace(g)
 		if err != nil {
 			return err
 		}
@@ -245,6 +251,13 @@ func runE15(cfg config) error {
 		}
 		gain := float64(tf) / float64(to)
 		fmt.Printf("%8d %22d %22d %7.1fx\n", n, tf, to, gain)
+		if n == 6 {
+			_, _, text, err := o.ExplainAnalyze(opt, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nper-operator breakdown of the optimized chain-%d plan:\n%s\n", n, text)
+		}
 	}
 	fmt.Println("\npaper §6.1: freely-reorderable queries need no extra analysis — the DP just fills in join or outerjoin")
 	return nil
@@ -292,7 +305,7 @@ func runE20(cfg config) error {
 	}
 	fmt.Printf("%-44s rows=%d tuples=%-9d time=%s\n", "naive (filter atop fixed order):", rows, got, d.Round(time.Microsecond))
 
-	p, reordered, err := o.PlanQuery(q)
+	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
 		return err
 	}
@@ -301,7 +314,13 @@ func runE20(cfg config) error {
 		return err
 	}
 	fmt.Printf("%-44s rows=%d tuples=%-9d time=%s\n",
-		fmt.Sprintf("PlanQuery (reordered=%v): %s", reordered, p.Tree()), rows, got, d.Round(time.Microsecond))
+		fmt.Sprintf("PlanQuery (reordered=%v): %s", tr.Reordered(), p.Tree()), rows, got, d.Round(time.Microsecond))
+
+	_, _, text, err := o.ExplainAnalyze(p, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-operator breakdown of the pipeline plan:\n%s", text)
 	fmt.Println("\npaper §4: simplify before graph creation, \"do restrictions as early as possible\"")
 	return nil
 }

@@ -170,7 +170,7 @@ func runE19(cfg config) error {
 	if err != nil {
 		return err
 	}
-	p, strategy, err := o.OptimizeWithGOJ(q)
+	p, tr, err := o.OptimizeWithGOJTrace(q)
 	if err != nil {
 		return err
 	}
@@ -183,8 +183,14 @@ func runE19(cfg config) error {
 		return err
 	}
 	fmt.Printf("\n%-28s %-24s tuples=%d\n", "fixed order:", fixed.Tree(), cf.TuplesRetrieved)
-	fmt.Printf("%-28s %-24s tuples=%d\n", "strategy="+strategy+":", p.Tree(), cg.TuplesRetrieved)
+	fmt.Printf("%-28s %-24s tuples=%d\n", "strategy="+tr.Strategy+":", p.Tree(), cg.TuplesRetrieved)
 	fmt.Printf("results equal: %v (%d rows)\n", out.EqualBag(want), out.Len())
+
+	_, _, text, err := o.ExplainAnalyze(p, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-operator breakdown of the chosen plan:\n%s", text)
 	fmt.Println("\npaper §6.2: \"Reassociation for general graphs is still possible using generalized outerjoin\"")
 	return nil
 }

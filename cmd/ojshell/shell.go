@@ -101,6 +101,8 @@ func (s *Shell) Exec(line string) error {
 		return s.cmdAnalyze(rest)
 	case "plan":
 		return s.cmdPlan(rest)
+	case "explain":
+		return s.cmdExplain(rest)
 	case "trees":
 		return s.cmdTrees(rest)
 	default:
@@ -121,6 +123,8 @@ func (s *Shell) help() {
   analyze EXPR                                free-reorderability analysis
   trees   EXPR                                list the implementing trees
   plan    EXPR                                optimize, explain and execute
+  explain EXPR                                show the chosen plan and optimizer trace
+  explain analyze EXPR                        run the plan with per-operator statistics
   help / quit
 
 expressions:  (R -[R.a = S.a] S) ->[S.b = T.b] T
@@ -318,6 +322,41 @@ func (s *Shell) cmdTrees(rest string) error {
 		}
 		fmt.Fprintf(s.out, "%s %3d: %s\n", marker, i+1, it)
 	}
+	return nil
+}
+
+// cmdExplain handles "explain EXPR" (plan plus optimizer trace, no
+// execution) and "explain analyze EXPR" (instrumented execution with
+// per-operator actual rows, tuples, peak memory, time and q-error).
+func (s *Shell) cmdExplain(rest string) error {
+	analyze := false
+	if after, ok := strings.CutPrefix(rest, "analyze "); ok {
+		analyze = true
+		rest = strings.TrimSpace(after)
+	} else if rest == "analyze" {
+		rest = ""
+	}
+	if rest == "" {
+		return fmt.Errorf("usage: explain [analyze] EXPR")
+	}
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return err
+	}
+	o := optimizer.New(s.cat)
+	p, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		return err
+	}
+	if !analyze {
+		fmt.Fprint(s.out, optimizer.Explain(p, tr))
+		return nil
+	}
+	_, _, text, err := o.ExplainAnalyze(p, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, text)
 	return nil
 }
 

@@ -13,32 +13,38 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"freejoin/internal/core"
 	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
 )
 
 func main() {
 	var (
-		query  = flag.String("q", "", "expression to analyze (required)")
-		all    = flag.Bool("all", false, "list every implementing tree")
-		dot    = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
-		modulo = flag.Bool("modulo", true, "count trees modulo reversal")
-		limit  = flag.Int64("limit", 100000, "maximum trees to list with -all")
+		query   = flag.String("q", "", "expression to analyze (required)")
+		all     = flag.Bool("all", false, "list every implementing tree")
+		dot     = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
+		modulo  = flag.Bool("modulo", true, "count trees modulo reversal")
+		limit   = flag.Int64("limit", 100000, "maximum trees to list with -all")
+		explain = flag.Bool("explain", false, "plan over a synthetic catalog and print the plan with the optimizer trace")
 	)
 	flag.Parse()
 	if *query == "" {
-		fmt.Fprintln(os.Stderr, "usage: reorder -q \"(R -[R.a = S.a] S) ->[S.a = T.a] T\" [-all] [-dot]")
+		fmt.Fprintln(os.Stderr, "usage: reorder -q \"(R -[R.a = S.a] S) ->[S.a = T.a] T\" [-all] [-dot] [-explain]")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *query, *all, *dot, *modulo, *limit); err != nil {
+	if err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "reorder:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, query string, all, dot, modulo bool, limit int64) error {
+func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain bool) error {
 	q, err := parse.Expr(query)
 	if err != nil {
 		return err
@@ -85,5 +91,73 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64) error {
 		fmt.Fprintln(w)
 		fmt.Fprint(w, analysis.Graph.DOT())
 	}
+	if explain {
+		if err := explainPlan(w, q, analysis.Graph); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// explainPlan plans the query over a synthetic catalog — every relation
+// gets 1000 rows over the columns its predicates mention, each hash
+// indexed — and prints the chosen plan with the optimizer's decision
+// trace. The command has no real data, so estimates stand in for it; the
+// point is to see which implementing tree the DP picks and why.
+func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph) error {
+	cols := map[string]map[string]struct{}{}
+	for _, n := range g.Nodes() {
+		cols[n] = map[string]struct{}{}
+	}
+	var walk func(n *expr.Node)
+	walk = func(n *expr.Node) {
+		if n == nil {
+			return
+		}
+		if n.Pred != nil {
+			for a := range n.Pred.Attrs() {
+				if m, ok := cols[a.Rel]; ok {
+					m[a.Name] = struct{}{}
+				}
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(q)
+
+	cat := storage.NewCatalog()
+	for rel, m := range cols {
+		names := make([]string, 0, len(m))
+		for c := range m {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			names = []string{"a"}
+		}
+		r := relation.New(relation.SchemeOf(rel, names...))
+		for i := 0; i < 1000; i++ {
+			row := make([]relation.Value, len(names))
+			for j := range row {
+				row[j] = relation.Int(int64(i % 50))
+			}
+			r.AppendRaw(row)
+		}
+		t := cat.AddRelation(rel, r)
+		for _, c := range names {
+			if _, err := t.BuildHashIndex(c); err != nil {
+				return err
+			}
+		}
+	}
+	o := optimizer.New(cat)
+	p, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "plan (synthetic catalog, 1000 rows per relation):")
+	fmt.Fprint(w, optimizer.Explain(p, tr))
 	return nil
 }

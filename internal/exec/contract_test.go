@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// The iterator contract every operator must honor:
+//
+//  1. Open → drain → Close, then Open → drain again, yields the same bag
+//     (operators must fully reset internal state on re-Open);
+//  2. Close is idempotent;
+//  3. a Buffered operator reports zero buffered rows once closed (its
+//     materialized state must actually be released, not merely ignored).
+
+// contractTables builds the shared inputs: R(k,v) with duplicate and null
+// keys, and S(k,w) with a hash index on k.
+func contractTables(t *testing.T) (*storage.Table, *storage.Table) {
+	t.Helper()
+	r := relation.FromRows("R", []string{"k", "v"},
+		[]any{1, 10}, []any{2, 20}, []any{2, 21}, []any{3, 30}, []any{nil, 40})
+	s := relation.FromRows("S", []string{"k", "w"},
+		[]any{2, "a"}, []any{2, "b"}, []any{3, "c"}, []any{5, "d"})
+	rt := storage.NewTable("R", r)
+	st := storage.NewTable("S", s)
+	if _, err := st.BuildHashIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	return rt, st
+}
+
+func contractCases(t *testing.T, rt, st *storage.Table, c *Counters) map[string]func() Iterator {
+	t.Helper()
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	key := predicate.Eq(rk, sk)
+	mk := func(it Iterator, err error) func() Iterator {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func() Iterator { return it }
+	}
+	cases := map[string]func() Iterator{
+		"scan":         func() Iterator { return NewScan(rt, c) },
+		"relationscan": func() Iterator { return NewRelationScan(rt.Relation()) },
+	}
+	cases["indexscan"] = mk(NewIndexScan(st, "k", relation.Int(2), c))
+	cases["filter"] = mk(NewFilter(NewScan(rt, c),
+		predicate.Cmp(predicate.GtOp, predicate.Col(rk), predicate.Const(relation.Int(1)))))
+	cases["project"] = mk(NewProject(NewScan(rt, c), []relation.Attr{rk}, false))
+	cases["project-dedup"] = mk(NewProject(NewScan(rt, c), []relation.Attr{rk}, true))
+	cases["sort"] = mk(NewSort(NewScan(rt, c), []relation.Attr{rk}))
+	for name, mode := range map[string]JoinMode{
+		"hashjoin": InnerMode, "hashjoin-outer": LeftOuterMode, "hashjoin-semi": SemiMode, "hashjoin-anti": AntiMode,
+	} {
+		cases[name] = mk(NewHashJoin(NewScan(rt, c), NewScan(st, c),
+			[]relation.Attr{rk}, []relation.Attr{sk}, nil, mode))
+	}
+	cases["nestedloop"] = mk(NewNestedLoopJoin(NewScan(rt, c), NewScan(st, c), key, InnerMode))
+	cases["indexjoin"] = mk(NewIndexJoin(NewScan(rt, c), st, "k", rk, nil, InnerMode, c))
+	sortR, err := NewSort(NewScan(rt, c), []relation.Attr{rk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortS, err := NewSort(NewScan(st, c), []relation.Attr{sk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["mergejoin"] = mk(NewMergeJoin(sortR, sortS, rk, sk, InnerMode))
+	cases["parallelhashjoin"] = mk(NewParallelHashJoin(NewScan(rt, c), NewScan(st, c), rk, sk, InnerMode, 3))
+	cases["hashgoj"] = mk(NewHashGOJ(NewScan(rt, c), NewScan(st, c),
+		[]relation.Attr{rk}, []relation.Attr{sk}, []relation.Attr{rk, relation.A("R", "v")}))
+	hj, err := NewHashJoin(NewScan(rt, c), NewScan(st, c),
+		[]relation.Attr{rk}, []relation.Attr{sk}, nil, InnerMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["instrumented"] = func() Iterator { return Instrument(hj, "join", c) }
+	return cases
+}
+
+// drainBag runs one full Open → drain → Close cycle.
+func drainBag(t *testing.T, it Iterator) *relation.Relation {
+	t.Helper()
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	out := relation.New(it.Scheme())
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out.AppendRaw(row)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIteratorContract(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	for name, mk := range contractCases(t, rt, st, &c) {
+		t.Run(name, func(t *testing.T) {
+			it := mk()
+			first := drainBag(t, it)
+			if first.Len() == 0 {
+				t.Fatal("contract case produced no rows; the inputs must exercise the operator")
+			}
+			if b, ok := it.(Buffered); ok {
+				if n := b.BufferedRows(); n != 0 {
+					t.Errorf("BufferedRows() = %d after Close, want 0 (buffers must be released)", n)
+				}
+			}
+			if err := it.Close(); err != nil {
+				t.Fatalf("second Close must be a no-op, got %v", err)
+			}
+			second := drainBag(t, it)
+			if !first.EqualBag(second) {
+				t.Errorf("re-opened iterator changed its bag:\nfirst (%d rows):\n%vsecond (%d rows):\n%v",
+					first.Len(), first, second.Len(), second)
+			}
+		})
+	}
+}

@@ -215,6 +215,7 @@ type Project struct {
 	pos    []int
 	dedup  bool
 	seen   map[string]struct{}
+	key    []byte // scratch buffer for dedup keys, reused across rows
 }
 
 // NewProject builds a projection onto attrs.
@@ -253,10 +254,11 @@ func (p *Project) Next() ([]relation.Value, bool, error) {
 			out[i] = row[c]
 		}
 		if p.dedup {
-			var buf []byte
+			buf := p.key[:0]
 			for _, v := range out {
 				buf = relation.AppendKey(buf, v)
 			}
+			p.key = buf
 			if _, dup := p.seen[string(buf)]; dup {
 				continue
 			}
@@ -266,8 +268,11 @@ func (p *Project) Next() ([]relation.Value, bool, error) {
 	}
 }
 
-// Close implements Iterator.
-func (p *Project) Close() error { return p.child.Close() }
+// Close implements Iterator: the dedup set is released.
+func (p *Project) Close() error {
+	p.seen = nil
+	return p.child.Close()
+}
 
 // Sort materializes and orders its input by the given columns (ascending,
 // nulls first), enabling merge joins and deterministic output.
@@ -333,8 +338,16 @@ func (s *Sort) Next() ([]relation.Value, bool, error) {
 	return row, true, nil
 }
 
-// Close implements Iterator.
-func (s *Sort) Close() error { return nil }
+// Close implements Iterator: the materialized input is released (a Sort
+// that merely finished streaming would otherwise pin every input row for
+// the lifetime of the plan).
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// BufferedRows implements Buffered.
+func (s *Sort) BufferedRows() int { return len(s.rows) }
 
 // materialize drains an iterator into memory (used by blocking joins).
 func materialize(it Iterator) ([][]relation.Value, error) {

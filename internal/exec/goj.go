@@ -20,13 +20,14 @@ type HashGOJ struct {
 	soutPos     []int // S columns within the output scheme
 	mode        JoinMode
 
-	table   map[string][][]relation.Value
-	matched map[string]struct{}         // S-projections seen in join rows
-	all     map[string][]relation.Value // every distinct S-projection of the left input
-	order   []string                    // first-seen order of S-projections
-	pending [][]relation.Value
-	tail    int  // index into order while draining unmatched projections
-	drained bool // left input exhausted
+	table     map[string][][]relation.Value
+	tableRows int
+	matched   map[string]struct{}         // S-projections seen in join rows
+	all       map[string][]relation.Value // every distinct S-projection of the left input
+	order     []string                    // first-seen order of S-projections
+	pending   [][]relation.Value
+	tail      int  // index into order while draining unmatched projections
+	drained   bool // left input exhausted
 }
 
 // NewHashGOJ builds the operator. s must be attributes of the left
@@ -75,6 +76,7 @@ func (g *HashGOJ) Open() error {
 		return err
 	}
 	g.table = make(map[string][][]relation.Value, len(rows))
+	g.tableRows = 0
 	var buf []byte
 build:
 	for _, row := range rows {
@@ -86,6 +88,7 @@ build:
 			buf = relation.AppendJoinKey(buf, row[k])
 		}
 		g.table[string(buf)] = append(g.table[string(buf)], row)
+		g.tableRows++
 	}
 	g.matched = map[string]struct{}{}
 	g.all = map[string][]relation.Value{}
@@ -166,9 +169,14 @@ func (g *HashGOJ) Next() ([]relation.Value, bool, error) {
 	}
 }
 
-// Close implements Iterator.
+// BufferedRows implements Buffered.
+func (g *HashGOJ) BufferedRows() int { return g.tableRows + len(g.all) + len(g.pending) }
+
+// Close implements Iterator: the build table and S-projection sets are
+// released.
 func (g *HashGOJ) Close() error {
 	g.table, g.matched, g.all = nil, nil, nil
+	g.tableRows = 0
 	g.pending, g.order = nil, nil
 	return g.left.Close()
 }

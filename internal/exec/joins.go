@@ -59,9 +59,10 @@ type HashJoin struct {
 	residual    *predicate.Bound
 	mode        JoinMode
 
-	table   map[string][][]relation.Value
-	pending [][]relation.Value
-	rwidth  int
+	table     map[string][][]relation.Value
+	tableRows int
+	pending   [][]relation.Value
+	rwidth    int
 }
 
 // NewHashJoin builds a hash join on leftKeys = rightKeys (attribute lists
@@ -113,6 +114,7 @@ func (h *HashJoin) Open() error {
 		return err
 	}
 	h.table = make(map[string][][]relation.Value, len(rows))
+	h.tableRows = 0
 	var buf []byte
 build:
 	for _, row := range rows {
@@ -124,10 +126,14 @@ build:
 			buf = relation.AppendJoinKey(buf, row[k])
 		}
 		h.table[string(buf)] = append(h.table[string(buf)], row)
+		h.tableRows++
 	}
 	h.pending = nil
 	return h.left.Open()
 }
+
+// BufferedRows implements Buffered.
+func (h *HashJoin) BufferedRows() int { return h.tableRows + len(h.pending) }
 
 // Next implements Iterator.
 func (h *HashJoin) Next() ([]relation.Value, bool, error) {
@@ -184,9 +190,10 @@ func (h *HashJoin) probe(lrow []relation.Value) [][]relation.Value {
 	return out
 }
 
-// Close implements Iterator.
+// Close implements Iterator: the build table is released.
 func (h *HashJoin) Close() error {
 	h.table = nil
+	h.tableRows = 0
 	h.pending = nil
 	return h.left.Close()
 }
@@ -282,7 +289,10 @@ func (n *NestedLoopJoin) Next() ([]relation.Value, bool, error) {
 	}
 }
 
-// Close implements Iterator.
+// BufferedRows implements Buffered.
+func (n *NestedLoopJoin) BufferedRows() int { return len(n.rrows) + len(n.pending) }
+
+// Close implements Iterator: the materialized inner input is released.
 func (n *NestedLoopJoin) Close() error {
 	n.rrows = nil
 	n.pending = nil
@@ -391,6 +401,9 @@ func (j *IndexJoin) Next() ([]relation.Value, bool, error) {
 	}
 }
 
+// BufferedRows implements Buffered (only the per-probe match buffer).
+func (j *IndexJoin) BufferedRows() int { return len(j.pending) }
+
 // Close implements Iterator.
 func (j *IndexJoin) Close() error { j.pending = nil; return j.left.Close() }
 
@@ -492,7 +505,10 @@ func (m *MergeJoin) Next() ([]relation.Value, bool, error) {
 	}
 }
 
-// Close implements Iterator.
+// BufferedRows implements Buffered.
+func (m *MergeJoin) BufferedRows() int { return len(m.lrows) + len(m.rrows) + len(m.pending) }
+
+// Close implements Iterator: both materialized inputs are released.
 func (m *MergeJoin) Close() error {
 	m.lrows, m.rrows, m.pending = nil, nil, nil
 	return nil

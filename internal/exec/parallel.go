@@ -156,7 +156,10 @@ func (p *ParallelHashJoin) Next() ([]relation.Value, bool, error) {
 	return row, true, nil
 }
 
-// Close implements Iterator.
+// BufferedRows implements Buffered.
+func (p *ParallelHashJoin) BufferedRows() int { return len(p.out) }
+
+// Close implements Iterator: the buffered join result is released.
 func (p *ParallelHashJoin) Close() error {
 	p.out = nil
 	return nil

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// TestInstrumentStats checks the per-operator accounting: rows out, base
+// tuples attributed by counter deltas (inclusive at the join, exclusive
+// via SelfTuples), and peak buffered rows on a blocking operator.
+func TestInstrumentStats(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	rk, sk := relation.A("R", "k"), relation.A("S", "k")
+
+	wrapR := Instrument(NewScan(rt, &c), "scan R", &c)
+	wrapS := Instrument(NewScan(st, &c), "scan S", &c)
+	hj, err := NewHashJoin(wrapR, wrapS, []relation.Attr{rk}, []relation.Attr{sk}, nil, InnerMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := Instrument(hj, "join", &c, wrapR.Node(), wrapS.Node())
+
+	out, err := Collect(root, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := root.Node()
+	if got := n.Stats.RowsOut; got != int64(out.Len()) {
+		t.Errorf("join RowsOut = %d, want %d", got, out.Len())
+	}
+	if got := wrapR.Node().Stats.TuplesRetrieved; got != int64(rt.Relation().Len()) {
+		t.Errorf("scan R tuples = %d, want %d", got, rt.Relation().Len())
+	}
+	if got := wrapS.Node().Stats.TuplesRetrieved; got != int64(st.Relation().Len()) {
+		t.Errorf("scan S tuples = %d, want %d", got, st.Relation().Len())
+	}
+	// Inclusive at the root covers both scans; the join itself touches no
+	// base table.
+	if got, want := n.Stats.TuplesRetrieved, int64(rt.Relation().Len()+st.Relation().Len()); got != want {
+		t.Errorf("join inclusive tuples = %d, want %d", got, want)
+	}
+	if got := n.SelfTuples(); got != 0 {
+		t.Errorf("hash join SelfTuples = %d, want 0", got)
+	}
+	if got, want := n.RowsIn(), wrapR.Node().Stats.RowsOut+wrapS.Node().Stats.RowsOut; got != want {
+		t.Errorf("join RowsIn = %d, want %d", got, want)
+	}
+	if n.Stats.PeakBuffered == 0 {
+		t.Error("hash join PeakBuffered = 0, want > 0 (it materializes the build side)")
+	}
+	if !n.Executed() || n.Stats.Opens != 1 {
+		t.Errorf("join Opens = %d, want 1", n.Stats.Opens)
+	}
+	// NextCalls includes the end-of-stream call.
+	if got := n.Stats.NextCalls; got != int64(out.Len())+1 {
+		t.Errorf("join NextCalls = %d, want %d", got, out.Len()+1)
+	}
+}
+
+// TestInstrumentIndexJoinAttribution checks that an index join's lookups
+// are attributed to the join itself, not to any child — the paper's
+// Example 1 effect made visible per operator.
+func TestInstrumentIndexJoinAttribution(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	rk := relation.A("R", "k")
+
+	wrapR := Instrument(NewScan(rt, &c), "scan R", &c)
+	ij, err := NewIndexJoin(wrapR, st, "k", rk, nil, InnerMode, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := Instrument(ij, "indexjoin", &c, wrapR.Node())
+	out, err := Collect(root, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: R keys 2,2,3 hit S rows {2a,2b,3c} → 2+2+1 lookups retrieved.
+	if got := root.Node().SelfTuples(); got != int64(out.Len()) {
+		t.Errorf("index join SelfTuples = %d, want %d (one per fetched match)", got, out.Len())
+	}
+	if got := wrapR.Node().Stats.TuplesRetrieved; got != int64(rt.Relation().Len()) {
+		t.Errorf("outer scan tuples = %d, want %d", got, rt.Relation().Len())
+	}
+}
+
+// TestInstrumentedParallelRace runs several instrumented trees rooted at
+// ParallelHashJoin concurrently (each with its own Counters). Under
+// `go test -race` this proves the instrumentation adds no shared state to
+// the operator's internal worker pool.
+func TestInstrumentedParallelRace(t *testing.T) {
+	rt, st := contractTables(t)
+	rk, sk := relation.A("R", "k"), relation.A("S", "k")
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c Counters
+			wrapR := Instrument(NewScan(rt, &c), "scan R", &c)
+			wrapS := Instrument(NewScan(st, &c), "scan S", &c)
+			pj, err := NewParallelHashJoin(wrapR, wrapS, rk, sk, InnerMode, 4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			root := Instrument(pj, "parallel join", &c, wrapR.Node(), wrapS.Node())
+			out, err := Collect(root, &c)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if root.Node().Stats.RowsOut != int64(out.Len()) {
+				errs <- fmt.Errorf("RowsOut = %d, want %d", root.Node().Stats.RowsOut, out.Len())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// BenchmarkProjectDedup measures the deduplicating projection, whose key
+// encoding reuses a scratch buffer across rows instead of allocating one
+// per input row.
+func BenchmarkProjectDedup(b *testing.B) {
+	rel := relation.New(relation.SchemeOf("R", "k", "v"))
+	for i := 0; i < 4096; i++ {
+		rel.AppendRaw([]relation.Value{relation.Int(int64(i % 64)), relation.Int(int64(i))})
+	}
+	tb := storage.NewTable("R", rel)
+	proj, err := NewProject(NewScan(tb, nil), []relation.Attr{relation.A("R", "k")}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proj.Open(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := proj.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		if err := proj.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,27 +11,50 @@ import (
 )
 
 // Build lowers a plan to a physical iterator tree, wiring the counter
-// through scans and index lookups.
+// through scans and index lookups. No instrumentation is attached: the
+// returned tree is exactly the operators themselves (the zero-overhead
+// path measured by BenchmarkStatsOverhead).
 func (o *Optimizer) Build(p *Plan, c *exec.Counters) (exec.Iterator, error) {
+	it, _, err := o.build(p, c, false)
+	return it, err
+}
+
+// BuildInstrumented lowers p like Build but wraps every operator in an
+// exec.Instrument stats collector, returning the root of the parallel
+// StatsNode tree. Estimates (rows, cost) are copied onto each node so
+// EXPLAIN ANALYZE can report estimation error next to actuals.
+func (o *Optimizer) BuildInstrumented(p *Plan, c *exec.Counters) (exec.Iterator, *exec.StatsNode, error) {
+	return o.build(p, c, true)
+}
+
+// build is the shared lowering; when ins is set every operator is wrapped
+// and the second result is its stats node (nil otherwise).
+func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *exec.StatsNode, error) {
 	if p.IsLeaf() {
 		t, err := o.cat.Table(p.Table)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		var it exec.Iterator
 		if p.Algo == AlgoIndexScan {
-			return exec.NewIndexScan(t, p.IndexCol, p.IndexVal, c)
+			if it, err = exec.NewIndexScan(t, p.IndexCol, p.IndexVal, c); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			it = exec.NewScan(t, c)
 		}
-		return exec.NewScan(t, c), nil
+		wrapped, node := wrapNode(it, p, c, ins)
+		return wrapped, node, nil
 	}
 	if p.Op == expr.GOJ {
-		return o.buildGOJ(p, c)
+		return o.buildGOJ(p, c, ins)
 	}
 	if p.Op == expr.Restrict {
-		return o.buildFilter(p, c)
+		return o.buildFilter(p, c, ins)
 	}
-	left, err := o.Build(p.Left, c)
+	left, lnode, err := o.build(p.Left, c, ins)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mode := exec.InnerMode
 	if p.Op == expr.LeftOuter {
@@ -41,50 +64,132 @@ func (o *Optimizer) Build(p *Plan, c *exec.Counters) (exec.Iterator, error) {
 	case AlgoIndex:
 		t, err := o.cat.Table(p.Right.Table)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
 		if !ok || len(lk) != 1 || rk[0].Name != p.IndexCol {
-			return nil, fmt.Errorf("optimizer: index plan predicate mismatch: %v", p.Pred)
+			return nil, nil, fmt.Errorf("optimizer: index plan predicate mismatch: %v", p.Pred)
 		}
-		return exec.NewIndexJoin(left, t, p.IndexCol, lk[0], nil, mode, c)
-	case AlgoHash:
-		right, err := o.Build(p.Right, c)
+		it, err := exec.NewIndexJoin(left, t, p.IndexCol, lk[0], nil, mode, c)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		var kids []*exec.StatsNode
+		if ins {
+			// The inner table is never opened as an iterator — the join
+			// fetches its rows through the index. A phantom entry keeps the
+			// rendered tree congruent with the plan.
+			kids = []*exec.StatsNode{lnode, {Label: nodeLabel(p.Right), EstRows: p.Right.EstRows}}
+		}
+		wrapped, node := wrapNode(it, p, c, ins, kids...)
+		return wrapped, node, nil
+	case AlgoHash:
+		right, rnode, err := o.build(p.Right, c, ins)
+		if err != nil {
+			return nil, nil, err
 		}
 		lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
 		if !ok {
-			return nil, fmt.Errorf("optimizer: hash plan predicate mismatch: %v", p.Pred)
+			return nil, nil, fmt.Errorf("optimizer: hash plan predicate mismatch: %v", p.Pred)
 		}
-		return exec.NewHashJoin(left, right, lk, rk, nil, mode)
+		it, err := exec.NewHashJoin(left, right, lk, rk, nil, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
+		return wrapped, node, nil
 	case AlgoNL:
-		right, err := o.Build(p.Right, c)
+		right, rnode, err := o.build(p.Right, c, ins)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return exec.NewNestedLoopJoin(left, right, p.Pred, mode)
-	case AlgoMerge:
-		right, err := o.Build(p.Right, c)
+		it, err := exec.NewNestedLoopJoin(left, right, p.Pred, mode)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
+		return wrapped, node, nil
+	case AlgoMerge:
+		right, rnode, err := o.build(p.Right, c, ins)
+		if err != nil {
+			return nil, nil, err
 		}
 		lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
 		if !ok || len(lk) != 1 {
-			return nil, fmt.Errorf("optimizer: merge plan predicate mismatch: %v", p.Pred)
+			return nil, nil, fmt.Errorf("optimizer: merge plan predicate mismatch: %v", p.Pred)
 		}
 		ls, err := exec.NewSort(left, lk)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rs, err := exec.NewSort(right, rk)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return exec.NewMergeJoin(ls, rs, lk[0], rk[0], mode)
+		var sortedL, sortedR exec.Iterator = ls, rs
+		var sortNodes []*exec.StatsNode
+		if ins {
+			// The sorts a merge join inserts have no plan node of their own;
+			// they still get stats entries (they buffer the whole input).
+			wl := exec.Instrument(ls, "sort on "+lk[0].String(), c, lnode)
+			wr := exec.Instrument(rs, "sort on "+rk[0].String(), c, rnode)
+			sortedL, sortedR = wl, wr
+			sortNodes = []*exec.StatsNode{wl.Node(), wr.Node()}
+		}
+		it, err := exec.NewMergeJoin(sortedL, sortedR, lk[0], rk[0], mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped, node := wrapNode(it, p, c, ins, sortNodes...)
+		return wrapped, node, nil
 	default:
-		return nil, fmt.Errorf("optimizer: cannot build algorithm %s", p.Algo)
+		return nil, nil, fmt.Errorf("optimizer: cannot build algorithm %s", p.Algo)
 	}
+}
+
+// wrapNode instruments it as the physical realization of plan node p.
+func wrapNode(it exec.Iterator, p *Plan, c *exec.Counters, ins bool, kids ...*exec.StatsNode) (exec.Iterator, *exec.StatsNode) {
+	if !ins {
+		return it, nil
+	}
+	w := exec.Instrument(it, nodeLabel(p), c, kids...)
+	n := w.Node()
+	n.EstRows = p.EstRows
+	n.EstCost = p.Cost
+	return w, n
+}
+
+// nodeLabel renders a plan node's one-line operator description (the same
+// vocabulary as Plan.Explain).
+func nodeLabel(p *Plan) string {
+	if p.IsLeaf() {
+		if p.Algo == AlgoIndexScan {
+			return fmt.Sprintf("indexscan %s.%s = %s", p.Table, p.IndexCol, p.IndexVal)
+		}
+		return "scan " + p.Table
+	}
+	if p.Op == expr.Restrict {
+		return fmt.Sprintf("filter on %v", p.Pred)
+	}
+	opName := "join"
+	switch p.Op {
+	case expr.LeftOuter:
+		opName = "leftouterjoin"
+	case expr.GOJ:
+		opName = "generalizedouterjoin"
+	}
+	algo := p.Algo.String()
+	switch {
+	case p.Algo == AlgoIndex:
+		algo = fmt.Sprintf("index(%s.%s)", p.Right.Table, p.IndexCol)
+	case p.Op == expr.GOJ:
+		if _, _, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme); ok {
+			algo = "hash"
+		} else {
+			algo = "algebra"
+		}
+	}
+	return fmt.Sprintf("%s [%s] on %v", opName, algo, p.Pred)
 }
 
 // Execute lowers and runs a plan, returning the result relation and the
@@ -100,6 +205,22 @@ func (o *Optimizer) Execute(p *Plan) (*relation.Relation, *exec.Counters, error)
 		return nil, nil, err
 	}
 	return out, &c, nil
+}
+
+// ExecuteAnalyzed lowers p with instrumentation, runs it, and returns the
+// result, the counters, and the root of the collected per-operator stats
+// tree — the data behind EXPLAIN ANALYZE.
+func (o *Optimizer) ExecuteAnalyzed(p *Plan) (*relation.Relation, *exec.Counters, *exec.StatsNode, error) {
+	var c exec.Counters
+	it, root, err := o.BuildInstrumented(p, &c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err := exec.Collect(it, &c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, &c, root, nil
 }
 
 // Run optimizes and executes a query in one call, reporting whether

@@ -1,0 +1,126 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freejoin/internal/exec"
+	"freejoin/internal/relation"
+)
+
+// Trace records how the optimizer arrived at a plan: which strategy was
+// chosen, why reordering was skipped when it was, and the size of the DP
+// search the reordering path explored. EXPLAIN renders it under the plan
+// tree so a surprising join order can be traced back to the decision that
+// produced it.
+type Trace struct {
+	// Strategy is "reordered" (DP over the query graph), "fixed" (the
+	// written association, algorithm selection only), or "goj" (the §6.2
+	// generalized-outerjoin reassociation).
+	Strategy string
+	// FallbackReason explains a non-"reordered" strategy: the analysis
+	// verdict, an undefined query graph, or a DP failure.
+	FallbackReason string
+
+	// DP search statistics (zero unless the reordering path ran).
+	Subsets    int // connected subsets of size ≥ 2 considered
+	Splits     int // valid splits enumerated across those subsets
+	Candidates int // physical candidates generated
+	Pruned     int // candidates discarded by cost comparison
+}
+
+// Reordered reports whether the plan came from the DP over the query
+// graph.
+func (tr *Trace) Reordered() bool { return tr.Strategy == "reordered" }
+
+// String renders the trace as indented "-- " comment lines.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- strategy: %s\n", tr.Strategy)
+	if tr.FallbackReason != "" {
+		fmt.Fprintf(&b, "-- fallback: %s\n", tr.FallbackReason)
+	}
+	if tr.Subsets > 0 {
+		fmt.Fprintf(&b, "-- dp: %d connected subsets, %d splits, %d candidates (%d pruned)\n",
+			tr.Subsets, tr.Splits, tr.Candidates, tr.Pruned)
+	}
+	return b.String()
+}
+
+// Explain renders a plan with its estimates followed by the optimizer
+// trace (when one is supplied) — the static half of EXPLAIN.
+func Explain(p *Plan, tr *Trace) string {
+	var b strings.Builder
+	b.WriteString(p.Explain())
+	if tr != nil {
+		b.WriteString(tr.String())
+	}
+	return b.String()
+}
+
+// ExplainAnalyze executes p with per-operator instrumentation and renders
+// the plan tree with estimates AND actuals side by side: rows emitted,
+// base tuples retrieved by each operator itself, peak buffered rows, wall
+// time, and the q-error of the row estimate. The result relation and the
+// global counters are returned alongside the rendering.
+func (o *Optimizer) ExplainAnalyze(p *Plan, tr *Trace) (*relation.Relation, *exec.Counters, string, error) {
+	out, c, root, err := o.ExecuteAnalyzed(p)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var b strings.Builder
+	b.WriteString(RenderStats(root))
+	if tr != nil {
+		b.WriteString(tr.String())
+	}
+	fmt.Fprintf(&b, "-- totals: %d rows, %d base tuples retrieved\n",
+		c.RowsProduced, c.TuplesRetrieved)
+	return out, c, b.String(), nil
+}
+
+// RenderStats renders an executed stats tree, one indented line per
+// operator.
+func RenderStats(root *exec.StatsNode) string {
+	var b strings.Builder
+	root.Walk(func(depth int, n *exec.StatsNode) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label)
+		if n.EstRows >= 0 {
+			fmt.Fprintf(&b, " (est rows=%.0f cost=%.0f)", n.EstRows, n.EstCost)
+		}
+		if !n.Executed() {
+			// e.g. an index join's inner table: present in the plan, fetched
+			// through the index rather than opened as an iterator.
+			b.WriteString(" (not separately executed)\n")
+			return
+		}
+		fmt.Fprintf(&b, " (actual rows=%d next=%d tuples=%d", n.Stats.RowsOut, n.Stats.NextCalls, n.SelfTuples())
+		if n.Stats.PeakBuffered > 0 {
+			fmt.Fprintf(&b, " peak=%d", n.Stats.PeakBuffered)
+		}
+		fmt.Fprintf(&b, " time=%s", n.Stats.WallTime.Round(time.Microsecond))
+		if n.EstRows >= 0 {
+			fmt.Fprintf(&b, " q-err=%.2f", qerr(n.EstRows, n.Stats.RowsOut))
+		}
+		b.WriteString(")\n")
+	})
+	return b.String()
+}
+
+// qerr is the q-error of a cardinality estimate: max(est/actual,
+// actual/est), with both sides floored at one row so empty results do not
+// divide by zero.
+func qerr(est float64, actual int64) float64 {
+	a := float64(actual)
+	if a < 1 {
+		a = 1
+	}
+	if est < 1 {
+		est = 1
+	}
+	if est > a {
+		return est / a
+	}
+	return a / est
+}

@@ -35,32 +35,40 @@ func (o *Optimizer) planGOJ(l, r *Plan, pred predicate.Predicate, s []relation.A
 }
 
 // buildGOJ lowers a GOJ plan node.
-func (o *Optimizer) buildGOJ(p *Plan, c *exec.Counters) (exec.Iterator, error) {
-	left, err := o.Build(p.Left, c)
+func (o *Optimizer) buildGOJ(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *exec.StatsNode, error) {
+	left, lnode, err := o.build(p.Left, c, ins)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	right, err := o.Build(p.Right, c)
+	right, rnode, err := o.build(p.Right, c, ins)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if lk, rk, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme); ok {
-		return exec.NewHashGOJ(left, right, lk, rk, p.GOJAttrs)
+		it, err := exec.NewHashGOJ(left, right, lk, rk, p.GOJAttrs)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
+		return wrapped, node, nil
 	}
-	// General predicate: materialize and use the reference algebra.
+	// General predicate: materialize and use the reference algebra. The
+	// children drain here, at build time, so their stats are already
+	// complete when the wrapping RelationScan starts streaming.
 	lrel, err := exec.Collect(left, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rrel, err := exec.Collect(right, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out, err := algebra.GeneralizedOuterJoin(lrel, rrel, p.Pred, p.GOJAttrs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return exec.NewRelationScan(out), nil
+	wrapped, node := wrapNode(exec.NewRelationScan(out), p, c, ins, lnode, rnode)
+	return wrapped, node, nil
 }
 
 // OptimizeWithGOJ plans q like Optimize, but when q is not freely
@@ -69,26 +77,38 @@ func (o *Optimizer) buildGOJ(p *Plan, c *exec.Counters) (exec.Iterator, error) {
 // prefers. The string result names the strategy used: "reordered",
 // "fixed", or "goj".
 func (o *Optimizer) OptimizeWithGOJ(q *expr.Node) (*Plan, string, error) {
-	p, reordered, err := o.Optimize(q)
-	if err != nil {
-		return nil, "", err
+	p, tr, err := o.OptimizeWithGOJTrace(q)
+	if tr == nil {
+		return p, "", err
 	}
-	if reordered {
-		return p, "reordered", nil
+	return p, tr.Strategy, err
+}
+
+// OptimizeWithGOJTrace is OptimizeWithGOJ with the decision record
+// attached; on strategy "goj" the trace keeps the not-free verdict that
+// made the reassociation worth trying.
+func (o *Optimizer) OptimizeWithGOJTrace(q *expr.Node) (*Plan, *Trace, error) {
+	p, tr, err := o.OptimizeTrace(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tr.Reordered() {
+		return p, tr, nil
 	}
 	rw, ok, err := core.GOJReassociate(q, o.cat)
 	if err != nil || !ok {
-		return p, "fixed", err
+		return p, tr, err
 	}
 	gp, err := o.planExprWithGOJ(rw)
 	if err != nil {
 		// The rewrite exists but cannot be planned; keep the fixed plan.
-		return p, "fixed", nil
+		return p, tr, nil
 	}
 	if gp.Cost < p.Cost {
-		return gp, "goj", nil
+		tr.Strategy = "goj"
+		return gp, tr, nil
 	}
-	return p, "fixed", nil
+	return p, tr, nil
 }
 
 // planForcedGOJ applies the §6.2 rewrite when it matches and plans it

@@ -47,16 +47,37 @@ func New(cat *storage.Catalog) *Optimizer { return &Optimizer{cat: cat} }
 // honors q's own association (reordered, the query could change meaning).
 // The second result reports whether reordering was performed.
 func (o *Optimizer) Optimize(q *expr.Node) (*Plan, bool, error) {
-	analysis, err := core.Analyze(q)
-	if err == nil && analysis.Free {
-		p, err := o.OptimizeGraph(analysis.Graph)
-		if err != nil {
-			return nil, false, err
-		}
-		return p, true, nil
+	p, tr, err := o.OptimizeTrace(q)
+	if err != nil {
+		return nil, false, err
 	}
+	return p, tr.Reordered(), nil
+}
+
+// OptimizeTrace is Optimize with the decision record attached. A query
+// whose graph is undefined (Definition 1 fails: a relation used twice, a
+// predicate not spanning exactly the two operand sides, an operator
+// outside the join/outerjoin set) is an error, not a fixed-order plan —
+// the fallback is reserved for well-formed queries that are merely not
+// provably freely reorderable, and the trace records that verdict.
+func (o *Optimizer) OptimizeTrace(q *expr.Node) (*Plan, *Trace, error) {
+	analysis, err := core.Analyze(q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("optimizer: query graph undefined: %w", err)
+	}
+	tr := &Trace{}
+	if analysis.Free {
+		p, err := o.optimizeGraph(analysis.Graph, nil, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr.Strategy = "reordered"
+		return p, tr, nil
+	}
+	tr.Strategy = "fixed"
+	tr.FallbackReason = analysis.String()
 	p, err := o.PlanFixed(q)
-	return p, false, err
+	return p, tr, err
 }
 
 // OptimizeGraph finds the cheapest plan among all implementing trees of a
@@ -64,7 +85,14 @@ func (o *Optimizer) Optimize(q *expr.Node) (*Plan, bool, error) {
 // subsets (the classic DP, with outerjoin edges handled like join edges
 // but orientation-pinned).
 func (o *Optimizer) OptimizeGraph(g *graph.Graph) (*Plan, error) {
-	return o.optimizeGraph(g, nil)
+	return o.optimizeGraph(g, nil, nil)
+}
+
+// OptimizeGraphTrace is OptimizeGraph with DP search statistics attached.
+func (o *Optimizer) OptimizeGraphTrace(g *graph.Graph) (*Plan, *Trace, error) {
+	tr := &Trace{Strategy: "reordered"}
+	p, err := o.optimizeGraph(g, nil, tr)
+	return p, tr, err
 }
 
 // PlanFixed produces a physical plan honoring q's own operator order:
@@ -90,17 +118,27 @@ func (o *Optimizer) PlanFixed(q *expr.Node) (*Plan, error) {
 			op = expr.LeftOuter
 		}
 		sp := expr.Split{Op: op, Pred: q.Pred, S1Preserved: true}
-		cands := o.fixedJoinPlans(sp, l, r)
-		bestPlan := cands[0]
-		for _, c := range cands[1:] {
-			if c.Cost < bestPlan.Cost {
-				bestPlan = c
-			}
-		}
-		return bestPlan, nil
+		return cheapest(o.fixedJoinPlans(sp, l, r))
 	default:
 		return nil, fmt.Errorf("optimizer: cannot plan operator %s", q.Op)
 	}
+}
+
+// cheapest picks the lowest-cost candidate. An empty slice is an error
+// (the operand schemes overlap, so no physical operator applies), not a
+// panic: fixedJoinPlans legitimately returns nothing for e.g. a query
+// that names the same relation on both sides.
+func cheapest(cands []*Plan) (*Plan, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("optimizer: no physical candidate (operand schemes overlap?)")
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Cost < best.Cost {
+			best = c
+		}
+	}
+	return best, nil
 }
 
 // scanPlan builds a leaf plan for a base table.
@@ -205,7 +243,6 @@ func (o *Optimizer) fixedJoinPlans(sp expr.Split, l, r *Plan) []*Plan {
 				}
 			}
 		}
-		_ = lk
 	}
 	out = append(out, mk(AlgoNL, "", l.EstRows*r.EstRows*costNLPerPair))
 	return out

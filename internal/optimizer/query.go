@@ -23,6 +23,18 @@ import (
 //
 // The boolean reports whether reordering applied.
 func (o *Optimizer) PlanQuery(q *expr.Node) (*Plan, bool, error) {
+	p, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, tr.Reordered(), nil
+}
+
+// PlanQueryTrace is PlanQuery with the decision record attached. Unlike
+// OptimizeTrace, an undefined query graph is not an error here: the shell
+// pipeline must still execute such queries, so they keep their written
+// order and the trace records why.
+func (o *Optimizer) PlanQueryTrace(q *expr.Node) (*Plan, *Trace, error) {
 	q, _ = core.Simplify(q, core.SimplifyOptions{})
 	q = core.PushRestrictions(q)
 
@@ -33,30 +45,39 @@ func (o *Optimizer) PlanQuery(q *expr.Node) (*Plan, bool, error) {
 		q = q.Left
 	}
 
-	plan, reordered, err := o.planBlock(q)
+	plan, tr, err := o.planBlock(q)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
 	for i := len(top) - 1; i >= 0; i-- {
 		plan = o.filterPlan(plan, top[i])
 	}
-	return plan, reordered, nil
+	return plan, tr, nil
 }
 
 // planBlock plans a join/outerjoin block whose only restrictions sit
 // directly over leaves.
-func (o *Optimizer) planBlock(q *expr.Node) (*Plan, bool, error) {
+func (o *Optimizer) planBlock(q *expr.Node) (*Plan, *Trace, error) {
+	tr := &Trace{Strategy: "fixed"}
 	stripped, filters, pure := stripLeafFilters(q)
-	if pure {
-		if a, err := core.Analyze(stripped); err == nil && a.Free && !a.SemiExtension {
-			p, err := o.optimizeGraph(a.Graph, filters)
-			if err == nil {
-				return p, true, nil
-			}
+	if !pure {
+		tr.FallbackReason = "block is not a pure join/outerjoin tree over (filtered) base tables"
+	} else if a, err := core.Analyze(stripped); err != nil {
+		tr.FallbackReason = "query graph undefined: " + err.Error()
+	} else if !a.Free {
+		tr.FallbackReason = a.String()
+	} else if a.SemiExtension {
+		tr.FallbackReason = "freely reorderable only under the §6.3 semijoin extension (no physical semijoin operators)"
+	} else {
+		p, err := o.optimizeGraph(a.Graph, filters, tr)
+		if err == nil {
+			tr.Strategy = "reordered"
+			return p, tr, nil
 		}
+		tr.FallbackReason = "DP failed: " + err.Error()
 	}
 	p, err := o.planFixedRestricted(q)
-	return p, false, err
+	return p, tr, err
 }
 
 // stripLeafFilters removes σ-over-leaf wrappers, returning the bare tree,
@@ -100,8 +121,9 @@ func stripLeafFilters(q *expr.Node) (*expr.Node, map[string]predicate.Predicate,
 }
 
 // optimizeGraph is the DP of OptimizeGraph with per-relation filters
-// folded into the leaf plans.
-func (o *Optimizer) optimizeGraph(g *graph.Graph, filters map[string]predicate.Predicate) (*Plan, error) {
+// folded into the leaf plans. When tr is non-nil the search statistics
+// (subsets, splits, candidates, pruned) are recorded into it.
+func (o *Optimizer) optimizeGraph(g *graph.Graph, filters map[string]predicate.Predicate, tr *Trace) (*Plan, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("optimizer: empty graph")
 	}
@@ -123,20 +145,33 @@ func (o *Optimizer) optimizeGraph(g *graph.Graph, filters map[string]predicate.P
 			if s.Count() != size || s&all != s || !g.ConnectedSet(s) {
 				continue
 			}
+			splits := expr.ValidSplits(g, s)
+			if tr != nil {
+				tr.Subsets++
+				tr.Splits += len(splits)
+			}
 			var bestPlan *Plan
-			for _, sp := range expr.ValidSplits(g, s) {
+			cands := 0
+			for _, sp := range splits {
 				p1, p2 := best[sp.S1], best[sp.S2]
 				if p1 == nil || p2 == nil {
 					continue
 				}
 				for _, cand := range o.joinPlans(sp, p1, p2) {
+					cands++
 					if bestPlan == nil || cand.Cost < bestPlan.Cost {
 						bestPlan = cand
 					}
 				}
 			}
+			if tr != nil {
+				tr.Candidates += cands
+			}
 			if bestPlan != nil {
 				best[s] = bestPlan
+				if tr != nil {
+					tr.Pruned += cands - 1
+				}
 			}
 		}
 	}
@@ -255,21 +290,19 @@ func (o *Optimizer) planFixedRestricted(q *expr.Node) (*Plan, error) {
 		op = expr.LeftOuter
 	}
 	sp := expr.Split{Op: op, Pred: q.Pred, S1Preserved: true}
-	cands := o.fixedJoinPlans(sp, l, r)
-	bestPlan := cands[0]
-	for _, c := range cands[1:] {
-		if c.Cost < bestPlan.Cost {
-			bestPlan = c
-		}
-	}
-	return bestPlan, nil
+	return cheapest(o.fixedJoinPlans(sp, l, r))
 }
 
 // buildFilter lowers a Restrict plan node.
-func (o *Optimizer) buildFilter(p *Plan, c *exec.Counters) (exec.Iterator, error) {
-	child, err := o.Build(p.Left, c)
+func (o *Optimizer) buildFilter(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *exec.StatsNode, error) {
+	child, cnode, err := o.build(p.Left, c, ins)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return exec.NewFilter(child, p.Pred)
+	it, err := exec.NewFilter(child, p.Pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	wrapped, node := wrapNode(it, p, c, ins, cnode)
+	return wrapped, node, nil
 }
