@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench experiments fuzz fmt vet clean
+.PHONY: all check build test race cover bench experiments faults fuzz fmt vet clean
 
 all: check
 
@@ -23,6 +23,11 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Fault-injection and resource-governance suite; -count=2 shakes out
+# state reuse across re-Open (operators must fully reset).
+faults:
+	$(GO) test -count=2 -run 'Fault|ErrorPath|Cancelled|Deadline|MemoryBudget|Degradation|Governor|Leak|Collect' ./internal/exec ./internal/storage ./internal/resource ./internal/optimizer
 
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"freejoin/internal/core"
+	"freejoin/internal/exec"
 	"freejoin/internal/expr"
 	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
@@ -20,6 +23,11 @@ import (
 type Shell struct {
 	cat *storage.Catalog
 	out io.Writer
+
+	// Resource limits applied to plan / explain analyze executions; zero
+	// means unlimited.
+	timeout  time.Duration
+	memLimit int64 // bytes
 }
 
 // NewShell returns a shell writing to out.
@@ -103,6 +111,8 @@ func (s *Shell) Exec(line string) error {
 		return s.cmdPlan(rest)
 	case "explain":
 		return s.cmdExplain(rest)
+	case "set":
+		return s.cmdSet(rest)
 	case "trees":
 		return s.cmdTrees(rest)
 	default:
@@ -125,6 +135,9 @@ func (s *Shell) help() {
   plan    EXPR                                optimize, explain and execute
   explain EXPR                                show the chosen plan and optimizer trace
   explain analyze EXPR                        run the plan with per-operator statistics
+  set timeout DUR|off                         execution deadline (e.g. 500ms, 2s)
+  set memory_limit N[KB|MB]|off               executor memory budget
+  set                                         show current limits
   help / quit
 
 expressions:  (R -[R.a = S.a] S) ->[S.b = T.b] T
@@ -325,6 +338,92 @@ func (s *Shell) cmdTrees(rest string) error {
 	return nil
 }
 
+// cmdSet adjusts the session resource limits: "set timeout 500ms",
+// "set memory_limit 64KB", "set ... off", or bare "set" to show them.
+func (s *Shell) cmdSet(rest string) error {
+	if rest == "" {
+		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\n",
+			orOff(s.timeout.String(), s.timeout == 0), orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0))
+		return nil
+	}
+	name, val, _ := strings.Cut(rest, " ")
+	val = strings.TrimSpace(val)
+	switch strings.ToLower(name) {
+	case "timeout":
+		if strings.EqualFold(val, "off") {
+			s.timeout = 0
+			fmt.Fprintln(s.out, "timeout off")
+			return nil
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("usage: set timeout DUR|off (e.g. 500ms)")
+		}
+		s.timeout = d
+		fmt.Fprintf(s.out, "timeout %s\n", d)
+		return nil
+	case "memory_limit":
+		if strings.EqualFold(val, "off") {
+			s.memLimit = 0
+			fmt.Fprintln(s.out, "memory_limit off")
+			return nil
+		}
+		n, err := parseBytes(val)
+		if err != nil {
+			return err
+		}
+		s.memLimit = n
+		fmt.Fprintf(s.out, "memory_limit %d bytes\n", n)
+		return nil
+	default:
+		return fmt.Errorf("usage: set timeout DUR|off | set memory_limit N[KB|MB]|off")
+	}
+}
+
+func orOff(s string, off bool) string {
+	if off {
+		return "off"
+	}
+	return s
+}
+
+// parseBytes parses "4096", "64KB", "2MB".
+func parseBytes(v string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(v)
+	switch {
+	case strings.HasSuffix(upper, "MB"):
+		mult, v = 1<<20, v[:len(v)-2]
+	case strings.HasSuffix(upper, "KB"):
+		mult, v = 1<<10, v[:len(v)-2]
+	case strings.HasSuffix(upper, "B"):
+		v = v[:len(v)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("cannot parse byte size %q (use N, NKB or NMB)", v)
+	}
+	return n * mult, nil
+}
+
+// execContext builds the execution context for the session's limits; the
+// returned cancel must be called when the execution finishes. A session
+// with no limits gets a nil context (the ungoverned fast path).
+func (s *Shell) execContext() (*exec.ExecContext, context.CancelFunc) {
+	if s.timeout == 0 && s.memLimit == 0 {
+		return nil, func() {}
+	}
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	var gov *exec.Governor
+	if s.memLimit > 0 {
+		gov = exec.NewGovernor(0, s.memLimit)
+	}
+	return exec.NewExecContext(ctx, gov), cancel
+}
+
 // cmdExplain handles "explain EXPR" (plan plus optimizer trace, no
 // execution) and "explain analyze EXPR" (instrumented execution with
 // per-operator actual rows, tuples, peak memory, time and q-error).
@@ -352,12 +451,13 @@ func (s *Shell) cmdExplain(rest string) error {
 		fmt.Fprint(s.out, optimizer.Explain(p, tr))
 		return nil
 	}
-	_, _, text, err := o.ExplainAnalyze(p, tr)
-	if err != nil {
-		return err
-	}
+	ec, cancel := s.execContext()
+	defer cancel()
+	_, _, text, err := o.ExplainAnalyzeCtx(ec, p, tr)
+	// On an aborted run the text still renders the partial tree and the
+	// tripping operator; print it before surfacing the error.
 	fmt.Fprint(s.out, text)
-	return nil
+	return err
 }
 
 func (s *Shell) cmdPlan(rest string) error {
@@ -371,7 +471,9 @@ func (s *Shell) cmdPlan(rest string) error {
 		return err
 	}
 	fmt.Fprintf(s.out, "reordered: %v\nplan: %s\n%s", reordered, p.Tree(), p.Explain())
-	out, c, err := o.Execute(p)
+	ec, cancel := s.execContext()
+	defer cancel()
+	out, c, err := o.ExecuteCtx(ec, p)
 	if err != nil {
 		return err
 	}

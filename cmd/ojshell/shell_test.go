@@ -171,3 +171,86 @@ func TestParseValueForms(t *testing.T) {
 		t.Error("float parse broken")
 	}
 }
+
+// Regression: a query naming a table the catalog does not have must
+// report a clean error from every command path — historically the graph
+// layer panicked on the unknown node.
+func TestShellUnknownTableIsError(t *testing.T) {
+	for _, cmd := range []string{"plan", "explain", "explain analyze", "query"} {
+		out := runScript(t, `
+table R(a) = (1), (2)
+`+cmd+` R -[R.a = Zed.a] Zed
+quit
+`)
+		if !strings.Contains(out, "error:") {
+			t.Errorf("%s with unknown table must report an error, got:\n%s", cmd, out)
+		}
+		if strings.Contains(out, "panic") {
+			t.Errorf("%s with unknown table panicked:\n%s", cmd, out)
+		}
+	}
+}
+
+func TestShellSetLimits(t *testing.T) {
+	out := runScript(t, `
+set timeout 250ms
+set memory_limit 64KB
+set
+set timeout off
+set memory_limit off
+set
+set timeout bogus
+set memory_limit bogus
+quit
+`)
+	for _, want := range []string{
+		"timeout 250ms",
+		"memory_limit 65536 bytes",
+		"timeout off",
+		"memory_limit off",
+		"error:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("set output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A plan over budget must surface the typed resource error instead of
+// silently truncating, and explain analyze must render the abort with
+// the tripping operator.
+func TestShellMemoryLimitTrips(t *testing.T) {
+	script := `
+table R(a) = (1), (2), (3), (4), (5)
+table S(a) = (1), (2), (3), (4), (5)
+set memory_limit 100
+plan R -[R.a = S.a] S
+explain analyze R -[R.a = S.a] S
+quit
+`
+	out := runScript(t, script)
+	if !strings.Contains(out, "memory budget exceeded") {
+		t.Errorf("over-budget plan must report the trip:\n%s", out)
+	}
+	if !strings.Contains(out, "-- aborted:") {
+		t.Errorf("explain analyze must render the abort trailer:\n%s", out)
+	}
+	if !strings.Contains(out, "<-- error:") {
+		t.Errorf("explain analyze must mark the tripping operator:\n%s", out)
+	}
+}
+
+// With room in the budget, governed execution matches ungoverned.
+func TestShellLimitsWithinBudget(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2)
+table S(a) = (2), (3)
+set timeout 10s
+set memory_limit 1MB
+plan R -[R.a = S.a] S
+quit
+`)
+	if !strings.Contains(out, "(1 rows)") && !strings.Contains(out, "(1 row)") {
+		t.Errorf("governed plan within budget must produce the result:\n%s", out)
+	}
+}

@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"freejoin/internal/core"
+	"freejoin/internal/exec"
 	"freejoin/internal/expr"
 	"freejoin/internal/graph"
 	"freejoin/internal/optimizer"
@@ -26,25 +29,27 @@ import (
 
 func main() {
 	var (
-		query   = flag.String("q", "", "expression to analyze (required)")
-		all     = flag.Bool("all", false, "list every implementing tree")
-		dot     = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
-		modulo  = flag.Bool("modulo", true, "count trees modulo reversal")
-		limit   = flag.Int64("limit", 100000, "maximum trees to list with -all")
-		explain = flag.Bool("explain", false, "plan over a synthetic catalog and print the plan with the optimizer trace")
+		query    = flag.String("q", "", "expression to analyze (required)")
+		all      = flag.Bool("all", false, "list every implementing tree")
+		dot      = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
+		modulo   = flag.Bool("modulo", true, "count trees modulo reversal")
+		limit    = flag.Int64("limit", 100000, "maximum trees to list with -all")
+		explain  = flag.Bool("explain", false, "plan over a synthetic catalog, execute with per-operator statistics, and print both")
+		timeout  = flag.Duration("timeout", 0, "deadline for the -explain execution (e.g. 500ms; 0 = none)")
+		memLimit = flag.Int64("mem-limit", 0, "memory budget in bytes for the -explain execution (0 = none)")
 	)
 	flag.Parse()
 	if *query == "" {
-		fmt.Fprintln(os.Stderr, "usage: reorder -q \"(R -[R.a = S.a] S) ->[S.a = T.a] T\" [-all] [-dot] [-explain]")
+		fmt.Fprintln(os.Stderr, "usage: reorder -q \"(R -[R.a = S.a] S) ->[S.a = T.a] T\" [-all] [-dot] [-explain] [-timeout 500ms] [-mem-limit 65536]")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain); err != nil {
+	if err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *timeout, *memLimit); err != nil {
 		fmt.Fprintln(os.Stderr, "reorder:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain bool) error {
+func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain bool, timeout time.Duration, memLimit int64) error {
 	q, err := parse.Expr(query)
 	if err != nil {
 		return err
@@ -92,7 +97,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain 
 		fmt.Fprint(w, analysis.Graph.DOT())
 	}
 	if explain {
-		if err := explainPlan(w, q, analysis.Graph); err != nil {
+		if err := explainPlan(w, q, analysis.Graph, timeout, memLimit); err != nil {
 			return err
 		}
 	}
@@ -101,10 +106,11 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain 
 
 // explainPlan plans the query over a synthetic catalog — every relation
 // gets 1000 rows over the columns its predicates mention, each hash
-// indexed — and prints the chosen plan with the optimizer's decision
-// trace. The command has no real data, so estimates stand in for it; the
-// point is to see which implementing tree the DP picks and why.
-func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph) error {
+// indexed — prints the chosen plan with the optimizer's decision trace,
+// then executes it instrumented under the given resource limits (zero
+// means unlimited) so a runaway implementing tree aborts with a typed
+// resource error instead of running without bound.
+func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duration, memLimit int64) error {
 	cols := map[string]map[string]struct{}{}
 	for _, n := range g.Nodes() {
 		cols[n] = map[string]struct{}{}
@@ -159,5 +165,24 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph) error {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "plan (synthetic catalog, 1000 rows per relation):")
 	fmt.Fprint(w, optimizer.Explain(p, tr))
-	return nil
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var gov *exec.Governor
+	if memLimit > 0 {
+		gov = exec.NewGovernor(0, memLimit)
+	}
+	var ec *exec.ExecContext
+	if timeout > 0 || memLimit > 0 {
+		ec = exec.NewExecContext(ctx, gov)
+	}
+	_, _, text, err := o.ExplainAnalyzeCtx(ec, p, nil)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "execution (explain analyze):")
+	fmt.Fprint(w, text)
+	return err
 }

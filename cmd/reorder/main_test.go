@@ -7,7 +7,7 @@ import (
 
 func TestRunAnalysis(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", true, true, true, 1000, false)
+	err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", true, true, true, 1000, false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestRunAnalysis(t *testing.T) {
 
 func TestRunFullEnumeration(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "R -[R.a = S.a] S", true, false, false, 1000, false); err != nil {
+	if err := run(&out, "R -[R.a = S.a] S", true, false, false, 1000, false, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "implementing trees: 2\n") {
@@ -38,10 +38,10 @@ func TestRunFullEnumeration(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "R -[", false, false, true, 1000, false); err == nil {
+	if err := run(&out, "R -[", false, false, true, 1000, false, 0, 0); err == nil {
 		t.Error("parse error must surface")
 	}
-	if err := run(&out, "R -[R.a = 1] S", false, false, true, 1000, false); err == nil {
+	if err := run(&out, "R -[R.a = 1] S", false, false, true, 1000, false, 0, 0); err == nil {
 		t.Error("undefined graph must surface")
 	}
 	// Limit enforcement.
@@ -51,14 +51,14 @@ func TestRunErrors(t *testing.T) {
 		v := string(rune('A' + i))
 		big = "(" + big + " -[" + u + ".a = " + v + ".a] " + v + ")"
 	}
-	if err := run(&out, big, true, false, true, 10, false); err == nil {
+	if err := run(&out, big, true, false, true, 10, false, 0, 0); err == nil {
 		t.Error("limit must be enforced")
 	}
 }
 
 func TestRunExplain(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true); err != nil {
+	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -76,7 +76,7 @@ func TestRunExplain(t *testing.T) {
 
 func TestRunNonNice(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "R ->[R.a = S.a] (S -[S.a = T.a] T)", false, false, true, 1000, false); err != nil {
+	if err := run(&out, "R ->[R.a = S.a] (S -[S.a = T.a] T)", false, false, true, 1000, false, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "NOT provably freely reorderable") {

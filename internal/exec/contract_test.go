@@ -79,13 +79,17 @@ func contractCases(t *testing.T, rt, st *storage.Table, c *Counters) map[string]
 		t.Fatal(err)
 	}
 	cases["instrumented"] = func() Iterator { return Instrument(hj, "join", c) }
+	// The fault wrapper with no fault configured is itself an operator and
+	// must honor the same contract.
+	ft := storage.NewFaultTable(rt, storage.Fault{})
+	cases["fault"] = func() Iterator { return ft.Iterator() }
 	return cases
 }
 
 // drainBag runs one full Open → drain → Close cycle.
 func drainBag(t *testing.T, it Iterator) *relation.Relation {
 	t.Helper()
-	if err := it.Open(); err != nil {
+	if err := it.Open(nil); err != nil {
 		t.Fatal(err)
 	}
 	out := relation.New(it.Scheme())

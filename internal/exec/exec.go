@@ -3,6 +3,19 @@
 // of tuples retrieved from base tables is the cost measure of the paper's
 // Example 1 ("the first expression retrieves 2·10⁷+1 tuples, and the
 // second retrieves only 3").
+//
+// Every Open takes an *ExecContext (may be nil = ungoverned) carrying a
+// context.Context and an optional Governor, so cancellation, deadlines
+// and memory budgets propagate into every operator, including the
+// blocking ones that materialize their inputs. Operators that buffer rows
+// charge the governor as they buffer and release the charge on Close; a
+// trip surfaces as a typed *ResourceError naming the operator.
+//
+// The error contract (enforced by faults_test.go for every operator):
+// an Open that returns an error has already closed any children it opened
+// and released any buffers and governor charges it acquired; after Next
+// returns an error the operator never calls a child's Next again; Close
+// is idempotent and always releases buffers and charges.
 package exec
 
 import (
@@ -11,8 +24,41 @@ import (
 
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
+	"freejoin/internal/resource"
 	"freejoin/internal/storage"
 )
+
+// Re-exports: the governance types live in internal/resource (below both
+// exec and storage); exec is their primary consumer and public face.
+type (
+	// ExecContext carries cancellation, deadline and memory budget state
+	// through Open. A nil *ExecContext means ungoverned execution.
+	ExecContext = resource.ExecContext
+	// Governor enforces memory budgets over buffered rows.
+	Governor = resource.Governor
+	// ResourceError is the typed error of a cancelled, timed-out or
+	// over-budget execution.
+	ResourceError = resource.ResourceError
+	// Kind classifies a ResourceError.
+	Kind = resource.Kind
+)
+
+// Resource error kinds (see resource.Kind).
+const (
+	Cancelled        = resource.Cancelled
+	DeadlineExceeded = resource.DeadlineExceeded
+	MemoryExceeded   = resource.MemoryExceeded
+)
+
+// NewGovernor returns a governor with the given row/byte budgets (zero
+// disables a limit).
+func NewGovernor(limitRows, limitBytes int64) *Governor {
+	return resource.NewGovernor(limitRows, limitBytes)
+}
+
+// NewExecContext builds an execution context from a context and an
+// optional governor; both may be nil.
+var NewExecContext = resource.NewContext
 
 // Counters accumulates execution effort across a plan.
 type Counters struct {
@@ -25,24 +71,72 @@ type Counters struct {
 
 // Iterator is the Volcano operator interface. Next returns the next row
 // and true, or false at end of stream. Rows must be treated as immutable
-// by consumers.
+// by consumers. Open accepts a nil ExecContext (ungoverned execution).
 type Iterator interface {
 	Scheme() *relation.Scheme
-	Open() error
+	Open(ec *ExecContext) error
 	Next() ([]relation.Value, bool, error)
 	Close() error
 }
 
+// rowBytes estimates the resident size of a row for byte budgets: the
+// Value struct itself plus string payloads.
+func rowBytes(row []relation.Value) int64 {
+	n := int64(len(row)) * 40 // unsafe.Sizeof(relation.Value{}) on 64-bit
+	for _, v := range row {
+		if v.Kind() == relation.KindString {
+			n += int64(len(v.AsString()))
+		}
+	}
+	return n
+}
+
+// hold tracks one operator's outstanding governor reservation so it can
+// be released exactly once, on Close or on an Open error path.
+type hold struct {
+	rows, bytes int64
+}
+
+// charge reserves one row against the budget on behalf of op.
+func (h *hold) charge(ec *ExecContext, op string, row []relation.Value) error {
+	b := rowBytes(row)
+	if err := ec.Reserve(op, 1, b); err != nil {
+		return err
+	}
+	h.rows++
+	h.bytes += b
+	return nil
+}
+
+// release returns the entire outstanding reservation.
+func (h *hold) release(ec *ExecContext) {
+	if h.rows != 0 || h.bytes != 0 {
+		ec.Release(h.rows, h.bytes)
+		h.rows, h.bytes = 0, 0
+	}
+}
+
 // Collect drains an iterator into a relation, updating RowsProduced.
+// The iterator is always closed, including on mid-stream errors; a Close
+// error surfaces when the drain itself succeeded.
 func Collect(it Iterator, c *Counters) (*relation.Relation, error) {
-	if err := it.Open(); err != nil {
+	return CollectCtx(nil, it, c)
+}
+
+// CollectCtx is Collect under an execution context: cancellation,
+// deadlines and memory budgets govern the drain.
+func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, error) {
+	if err := it.Open(ec); err != nil {
+		// The operator contract releases its own state on a failed Open;
+		// Close here is a harmless idempotent safety net.
+		it.Close()
 		return nil, err
 	}
-	defer it.Close()
 	out := relation.New(it.Scheme())
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
+			it.Close()
 			return nil, err
 		}
 		if !ok {
@@ -53,6 +147,9 @@ func Collect(it Iterator, c *Counters) (*relation.Relation, error) {
 			c.RowsProduced++
 		}
 	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -60,6 +157,7 @@ func Collect(it Iterator, c *Counters) (*relation.Relation, error) {
 type Scan struct {
 	table    *storage.Table
 	counters *Counters
+	ec       *ExecContext
 	pos      int
 }
 
@@ -72,10 +170,17 @@ func NewScan(t *storage.Table, c *Counters) *Scan {
 func (s *Scan) Scheme() *relation.Scheme { return s.table.Scheme() }
 
 // Open implements Iterator.
-func (s *Scan) Open() error { s.pos = 0; return nil }
+func (s *Scan) Open(ec *ExecContext) error {
+	s.ec = ec
+	s.pos = 0
+	return ec.Err("scan")
+}
 
 // Next implements Iterator.
 func (s *Scan) Next() ([]relation.Value, bool, error) {
+	if err := s.ec.Err("scan"); err != nil {
+		return nil, false, err
+	}
 	if s.pos >= s.table.Relation().Len() {
 		return nil, false, nil
 	}
@@ -99,6 +204,7 @@ type IndexScan struct {
 	index    *storage.HashIndex
 	value    relation.Value
 	counters *Counters
+	ec       *ExecContext
 	rows     []int
 	pos      int
 }
@@ -116,7 +222,11 @@ func NewIndexScan(t *storage.Table, col string, v relation.Value, c *Counters) (
 func (s *IndexScan) Scheme() *relation.Scheme { return s.table.Scheme() }
 
 // Open implements Iterator.
-func (s *IndexScan) Open() error {
+func (s *IndexScan) Open(ec *ExecContext) error {
+	s.ec = ec
+	if err := ec.Err("indexscan"); err != nil {
+		return err
+	}
 	s.rows = s.index.Lookup(s.value)
 	s.pos = 0
 	return nil
@@ -124,6 +234,9 @@ func (s *IndexScan) Open() error {
 
 // Next implements Iterator.
 func (s *IndexScan) Next() ([]relation.Value, bool, error) {
+	if err := s.ec.Err("indexscan"); err != nil {
+		return nil, false, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
@@ -143,6 +256,7 @@ func (s *IndexScan) Close() error { return nil }
 // tuple retrieval.
 type RelationScan struct {
 	rel *relation.Relation
+	ec  *ExecContext
 	pos int
 }
 
@@ -155,10 +269,17 @@ func NewRelationScan(rel *relation.Relation) *RelationScan {
 func (s *RelationScan) Scheme() *relation.Scheme { return s.rel.Scheme() }
 
 // Open implements Iterator.
-func (s *RelationScan) Open() error { s.pos = 0; return nil }
+func (s *RelationScan) Open(ec *ExecContext) error {
+	s.ec = ec
+	s.pos = 0
+	return ec.Err("relationscan")
+}
 
 // Next implements Iterator.
 func (s *RelationScan) Next() ([]relation.Value, bool, error) {
+	if err := s.ec.Err("relationscan"); err != nil {
+		return nil, false, err
+	}
 	if s.pos >= s.rel.Len() {
 		return nil, false, nil
 	}
@@ -189,7 +310,12 @@ func NewFilter(child Iterator, p predicate.Predicate) (*Filter, error) {
 func (f *Filter) Scheme() *relation.Scheme { return f.child.Scheme() }
 
 // Open implements Iterator.
-func (f *Filter) Open() error { return f.child.Open() }
+func (f *Filter) Open(ec *ExecContext) error {
+	if err := ec.Err("filter"); err != nil {
+		return err
+	}
+	return f.child.Open(ec)
+}
 
 // Next implements Iterator.
 func (f *Filter) Next() ([]relation.Value, bool, error) {
@@ -214,6 +340,8 @@ type Project struct {
 	scheme *relation.Scheme
 	pos    []int
 	dedup  bool
+	ec     *ExecContext
+	held   hold
 	seen   map[string]struct{}
 	key    []byte // scratch buffer for dedup keys, reused across rows
 }
@@ -235,11 +363,16 @@ func NewProject(child Iterator, attrs []relation.Attr, dedup bool) (*Project, er
 func (p *Project) Scheme() *relation.Scheme { return p.scheme }
 
 // Open implements Iterator.
-func (p *Project) Open() error {
+func (p *Project) Open(ec *ExecContext) error {
+	if err := ec.Err("project"); err != nil {
+		return err
+	}
+	p.held.release(p.ec) // re-Open without Close: drop any stale charge
+	p.ec = ec
 	if p.dedup {
 		p.seen = map[string]struct{}{}
 	}
-	return p.child.Open()
+	return p.child.Open(ec)
 }
 
 // Next implements Iterator.
@@ -262,6 +395,10 @@ func (p *Project) Next() ([]relation.Value, bool, error) {
 			if _, dup := p.seen[string(buf)]; dup {
 				continue
 			}
+			// The dedup set retains one projected row per distinct key.
+			if err := p.held.charge(p.ec, "project", out); err != nil {
+				return nil, false, err
+			}
 			p.seen[string(buf)] = struct{}{}
 		}
 		return out, true, nil
@@ -271,6 +408,7 @@ func (p *Project) Next() ([]relation.Value, bool, error) {
 // Close implements Iterator: the dedup set is released.
 func (p *Project) Close() error {
 	p.seen = nil
+	p.held.release(p.ec)
 	return p.child.Close()
 }
 
@@ -279,6 +417,8 @@ func (p *Project) Close() error {
 type Sort struct {
 	child Iterator
 	by    []int
+	ec    *ExecContext
+	held  hold
 	rows  [][]relation.Value
 	pos   int
 }
@@ -300,22 +440,19 @@ func NewSort(child Iterator, by []relation.Attr) (*Sort, error) {
 func (s *Sort) Scheme() *relation.Scheme { return s.child.Scheme() }
 
 // Open implements Iterator.
-func (s *Sort) Open() error {
-	if err := s.child.Open(); err != nil {
+func (s *Sort) Open(ec *ExecContext) error {
+	s.held.release(s.ec) // re-Open without Close: drop any stale charge
+	s.ec = ec
+	if err := ec.Err("sort"); err != nil {
 		return err
 	}
-	defer s.child.Close()
 	s.rows = s.rows[:0]
-	for {
-		row, ok, err := s.child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		s.rows = append(s.rows, row)
+	rows, err := materialize(s.child, ec, "sort", &s.held)
+	if err != nil {
+		s.held.release(ec)
+		return err
 	}
+	s.rows = rows
 	sort.SliceStable(s.rows, func(i, j int) bool {
 		for _, c := range s.by {
 			if cmp := s.rows[i][c].Compare(s.rows[j][c]); cmp != 0 {
@@ -343,29 +480,44 @@ func (s *Sort) Next() ([]relation.Value, bool, error) {
 // the lifetime of the plan).
 func (s *Sort) Close() error {
 	s.rows = nil
+	s.held.release(s.ec)
 	return nil
 }
 
 // BufferedRows implements Buffered.
 func (s *Sort) BufferedRows() int { return len(s.rows) }
 
-// materialize drains an iterator into memory (used by blocking joins).
-func materialize(it Iterator) ([][]relation.Value, error) {
-	if err := it.Open(); err != nil {
+// materialize drains an iterator into memory (used by blocking joins),
+// charging each buffered row to the governor on behalf of op when h is
+// non-nil. The child is closed on every path; on error the caller still
+// owns (and must release) whatever h accumulated.
+func materialize(it Iterator, ec *ExecContext, op string, h *hold) ([][]relation.Value, error) {
+	if err := it.Open(ec); err != nil {
+		it.Close()
 		return nil, err
 	}
-	defer it.Close()
 	var rows [][]relation.Value
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
+			it.Close()
 			return nil, err
 		}
 		if !ok {
-			return rows, nil
+			break
+		}
+		if h != nil {
+			if err := h.charge(ec, op, row); err != nil {
+				it.Close()
+				return nil, err
+			}
 		}
 		rows = append(rows, row)
 	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 func concatRows(a, b []relation.Value) []relation.Value {

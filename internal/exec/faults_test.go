@@ -1,0 +1,505 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// The error-path contract, the fault-injection sibling of
+// contract_test.go. Every operator must:
+//
+//  1. propagate an injected child error (Open, mid-stream Next, Close)
+//     instead of hanging, panicking, or silently truncating;
+//  2. leave every child it opened closed once the operator itself is
+//     closed — including when a later step of its own Open failed;
+//  3. never call Next on a child that already returned an error;
+//  4. release its buffers (BufferedRows == 0) and its governor charges
+//     after Close, error or not;
+//  5. fail fast with a typed *ResourceError when opened under a
+//     cancelled or deadline-expired context;
+//  6. leak no goroutines (fenced check around ParallelHashJoin).
+
+// faultCase describes one operator: how many fault-injectable child
+// positions it has and how to build it over those children. Position 0
+// reads R, position 1 (joins) reads S.
+type faultCase struct {
+	children int
+	build    func(t *testing.T, ch []Iterator) Iterator
+}
+
+// faultCases enumerates all 18 operators (the same inventory as
+// contract_test.go). Leaf operators have no child position; their error
+// paths are exercised by the context tests below.
+func faultCases(t *testing.T, rt, st *storage.Table, c *Counters) map[string]faultCase {
+	t.Helper()
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	key := predicate.Eq(rk, sk)
+	must := func(it Iterator, err error) Iterator {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return it
+	}
+	cases := map[string]faultCase{
+		"scan":         {0, func(t *testing.T, ch []Iterator) Iterator { return NewScan(rt, c) }},
+		"relationscan": {0, func(t *testing.T, ch []Iterator) Iterator { return NewRelationScan(rt.Relation()) }},
+		"indexscan": {0, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewIndexScan(st, "k", relation.Int(2), c))
+		}},
+		"filter": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewFilter(ch[0],
+				predicate.Cmp(predicate.GtOp, predicate.Col(rk), predicate.Const(relation.Int(1)))))
+		}},
+		"project": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewProject(ch[0], []relation.Attr{rk}, false))
+		}},
+		"project-dedup": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewProject(ch[0], []relation.Attr{rk}, true))
+		}},
+		"sort": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewSort(ch[0], []relation.Attr{rk}))
+		}},
+		"nestedloop": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewNestedLoopJoin(ch[0], ch[1], key, InnerMode))
+		}},
+		"indexjoin": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewIndexJoin(ch[0], st, "k", rk, nil, InnerMode, c))
+		}},
+		"mergejoin": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewMergeJoin(ch[0], ch[1], rk, sk, InnerMode))
+		}},
+		"parallelhashjoin": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewParallelHashJoin(ch[0], ch[1], rk, sk, InnerMode, 3))
+		}},
+		"hashgoj": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewHashGOJ(ch[0], ch[1],
+				[]relation.Attr{rk}, []relation.Attr{sk}, []relation.Attr{rk, relation.A("R", "v")}))
+		}},
+		"instrumented": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return Instrument(ch[0], "probe", c)
+		}},
+		"fault": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return storage.NewFaultIterator(ch[0], storage.Fault{})
+		}},
+	}
+	for name, mode := range map[string]JoinMode{
+		"hashjoin": InnerMode, "hashjoin-outer": LeftOuterMode, "hashjoin-semi": SemiMode, "hashjoin-anti": AntiMode,
+	} {
+		mode := mode
+		cases[name] = faultCase{2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewHashJoin(ch[0], ch[1], []relation.Attr{rk}, []relation.Attr{sk}, nil, mode))
+		}}
+	}
+	if len(cases) != 18 {
+		t.Fatalf("operator inventory drifted: %d cases, want 18", len(cases))
+	}
+	return cases
+}
+
+// buildChildren vends fault-wrapped scans: position at gets the fault,
+// the others are clean wrappers (so their lifecycle is audited too).
+func buildChildren(rt, st *storage.Table, n, at int, f storage.Fault) ([]Iterator, []*storage.FaultIterator) {
+	tables := []*storage.Table{rt, st}
+	ch := make([]Iterator, n)
+	fis := make([]*storage.FaultIterator, n)
+	for i := 0; i < n; i++ {
+		cfg := storage.Fault{}
+		if i == at {
+			cfg = f
+		}
+		fi := storage.NewFaultTable(tables[i], cfg).Iterator()
+		ch[i], fis[i] = fi, fi
+	}
+	return ch, fis
+}
+
+// runCycle performs one governed Open → drain → Close cycle and returns
+// the first error from any phase (Close errors included — they must not
+// be swallowed).
+func runCycle(it Iterator, ec *ExecContext) error {
+	if err := it.Open(ec); err != nil {
+		it.Close()
+		return err
+	}
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	return it.Close()
+}
+
+// checkInvariants asserts the post-Close obligations: audited children
+// balanced and never Next-ed after an error, buffers released, governor
+// drained.
+func checkInvariants(t *testing.T, it Iterator, fis []*storage.FaultIterator, gov *Governor) {
+	t.Helper()
+	for i, fi := range fis {
+		if fi.NextAfterError > 0 {
+			t.Errorf("child %d: %d Next calls after an error", i, fi.NextAfterError)
+		}
+		if !fi.Balanced() {
+			t.Errorf("child %d leaked: opens=%d closes=%d", i, fi.OpenCalls, fi.CloseCalls)
+		}
+	}
+	if b, ok := it.(Buffered); ok {
+		if n := b.BufferedRows(); n != 0 {
+			t.Errorf("BufferedRows() = %d after Close, want 0", n)
+		}
+	}
+	if n := gov.UsedRows(); n != 0 {
+		t.Errorf("governor still holds %d rows after Close", n)
+	}
+	if n := gov.UsedBytes(); n != 0 {
+		t.Errorf("governor still holds %d bytes after Close", n)
+	}
+}
+
+// TestErrorPathContract drives every operator over every child position
+// with faults on Open, on the first Next, mid-stream, on Close, and
+// probabilistically — asserting propagation and clean teardown each time.
+func TestErrorPathContract(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	faults := []struct {
+		name      string
+		f         storage.Fault
+		mustError bool
+	}{
+		{"open", storage.Fault{FailOpen: true}, true},
+		{"next-first", storage.Fault{FailNext: true, FailAfter: 0}, true},
+		{"next-midstream", storage.Fault{FailNext: true, FailAfter: 2}, true},
+		{"close", storage.Fault{FailClose: true}, true},
+		{"probabilistic", storage.Fault{Prob: 0.5, Seed: 1}, false},
+	}
+	for name, fc := range faultCases(t, rt, st, &c) {
+		for pos := 0; pos < fc.children; pos++ {
+			for _, fault := range faults {
+				t.Run(name+"/"+fault.name+"/child", func(t *testing.T) {
+					ch, fis := buildChildren(rt, st, fc.children, pos, fault.f)
+					it := fc.build(t, ch)
+					gov := NewGovernor(0, 0)
+					err := runCycle(it, NewExecContext(context.Background(), gov))
+					if fault.mustError && err == nil {
+						t.Errorf("injected %s fault on child %d was swallowed", fault.name, pos)
+					}
+					if err != nil && !errors.Is(err, storage.ErrInjected) {
+						t.Errorf("error lost its cause: %v", err)
+					}
+					checkInvariants(t, it, fis, gov)
+				})
+			}
+		}
+	}
+}
+
+// TestCancelledContextFailsFast opens all 18 operators under an
+// already-cancelled context: each must return a typed Cancelled
+// *ResourceError from Open and tear down cleanly.
+func TestCancelledContextFailsFast(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, fc := range faultCases(t, rt, st, &c) {
+		t.Run(name, func(t *testing.T) {
+			ch, fis := buildChildren(rt, st, fc.children, -1, storage.Fault{})
+			it := fc.build(t, ch)
+			gov := NewGovernor(0, 0)
+			err := runCycle(it, NewExecContext(ctx, gov))
+			var re *ResourceError
+			if !errors.As(err, &re) || re.Kind != Cancelled {
+				t.Fatalf("want Cancelled ResourceError, got %v", err)
+			}
+			checkInvariants(t, it, fis, gov)
+		})
+	}
+}
+
+// TestExpiredDeadline runs a representative materializing pipeline under
+// an expired deadline.
+func TestExpiredDeadline(t *testing.T) {
+	rt, st := contractTables(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	hj, err := NewHashJoin(NewScan(rt, nil), NewScan(st, nil),
+		[]relation.Attr{relation.A("R", "k")}, []relation.Attr{relation.A("S", "k")}, nil, InnerMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := runCycle(hj, NewExecContext(ctx, nil))
+	var re *ResourceError
+	if !errors.As(rerr, &re) || re.Kind != DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", rerr)
+	}
+	if !errors.Is(rerr, context.DeadlineExceeded) {
+		t.Error("cause must unwrap to context.DeadlineExceeded")
+	}
+}
+
+// TestMemoryBudgetTrips puts each buffering operator under a 1-row
+// budget: the trip must surface as a typed MemoryExceeded error naming
+// the operator, and the governor must be fully drained after Close.
+func TestMemoryBudgetTrips(t *testing.T) {
+	rt, st := contractTables(t)
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	builders := map[string]func(t *testing.T) (Iterator, string){
+		"sort": func(t *testing.T) (Iterator, string) {
+			s, err := NewSort(NewScan(rt, nil), []relation.Attr{rk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, "sort"
+		},
+		"hashjoin": func(t *testing.T) (Iterator, string) {
+			h, err := NewHashJoin(NewScan(rt, nil), NewScan(st, nil),
+				[]relation.Attr{rk}, []relation.Attr{sk}, nil, InnerMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h, "hashjoin"
+		},
+		"nestedloop": func(t *testing.T) (Iterator, string) {
+			n, err := NewNestedLoopJoin(NewScan(rt, nil), NewScan(st, nil),
+				predicate.Eq(rk, sk), InnerMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n, "nestedloop"
+		},
+		"mergejoin": func(t *testing.T) (Iterator, string) {
+			m, err := NewMergeJoin(NewScan(rt, nil), NewScan(st, nil), rk, sk, InnerMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, "mergejoin"
+		},
+		"goj": func(t *testing.T) (Iterator, string) {
+			g, err := NewHashGOJ(NewScan(rt, nil), NewScan(st, nil),
+				[]relation.Attr{rk}, []relation.Attr{sk}, []relation.Attr{rk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g, "goj"
+		},
+		"parallel": func(t *testing.T) (Iterator, string) {
+			p, err := NewParallelHashJoin(NewScan(rt, nil), NewScan(st, nil), rk, sk, InnerMode, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, "parallel"
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			it, op := build(t)
+			gov := NewGovernor(1, 0)
+			err := runCycle(it, NewExecContext(context.Background(), gov))
+			var re *ResourceError
+			if !errors.As(err, &re) || re.Kind != MemoryExceeded {
+				t.Fatalf("want MemoryExceeded, got %v", err)
+			}
+			if re.Operator != op {
+				t.Errorf("tripping operator = %q, want %q", re.Operator, op)
+			}
+			if gov.UsedRows() != 0 {
+				t.Errorf("governor holds %d rows after Close", gov.UsedRows())
+			}
+		})
+	}
+}
+
+// TestHashJoinGracefulDegradation: a hash join with a marked index
+// fallback must, when its build side trips the budget, serve the same
+// bag through the index strategy instead of aborting — in all four join
+// modes.
+func TestHashJoinGracefulDegradation(t *testing.T) {
+	rt, st := contractTables(t)
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	for _, mode := range []JoinMode{InnerMode, LeftOuterMode, SemiMode, AntiMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			mkJoin := func() *HashJoin {
+				h, err := NewHashJoin(NewScan(rt, nil), NewScan(st, nil),
+					[]relation.Attr{rk}, []relation.Attr{sk}, nil, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return h
+			}
+			want, err := Collect(mkJoin(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			h := mkJoin()
+			h.SetFallback(func(left Iterator) (Iterator, error) {
+				return NewIndexJoin(left, st, "k", rk, nil, mode, nil)
+			})
+			gov := NewGovernor(1, 0) // the 4-row build side cannot fit
+			got, err := CollectCtx(NewExecContext(context.Background(), gov), h, nil)
+			if err != nil {
+				t.Fatalf("degraded run failed: %v", err)
+			}
+			if h.DegradedTo() == nil {
+				t.Fatal("join should have degraded to the index strategy")
+			}
+			if !want.EqualBag(got) {
+				t.Errorf("degraded bag differs:\nwant (%d rows):\n%vgot (%d rows):\n%v",
+					want.Len(), want, got.Len(), got)
+			}
+			if gov.UsedRows() != 0 {
+				t.Errorf("governor holds %d rows after degraded run", gov.UsedRows())
+			}
+			if evs := gov.Events(); len(evs) < 2 {
+				t.Errorf("expected trip + degradation events, got %v", evs)
+			}
+		})
+	}
+}
+
+// TestHashJoinFallbackNotTakenWithoutTrip: with room in the budget the
+// fallback must stay dormant.
+func TestHashJoinFallbackNotTakenWithoutTrip(t *testing.T) {
+	rt, st := contractTables(t)
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	h, err := NewHashJoin(NewScan(rt, nil), NewScan(st, nil),
+		[]relation.Attr{rk}, []relation.Attr{sk}, nil, InnerMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetFallback(func(left Iterator) (Iterator, error) {
+		return NewIndexJoin(left, st, "k", rk, nil, InnerMode, nil)
+	})
+	gov := NewGovernor(1000, 0)
+	if _, err := CollectCtx(NewExecContext(context.Background(), gov), h, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.DegradedTo() != nil {
+		t.Error("fallback must not engage within budget")
+	}
+}
+
+// TestParallelWorkerErrorDeterministic: a governor trip inside the
+// worker pool must cancel the remaining workers, surface a typed error,
+// and leave nothing reserved — repeatably.
+func TestParallelWorkerErrorDeterministic(t *testing.T) {
+	// Large enough inputs that output charging inside workers trips after
+	// the input charge is admitted.
+	rrel := relation.New(relation.SchemeOf("R", "k"))
+	srel := relation.New(relation.SchemeOf("S", "k"))
+	for i := 0; i < 200; i++ {
+		rrel.AppendRaw([]relation.Value{relation.Int(int64(i % 20))})
+		srel.AppendRaw([]relation.Value{relation.Int(int64(i % 20))})
+	}
+	rt := storage.NewTable("R", rrel)
+	st := storage.NewTable("S", srel)
+	var kinds []Kind
+	for run := 0; run < 3; run++ {
+		p, err := NewParallelHashJoin(NewScan(rt, nil), NewScan(st, nil),
+			relation.A("R", "k"), relation.A("S", "k"), InnerMode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gov := NewGovernor(450, 0) // inputs fit (400), the 2000-row output cannot
+		cerr := runCycle(p, NewExecContext(context.Background(), gov))
+		var re *ResourceError
+		if !errors.As(cerr, &re) {
+			t.Fatalf("run %d: want ResourceError, got %v", run, cerr)
+		}
+		kinds = append(kinds, re.Kind)
+		if gov.UsedRows() != 0 {
+			t.Fatalf("run %d: governor holds %d rows", run, gov.UsedRows())
+		}
+	}
+	for _, k := range kinds {
+		if k != MemoryExceeded {
+			t.Errorf("kinds across runs = %v, want all MemoryExceeded", kinds)
+		}
+	}
+}
+
+// TestParallelHashJoinNoGoroutineLeak fences runtime.NumGoroutine around
+// repeated parallel joins under faults, cancellation, and budget trips:
+// the worker pool must always drain.
+func TestParallelHashJoinNoGoroutineLeak(t *testing.T) {
+	rt, st := contractTables(t)
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 20; i++ {
+		// Mid-stream child fault.
+		lf := storage.NewFaultTable(rt, storage.Fault{FailNext: true, FailAfter: 1}).Iterator()
+		p, err := NewParallelHashJoin(lf, NewScan(st, nil), rk, sk, InnerMode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCycle(p, nil)
+
+		// Budget trip inside the pool.
+		p2, err := NewParallelHashJoin(NewScan(rt, nil), NewScan(st, nil), rk, sk, InnerMode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCycle(p2, NewExecContext(context.Background(), NewGovernor(6, 0)))
+
+		// Cancellation racing the workers.
+		ctx, cancel := context.WithCancel(context.Background())
+		p3, err := NewParallelHashJoin(NewScan(rt, nil), NewScan(st, nil), rk, sk, InnerMode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go cancel()
+		runCycle(p3, NewExecContext(ctx, nil))
+		cancel()
+	}
+
+	// Workers exit synchronously before Open returns (wg.Wait), but give
+	// the runtime a moment to reap anything in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestCollectClosesOnError: Collect must close the iterator on a
+// mid-stream error and must propagate a Close error instead of
+// swallowing it.
+func TestCollectClosesOnError(t *testing.T) {
+	rt, _ := contractTables(t)
+	fi := storage.NewFaultTable(rt, storage.Fault{FailNext: true, FailAfter: 1}).Iterator()
+	if _, err := Collect(fi, nil); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("mid-stream error lost: %v", err)
+	}
+	if !fi.Balanced() {
+		t.Error("Collect must close the iterator after a mid-stream error")
+	}
+
+	cf := storage.NewFaultTable(rt, storage.Fault{FailClose: true}).Iterator()
+	if _, err := Collect(cf, nil); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Close error swallowed: %v", err)
+	}
+}

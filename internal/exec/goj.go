@@ -20,6 +20,8 @@ type HashGOJ struct {
 	soutPos     []int // S columns within the output scheme
 	mode        JoinMode
 
+	ec        *ExecContext
+	held      hold
 	table     map[string][][]relation.Value
 	tableRows int
 	matched   map[string]struct{}         // S-projections seen in join rows
@@ -70,9 +72,15 @@ func NewHashGOJ(left, right Iterator, leftKeys, rightKeys []relation.Attr, s []r
 func (g *HashGOJ) Scheme() *relation.Scheme { return g.scheme }
 
 // Open implements Iterator.
-func (g *HashGOJ) Open() error {
-	rows, err := materialize(g.right)
+func (g *HashGOJ) Open(ec *ExecContext) error {
+	g.held.release(g.ec) // re-Open without Close: drop any stale charge
+	g.ec = ec
+	if err := ec.Err("goj"); err != nil {
+		return err
+	}
+	rows, err := materialize(g.right, ec, "goj", &g.held)
 	if err != nil {
+		g.held.release(ec)
 		return err
 	}
 	g.table = make(map[string][][]relation.Value, len(rows))
@@ -96,7 +104,13 @@ build:
 	g.pending = nil
 	g.tail = 0
 	g.drained = false
-	return g.left.Open()
+	if err := g.left.Open(ec); err != nil {
+		g.table = nil
+		g.tableRows = 0
+		g.held.release(ec)
+		return err
+	}
+	return nil
 }
 
 // sKey computes the duplicate-free S-projection key of a left row.
@@ -147,6 +161,10 @@ func (g *HashGOJ) Next() ([]relation.Value, bool, error) {
 			for i, p := range g.spos {
 				proj[i] = lrow[p]
 			}
+			// The S-projection set grows with the stream; charge it.
+			if err := g.held.charge(g.ec, "goj", proj); err != nil {
+				return nil, false, err
+			}
 			g.all[skey] = proj
 			g.order = append(g.order, skey)
 		}
@@ -172,11 +190,12 @@ func (g *HashGOJ) Next() ([]relation.Value, bool, error) {
 // BufferedRows implements Buffered.
 func (g *HashGOJ) BufferedRows() int { return g.tableRows + len(g.all) + len(g.pending) }
 
-// Close implements Iterator: the build table and S-projection sets are
-// released.
+// Close implements Iterator: the build table and S-projection sets (and
+// their governor charge) are released.
 func (g *HashGOJ) Close() error {
 	g.table, g.matched, g.all = nil, nil, nil
 	g.tableRows = 0
 	g.pending, g.order = nil, nil
+	g.held.release(g.ec)
 	return g.left.Close()
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"freejoin/internal/predicate"
@@ -51,6 +52,11 @@ func outputScheme(l, r *relation.Scheme, mode JoinMode) (*relation.Scheme, error
 // HashJoin joins two inputs on equi-key columns: the right input is built
 // into a hash table at Open, the left probes. A residual predicate (the
 // non-equi remainder, if any) filters matches.
+//
+// When the optimizer marks an index-based alternative available (see
+// SetFallback), a memory-budget trip while building the hash table
+// degrades gracefully: the partial build is released and the join
+// delegates to the index strategy instead of aborting.
 type HashJoin struct {
 	left, right Iterator
 	scheme      *relation.Scheme
@@ -58,11 +64,15 @@ type HashJoin struct {
 	rkeys       []int
 	residual    *predicate.Bound
 	mode        JoinMode
+	mkFallback  func(left Iterator) (Iterator, error)
 
+	ec        *ExecContext
+	held      hold
 	table     map[string][][]relation.Value
 	tableRows int
 	pending   [][]relation.Value
 	rwidth    int
+	delegate  Iterator // non-nil after a graceful degradation
 }
 
 // NewHashJoin builds a hash join on leftKeys = rightKeys (attribute lists
@@ -104,13 +114,44 @@ func NewHashJoin(left, right Iterator, leftKeys, rightKeys []relation.Attr, resi
 	return h, nil
 }
 
+// SetFallback registers a degradation path: when the hash-table build
+// trips the memory budget, mk is invoked with the (not yet opened) left
+// input and the resulting iterator — typically an IndexJoin over the
+// same key — serves the join instead. The iterator must produce the same
+// bag over the same output scheme.
+func (h *HashJoin) SetFallback(mk func(left Iterator) (Iterator, error)) { h.mkFallback = mk }
+
+// DegradedTo returns the substitute iterator after a graceful
+// degradation, or nil when the hash strategy ran.
+func (h *HashJoin) DegradedTo() Iterator { return h.delegate }
+
 // Scheme implements Iterator.
 func (h *HashJoin) Scheme() *relation.Scheme { return h.scheme }
 
 // Open implements Iterator: builds the hash table from the right input.
-func (h *HashJoin) Open() error {
-	rows, err := materialize(h.right)
+func (h *HashJoin) Open(ec *ExecContext) error {
+	h.held.release(h.ec) // re-Open without Close: drop any stale charge
+	h.ec = ec
+	h.delegate = nil
+	if err := ec.Err("hashjoin"); err != nil {
+		return err
+	}
+	rows, err := materialize(h.right, ec, "hashjoin", &h.held)
 	if err != nil {
+		h.held.release(ec)
+		var re *ResourceError
+		if h.mkFallback != nil && errors.As(err, &re) && re.Kind == MemoryExceeded {
+			fb, ferr := h.mkFallback(h.left)
+			if ferr != nil {
+				return err // keep the original trip
+			}
+			if oerr := fb.Open(ec); oerr != nil {
+				return oerr
+			}
+			ec.Governor().Note("hashjoin: memory budget trip, degraded to index strategy")
+			h.delegate = fb
+			return nil
+		}
 		return err
 	}
 	h.table = make(map[string][][]relation.Value, len(rows))
@@ -129,14 +170,31 @@ build:
 		h.tableRows++
 	}
 	h.pending = nil
-	return h.left.Open()
+	if err := h.left.Open(ec); err != nil {
+		h.table = nil
+		h.tableRows = 0
+		h.held.release(ec)
+		return err
+	}
+	return nil
 }
 
 // BufferedRows implements Buffered.
-func (h *HashJoin) BufferedRows() int { return h.tableRows + len(h.pending) }
+func (h *HashJoin) BufferedRows() int {
+	if h.delegate != nil {
+		if b, ok := h.delegate.(Buffered); ok {
+			return b.BufferedRows()
+		}
+		return 0
+	}
+	return h.tableRows + len(h.pending)
+}
 
 // Next implements Iterator.
 func (h *HashJoin) Next() ([]relation.Value, bool, error) {
+	if h.delegate != nil {
+		return h.delegate.Next()
+	}
 	for {
 		if len(h.pending) > 0 {
 			out := h.pending[0]
@@ -190,11 +248,19 @@ func (h *HashJoin) probe(lrow []relation.Value) [][]relation.Value {
 	return out
 }
 
-// Close implements Iterator: the build table is released.
+// Close implements Iterator: the build table (and its governor charge) is
+// released. After a degradation the substitute iterator is closed instead
+// (it owns the left child).
 func (h *HashJoin) Close() error {
 	h.table = nil
 	h.tableRows = 0
 	h.pending = nil
+	h.held.release(h.ec)
+	if h.delegate != nil {
+		// The delegate stays recorded (DegradedTo) until a re-Open resets
+		// it; the substitute owns the left child, so it closes it.
+		return h.delegate.Close()
+	}
 	return h.left.Close()
 }
 
@@ -206,6 +272,8 @@ type NestedLoopJoin struct {
 	bound       predicate.Bound
 	mode        JoinMode
 
+	ec      *ExecContext
+	held    hold
 	rrows   [][]relation.Value
 	rwidth  int
 	pending [][]relation.Value
@@ -233,14 +301,25 @@ func NewNestedLoopJoin(left, right Iterator, p predicate.Predicate, mode JoinMod
 func (n *NestedLoopJoin) Scheme() *relation.Scheme { return n.scheme }
 
 // Open implements Iterator.
-func (n *NestedLoopJoin) Open() error {
-	rows, err := materialize(n.right)
+func (n *NestedLoopJoin) Open(ec *ExecContext) error {
+	n.held.release(n.ec) // re-Open without Close: drop any stale charge
+	n.ec = ec
+	if err := ec.Err("nestedloop"); err != nil {
+		return err
+	}
+	rows, err := materialize(n.right, ec, "nestedloop", &n.held)
 	if err != nil {
+		n.held.release(ec)
 		return err
 	}
 	n.rrows = rows
 	n.pending = nil
-	return n.left.Open()
+	if err := n.left.Open(ec); err != nil {
+		n.rrows = nil
+		n.held.release(ec)
+		return err
+	}
+	return nil
 }
 
 // Next implements Iterator.
@@ -296,6 +375,7 @@ func (n *NestedLoopJoin) BufferedRows() int { return len(n.rrows) + len(n.pendin
 func (n *NestedLoopJoin) Close() error {
 	n.rrows = nil
 	n.pending = nil
+	n.held.release(n.ec)
 	return n.left.Close()
 }
 
@@ -313,6 +393,7 @@ type IndexJoin struct {
 	mode     JoinMode
 	counters *Counters
 
+	ec      *ExecContext
 	pending [][]relation.Value
 	iwidth  int
 }
@@ -353,7 +434,14 @@ func NewIndexJoin(left Iterator, inner *storage.Table, idxCol string, outerKey r
 func (j *IndexJoin) Scheme() *relation.Scheme { return j.scheme }
 
 // Open implements Iterator.
-func (j *IndexJoin) Open() error { j.pending = nil; return j.left.Open() }
+func (j *IndexJoin) Open(ec *ExecContext) error {
+	j.ec = ec
+	if err := ec.Err("indexjoin"); err != nil {
+		return err
+	}
+	j.pending = nil
+	return j.left.Open(ec)
+}
 
 // Next implements Iterator.
 func (j *IndexJoin) Next() ([]relation.Value, bool, error) {
@@ -417,6 +505,8 @@ type MergeJoin struct {
 	mode        JoinMode
 	rwidth      int
 
+	ec           *ExecContext
+	held         hold
 	lrows, rrows [][]relation.Value
 	li, ri       int
 	pending      [][]relation.Value
@@ -446,12 +536,21 @@ func (m *MergeJoin) Scheme() *relation.Scheme { return m.scheme }
 
 // Open implements Iterator. Inputs are materialized: group-wise cross
 // products need random access within runs.
-func (m *MergeJoin) Open() error {
-	var err error
-	if m.lrows, err = materialize(m.left); err != nil {
+func (m *MergeJoin) Open(ec *ExecContext) error {
+	m.held.release(m.ec) // re-Open without Close: drop any stale charge
+	m.ec = ec
+	if err := ec.Err("mergejoin"); err != nil {
 		return err
 	}
-	if m.rrows, err = materialize(m.right); err != nil {
+	var err error
+	if m.lrows, err = materialize(m.left, ec, "mergejoin", &m.held); err != nil {
+		m.lrows = nil
+		m.held.release(ec)
+		return err
+	}
+	if m.rrows, err = materialize(m.right, ec, "mergejoin", &m.held); err != nil {
+		m.lrows, m.rrows = nil, nil
+		m.held.release(ec)
 		return err
 	}
 	m.li, m.ri = 0, 0
@@ -508,8 +607,10 @@ func (m *MergeJoin) Next() ([]relation.Value, bool, error) {
 // BufferedRows implements Buffered.
 func (m *MergeJoin) BufferedRows() int { return len(m.lrows) + len(m.rrows) + len(m.pending) }
 
-// Close implements Iterator: both materialized inputs are released.
+// Close implements Iterator: both materialized inputs (and their governor
+// charge) are released.
 func (m *MergeJoin) Close() error {
 	m.lrows, m.rrows, m.pending = nil, nil, nil
+	m.held.release(m.ec)
 	return nil
 }

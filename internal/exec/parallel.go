@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,12 +10,27 @@ import (
 	"freejoin/internal/relation"
 )
 
+// errStopped is the internal sentinel a partition join returns when it
+// stops because the shared context was cancelled — either by the outer
+// execution context or by a peer worker's error. The worker translates
+// it: outer cancellations become recorded ResourceErrors, peer-triggered
+// stops stay silent (the peer's own error is the one to report).
+var errStopped = errors.New("exec: parallel join partition stopped")
+
 // ParallelHashJoin is a partitioned (grace-style) equijoin: both inputs
 // are materialized, hash-partitioned on the join key, and the partitions
 // are joined by a pool of workers. It supports the same inner/outer/semi/
 // anti modes as HashJoin and produces identical bags (row order differs).
 // It is the concurrency ablation for the serial hash join: worthwhile on
 // large inputs, pure overhead on small ones (see BenchmarkParallelJoin).
+//
+// Governance: workers pull partitions from a channel and poll the
+// execution context between row batches, so cancellation and deadlines
+// stop a running join; output rows are charged to the governor by each
+// worker (the accounting is atomic). The first worker error cancels the
+// remaining workers, and when several partitions fail the error of the
+// lowest-numbered partition is returned — deterministic regardless of
+// scheduling.
 type ParallelHashJoin struct {
 	left, right Iterator
 	scheme      *relation.Scheme
@@ -22,8 +39,10 @@ type ParallelHashJoin struct {
 	workers     int
 	rwidth      int
 
-	out [][]relation.Value
-	pos int
+	ec   *ExecContext
+	held hold
+	out  [][]relation.Value
+	pos  int
 }
 
 // NewParallelHashJoin joins on a single key pair with the given worker
@@ -51,18 +70,30 @@ func (p *ParallelHashJoin) Scheme() *relation.Scheme { return p.scheme }
 
 // Open implements Iterator: partitions, joins in parallel, and buffers
 // the result.
-func (p *ParallelHashJoin) Open() error {
-	lrows, err := materialize(p.left)
-	if err != nil {
+func (p *ParallelHashJoin) Open(ec *ExecContext) error {
+	p.held.release(p.ec) // re-Open without Close: drop any stale charge
+	p.ec = ec
+	p.out = nil
+	p.pos = 0
+	if err := ec.Err("parallel"); err != nil {
 		return err
 	}
-	rrows, err := materialize(p.right)
+	lrows, err := materialize(p.left, ec, "parallel", &p.held)
 	if err != nil {
+		p.held.release(ec)
 		return err
 	}
-	n := p.workers
-	lparts := make([][][]relation.Value, n)
-	rparts := make([][][]relation.Value, n)
+	rrows, err := materialize(p.right, ec, "parallel", &p.held)
+	if err != nil {
+		p.held.release(ec)
+		return err
+	}
+
+	// More partitions than workers so a slow partition doesn't leave the
+	// pool idle, and so cancellation between partitions is responsive.
+	nparts := p.workers * 4
+	lparts := make([][][]relation.Value, nparts)
+	rparts := make([][][]relation.Value, nparts)
 	var nullLeft [][]relation.Value // left rows with null keys (outer/anti only)
 	var buf []byte
 	for _, row := range lrows {
@@ -72,7 +103,7 @@ func (p *ParallelHashJoin) Open() error {
 			continue
 		}
 		buf = relation.AppendJoinKey(buf[:0], v)
-		h := fnv32(buf) % uint32(n)
+		h := fnv32(buf) % uint32(nparts)
 		lparts[h] = append(lparts[h], row)
 	}
 	for _, row := range rrows {
@@ -81,20 +112,60 @@ func (p *ParallelHashJoin) Open() error {
 			continue
 		}
 		buf = relation.AppendJoinKey(buf[:0], v)
-		h := fnv32(buf) % uint32(n)
+		h := fnv32(buf) % uint32(nparts)
 		rparts[h] = append(rparts[h], row)
 	}
 
-	results := make([][][]relation.Value, n)
+	ctx, cancel := context.WithCancel(ec.Context())
+	defer cancel()
+
+	parts := make(chan int, nparts)
+	for i := 0; i < nparts; i++ {
+		parts <- i
+	}
+	close(parts)
+
+	results := make([][][]relation.Value, nparts)
+	errs := make([]error, nparts)
+	var mu sync.Mutex // guards p.held merging
 	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
+	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			results[w] = p.joinPartition(lparts[w], rparts[w])
-		}(w)
+			for idx := range parts {
+				out, local, err := p.joinPartition(ctx, ec, lparts[idx], rparts[idx])
+				if err == errStopped {
+					// Outer cancellation is a real error; a peer-triggered
+					// stop is silent — the peer reports its own error.
+					if eerr := ec.Err("parallel"); eerr != nil {
+						errs[idx] = eerr
+					}
+					return
+				}
+				if err != nil {
+					errs[idx] = err
+					cancel() // stop the other workers promptly
+					return
+				}
+				results[idx] = out
+				mu.Lock()
+				p.held.rows += local.rows
+				p.held.bytes += local.bytes
+				mu.Unlock()
+			}
+		}()
 	}
 	wg.Wait()
+
+	// Deterministic error selection: lowest-numbered failed partition.
+	for _, werr := range errs {
+		if werr != nil {
+			p.out = nil
+			p.held.release(ec)
+			return werr
+		}
+	}
 
 	p.out = p.out[:0]
 	for _, res := range results {
@@ -102,48 +173,97 @@ func (p *ParallelHashJoin) Open() error {
 	}
 	// Null-keyed left rows never match: pad or emit per mode.
 	for _, row := range nullLeft {
+		var padded []relation.Value
 		switch p.mode {
 		case LeftOuterMode:
-			p.out = append(p.out, padRight(row, p.rwidth))
+			padded = padRight(row, p.rwidth)
 		case AntiMode:
-			p.out = append(p.out, row)
+			padded = row
+		default:
+			continue
 		}
+		if err := p.held.charge(ec, "parallel", padded); err != nil {
+			p.out = nil
+			p.held.release(ec)
+			return err
+		}
+		p.out = append(p.out, padded)
 	}
 	p.pos = 0
 	return nil
 }
 
-// joinPartition runs the serial hash-join logic on one partition.
-func (p *ParallelHashJoin) joinPartition(lrows, rrows [][]relation.Value) [][]relation.Value {
+// joinPartition runs the serial hash-join logic on one partition,
+// charging output rows to the governor and polling the context between
+// row batches. On success the local reservation is returned for the
+// caller to merge; on error it has already been released.
+func (p *ParallelHashJoin) joinPartition(ctx context.Context, ec *ExecContext, lrows, rrows [][]relation.Value) ([][]relation.Value, hold, error) {
+	governed := ec.Governor() != nil
+	var local hold
+	stop := func(err error) ([][]relation.Value, hold, error) {
+		local.release(ec)
+		return nil, hold{}, err
+	}
 	table := make(map[string][][]relation.Value, len(rrows))
 	var buf []byte
-	for _, row := range rrows {
+	for i, row := range rrows {
+		if i&63 == 0 {
+			select {
+			case <-ctx.Done():
+				return stop(errStopped)
+			default:
+			}
+		}
 		buf = relation.AppendJoinKey(buf[:0], row[p.rkey])
 		table[string(buf)] = append(table[string(buf)], row)
 	}
 	var out [][]relation.Value
-	for _, lrow := range lrows {
+	emit := func(row []relation.Value) error {
+		if governed {
+			if err := local.charge(ec, "parallel", row); err != nil {
+				return err
+			}
+		}
+		out = append(out, row)
+		return nil
+	}
+	for i, lrow := range lrows {
+		if i&63 == 0 {
+			select {
+			case <-ctx.Done():
+				return stop(errStopped)
+			default:
+			}
+		}
 		buf = relation.AppendJoinKey(buf[:0], lrow[p.lkey])
 		matches := table[string(buf)]
 		switch p.mode {
 		case InnerMode, LeftOuterMode:
 			for _, rrow := range matches {
-				out = append(out, concatRows(lrow, rrow))
+				if err := emit(concatRows(lrow, rrow)); err != nil {
+					return stop(err)
+				}
 			}
 			if len(matches) == 0 && p.mode == LeftOuterMode {
-				out = append(out, padRight(lrow, p.rwidth))
+				if err := emit(padRight(lrow, p.rwidth)); err != nil {
+					return stop(err)
+				}
 			}
 		case SemiMode:
 			if len(matches) > 0 {
-				out = append(out, lrow)
+				if err := emit(lrow); err != nil {
+					return stop(err)
+				}
 			}
 		case AntiMode:
 			if len(matches) == 0 {
-				out = append(out, lrow)
+				if err := emit(lrow); err != nil {
+					return stop(err)
+				}
 			}
 		}
 	}
-	return out
+	return out, local, nil
 }
 
 // Next implements Iterator.
@@ -159,9 +279,11 @@ func (p *ParallelHashJoin) Next() ([]relation.Value, bool, error) {
 // BufferedRows implements Buffered.
 func (p *ParallelHashJoin) BufferedRows() int { return len(p.out) }
 
-// Close implements Iterator: the buffered join result is released.
+// Close implements Iterator: the buffered join result (and its governor
+// charge) is released.
 func (p *ParallelHashJoin) Close() error {
 	p.out = nil
+	p.held.release(p.ec)
 	return nil
 }
 

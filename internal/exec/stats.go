@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"time"
 
 	"freejoin/internal/relation"
@@ -48,6 +49,10 @@ type StatsNode struct {
 
 	Stats    Stats
 	Children []*StatsNode
+
+	// Err is the first error this operator surfaced (from Open or Next),
+	// so an aborted EXPLAIN ANALYZE can point at the failing node.
+	Err error
 }
 
 // RowsIn returns the rows this operator pulled from its instrumented
@@ -136,20 +141,20 @@ func (w *Instrumented) Node() *StatsNode { return w.node }
 func (w *Instrumented) Scheme() *relation.Scheme { return w.child.Scheme() }
 
 // Open implements Iterator.
-func (w *Instrumented) Open() error {
+func (w *Instrumented) Open(ec *ExecContext) error {
 	start := time.Now()
 	var t0 int64
 	if w.counters != nil {
 		t0 = w.counters.TuplesRetrieved
 	}
-	err := w.child.Open()
+	err := w.child.Open(ec)
 	if w.counters != nil {
 		w.node.Stats.TuplesRetrieved += w.counters.TuplesRetrieved - t0
 	}
 	w.node.Stats.WallTime += time.Since(start)
 	w.node.Stats.Opens++
 	w.observeBuffer()
-	return err
+	return w.noteErr(err)
 }
 
 // Next implements Iterator.
@@ -171,7 +176,25 @@ func (w *Instrumented) Next() ([]relation.Value, bool, error) {
 	if w.buffered != nil {
 		w.observeBuffer()
 	}
-	return row, ok, err
+	return row, ok, w.noteErr(err)
+}
+
+// noteErr records the first error crossing this wrapper and, for typed
+// resource errors, stamps the plan-node label of the tripping operator.
+// The innermost wrapper the error crosses wins, so the label names the
+// operator that actually tripped, not an ancestor.
+func (w *Instrumented) noteErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if w.node.Err == nil {
+		w.node.Err = err
+	}
+	var re *ResourceError
+	if errors.As(err, &re) && re.Node == "" {
+		re.Node = w.node.Label
+	}
+	return err
 }
 
 // Close implements Iterator.

@@ -144,7 +144,7 @@ func BenchmarkProjectDedup(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := proj.Open(); err != nil {
+		if err := proj.Open(nil); err != nil {
 			b.Fatal(err)
 		}
 		for {

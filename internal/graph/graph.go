@@ -139,16 +139,6 @@ func (g *Graph) IndexOf(name string) int {
 	return -1
 }
 
-// index returns the bit index of a node, panicking on unknown nodes
-// (callers add nodes first).
-func (g *Graph) index(name string) int {
-	i, ok := g.nodeIdx[name]
-	if !ok {
-		panic(fmt.Sprintf("graph: unknown node %q", name))
-	}
-	return i
-}
-
 // edgeBetween returns the index in g.edges of the edge joining u and v in
 // either orientation, or -1.
 func (g *Graph) edgeBetween(u, v string) int {
@@ -234,13 +224,19 @@ func (g *Graph) AllNodes() NodeSet {
 	return NodeSet(1)<<uint(len(g.nodes)) - 1
 }
 
-// SetOf builds a NodeSet from node names.
-func (g *Graph) SetOf(names ...string) NodeSet {
+// SetOf builds a NodeSet from node names. Unknown names — which can
+// reach here from user-supplied queries naming tables the catalog does
+// not have — are reported as an error rather than a panic.
+func (g *Graph) SetOf(names ...string) (NodeSet, error) {
 	var s NodeSet
 	for _, n := range names {
-		s = s.With(g.index(n))
+		i := g.IndexOf(n)
+		if i < 0 {
+			return 0, fmt.Errorf("graph: unknown node %q", n)
+		}
+		s = s.With(i)
 	}
-	return s
+	return s, nil
 }
 
 // NamesOf lists the node names in a set, in index order.
@@ -275,7 +271,7 @@ func (g *Graph) ConnectedSet(s NodeSet) bool {
 			if !e.Touches(name) {
 				continue
 			}
-			o := g.index(e.Other(name))
+			o := g.IndexOf(e.Other(name))
 			if s.Has(o) && !seen.Has(o) {
 				seen = seen.With(o)
 				frontier = append(frontier, o)
@@ -294,7 +290,7 @@ func (g *Graph) Connected() bool { return g.ConnectedSet(g.AllNodes()) }
 func (g *Graph) CutEdges(s1, s2 NodeSet) []Edge {
 	var out []Edge
 	for _, e := range g.edges {
-		ui, vi := g.index(e.U), g.index(e.V)
+		ui, vi := g.IndexOf(e.U), g.IndexOf(e.V)
 		if (s1.Has(ui) && s2.Has(vi)) || (s1.Has(vi) && s2.Has(ui)) {
 			out = append(out, e)
 		}
@@ -306,7 +302,7 @@ func (g *Graph) CutEdges(s1, s2 NodeSet) []Edge {
 func (g *Graph) EdgesWithin(s NodeSet) []Edge {
 	var out []Edge
 	for _, e := range g.edges {
-		if s.Has(g.index(e.U)) && s.Has(g.index(e.V)) {
+		if s.Has(g.IndexOf(e.U)) && s.Has(g.IndexOf(e.V)) {
 			out = append(out, e)
 		}
 	}

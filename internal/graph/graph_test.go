@@ -27,6 +27,15 @@ func mustOuter(t *testing.T, g *Graph, u, v string) {
 	}
 }
 
+func setOf(t *testing.T, g *Graph, names ...string) NodeSet {
+	t.Helper()
+	s, err := g.SetOf(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestAddNodesAndEdges(t *testing.T) {
 	g := New()
 	g.MustAddNode("R")
@@ -95,9 +104,12 @@ func TestNodeSetOps(t *testing.T) {
 	for _, n := range []string{"A", "B", "C"} {
 		g.MustAddNode(n)
 	}
-	s := g.SetOf("A", "C")
+	s := setOf(t, g, "A", "C")
 	if !s.Has(0) || s.Has(1) || !s.Has(2) {
 		t.Error("SetOf broken")
+	}
+	if _, err := g.SetOf("A", "Z"); err == nil {
+		t.Error("SetOf must reject unknown nodes")
 	}
 	if s.Count() != 2 {
 		t.Error("Count broken")
@@ -122,13 +134,13 @@ func TestConnectivity(t *testing.T) {
 	if g.Connected() {
 		t.Error("D is isolated; graph not connected")
 	}
-	if !g.ConnectedSet(g.SetOf("A", "B", "C")) {
+	if !g.ConnectedSet(setOf(t, g, "A", "B", "C")) {
 		t.Error("A,B,C connected")
 	}
-	if g.ConnectedSet(g.SetOf("A", "C")) {
+	if g.ConnectedSet(setOf(t, g, "A", "C")) {
 		t.Error("A,C not connected without B")
 	}
-	if !g.ConnectedSet(g.SetOf("D")) || !g.ConnectedSet(0) {
+	if !g.ConnectedSet(setOf(t, g, "D")) || !g.ConnectedSet(0) {
 		t.Error("singletons and empty set are connected")
 	}
 }
@@ -138,8 +150,8 @@ func TestCutAndWithinEdges(t *testing.T) {
 	mustJoin(t, g, "A", "B")
 	mustJoin(t, g, "B", "C")
 	mustOuter(t, g, "A", "D")
-	s1 := g.SetOf("A", "B")
-	s2 := g.SetOf("C", "D")
+	s1 := setOf(t, g, "A", "B")
+	s2 := setOf(t, g, "C", "D")
 	cut := g.CutEdges(s1, s2)
 	if len(cut) != 2 {
 		t.Fatalf("cut = %v", cut)
@@ -154,7 +166,7 @@ func TestInducedSubgraph(t *testing.T) {
 	g := New()
 	mustJoin(t, g, "A", "B")
 	mustJoin(t, g, "B", "C")
-	sub := g.InducedSubgraph(g.SetOf("A", "B"))
+	sub := g.InducedSubgraph(setOf(t, g, "A", "B"))
 	if sub.NumNodes() != 2 || len(sub.Edges()) != 1 {
 		t.Fatalf("induced: %v", sub)
 	}

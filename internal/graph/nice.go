@@ -71,7 +71,7 @@ func (g *Graph) outerEdgesHaveCycle() bool {
 		if e.Kind != OuterEdge {
 			continue
 		}
-		ru, rv := find(g.index(e.U)), find(g.index(e.V))
+		ru, rv := find(g.IndexOf(e.U)), find(g.IndexOf(e.V))
 		if ru == rv {
 			return true
 		}
@@ -105,7 +105,7 @@ func (g *Graph) IsNiceDefinitional() (ok bool, reason string) {
 	if len(joinNodes) > 0 {
 		var s NodeSet
 		for n := range joinNodes {
-			s = s.With(g.index(n))
+			s = s.With(g.IndexOf(n))
 		}
 		if !g.joinConnected(s) {
 			return false, "join edges do not form a connected core"
@@ -181,7 +181,7 @@ func (g *Graph) joinConnected(s NodeSet) bool {
 			if e.Kind != JoinEdge || !e.Touches(name) {
 				continue
 			}
-			o := g.index(e.Other(name))
+			o := g.IndexOf(e.Other(name))
 			if s.Has(o) && !seen.Has(o) {
 				seen = seen.With(o)
 				frontier = append(frontier, o)

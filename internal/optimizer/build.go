@@ -96,6 +96,7 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 		if err != nil {
 			return nil, nil, err
 		}
+		o.attachFallback(it, p, lk, rk, mode, c)
 		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
 		return wrapped, node, nil
 	case AlgoNL:
@@ -147,6 +148,28 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 	}
 }
 
+// attachFallback marks a graceful-degradation path on a hash join when
+// one is available: if the build side is a plain scan of a base table
+// with a hash index on the single equi-key, a memory-budget trip during
+// the build can be served by an index join over the same left input
+// instead of aborting. Both strategies produce the same bag (null keys
+// never match in either).
+func (o *Optimizer) attachFallback(it *exec.HashJoin, p *Plan, lk, rk []relation.Attr, mode exec.JoinMode, c *exec.Counters) {
+	if len(lk) != 1 || !p.Right.IsLeaf() || p.Right.Algo != AlgoScan {
+		return
+	}
+	t, err := o.cat.Table(p.Right.Table)
+	if err != nil {
+		return
+	}
+	if _, ok := t.HashIndexOn(rk[0].Name); !ok {
+		return
+	}
+	it.SetFallback(func(left exec.Iterator) (exec.Iterator, error) {
+		return exec.NewIndexJoin(left, t, rk[0].Name, lk[0], nil, mode, c)
+	})
+}
+
 // wrapNode instruments it as the physical realization of plan node p.
 func wrapNode(it exec.Iterator, p *Plan, c *exec.Counters, ins bool, kids ...*exec.StatsNode) (exec.Iterator, *exec.StatsNode) {
 	if !ins {
@@ -192,15 +215,21 @@ func nodeLabel(p *Plan) string {
 	return fmt.Sprintf("%s [%s] on %v", opName, algo, p.Pred)
 }
 
-// Execute lowers and runs a plan, returning the result relation and the
-// execution counters (tuples retrieved, rows produced).
+// Execute lowers and runs a plan ungoverned, returning the result
+// relation and the execution counters (tuples retrieved, rows produced).
 func (o *Optimizer) Execute(p *Plan) (*relation.Relation, *exec.Counters, error) {
+	return o.ExecuteCtx(nil, p)
+}
+
+// ExecuteCtx runs p under an execution context carrying cancellation,
+// deadline and memory budgets; ec may be nil for ungoverned execution.
+func (o *Optimizer) ExecuteCtx(ec *exec.ExecContext, p *Plan) (*relation.Relation, *exec.Counters, error) {
 	var c exec.Counters
 	it, err := o.Build(p, &c)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := exec.Collect(it, &c)
+	out, err := exec.CollectCtx(ec, it, &c)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -211,14 +240,21 @@ func (o *Optimizer) Execute(p *Plan) (*relation.Relation, *exec.Counters, error)
 // result, the counters, and the root of the collected per-operator stats
 // tree — the data behind EXPLAIN ANALYZE.
 func (o *Optimizer) ExecuteAnalyzed(p *Plan) (*relation.Relation, *exec.Counters, *exec.StatsNode, error) {
+	return o.ExecuteAnalyzedCtx(nil, p)
+}
+
+// ExecuteAnalyzedCtx is ExecuteAnalyzed under an execution context. On
+// error the partially-filled stats tree is still returned so EXPLAIN
+// ANALYZE can render what ran and name the failing operator.
+func (o *Optimizer) ExecuteAnalyzedCtx(ec *exec.ExecContext, p *Plan) (*relation.Relation, *exec.Counters, *exec.StatsNode, error) {
 	var c exec.Counters
 	it, root, err := o.BuildInstrumented(p, &c)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	out, err := exec.Collect(it, &c)
+	out, err := exec.CollectCtx(ec, it, &c)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, &c, root, err
 	}
 	return out, &c, root, nil
 }

@@ -65,14 +65,30 @@ func Explain(p *Plan, tr *Trace) string {
 // time, and the q-error of the row estimate. The result relation and the
 // global counters are returned alongside the rendering.
 func (o *Optimizer) ExplainAnalyze(p *Plan, tr *Trace) (*relation.Relation, *exec.Counters, string, error) {
-	out, c, root, err := o.ExecuteAnalyzed(p)
-	if err != nil {
-		return nil, nil, "", err
+	return o.ExplainAnalyzeCtx(nil, p, tr)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under an execution context. When a
+// resource limit aborts the run, the partial stats tree is still
+// rendered — with the tripping operator marked — followed by governor
+// events and an "aborted" trailer, and the error is returned alongside
+// the text so callers can show both.
+func (o *Optimizer) ExplainAnalyzeCtx(ec *exec.ExecContext, p *Plan, tr *Trace) (*relation.Relation, *exec.Counters, string, error) {
+	out, c, root, err := o.ExecuteAnalyzedCtx(ec, p)
+	if err != nil && root == nil {
+		return nil, nil, "", err // build failed; nothing ran
 	}
 	var b strings.Builder
 	b.WriteString(RenderStats(root))
 	if tr != nil {
 		b.WriteString(tr.String())
+	}
+	for _, ev := range ec.Governor().Events() {
+		fmt.Fprintf(&b, "-- governor: %s\n", ev)
+	}
+	if err != nil {
+		fmt.Fprintf(&b, "-- aborted: %v\n", err)
+		return nil, c, b.String(), err
 	}
 	fmt.Fprintf(&b, "-- totals: %d rows, %d base tuples retrieved\n",
 		c.RowsProduced, c.TuplesRetrieved)
@@ -103,9 +119,26 @@ func RenderStats(root *exec.StatsNode) string {
 		if n.EstRows >= 0 {
 			fmt.Fprintf(&b, " q-err=%.2f", qerr(n.EstRows, n.Stats.RowsOut))
 		}
-		b.WriteString(")\n")
+		b.WriteString(")")
+		if n.Err != nil && !childErrored(n) {
+			// Mark the deepest errored node: that operator tripped; its
+			// ancestors merely propagated.
+			fmt.Fprintf(&b, " <-- error: %v", n.Err)
+		}
+		b.WriteString("\n")
 	})
 	return b.String()
+}
+
+// childErrored reports whether any child of n recorded an error (the
+// error then originated below n, not at n).
+func childErrored(n *exec.StatsNode) bool {
+	for _, c := range n.Children {
+		if c.Err != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // qerr is the q-error of a cardinality estimate: max(est/actual,

@@ -136,7 +136,11 @@ func (o *Optimizer) optimizeGraph(g *graph.Graph, filters map[string]predicate.P
 		if err != nil {
 			return nil, err
 		}
-		best[g.SetOf(name)] = p
+		s, err := g.SetOf(name)
+		if err != nil {
+			return nil, err
+		}
+		best[s] = p
 	}
 	all := g.AllNodes()
 	n := g.NumNodes()

@@ -1,0 +1,148 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGovernorRowBudget(t *testing.T) {
+	g := NewGovernor(2, 0)
+	if err := g.Reserve("op", 2, 100); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := g.Reserve("op", 1, 50)
+	if err == nil {
+		t.Fatal("third row must trip the 2-row budget")
+	}
+	if err.Kind != MemoryExceeded || err.Operator != "op" {
+		t.Errorf("trip = %+v", err)
+	}
+	// The failed reservation must be rolled back.
+	if g.UsedRows() != 2 || g.UsedBytes() != 100 {
+		t.Errorf("after rollback: rows=%d bytes=%d", g.UsedRows(), g.UsedBytes())
+	}
+	g.Release(2, 100)
+	if g.UsedRows() != 0 || g.UsedBytes() != 0 {
+		t.Errorf("after release: rows=%d bytes=%d", g.UsedRows(), g.UsedBytes())
+	}
+	if evs := g.Events(); len(evs) != 1 || !strings.Contains(evs[0], "memory budget exceeded") {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestGovernorByteBudget(t *testing.T) {
+	g := NewGovernor(0, 1000)
+	if err := g.Reserve("sort", 1, 999); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Reserve("sort", 1, 2)
+	if err == nil || err.Kind != MemoryExceeded {
+		t.Fatalf("byte trip = %v", err)
+	}
+	if !strings.Contains(err.Error(), "limit 1000 bytes") {
+		t.Errorf("message: %v", err)
+	}
+}
+
+func TestGovernorConcurrentReserve(t *testing.T) {
+	g := NewGovernor(0, 0) // unlimited: pure accounting
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if err := g.Reserve("w", 1, 10); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.UsedRows() != 8000 || g.UsedBytes() != 80000 {
+		t.Errorf("concurrent accounting: rows=%d bytes=%d", g.UsedRows(), g.UsedBytes())
+	}
+}
+
+func TestNilGovernorIsUnlimited(t *testing.T) {
+	var g *Governor
+	if err := g.Reserve("op", 1<<40, 1<<50); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(1, 1)
+	g.Note("ignored")
+	if g.UsedRows() != 0 || g.Events() != nil {
+		t.Error("nil governor must be inert")
+	}
+	lr, lb := g.Limits()
+	if lr != 0 || lb != 0 {
+		t.Error("nil governor limits must be unlimited")
+	}
+}
+
+func TestExecContextErr(t *testing.T) {
+	var nilEC *ExecContext
+	if err := nilEC.Err("op"); err != nil {
+		t.Fatal("nil ExecContext must never report an error")
+	}
+	if err := nilEC.Reserve("op", 1, 1); err != nil {
+		t.Fatal("nil ExecContext reserve must be a no-op")
+	}
+	nilEC.Release(1, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ec := NewContext(ctx, nil)
+	if err := ec.Err("scan"); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	err := ec.Err("scan")
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != Cancelled || re.Operator != "scan" {
+		t.Fatalf("cancelled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("Unwrap must expose context.Canceled")
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	err = NewContext(dctx, nil).Err("join")
+	if !errors.As(err, &re) || re.Kind != DeadlineExceeded {
+		t.Fatalf("deadline: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("Unwrap must expose context.DeadlineExceeded")
+	}
+}
+
+// The Reserve/Err helpers must return untyped nils: a nil *ResourceError
+// boxed into error would compare non-nil and break every caller.
+func TestNoTypedNil(t *testing.T) {
+	ec := NewContext(context.Background(), NewGovernor(10, 0))
+	if err := ec.Reserve("op", 1, 1); err != nil {
+		t.Fatalf("Reserve returned %#v, want untyped nil", err)
+	}
+	if err := ec.Err("op"); err != nil {
+		t.Fatalf("Err returned %#v, want untyped nil", err)
+	}
+}
+
+func TestResourceErrorMessage(t *testing.T) {
+	e := &ResourceError{Kind: MemoryExceeded, Operator: "hashjoin", Node: "join [hash] on R.k = S.k",
+		UsedRows: 11, LimitRows: 10}
+	msg := e.Error()
+	for _, want := range []string{"memory budget exceeded", "hashjoin", `plan node "join [hash] on R.k = S.k"`, "11 rows held, limit 10"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if (&ResourceError{Kind: Cancelled}).Error() != "resource: cancelled" {
+		t.Errorf("bare message = %q", (&ResourceError{Kind: Cancelled}).Error())
+	}
+}

@@ -1,0 +1,197 @@
+// Fault injection: wrappers that make a table or iterator fail on
+// demand — on Open, on Close, after N rows, or probabilistically from a
+// seeded RNG. The executor's error-path contract test drives every
+// operator over these wrappers to prove errors propagate, children are
+// closed, and no goroutine or buffer leaks past a failure.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"freejoin/internal/relation"
+	"freejoin/internal/resource"
+)
+
+// ErrInjected is the default error produced by an injected fault.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Fault configures where a FaultIterator fails. The zero value injects
+// nothing.
+type Fault struct {
+	// FailOpen makes Open fail (the inner iterator is not opened).
+	FailOpen bool
+	// FailClose makes Close fail (after closing the inner iterator).
+	FailClose bool
+	// FailNext makes Next fail once FailAfter rows have been delivered;
+	// FailAfter 0 fails the first Next.
+	FailNext  bool
+	FailAfter int
+	// Prob injects a failure on each Next with this probability, drawn
+	// from a rand.Rand seeded with Seed (deterministic per seed).
+	Prob float64
+	Seed int64
+	// Err overrides the injected error; nil means ErrInjected.
+	Err error
+}
+
+func (f Fault) error() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// faultInner is the iterator shape FaultIterator wraps and exposes. It is
+// structurally identical to exec.Iterator (both use the shared
+// resource.ExecContext), so a FaultIterator can stand anywhere in an
+// operator tree without storage importing exec.
+type faultInner interface {
+	Scheme() *relation.Scheme
+	Open(*resource.ExecContext) error
+	Next() ([]relation.Value, bool, error)
+	Close() error
+}
+
+// FaultIterator wraps an iterator and injects the configured fault. It
+// also audits the caller's error contract: Open/Close call counts are
+// recorded, and Next calls arriving after the iterator already returned
+// an error are counted as violations instead of producing rows.
+type FaultIterator struct {
+	inner     faultInner
+	fault     Fault
+	rng       *rand.Rand
+	opened    bool
+	failed    bool
+	rows      int
+	succOpens int
+
+	// OpenCalls and CloseCalls count lifecycle calls across re-opens.
+	OpenCalls, CloseCalls int
+	// NextAfterError counts contract violations: Next after an error.
+	NextAfterError int
+}
+
+// NewFaultIterator wraps inner with the fault configuration.
+func NewFaultIterator(inner faultInner, f Fault) *FaultIterator {
+	fi := &FaultIterator{inner: inner, fault: f}
+	if f.Prob > 0 {
+		fi.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return fi
+}
+
+// Scheme implements the iterator contract.
+func (fi *FaultIterator) Scheme() *relation.Scheme { return fi.inner.Scheme() }
+
+// Open implements the iterator contract.
+func (fi *FaultIterator) Open(ec *resource.ExecContext) error {
+	fi.OpenCalls++
+	fi.failed = false
+	fi.rows = 0
+	if fi.fault.FailOpen {
+		fi.failed = true
+		return fmt.Errorf("open %s: %w", fi.inner.Scheme(), fi.fault.error())
+	}
+	if err := fi.inner.Open(ec); err != nil {
+		fi.failed = true
+		return err
+	}
+	fi.opened = true
+	fi.succOpens++
+	return nil
+}
+
+// Next implements the iterator contract.
+func (fi *FaultIterator) Next() ([]relation.Value, bool, error) {
+	if fi.failed {
+		fi.NextAfterError++
+		return nil, false, fi.fault.error()
+	}
+	if fi.fault.FailNext && fi.rows >= fi.fault.FailAfter {
+		fi.failed = true
+		return nil, false, fmt.Errorf("next after %d rows: %w", fi.rows, fi.fault.error())
+	}
+	if fi.rng != nil && fi.rng.Float64() < fi.fault.Prob {
+		fi.failed = true
+		return nil, false, fmt.Errorf("next (probabilistic): %w", fi.fault.error())
+	}
+	row, ok, err := fi.inner.Next()
+	if err != nil {
+		fi.failed = true
+		return nil, false, err
+	}
+	if ok {
+		fi.rows++
+	}
+	return row, ok, nil
+}
+
+// Close implements the iterator contract. The inner iterator is closed
+// even when the fault makes Close itself report failure.
+func (fi *FaultIterator) Close() error {
+	fi.CloseCalls++
+	var err error
+	if fi.opened {
+		fi.opened = false
+		err = fi.inner.Close()
+	}
+	if fi.fault.FailClose {
+		return fmt.Errorf("close %s: %w", fi.inner.Scheme(), fi.fault.error())
+	}
+	return err
+}
+
+// Balanced reports whether every successful Open was matched by at least
+// one Close (Close is idempotent, so extra Closes are fine; a missing
+// one is a leak; a failed Open acquired nothing and needs none).
+func (fi *FaultIterator) Balanced() bool { return !fi.opened && fi.CloseCalls >= fi.succOpens }
+
+// tableIter is a minimal row iterator over a table, used by FaultTable so
+// fault tests don't need the exec package.
+type tableIter struct {
+	rel *relation.Relation
+	ec  *resource.ExecContext
+	pos int
+}
+
+func (ti *tableIter) Scheme() *relation.Scheme { return ti.rel.Scheme() }
+
+func (ti *tableIter) Open(ec *resource.ExecContext) error {
+	ti.ec = ec
+	ti.pos = 0
+	return ti.ec.Err("faultscan")
+}
+
+func (ti *tableIter) Next() ([]relation.Value, bool, error) {
+	if err := ti.ec.Err("faultscan"); err != nil {
+		return nil, false, err
+	}
+	if ti.pos >= ti.rel.Len() {
+		return nil, false, nil
+	}
+	row := ti.rel.RawRow(ti.pos)
+	ti.pos++
+	return row, true, nil
+}
+
+func (ti *tableIter) Close() error { return nil }
+
+// FaultTable pairs a table with a fault configuration; Iterator vends
+// fault-injecting scans over the table's rows.
+type FaultTable struct {
+	table *Table
+	fault Fault
+}
+
+// NewFaultTable wraps t so scans over it fail per f.
+func NewFaultTable(t *Table, f Fault) *FaultTable { return &FaultTable{table: t, fault: f} }
+
+// Table returns the wrapped table.
+func (ft *FaultTable) Table() *Table { return ft.table }
+
+// Iterator returns a new fault-injecting scan over the table.
+func (ft *FaultTable) Iterator() *FaultIterator {
+	return NewFaultIterator(&tableIter{rel: ft.table.Relation()}, ft.fault)
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"freejoin/internal/relation"
+	"freejoin/internal/resource"
+)
+
+func faultTable(t *testing.T) *Table {
+	t.Helper()
+	r := relation.FromRows("R", []string{"k"}, []any{1}, []any{2}, []any{3}, []any{4})
+	return NewTable("R", r)
+}
+
+func drainFault(fi *FaultIterator) (int, error) {
+	if err := fi.Open(nil); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, ok, err := fi.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, fi.Close()
+		}
+		n++
+	}
+}
+
+func TestFaultNone(t *testing.T) {
+	ft := NewFaultTable(faultTable(t), Fault{})
+	fi := ft.Iterator()
+	n, err := drainFault(fi)
+	if err != nil || n != 4 {
+		t.Fatalf("clean pass: n=%d err=%v", n, err)
+	}
+	if !fi.Balanced() {
+		t.Error("clean pass must balance Open/Close")
+	}
+}
+
+func TestFaultOpen(t *testing.T) {
+	fi := NewFaultTable(faultTable(t), Fault{FailOpen: true}).Iterator()
+	err := fi.Open(nil)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("open fault = %v", err)
+	}
+	if fi.Close() != nil {
+		t.Error("close after failed open must succeed (inner never opened)")
+	}
+}
+
+func TestFaultAfterRows(t *testing.T) {
+	fi := NewFaultTable(faultTable(t), Fault{FailNext: true, FailAfter: 2}).Iterator()
+	n, err := drainFault(fi)
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("after-2 fault: n=%d err=%v", n, err)
+	}
+	// A disciplined caller stops; an undisciplined one is audited.
+	if fi.NextAfterError != 0 {
+		t.Fatal("no violation yet")
+	}
+	fi.Next()
+	if fi.NextAfterError != 1 {
+		t.Error("Next after error must be counted as a violation")
+	}
+}
+
+func TestFaultClose(t *testing.T) {
+	fi := NewFaultTable(faultTable(t), Fault{FailClose: true}).Iterator()
+	n, err := drainFault(fi)
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("close fault: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultProbabilisticDeterminism(t *testing.T) {
+	f := Fault{Prob: 0.3, Seed: 42}
+	a, aerr := drainFault(NewFaultTable(faultTable(t), f).Iterator())
+	b, berr := drainFault(NewFaultTable(faultTable(t), f).Iterator())
+	if a != b || (aerr == nil) != (berr == nil) {
+		t.Errorf("same seed must fail identically: (%d,%v) vs (%d,%v)", a, aerr, b, berr)
+	}
+	// Prob 1 always fails on the first Next.
+	n, err := drainFault(NewFaultTable(faultTable(t), Fault{Prob: 1, Seed: 7}).Iterator())
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("prob=1: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	fi := NewFaultTable(faultTable(t), Fault{FailNext: true, Err: sentinel}).Iterator()
+	_, err := drainFault(fi)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("custom error not propagated: %v", err)
+	}
+}
+
+func TestFaultIteratorHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fi := NewFaultTable(faultTable(t), Fault{}).Iterator()
+	if err := fi.Open(resource.NewContext(ctx, nil)); err == nil {
+		t.Fatal("open under a cancelled context must fail")
+	}
+}
+
+func TestFaultReOpenResets(t *testing.T) {
+	fi := NewFaultTable(faultTable(t), Fault{FailNext: true, FailAfter: 3}).Iterator()
+	n1, err1 := drainFault(fi)
+	fi.Close()
+	n2, err2 := drainFault(fi)
+	fi.Close()
+	if n1 != n2 || (err1 == nil) != (err2 == nil) {
+		t.Errorf("re-open must reset the row counter: (%d,%v) vs (%d,%v)", n1, err1, n2, err2)
+	}
+	if !fi.Balanced() {
+		t.Error("re-open cycles must stay balanced")
+	}
+}
