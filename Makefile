@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench experiments faults fuzz fmt vet clean
+.PHONY: all check build test race cover bench bench-json experiments faults obs fuzz fmt vet clean
 
 all: check
 
@@ -19,7 +19,15 @@ cover:
 	$(GO) test -cover ./internal/...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark baseline: BENCH_<date>.json with name,
+# iterations, ns/op, B/op and allocs/op per benchmark. BENCHTIME keeps
+# the snapshot quick; raise it for a low-noise baseline.
+BENCHTIME ?= 100ms
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -28,6 +36,14 @@ experiments:
 # state reuse across re-Open (operators must fully reset).
 faults:
 	$(GO) test -count=2 -run 'Fault|ErrorPath|Cancelled|Deadline|MemoryBudget|Degradation|Governor|Leak|Collect' ./internal/exec ./internal/storage ./internal/resource ./internal/optimizer
+
+# Observability suite: the metrics registry and tracer, the span/stats
+# consistency property, concurrent scraping during a parallel join, and
+# the shell/CLI monitoring surfaces — under the race detector, -count=2
+# for state reuse.
+obs:
+	$(GO) test -race -count=2 ./internal/obs ./internal/exec -run 'Span|Scrape|Counter|Histogram|Gauge|Registry|Trace|Ring|Slow|Server|Health|Metrics'
+	$(GO) test -race -count=2 ./cmd/ojshell ./cmd/reorder ./cmd/benchjson
 
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark baseline. It reads benchmark result lines from stdin —
+// either the raw text form or `go test -json` events whose Output
+// fields carry those lines — and writes one JSON array with an entry
+// per benchmark: name, iterations, ns/op, B/op, allocs/op.
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_2026-08-05.json
+//
+// The Makefile's bench-json target drives this to snapshot a dated,
+// machine-readable baseline next to the repository (tracking ns/op
+// drift of the metrics hot path, the DP, and the executor across PRs).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8   1000   123.4 ns/op   56 B/op   7 allocs/op`
+// (the -benchmem columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// testEvent is the subset of `go test -json` events we care about.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+}
+
+// parse extracts benchmark results from r, accepting raw bench output
+// and `go test -json` streams interchangeably (even mixed).
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				line = strings.TrimSuffix(ev.Output, "\n")
+			}
+		}
+		res, ok := parseLine(strings.TrimSpace(line))
+		if ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one benchmark result line.
+func parseLine(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err1 := strconv.ParseInt(m[2], 10, 64)
+	ns, err2 := strconv.ParseFloat(m[3], 64)
+	if err1 != nil || err2 != nil {
+		return Result{}, false
+	}
+	res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+	if m[4] != "" {
+		res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+	}
+	if m[5] != "" {
+		res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+	}
+	return res, true
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRawBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: freejoin/internal/obs
+BenchmarkCounterAdd-8            	100000000	        10.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHistogramObserve-8      	 50000000	        25.0 ns/op
+PASS
+ok  	freejoin/internal/obs	2.5s
+`
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkCounterAdd-8" || r.Iterations != 100000000 ||
+		r.NsPerOp != 10.5 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("first result = %+v", r)
+	}
+	if results[1].Name != "BenchmarkHistogramObserve-8" || results[1].NsPerOp != 25.0 {
+		t.Errorf("second result = %+v", results[1])
+	}
+}
+
+func TestParseGoTestJSON(t *testing.T) {
+	in := `{"Action":"output","Package":"freejoin/internal/obs","Output":"BenchmarkCounterAddParallel-8  \t20000000\t       5.25 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"freejoin/internal/obs","Output":"PASS\n"}
+{"Action":"pass","Package":"freejoin/internal/obs"}
+`
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkCounterAddParallel-8" || results[0].NsPerOp != 5.25 {
+		t.Errorf("result = %+v", results[0])
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	results, err := parse(strings.NewReader("hello\nBenchmarkX 12 ns/op\n--- FAIL: TestY\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "BenchmarkX 12 ns/op" lacks the iteration count column and must not
+	// parse.
+	if len(results) != 0 {
+		t.Errorf("got %+v, want none", results)
+	}
+}

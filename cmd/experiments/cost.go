@@ -49,7 +49,7 @@ func runPlan(o *optimizer.Optimizer, p *optimizer.Plan) (rows int, retrieved int
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return out.Len(), c.TuplesRetrieved, time.Since(start), nil
+	return out.Len(), c.TuplesRetrieved(), time.Since(start), nil
 }
 
 func runE1(cfg config) error {

@@ -182,8 +182,8 @@ func runE19(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n%-28s %-24s tuples=%d\n", "fixed order:", fixed.Tree(), cf.TuplesRetrieved)
-	fmt.Printf("%-28s %-24s tuples=%d\n", "strategy="+tr.Strategy+":", p.Tree(), cg.TuplesRetrieved)
+	fmt.Printf("\n%-28s %-24s tuples=%d\n", "fixed order:", fixed.Tree(), cf.TuplesRetrieved())
+	fmt.Printf("%-28s %-24s tuples=%d\n", "strategy="+tr.Strategy+":", p.Tree(), cg.TuplesRetrieved())
 	fmt.Printf("results equal: %v (%d rows)\n", out.EqualBag(want), out.Len())
 
 	_, _, text, err := o.ExplainAnalyze(p, tr)

@@ -16,8 +16,10 @@ import (
 
 func main() {
 	sh := NewShell(os.Stdout)
+	defer sh.Close()
 	fmt.Println("freejoin shell — type help for commands, quit to exit")
 	if err := sh.Run(os.Stdin, true); err != nil {
+		sh.Close()
 		fmt.Fprintln(os.Stderr, "ojshell:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The acceptance path of the observability PR: run queries through the
+// shell, then check the metrics text, the trace file, and the
+// monitoring endpoint actually reflect them.
+
+func TestShellMetricsCommand(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2)
+table S(a) = (2), (3)
+query R ->[R.a = S.a] S
+plan R -[R.a = S.a] S
+metrics
+quit
+`)
+	// Lifecycle counters are process-wide, so other tests contribute too;
+	// the property is that after two queries they are non-zero and the
+	// strategy and latency families are present.
+	re := regexp.MustCompile(`oj_queries_completed_total (\d+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("metrics output missing non-zero oj_queries_completed_total:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE oj_queries_completed_total counter",
+		`oj_optimize_strategy_total{strategy="reordered"}`,
+		"# TYPE oj_query_duration_seconds histogram",
+		`oj_query_duration_seconds_bucket{le="+Inf"}`,
+		"oj_rows_produced_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestShellTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runScript(t, fmt.Sprintf(`
+table R(a) = (1), (2)
+table S(a) = (2), (3)
+trace on %s
+explain analyze R ->[R.a = S.a] S
+trace off
+quit
+`, path))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	operators := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Cat {
+		case "phase":
+			phases[ev.Name] = true
+		case "operator":
+			operators++
+		}
+	}
+	for _, want := range []string{"parse", "analyze", "optimize", "build", "execute"} {
+		if !phases[want] {
+			t.Errorf("trace missing %q phase span; phases = %v", want, phases)
+		}
+	}
+	// R ⟕ S under the DP: at least the two scans and the join.
+	if operators < 3 {
+		t.Errorf("trace has %d operator spans, want >= 3", operators)
+	}
+}
+
+func TestShellMetricsAddr(t *testing.T) {
+	var out strings.Builder
+	sh := NewShell(&out)
+	defer sh.Close()
+	script := `
+table R(a) = (1), (2)
+set metrics_addr 127.0.0.1:0
+query R
+set
+`
+	if err := sh.Run(strings.NewReader(script), false); err != nil {
+		t.Fatal(err)
+	}
+	if sh.mon == nil {
+		t.Fatalf("monitoring server not started:\n%s", out.String())
+	}
+	addr := sh.mon.Addr()
+	if !strings.Contains(out.String(), addr) {
+		t.Errorf("shell output does not echo the bound address %s:\n%s", addr, out.String())
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "oj_queries_started_total") {
+		t.Errorf("/metrics missing query counters:\n%s", body)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatalf("/debug/queries is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if len(recs) == 0 || recs[0].Query != "R" {
+		t.Errorf("/debug/queries = %v, want newest query %q first", recs, "R")
+	}
+	if err := sh.Exec("set metrics_addr off"); err != nil {
+		t.Fatal(err)
+	}
+	if sh.mon != nil {
+		t.Error("metrics_addr off must stop the server")
+	}
+}
+
+func TestShellSlowQueryLog(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2)
+table S(a) = (2), (3)
+set slow_query 1ns
+plan R -[R.a = S.a] S
+set slow_query off
+plan R -[R.a = S.a] S
+quit
+`)
+	if n := strings.Count(out, "slow query ("); n != 1 {
+		t.Errorf("want exactly 1 slow-query entry (second run has the log off), got %d:\n%s", n, out)
+	}
+	for _, want := range []string{"strategy: reordered", "plan: ", "rows: "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query entry missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellSetShowsObsSettings(t *testing.T) {
+	out := runScript(t, `
+set
+set slow_query 250ms
+set
+quit
+`)
+	if !strings.Contains(out, "metrics_addr: off") || !strings.Contains(out, "slow_query: off") {
+		t.Errorf("bare set must show observability settings as off initially:\n%s", out)
+	}
+	if !strings.Contains(out, "slow_query: 250ms") {
+		t.Errorf("bare set must show the configured threshold:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"freejoin/internal/core"
 	"freejoin/internal/exec"
 	"freejoin/internal/expr"
+	"freejoin/internal/obs"
 	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
 	"freejoin/internal/relation"
@@ -28,11 +29,27 @@ type Shell struct {
 	// means unlimited.
 	timeout  time.Duration
 	memLimit int64 // bytes
+
+	// tracer collects per-query spans, the recent-query ring, and the
+	// slow-query log; mon is the optional monitoring HTTP server
+	// ("set metrics_addr").
+	tracer *obs.Tracer
+	mon    *obs.Server
 }
 
 // NewShell returns a shell writing to out.
 func NewShell(out io.Writer) *Shell {
-	return &Shell{cat: storage.NewCatalog(), out: out}
+	return &Shell{cat: storage.NewCatalog(), out: out, tracer: obs.NewTracer()}
+}
+
+// Close releases the shell's background resources: the monitoring
+// server and the trace file (flushed by Disable).
+func (s *Shell) Close() error {
+	if s.mon != nil {
+		s.mon.Close()
+		s.mon = nil
+	}
+	return s.tracer.Disable()
 }
 
 // Run processes commands line by line until EOF or \q.
@@ -113,6 +130,11 @@ func (s *Shell) Exec(line string) error {
 		return s.cmdExplain(rest)
 	case "set":
 		return s.cmdSet(rest)
+	case "metrics":
+		obs.Default.WritePrometheus(s.out)
+		return nil
+	case "trace":
+		return s.cmdTrace(rest)
 	case "trees":
 		return s.cmdTrees(rest)
 	default:
@@ -137,7 +159,11 @@ func (s *Shell) help() {
   explain analyze EXPR                        run the plan with per-operator statistics
   set timeout DUR|off                         execution deadline (e.g. 500ms, 2s)
   set memory_limit N[KB|MB]|off               executor memory budget
+  set metrics_addr ADDR|off                   HTTP /metrics, /debug/queries, /healthz
+  set slow_query DUR|off                      log queries slower than DUR
   set                                         show current limits
+  metrics                                     print the metrics in Prometheus text form
+  trace on FILE | trace off                   export query spans as Chrome trace JSON
   help / quit
 
 expressions:  (R -[R.a = S.a] S) ->[S.b = T.b] T
@@ -270,11 +296,21 @@ func (s *Shell) cmdIndex(rest string) error {
 }
 
 func (s *Shell) cmdQuery(rest string) error {
+	qt := s.tracer.Start(rest)
+	parseDone := qt.Span("parse")
 	q, err := parse.Expr(rest)
+	parseDone()
 	if err != nil {
+		qt.Finish(err)
 		return err
 	}
+	execDone := qt.Span("execute")
 	out, err := q.Eval(s.cat)
+	execDone()
+	if err == nil {
+		qt.Rec.Rows = int64(out.Len())
+	}
+	qt.Finish(err)
 	if err != nil {
 		return err
 	}
@@ -342,8 +378,16 @@ func (s *Shell) cmdTrees(rest string) error {
 // "set memory_limit 64KB", "set ... off", or bare "set" to show them.
 func (s *Shell) cmdSet(rest string) error {
 	if rest == "" {
-		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\n",
-			orOff(s.timeout.String(), s.timeout == 0), orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0))
+		addr := ""
+		if s.mon != nil {
+			addr = s.mon.Addr()
+		}
+		slow := s.tracer.Slow().Threshold()
+		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nmetrics_addr: %s\nslow_query: %s\n",
+			orOff(s.timeout.String(), s.timeout == 0),
+			orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0),
+			orOff(addr, s.mon == nil),
+			orOff(slow.String(), slow == 0))
 		return nil
 	}
 	name, val, _ := strings.Cut(rest, " ")
@@ -375,8 +419,41 @@ func (s *Shell) cmdSet(rest string) error {
 		s.memLimit = n
 		fmt.Fprintf(s.out, "memory_limit %d bytes\n", n)
 		return nil
+	case "metrics_addr":
+		if s.mon != nil {
+			s.mon.Close()
+			s.mon = nil
+		}
+		if strings.EqualFold(val, "off") {
+			fmt.Fprintln(s.out, "metrics_addr off")
+			return nil
+		}
+		if val == "" {
+			return fmt.Errorf("usage: set metrics_addr HOST:PORT|off (e.g. 127.0.0.1:9090)")
+		}
+		srv, err := obs.StartServer(val, nil, s.tracer.Ring())
+		if err != nil {
+			return err
+		}
+		s.mon = srv
+		fmt.Fprintf(s.out, "serving /metrics, /debug/queries, /healthz on %s\n", srv.Addr())
+		return nil
+	case "slow_query":
+		if strings.EqualFold(val, "off") {
+			s.tracer.Slow().SetThreshold(0)
+			fmt.Fprintln(s.out, "slow_query off")
+			return nil
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("usage: set slow_query DUR|off (e.g. 100ms)")
+		}
+		s.tracer.Slow().SetThreshold(d)
+		s.tracer.Slow().SetText(s.out)
+		fmt.Fprintf(s.out, "slow_query %s\n", d)
+		return nil
 	default:
-		return fmt.Errorf("usage: set timeout DUR|off | set memory_limit N[KB|MB]|off")
+		return fmt.Errorf("usage: set timeout|memory_limit|metrics_addr|slow_query VALUE|off")
 	}
 }
 
@@ -438,22 +515,35 @@ func (s *Shell) cmdExplain(rest string) error {
 	if rest == "" {
 		return fmt.Errorf("usage: explain [analyze] EXPR")
 	}
+	// Only "explain analyze" executes, so only it counts as a query in
+	// the tracer; a nil trace records nothing.
+	var qt *obs.QueryTrace
+	if analyze {
+		qt = s.tracer.Start("explain analyze " + rest)
+	}
+	parseDone := qt.Span("parse")
 	q, err := parse.Expr(rest)
+	parseDone()
 	if err != nil {
+		qt.Finish(err)
 		return err
 	}
 	o := optimizer.New(s.cat)
+	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
+		qt.Finish(err)
 		return err
 	}
+	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
 	if !analyze {
 		fmt.Fprint(s.out, optimizer.Explain(p, tr))
 		return nil
 	}
 	ec, cancel := s.execContext()
 	defer cancel()
-	_, _, text, err := o.ExplainAnalyzeCtx(ec, p, tr)
+	_, _, text, err := o.ExplainAnalyzeTraced(ec, p, tr, qt)
+	qt.Finish(err)
 	// On an aborted run the text still renders the partial tree and the
 	// tripping operator; print it before surfacing the error.
 	fmt.Fprint(s.out, text)
@@ -461,23 +551,71 @@ func (s *Shell) cmdExplain(rest string) error {
 }
 
 func (s *Shell) cmdPlan(rest string) error {
+	qt := s.tracer.Start("plan " + rest)
+	parseDone := qt.Span("parse")
 	q, err := parse.Expr(rest)
+	parseDone()
 	if err != nil {
+		qt.Finish(err)
 		return err
 	}
 	o := optimizer.New(s.cat)
-	p, reordered, err := o.PlanQuery(q)
+	t0 := time.Now()
+	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
+		qt.Finish(err)
 		return err
 	}
-	fmt.Fprintf(s.out, "reordered: %v\nplan: %s\n%s", reordered, p.Tree(), p.Explain())
+	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
+	fmt.Fprintf(s.out, "reordered: %v\nplan: %s\n%s", tr.Reordered(), p.Tree(), p.Explain())
 	ec, cancel := s.execContext()
 	defer cancel()
-	out, c, err := o.ExecuteCtx(ec, p)
+	var out *relation.Relation
+	var c *exec.Counters
+	if s.tracer.Enabled() {
+		// Span export wants per-operator spans, which only the
+		// instrumented path produces (it also fills the query record).
+		out, c, _, err = o.ExplainAnalyzeTraced(ec, p, tr, qt)
+	} else {
+		execDone := qt.Span("execute")
+		out, c, err = o.ExecuteCtx(ec, p)
+		execDone()
+		qt.Rec.Strategy = tr.Strategy
+		qt.Rec.FallbackReason = tr.FallbackReason
+		qt.Rec.PlanTree = p.Tree()
+		if c != nil {
+			qt.Rec.Rows = c.RowsProduced()
+			qt.Rec.Tuples = c.TuplesRetrieved()
+		}
+	}
+	qt.Finish(err)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(s.out, "tuples retrieved: %d\n", c.TuplesRetrieved)
+	fmt.Fprintf(s.out, "tuples retrieved: %d\n", c.TuplesRetrieved())
 	fmt.Fprint(s.out, out)
 	return nil
+}
+
+// cmdTrace toggles Chrome trace-event span export.
+func (s *Shell) cmdTrace(rest string) error {
+	arg, path, _ := strings.Cut(rest, " ")
+	path = strings.TrimSpace(path)
+	switch strings.ToLower(arg) {
+	case "on":
+		if path == "" {
+			return fmt.Errorf("usage: trace on FILE | trace off")
+		}
+		s.tracer.Enable(path)
+		fmt.Fprintf(s.out, "tracing to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+		return nil
+	case "off":
+		if err := s.tracer.Disable(); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "tracing off")
+		return nil
+	default:
+		return fmt.Errorf("usage: trace on FILE | trace off")
+	}
 }

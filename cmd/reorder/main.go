@@ -21,6 +21,7 @@ import (
 	"freejoin/internal/exec"
 	"freejoin/internal/expr"
 	"freejoin/internal/graph"
+	"freejoin/internal/obs"
 	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
 	"freejoin/internal/relation"
@@ -34,22 +35,50 @@ func main() {
 		dot      = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
 		modulo   = flag.Bool("modulo", true, "count trees modulo reversal")
 		limit    = flag.Int64("limit", 100000, "maximum trees to list with -all")
-		explain  = flag.Bool("explain", false, "plan over a synthetic catalog, execute with per-operator statistics, and print both")
-		timeout  = flag.Duration("timeout", 0, "deadline for the -explain execution (e.g. 500ms; 0 = none)")
-		memLimit = flag.Int64("mem-limit", 0, "memory budget in bytes for the -explain execution (0 = none)")
+		explain     = flag.Bool("explain", false, "plan over a synthetic catalog, execute with per-operator statistics, and print both")
+		timeout     = flag.Duration("timeout", 0, "deadline for the -explain execution (e.g. 500ms; 0 = none)")
+		memLimit    = flag.Int64("mem-limit", 0, "memory budget in bytes for the -explain execution (0 = none)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/queries and /healthz on this address while the command runs")
+		traceOut    = flag.String("trace-out", "", "write the -explain run's spans as Chrome trace JSON to this file")
+		slowQuery   = flag.Duration("slow-query", 0, "log -explain executions slower than this to stderr (0 = off)")
 	)
 	flag.Parse()
 	if *query == "" {
 		fmt.Fprintln(os.Stderr, "usage: reorder -q \"(R -[R.a = S.a] S) ->[S.a = T.a] T\" [-all] [-dot] [-explain] [-timeout 500ms] [-mem-limit 65536]")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *timeout, *memLimit); err != nil {
+	tracer := obs.NewTracer()
+	if *traceOut != "" {
+		tracer.Enable(*traceOut)
+	}
+	if *slowQuery > 0 {
+		tracer.Slow().SetThreshold(*slowQuery)
+		tracer.Slow().SetText(os.Stderr)
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		s, err := obs.StartServer(*metricsAddr, nil, tracer.Ring())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reorder:", err)
+			os.Exit(1)
+		}
+		srv = s
+		fmt.Fprintln(os.Stderr, "reorder: serving metrics on", srv.Addr())
+	}
+	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *timeout, *memLimit, tracer)
+	if ferr := tracer.Disable(); err == nil && ferr != nil {
+		err = ferr
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "reorder:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain bool, timeout time.Duration, memLimit int64) error {
+func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain bool, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
 	q, err := parse.Expr(query)
 	if err != nil {
 		return err
@@ -97,7 +126,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain 
 		fmt.Fprint(w, analysis.Graph.DOT())
 	}
 	if explain {
-		if err := explainPlan(w, q, analysis.Graph, timeout, memLimit); err != nil {
+		if err := explainPlan(w, q, analysis.Graph, timeout, memLimit, tracer); err != nil {
 			return err
 		}
 	}
@@ -110,7 +139,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain 
 // then executes it instrumented under the given resource limits (zero
 // means unlimited) so a runaway implementing tree aborts with a typed
 // resource error instead of running without bound.
-func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duration, memLimit int64) error {
+func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
 	cols := map[string]map[string]struct{}{}
 	for _, n := range g.Nodes() {
 		cols[n] = map[string]struct{}{}
@@ -158,10 +187,17 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duratio
 		}
 	}
 	o := optimizer.New(cat)
+	var qt *obs.QueryTrace
+	if tracer != nil {
+		qt = tracer.Start(q.StringWithPreds())
+	}
+	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
+		qt.Finish(err)
 		return err
 	}
+	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "plan (synthetic catalog, 1000 rows per relation):")
 	fmt.Fprint(w, optimizer.Explain(p, tr))
@@ -180,7 +216,14 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duratio
 	if timeout > 0 || memLimit > 0 {
 		ec = exec.NewExecContext(ctx, gov)
 	}
-	_, _, text, err := o.ExplainAnalyzeCtx(ec, p, nil)
+	// The optimizer trace was already printed above; the nil tr keeps the
+	// analyze text unchanged, so stamp the strategy into the record here.
+	if qt != nil {
+		qt.Rec.Strategy = tr.Strategy
+		qt.Rec.FallbackReason = tr.FallbackReason
+	}
+	_, _, text, err := o.ExplainAnalyzeTraced(ec, p, nil, qt)
+	qt.Finish(err)
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "execution (explain analyze):")
 	fmt.Fprint(w, text)

@@ -68,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("tuples retrieved: %d\n\n", counters.TuplesRetrieved)
+	fmt.Printf("tuples retrieved: %d\n\n", counters.TuplesRetrieved())
 	fmt.Println(out)
 	fmt.Println("note: Archives appears with null employee columns, and bob with a null badge record —")
 	fmt.Println("the rows a plain join would silently drop.")

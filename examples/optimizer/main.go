@@ -58,7 +58,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-28s %-22s rows=%d  tuples=%-9d time=%s\n",
-			label, p.Tree(), out.Len(), c.TuplesRetrieved, time.Since(start).Round(time.Microsecond))
+			label, p.Tree(), out.Len(), c.TuplesRetrieved(), time.Since(start).Round(time.Microsecond))
 	}
 
 	fixed, err := o.PlanFixed(q)

@@ -79,9 +79,9 @@ func TestEndToEndPipeline(t *testing.T) {
 	// The pushed index scan avoids reading A and B (C must still be read
 	// once for its hash/NL join — there is no index on the b column); the
 	// naive plan reads all four tables: 2000 tuples.
-	if counters.TuplesRetrieved > 1200 {
+	if counters.TuplesRetrieved() > 1200 {
 		t.Errorf("retrieved %d tuples; pushdown/index scan not effective:\n%s",
-			counters.TuplesRetrieved, plan.Explain())
+			counters.TuplesRetrieved(), plan.Explain())
 	}
 
 	// 7. Brute-force reorderability of the block on the same data.

@@ -21,7 +21,9 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"freejoin/internal/obs"
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
 	"freejoin/internal/resource"
@@ -60,13 +62,48 @@ func NewGovernor(limitRows, limitBytes int64) *Governor {
 // optional governor; both may be nil.
 var NewExecContext = resource.NewContext
 
-// Counters accumulates execution effort across a plan.
+// Counters accumulates execution effort across a plan. The fields are
+// atomic so that a monitoring scrape (or any other goroutine — a
+// ParallelHashJoin worker, a progress reporter) can read them while the
+// executing goroutine updates them; today every *writer* is the single
+// executing goroutine (scans and index lookups run serially, parallel
+// join workers charge the governor but not the counters), and the
+// atomics make the cross-goroutine *reads* race-free. All methods are
+// nil-safe: a nil *Counters counts nothing and reads zero.
 type Counters struct {
-	// TuplesRetrieved counts rows fetched from base tables, by full scans
-	// and by index lookups — the paper's Example 1 metric.
-	TuplesRetrieved int64
-	// RowsProduced counts rows emitted by the operator tree's root.
-	RowsProduced int64
+	tuplesRetrieved atomic.Int64
+	rowsProduced    atomic.Int64
+}
+
+// TuplesRetrieved returns the rows fetched from base tables, by full
+// scans and by index lookups — the paper's Example 1 metric.
+func (c *Counters) TuplesRetrieved() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.tuplesRetrieved.Load()
+}
+
+// RowsProduced returns the rows emitted by the operator tree's root.
+func (c *Counters) RowsProduced() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.rowsProduced.Load()
+}
+
+// IncTuples counts one base-table tuple retrieval.
+func (c *Counters) IncTuples() {
+	if c != nil {
+		c.tuplesRetrieved.Add(1)
+	}
+}
+
+// IncRows counts one row emitted by the plan root.
+func (c *Counters) IncRows() {
+	if c != nil {
+		c.rowsProduced.Add(1)
+	}
 }
 
 // Iterator is the Volcano operator interface. Next returns the next row
@@ -124,8 +161,20 @@ func Collect(it Iterator, c *Counters) (*relation.Relation, error) {
 }
 
 // CollectCtx is Collect under an execution context: cancellation,
-// deadlines and memory budgets govern the drain.
+// deadlines and memory budgets govern the drain. When counters are
+// attached the process-wide metrics absorb the execution's effort (rows
+// produced, tuples retrieved) on the way out, error or not — nested
+// drains that pass nil counters (a GOJ materializing its inputs) stay
+// out of the cumulative figures.
 func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, error) {
+	if c != nil {
+		t0 := c.TuplesRetrieved()
+		r0 := c.RowsProduced()
+		defer func() {
+			obs.TuplesRetrieved.Add(c.TuplesRetrieved() - t0)
+			obs.RowsProduced.Add(c.RowsProduced() - r0)
+		}()
+	}
 	if err := it.Open(ec); err != nil {
 		// The operator contract releases its own state on a failed Open;
 		// Close here is a harmless idempotent safety net.
@@ -143,9 +192,7 @@ func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, 
 			break
 		}
 		out.AppendRaw(row)
-		if c != nil {
-			c.RowsProduced++
-		}
+		c.IncRows()
 	}
 	if err := it.Close(); err != nil {
 		return nil, err
@@ -187,7 +234,7 @@ func (s *Scan) Next() ([]relation.Value, bool, error) {
 	row := s.table.Relation().RawRow(s.pos)
 	s.pos++
 	if s.counters != nil {
-		s.counters.TuplesRetrieved++
+		s.counters.IncTuples()
 	}
 	return row, true, nil
 }
@@ -243,7 +290,7 @@ func (s *IndexScan) Next() ([]relation.Value, bool, error) {
 	row := s.table.Relation().RawRow(s.rows[s.pos])
 	s.pos++
 	if s.counters != nil {
-		s.counters.TuplesRetrieved++
+		s.counters.IncTuples()
 	}
 	return row, true, nil
 }

@@ -65,8 +65,8 @@ func TestScanAndCollect(t *testing.T) {
 	if !out.EqualBag(rel) {
 		t.Error("scan must reproduce the table")
 	}
-	if c.TuplesRetrieved != 2 || c.RowsProduced != 2 {
-		t.Errorf("counters = %+v", c)
+	if c.TuplesRetrieved() != 2 || c.RowsProduced() != 2 {
+		t.Errorf("counters = tuples %d rows %d", c.TuplesRetrieved(), c.RowsProduced())
 	}
 }
 
@@ -89,8 +89,8 @@ func TestIndexScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Len() != 2 || c.TuplesRetrieved != 2 {
-		t.Fatalf("rows=%d retrieved=%d", out.Len(), c.TuplesRetrieved)
+	if out.Len() != 2 || c.TuplesRetrieved() != 2 {
+		t.Fatalf("rows=%d retrieved=%d", out.Len(), c.TuplesRetrieved())
 	}
 	// Miss.
 	is2, _ := NewIndexScan(tb, "k", relation.Int(99), nil)
@@ -335,8 +335,8 @@ func TestIndexJoinCountsRetrievedTuples(t *testing.T) {
 	if out.Len() != 1 {
 		t.Fatalf("rows = %d", out.Len())
 	}
-	if c.TuplesRetrieved != 2 { // 1 outer + 1 indexed fetch
-		t.Errorf("TuplesRetrieved = %d, want 2", c.TuplesRetrieved)
+	if c.TuplesRetrieved() != 2 { // 1 outer + 1 indexed fetch
+		t.Errorf("TuplesRetrieved = %d, want 2", c.TuplesRetrieved())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"freejoin/internal/obs"
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
 	"freejoin/internal/storage"
@@ -149,6 +150,7 @@ func (h *HashJoin) Open(ec *ExecContext) error {
 				return oerr
 			}
 			ec.Governor().Note("hashjoin: memory budget trip, degraded to index strategy")
+			obs.GovernorDegradations.Inc()
 			h.delegate = fb
 			return nil
 		}
@@ -459,7 +461,7 @@ func (j *IndexJoin) Next() ([]relation.Value, bool, error) {
 		for _, pos := range j.index.Lookup(lrow[j.outerKey]) {
 			irow := j.inner.Relation().RawRow(pos)
 			if j.counters != nil {
-				j.counters.TuplesRetrieved++
+				j.counters.IncTuples()
 			}
 			full := concatRows(lrow, irow)
 			if j.residual != nil && !j.residual.Holds(full) {

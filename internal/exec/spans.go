@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"time"
+
+	"freejoin/internal/obs"
+)
+
+// SpanTree synthesizes per-operator trace spans from an executed stats
+// tree, for export alongside the pipeline's phase spans. The stats tree
+// records inclusive durations but no start timestamps, so the layout is
+// reconstructed: the root span starts at start (normally the execute
+// phase's start) and each node's children are laid out back to back
+// from their parent's start — the paper's implementing tree rendered as
+// a timeline. Because a parent's inclusive WallTime covers the child
+// calls it triggered, parent spans contain their children up to timer
+// granularity.
+//
+// Spans are returned in pre-order with Depth set to the node's depth,
+// mirroring StatsNode.Walk, so callers (and the span/stats consistency
+// property test) can zip the two trees. Every plan node yields exactly
+// one span — operators that never executed (an index join's inner
+// table) appear with zero duration — and a span carries an error
+// exactly when its node recorded one.
+func SpanTree(root *StatsNode, start time.Time) []obs.Span {
+	if root == nil {
+		return nil
+	}
+	var out []obs.Span
+	var place func(n *StatsNode, at time.Time, depth int)
+	place = func(n *StatsNode, at time.Time, depth int) {
+		sp := obs.Span{
+			Name:  n.Label,
+			Cat:   "operator",
+			Start: at,
+			Dur:   n.Stats.WallTime,
+			Depth: depth,
+		}
+		if n.Err != nil {
+			sp.Err = n.Err.Error()
+		}
+		out = append(out, sp)
+		t := at
+		for _, c := range n.Children {
+			place(c, t, depth+1)
+			t = t.Add(c.Stats.WallTime)
+		}
+	}
+	place(root, start, 0)
+	return out
+}

@@ -145,11 +145,11 @@ func (w *Instrumented) Open(ec *ExecContext) error {
 	start := time.Now()
 	var t0 int64
 	if w.counters != nil {
-		t0 = w.counters.TuplesRetrieved
+		t0 = w.counters.TuplesRetrieved()
 	}
 	err := w.child.Open(ec)
 	if w.counters != nil {
-		w.node.Stats.TuplesRetrieved += w.counters.TuplesRetrieved - t0
+		w.node.Stats.TuplesRetrieved += w.counters.TuplesRetrieved() - t0
 	}
 	w.node.Stats.WallTime += time.Since(start)
 	w.node.Stats.Opens++
@@ -162,11 +162,11 @@ func (w *Instrumented) Next() ([]relation.Value, bool, error) {
 	start := time.Now()
 	var t0 int64
 	if w.counters != nil {
-		t0 = w.counters.TuplesRetrieved
+		t0 = w.counters.TuplesRetrieved()
 	}
 	row, ok, err := w.child.Next()
 	if w.counters != nil {
-		w.node.Stats.TuplesRetrieved += w.counters.TuplesRetrieved - t0
+		w.node.Stats.TuplesRetrieved += w.counters.TuplesRetrieved() - t0
 	}
 	w.node.Stats.WallTime += time.Since(start)
 	w.node.Stats.NextCalls++

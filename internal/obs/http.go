@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Handler returns the monitoring mux:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/queries  the recent-query ring buffer as JSON, newest first
+//	/healthz        liveness: {"status":"ok", ...}
+//
+// reg and ring default to the process-wide Default registry and the
+// DefaultTracer's ring when nil.
+func Handler(reg *Registry, ring *Recent) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if ring == nil {
+		ring = DefaultTracer.Ring()
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ring.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f,\"queries_completed\":%d}\n",
+			time.Since(start).Seconds(), QueriesCompleted.Value())
+	})
+	return mux
+}
+
+// Server is a monitoring HTTP server bound to a live listener; Addr
+// reports the resolved address (useful with ":0"), Close shuts it down.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	closed atomic.Bool
+}
+
+// StartServer binds addr and serves Handler(reg, ring) on it in a
+// background goroutine. Pass nil for the process-wide defaults.
+func StartServer(addr string, reg *Registry, ring *Recent) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, ring)}}
+	go s.srv.Serve(ln) // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the listener's resolved address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down; idempotent.
+func (s *Server) Close() error {
+	if s == nil || s.closed.Swap(true) {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthz is the CI smoke test for the endpoint wiring: /healthz
+// must answer 200 with status ok as long as the handler is mounted.
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body = %q (err %v)", body, err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("unit_total", "unit test counter")
+	c.Add(7)
+	srv := httptest.NewServer(Handler(reg, NewRecent(4)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "unit_total 7") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+}
+
+func TestDebugQueriesEndpoint(t *testing.T) {
+	ring := NewRecent(4)
+	ring.Add(QueryRecord{ID: 1, Query: "R -[R.a = S.a] S", Strategy: "reordered",
+		Duration: 3 * time.Millisecond, Rows: 2})
+	ring.Add(QueryRecord{ID: 2, Query: "bad", Err: "parse error"})
+	srv := httptest.NewServer(Handler(NewRegistry(), ring))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []QueryRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != 2 || recs[1].Strategy != "reordered" {
+		t.Fatalf("debug/queries = %+v", recs)
+	}
+}
+
+func TestStartServerResolvesAddr(t *testing.T) {
+	s, err := StartServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed section of a query: a pipeline phase (parse,
+// analyze, optimize, build, execute) or an operator synthesized from the
+// executed plan's stats tree. Depth is the span's nesting level within
+// its category — pre-order operator spans carry their tree depth so the
+// exported trace (and tests) can rebuild the hierarchy.
+type Span struct {
+	Name  string        `json:"name"`
+	Cat   string        `json:"cat"` // "phase" or "operator"
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+	Depth int           `json:"depth"`
+	Err   string        `json:"err,omitempty"`
+}
+
+// QueryRecord is the condensed outcome of one traced query: what the
+// ring buffer holds, what /debug/queries serves, and what the slow-query
+// log records — including the implementing tree the optimizer chose and
+// why, so a slow query can be traced back to its plan.
+type QueryRecord struct {
+	ID       uint64        `json:"id"`
+	Query    string        `json:"query"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Strategy and FallbackReason mirror the optimizer trace; PlanTree is
+	// the chosen implementing tree in the expression syntax.
+	Strategy       string   `json:"strategy,omitempty"`
+	FallbackReason string   `json:"fallback_reason,omitempty"`
+	PlanTree       string   `json:"plan_tree,omitempty"`
+	Rows           int64    `json:"rows"`
+	Tuples         int64    `json:"tuples"`
+	QError         float64  `json:"q_error,omitempty"`
+	GovernorEvents []string `json:"governor_events,omitempty"`
+	Err            string   `json:"error,omitempty"`
+	Slow           bool     `json:"slow,omitempty"`
+}
+
+// Tracer assigns trace IDs, collects spans per query, maintains the
+// recent-query ring buffer and the slow-query log, and — when enabled —
+// exports finished queries as Chrome trace-event JSON that loads in
+// chrome://tracing and Perfetto. The metrics side-effects (queries
+// started/completed/failed, latency histogram) fire on Start/Finish
+// whether or not span export is enabled.
+type Tracer struct {
+	nextID  atomic.Uint64
+	enabled atomic.Bool
+	epoch   time.Time
+
+	mu     sync.Mutex
+	path   string
+	events []chromeEvent
+
+	ring *Recent
+	slow *SlowLog
+}
+
+// NewTracer returns a tracer with a 64-entry ring buffer and a disabled
+// slow-query log; span export starts disabled.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), ring: NewRecent(64), slow: &SlowLog{}}
+}
+
+// DefaultTracer is the process-wide tracer the commands share.
+var DefaultTracer = NewTracer()
+
+// Ring returns the tracer's recent-query buffer.
+func (t *Tracer) Ring() *Recent { return t.ring }
+
+// Slow returns the tracer's slow-query log.
+func (t *Tracer) Slow() *SlowLog { return t.slow }
+
+// Enable turns on span export; finished queries append to the in-memory
+// event list and, when path is non-empty, the full Chrome trace JSON is
+// rewritten to path after every query so the file is always loadable.
+func (t *Tracer) Enable(path string) {
+	t.mu.Lock()
+	t.path = path
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable turns span export off after flushing any configured file. The
+// collected events are kept so a later Enable appends to the same
+// timeline.
+func (t *Tracer) Disable() error {
+	t.enabled.Store(false)
+	return t.Flush()
+}
+
+// Enabled reports whether span export is on.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Flush writes the Chrome trace JSON to the configured path (a no-op
+// without one).
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	path := t.path
+	t.mu.Unlock()
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteChrome writes the collected events as a Chrome trace-event JSON
+// document ({"traceEvents": [...]}).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	evs := append([]chromeEvent(nil), t.events...)
+	t.mu.Unlock()
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Start begins a traced query. It always returns a usable trace (the
+// lifecycle metrics fire regardless); span collection is skipped when
+// export is disabled, keeping the per-query overhead to a few atomic
+// adds.
+func (t *Tracer) Start(query string) *QueryTrace {
+	QueriesStarted.Inc()
+	QueriesActive.Inc()
+	return &QueryTrace{
+		t:   t,
+		Rec: QueryRecord{ID: t.nextID.Add(1), Query: query, Start: time.Now()},
+	}
+}
+
+// QueryTrace collects the spans and outcome of one query between Start
+// and Finish. A nil *QueryTrace is valid everywhere and records nothing,
+// so library paths can thread one through unconditionally.
+type QueryTrace struct {
+	t     *Tracer
+	Rec   QueryRecord
+	spans []Span
+	done  bool
+}
+
+// Span opens a phase span and returns its closer:
+//
+//	done := qt.Span("optimize")
+//	... work ...
+//	done()
+func (qt *QueryTrace) Span(name string) func() {
+	if qt == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		qt.AddSpan(Span{Name: name, Cat: "phase", Start: start, Dur: time.Since(start)})
+	}
+}
+
+// AddSpan appends a pre-timed span (phases with synthesized bounds,
+// operator spans from a stats tree).
+func (qt *QueryTrace) AddSpan(sp Span) {
+	if qt == nil {
+		return
+	}
+	qt.spans = append(qt.spans, sp)
+}
+
+// AddSpans appends several spans.
+func (qt *QueryTrace) AddSpans(sps []Span) {
+	if qt == nil {
+		return
+	}
+	qt.spans = append(qt.spans, sps...)
+}
+
+// Spans returns the spans collected so far.
+func (qt *QueryTrace) Spans() []Span {
+	if qt == nil {
+		return nil
+	}
+	return qt.spans
+}
+
+// Finish seals the trace: it stamps the duration and error, fires the
+// lifecycle metrics, pushes the record into the ring buffer, feeds the
+// slow-query log, and — when export is enabled — converts the spans to
+// Chrome trace events and flushes the trace file. Finish is idempotent;
+// calling it on a nil trace is a no-op.
+func (qt *QueryTrace) Finish(err error) {
+	if qt == nil || qt.done {
+		return
+	}
+	qt.done = true
+	qt.Rec.Duration = time.Since(qt.Rec.Start)
+	if err != nil {
+		qt.Rec.Err = err.Error()
+		QueriesFailed.Inc()
+	} else {
+		QueriesCompleted.Inc()
+	}
+	QueriesActive.Dec()
+	QueryDuration.ObserveDuration(qt.Rec.Duration)
+
+	t := qt.t
+	if t == nil {
+		return
+	}
+	qt.Rec.Slow = t.slow.Observe(&qt.Rec)
+	t.ring.Add(qt.Rec)
+	if t.enabled.Load() {
+		t.appendChrome(qt)
+		// Flush errors are swallowed: tracing must never fail a query. The
+		// next Disable surfaces them.
+		_ = t.Flush()
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event with explicit duration, "M" = metadata). Timestamps
+// and durations are microseconds; tid groups one query's spans onto one
+// timeline row.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// appendChrome converts a finished trace's spans to Chrome events on the
+// query's own tid, preceded by a thread_name metadata event carrying the
+// query text.
+func (t *Tracer) appendChrome(qt *QueryTrace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid := qt.Rec.ID
+	t.events = append(t.events, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"name": fmt.Sprintf("q%d: %s", tid, clip(qt.Rec.Query, 120))},
+	})
+	for _, sp := range qt.spans {
+		ev := chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			Ts:  float64(sp.Start.Sub(t.epoch)) / float64(time.Microsecond),
+			Dur: float64(sp.Dur) / float64(time.Microsecond),
+			Pid: 1, Tid: tid,
+		}
+		if sp.Err != "" {
+			ev.Args = map[string]any{"error": sp.Err}
+		}
+		t.events = append(t.events, ev)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// Recent is a bounded ring buffer of finished query records, newest
+// first on read — the /debug/queries payload.
+type Recent struct {
+	mu   sync.Mutex
+	buf  []QueryRecord
+	next int
+	full bool
+}
+
+// NewRecent returns a ring holding the last n records.
+func NewRecent(n int) *Recent {
+	if n < 1 {
+		n = 1
+	}
+	return &Recent{buf: make([]QueryRecord, n)}
+}
+
+// Add records one finished query, evicting the oldest when full.
+func (r *Recent) Add(rec QueryRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the held records, newest first.
+func (r *Recent) Snapshot() []QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]QueryRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of held records.
+func (r *Recent) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// SlowLog records queries whose duration exceeds a threshold, as
+// human-readable text and/or JSON lines. A zero threshold disables it.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; 0 = off
+
+	mu    sync.Mutex
+	textW io.Writer
+	jsonW io.Writer
+}
+
+// SetThreshold sets the slow-query duration (0 disables).
+func (s *SlowLog) SetThreshold(d time.Duration) { s.threshold.Store(int64(d)) }
+
+// Threshold returns the current threshold (0 = off).
+func (s *SlowLog) Threshold() time.Duration { return time.Duration(s.threshold.Load()) }
+
+// SetText directs the text log to w (nil to stop).
+func (s *SlowLog) SetText(w io.Writer) {
+	s.mu.Lock()
+	s.textW = w
+	s.mu.Unlock()
+}
+
+// SetJSON directs the JSON-lines log to w (nil to stop).
+func (s *SlowLog) SetJSON(w io.Writer) {
+	s.mu.Lock()
+	s.jsonW = w
+	s.mu.Unlock()
+}
+
+// Observe checks rec against the threshold; when slow it writes the
+// configured logs, bumps the slow-query counter, and reports true.
+func (s *SlowLog) Observe(rec *QueryRecord) bool {
+	th := s.threshold.Load()
+	if th <= 0 || int64(rec.Duration) < th {
+		return false
+	}
+	SlowQueries.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.textW != nil {
+		fmt.Fprint(s.textW, renderSlow(rec))
+	}
+	if s.jsonW != nil {
+		if b, err := json.Marshal(rec); err == nil {
+			s.jsonW.Write(append(b, '\n'))
+		}
+	}
+	return true
+}
+
+// renderSlow renders the text form of a slow-query entry: the duration
+// and query on the first line, then the plan the optimizer chose and
+// why, the effort counters, and any governor events.
+func renderSlow(rec *QueryRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow query (%s): %s\n", rec.Duration.Round(time.Microsecond), rec.Query)
+	if rec.Strategy != "" {
+		fmt.Fprintf(&b, "  strategy: %s", rec.Strategy)
+		if rec.FallbackReason != "" {
+			fmt.Fprintf(&b, " (fallback: %s)", rec.FallbackReason)
+		}
+		b.WriteByte('\n')
+	}
+	if rec.PlanTree != "" {
+		fmt.Fprintf(&b, "  plan: %s\n", rec.PlanTree)
+	}
+	fmt.Fprintf(&b, "  rows: %d  tuples: %d", rec.Rows, rec.Tuples)
+	if rec.QError > 0 {
+		fmt.Fprintf(&b, "  q-err: %.2f", rec.QError)
+	}
+	b.WriteByte('\n')
+	for _, ev := range rec.GovernorEvents {
+		fmt.Fprintf(&b, "  governor: %s\n", ev)
+	}
+	if rec.Err != "" {
+		fmt.Fprintf(&b, "  error: %s\n", rec.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryTraceLifecycleMetrics(t *testing.T) {
+	tr := NewTracer()
+	started0 := QueriesStarted.Value()
+	done0 := QueriesCompleted.Value()
+	failed0 := QueriesFailed.Value()
+	durs0 := QueryDuration.Count()
+
+	qt := tr.Start("R -[R.a = S.a] S")
+	if QueriesActive.Value() < 1 {
+		t.Error("active gauge not incremented")
+	}
+	qt.Finish(nil)
+	qt.Finish(nil) // idempotent
+
+	qf := tr.Start("bad query")
+	qf.Finish(errors.New("parse error"))
+
+	if d := QueriesStarted.Value() - started0; d != 2 {
+		t.Errorf("started delta = %d, want 2", d)
+	}
+	if d := QueriesCompleted.Value() - done0; d != 1 {
+		t.Errorf("completed delta = %d, want 1", d)
+	}
+	if d := QueriesFailed.Value() - failed0; d != 1 {
+		t.Errorf("failed delta = %d, want 1", d)
+	}
+	if d := QueryDuration.Count() - durs0; d != 2 {
+		t.Errorf("duration observations delta = %d, want 2", d)
+	}
+	if tr.Ring().Len() != 2 {
+		t.Errorf("ring holds %d records, want 2", tr.Ring().Len())
+	}
+	recs := tr.Ring().Snapshot()
+	if recs[0].Err == "" || recs[1].Err != "" {
+		t.Errorf("snapshot order wrong (want newest first): %+v", recs)
+	}
+}
+
+func TestNilQueryTraceSafe(t *testing.T) {
+	var qt *QueryTrace
+	done := qt.Span("x")
+	done()
+	qt.AddSpan(Span{Name: "y"})
+	qt.AddSpans([]Span{{Name: "z"}})
+	if qt.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+	qt.Finish(nil)
+}
+
+func TestChromeExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	tr := NewTracer()
+	tr.Enable(path)
+
+	qt := tr.Start("R -[R.a = S.a] S")
+	done := qt.Span("parse")
+	done()
+	qt.AddSpan(Span{Name: "execute", Cat: "phase", Start: time.Now(), Dur: time.Millisecond})
+	qt.AddSpan(Span{Name: "scan R", Cat: "operator", Start: time.Now(), Dur: time.Millisecond, Err: "boom"})
+	qt.Finish(nil)
+	if err := tr.Disable(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace.json is not valid JSON: %v", err)
+	}
+	// 1 metadata + 3 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4: %s", len(doc.TraceEvents), raw)
+	}
+	byName := map[string]map[string]any{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev["name"].(string)] = ev
+	}
+	meta := byName["thread_name"]
+	if meta["ph"] != "M" || !strings.Contains(fmt.Sprint(meta["args"]), "R -[R.a = S.a] S") {
+		t.Errorf("metadata event wrong: %v", meta)
+	}
+	for _, name := range []string{"parse", "execute", "scan R"} {
+		ev := byName[name]
+		if ev == nil {
+			t.Fatalf("missing event %q", name)
+		}
+		if ev["ph"] != "X" || ev["pid"] != float64(1) {
+			t.Errorf("event %q: ph=%v pid=%v", name, ev["ph"], ev["pid"])
+		}
+	}
+	if args := fmt.Sprint(byName["scan R"]["args"]); !strings.Contains(args, "boom") {
+		t.Errorf("error span lost its error: %v", args)
+	}
+}
+
+func TestTracerDisabledCollectsNoEvents(t *testing.T) {
+	tr := NewTracer()
+	qt := tr.Start("q")
+	qt.AddSpan(Span{Name: "parse", Cat: "phase"})
+	qt.Finish(nil)
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestRecentEviction(t *testing.T) {
+	r := NewRecent(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(QueryRecord{ID: uint64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0].ID != 5 || got[1].ID != 4 || got[2].ID != 3 {
+		t.Fatalf("snapshot = %+v, want IDs 5,4,3", got)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	slow0 := SlowQueries.Value()
+	var text, jsonl strings.Builder
+	var s SlowLog
+	s.SetThreshold(10 * time.Millisecond)
+	s.SetText(&text)
+	s.SetJSON(&jsonl)
+
+	fast := QueryRecord{Query: "fast", Duration: time.Millisecond}
+	if s.Observe(&fast) {
+		t.Error("fast query marked slow")
+	}
+	rec := QueryRecord{
+		Query: "R -[R.a = S.a] S", Duration: 50 * time.Millisecond,
+		Strategy: "fixed", FallbackReason: "not freely reorderable",
+		PlanTree: "(R ⋈ S)", Rows: 10, Tuples: 30, QError: 2.5,
+		GovernorEvents: []string{"resource: memory budget exceeded in hashjoin"},
+	}
+	if !s.Observe(&rec) {
+		t.Fatal("slow query not marked slow")
+	}
+	if d := SlowQueries.Value() - slow0; d != 1 {
+		t.Errorf("slow counter delta = %d, want 1", d)
+	}
+	out := text.String()
+	for _, want := range []string{"slow query", "R -[R.a = S.a] S",
+		"strategy: fixed", "fallback: not freely reorderable",
+		"plan: (R ⋈ S)", "rows: 10", "tuples: 30", "q-err: 2.50", "governor:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text log missing %q:\n%s", want, out)
+		}
+	}
+	var parsed QueryRecord
+	if err := json.Unmarshal([]byte(jsonl.String()), &parsed); err != nil {
+		t.Fatalf("JSONL line invalid: %v", err)
+	}
+	if parsed.PlanTree != "(R ⋈ S)" || parsed.QError != 2.5 {
+		t.Errorf("JSONL round-trip lost fields: %+v", parsed)
+	}
+
+	s.SetThreshold(0)
+	if s.Observe(&rec) {
+		t.Error("disabled slow log still firing")
+	}
+}

@@ -52,7 +52,7 @@ func ExampleOptimizer_Optimize() {
 	}
 	fmt.Println("reordered:", reordered)
 	fmt.Println("plan:", plan.Tree())
-	fmt.Println("rows:", out.Len(), "tuples retrieved:", counters.TuplesRetrieved)
+	fmt.Println("rows:", out.Len(), "tuples retrieved:", counters.TuplesRetrieved())
 	// Output:
 	// reordered: true
 	// plan: ((R1 - R2) -> R3)

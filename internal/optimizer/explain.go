@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"freejoin/internal/exec"
+	"freejoin/internal/obs"
 	"freejoin/internal/relation"
 )
 
@@ -28,6 +29,11 @@ type Trace struct {
 	Splits     int // valid splits enumerated across those subsets
 	Candidates int // physical candidates generated
 	Pruned     int // candidates discarded by cost comparison
+
+	// AnalyzeTime is the time spent in the free-reorderability analysis
+	// (the nice-graph check), so the tracer can split an optimize call
+	// into its analyze and DP phases.
+	AnalyzeTime time.Duration
 }
 
 // Reordered reports whether the plan came from the DP over the query
@@ -74,9 +80,41 @@ func (o *Optimizer) ExplainAnalyze(p *Plan, tr *Trace) (*relation.Relation, *exe
 // events and an "aborted" trailer, and the error is returned alongside
 // the text so callers can show both.
 func (o *Optimizer) ExplainAnalyzeCtx(ec *exec.ExecContext, p *Plan, tr *Trace) (*relation.Relation, *exec.Counters, string, error) {
-	out, c, root, err := o.ExecuteAnalyzedCtx(ec, p)
-	if err != nil && root == nil {
+	return o.ExplainAnalyzeTraced(ec, p, tr, nil)
+}
+
+// ExplainAnalyzeTraced is ExplainAnalyzeCtx feeding a query trace: the
+// build and execute phases become spans, the executed stats tree is
+// synthesized into per-operator spans, and the trace's record is filled
+// with the chosen implementing tree, the optimizer's strategy and
+// fallback reason, the effort counters, the root q-error, and any
+// governor events — everything the slow-query log and /debug/queries
+// report. qt may be nil (plain ExplainAnalyzeCtx behavior).
+func (o *Optimizer) ExplainAnalyzeTraced(ec *exec.ExecContext, p *Plan, tr *Trace, qt *obs.QueryTrace) (*relation.Relation, *exec.Counters, string, error) {
+	var c exec.Counters
+	buildStart := time.Now()
+	it, root, err := o.BuildInstrumented(p, &c)
+	qt.AddSpan(obs.Span{Name: "build", Cat: "phase", Start: buildStart, Dur: time.Since(buildStart)})
+	if err != nil {
 		return nil, nil, "", err // build failed; nothing ran
+	}
+	execStart := time.Now()
+	out, err := exec.CollectCtx(ec, it, &c)
+	qt.AddSpan(obs.Span{Name: "execute", Cat: "phase", Start: execStart, Dur: time.Since(execStart)})
+	qt.AddSpans(exec.SpanTree(root, execStart))
+	if qt != nil {
+		rec := &qt.Rec
+		if tr != nil {
+			rec.Strategy = tr.Strategy
+			rec.FallbackReason = tr.FallbackReason
+		}
+		rec.PlanTree = p.Tree()
+		rec.Rows = c.RowsProduced()
+		rec.Tuples = c.TuplesRetrieved()
+		if p.EstRows >= 0 && root.Executed() {
+			rec.QError = qerr(p.EstRows, root.Stats.RowsOut)
+		}
+		rec.GovernorEvents = ec.Governor().Events()
 	}
 	var b strings.Builder
 	b.WriteString(RenderStats(root))
@@ -88,11 +126,11 @@ func (o *Optimizer) ExplainAnalyzeCtx(ec *exec.ExecContext, p *Plan, tr *Trace) 
 	}
 	if err != nil {
 		fmt.Fprintf(&b, "-- aborted: %v\n", err)
-		return nil, c, b.String(), err
+		return nil, &c, b.String(), err
 	}
 	fmt.Fprintf(&b, "-- totals: %d rows, %d base tuples retrieved\n",
-		c.RowsProduced, c.TuplesRetrieved)
-	return out, c, b.String(), nil
+		c.RowsProduced(), c.TuplesRetrieved())
+	return out, &c, b.String(), nil
 }
 
 // RenderStats renders an executed stats tree, one indented line per

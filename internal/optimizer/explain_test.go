@@ -92,8 +92,8 @@ func TestExplainAnalyze(t *testing.T) {
 	if !out.EqualBag(want) {
 		t.Fatal("ExplainAnalyze changed the result")
 	}
-	if c.RowsProduced != int64(out.Len()) {
-		t.Errorf("counters RowsProduced = %d, want %d", c.RowsProduced, out.Len())
+	if c.RowsProduced() != int64(out.Len()) {
+		t.Errorf("counters RowsProduced = %d, want %d", c.RowsProduced(), out.Len())
 	}
 	for _, wantStr := range []string{"actual rows=", "q-err=", "tuples=", "-- totals: "} {
 		if !strings.Contains(text, wantStr) {

@@ -88,10 +88,14 @@ func (o *Optimizer) OptimizeWithGOJ(q *expr.Node) (*Plan, string, error) {
 // attached; on strategy "goj" the trace keeps the not-free verdict that
 // made the reassociation worth trying.
 func (o *Optimizer) OptimizeWithGOJTrace(q *expr.Node) (*Plan, *Trace, error) {
-	p, tr, err := o.OptimizeTrace(q)
+	// Uses the unrecorded optimizeTrace so the strategy metric counts the
+	// final decision, not the intermediate "fixed" verdict a successful
+	// GOJ upgrade replaces.
+	p, tr, err := o.optimizeTrace(q)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer func() { recordTrace(tr) }()
 	if tr.Reordered() {
 		return p, tr, nil
 	}

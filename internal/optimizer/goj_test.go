@@ -75,9 +75,9 @@ func TestOptimizeWithGOJPrefersRewrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cg.TuplesRetrieved >= cf.TuplesRetrieved {
+	if cg.TuplesRetrieved() >= cf.TuplesRetrieved() {
 		t.Errorf("GOJ plan should retrieve fewer tuples: goj=%d fixed=%d",
-			cg.TuplesRetrieved, cf.TuplesRetrieved)
+			cg.TuplesRetrieved(), cf.TuplesRetrieved())
 	}
 }
 

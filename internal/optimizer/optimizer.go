@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"freejoin/internal/core"
 	"freejoin/internal/expr"
@@ -61,11 +62,22 @@ func (o *Optimizer) Optimize(q *expr.Node) (*Plan, bool, error) {
 // the fallback is reserved for well-formed queries that are merely not
 // provably freely reorderable, and the trace records that verdict.
 func (o *Optimizer) OptimizeTrace(q *expr.Node) (*Plan, *Trace, error) {
+	p, tr, err := o.optimizeTrace(q)
+	if err == nil {
+		recordTrace(tr)
+	}
+	return p, tr, err
+}
+
+// optimizeTrace is OptimizeTrace without the metrics hook, for callers
+// (OptimizeWithGOJTrace) that may still revise the strategy.
+func (o *Optimizer) optimizeTrace(q *expr.Node) (*Plan, *Trace, error) {
+	aStart := time.Now()
 	analysis, err := core.Analyze(q)
 	if err != nil {
 		return nil, nil, fmt.Errorf("optimizer: query graph undefined: %w", err)
 	}
-	tr := &Trace{}
+	tr := &Trace{AnalyzeTime: time.Since(aStart)}
 	if analysis.Free {
 		p, err := o.optimizeGraph(analysis.Graph, nil, tr)
 		if err != nil {
@@ -92,6 +104,9 @@ func (o *Optimizer) OptimizeGraph(g *graph.Graph) (*Plan, error) {
 func (o *Optimizer) OptimizeGraphTrace(g *graph.Graph) (*Plan, *Trace, error) {
 	tr := &Trace{Strategy: "reordered"}
 	p, err := o.optimizeGraph(g, nil, tr)
+	if err == nil {
+		recordTrace(tr)
+	}
 	return p, tr, err
 }
 

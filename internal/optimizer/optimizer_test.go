@@ -179,8 +179,8 @@ func TestExample1PlanChoice(t *testing.T) {
 	if out.Len() != 1 {
 		t.Fatalf("result rows = %d", out.Len())
 	}
-	if c.TuplesRetrieved > 10 {
-		t.Fatalf("optimized plan retrieved %d tuples (plan:\n%s)", c.TuplesRetrieved, p.Explain())
+	if c.TuplesRetrieved() > 10 {
+		t.Fatalf("optimized plan retrieved %d tuples (plan:\n%s)", c.TuplesRetrieved(), p.Explain())
 	}
 	// The join-before-outerjoin association must have been chosen with R1
 	// driving.
@@ -198,11 +198,11 @@ func TestExample1PlanChoice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cf.TuplesRetrieved < int64(n) {
-		t.Errorf("fixed plan retrieved only %d tuples; expected ~2N", cf.TuplesRetrieved)
+	if cf.TuplesRetrieved() < int64(n) {
+		t.Errorf("fixed plan retrieved only %d tuples; expected ~2N", cf.TuplesRetrieved())
 	}
-	if cf.TuplesRetrieved <= 100*c.TuplesRetrieved {
-		t.Errorf("expected >=100x gap: fixed=%d optimized=%d", cf.TuplesRetrieved, c.TuplesRetrieved)
+	if cf.TuplesRetrieved() <= 100*c.TuplesRetrieved() {
+		t.Errorf("expected >=100x gap: fixed=%d optimized=%d", cf.TuplesRetrieved(), c.TuplesRetrieved())
 	}
 }
 

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"fmt"
+	"time"
 
 	"freejoin/internal/core"
 	"freejoin/internal/exec"
@@ -52,6 +53,7 @@ func (o *Optimizer) PlanQueryTrace(q *expr.Node) (*Plan, *Trace, error) {
 	for i := len(top) - 1; i >= 0; i-- {
 		plan = o.filterPlan(plan, top[i])
 	}
+	recordTrace(tr)
 	return plan, tr, nil
 }
 
@@ -60,9 +62,10 @@ func (o *Optimizer) PlanQueryTrace(q *expr.Node) (*Plan, *Trace, error) {
 func (o *Optimizer) planBlock(q *expr.Node) (*Plan, *Trace, error) {
 	tr := &Trace{Strategy: "fixed"}
 	stripped, filters, pure := stripLeafFilters(q)
+	aStart := time.Now()
 	if !pure {
 		tr.FallbackReason = "block is not a pure join/outerjoin tree over (filtered) base tables"
-	} else if a, err := core.Analyze(stripped); err != nil {
+	} else if a, err := analyzeTimed(stripped, tr, aStart); err != nil {
 		tr.FallbackReason = "query graph undefined: " + err.Error()
 	} else if !a.Free {
 		tr.FallbackReason = a.String()
@@ -78,6 +81,15 @@ func (o *Optimizer) planBlock(q *expr.Node) (*Plan, *Trace, error) {
 	}
 	p, err := o.planFixedRestricted(q)
 	return p, tr, err
+}
+
+// analyzeTimed runs the free-reorderability analysis and records its
+// duration (measured from start, which callers take before any
+// pre-analysis work they want attributed to the phase) into the trace.
+func analyzeTimed(q *expr.Node, tr *Trace, start time.Time) (*core.Analysis, error) {
+	a, err := core.Analyze(q)
+	tr.AnalyzeTime = time.Since(start)
+	return a, err
 }
 
 // stripLeafFilters removes σ-over-leaf wrappers, returning the bare tree,

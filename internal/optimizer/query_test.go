@@ -196,8 +196,8 @@ func TestPlanQueryIndexScan(t *testing.T) {
 	if out.Len() != 1 {
 		t.Errorf("rows = %d", out.Len())
 	}
-	if c.TuplesRetrieved > 5 {
-		t.Errorf("retrieved %d tuples, want <= 5:\n%s", c.TuplesRetrieved, p.Explain())
+	if c.TuplesRetrieved() > 5 {
+		t.Errorf("retrieved %d tuples, want <= 5:\n%s", c.TuplesRetrieved(), p.Explain())
 	}
 	// ToExpr reflects the restriction, so the plan stays auditable.
 	back := p.ToExpr()

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"freejoin/internal/obs"
 )
 
 // Kind classifies a ResourceError.
@@ -140,6 +142,7 @@ func (g *Governor) Reserve(op string, rows, bytes int64) *ResourceError {
 			UsedBytes: ub, LimitBytes: g.limitBytes,
 		}
 		g.Note(e.Error())
+		obs.GovernorTripsMemory.Inc()
 		return e
 	}
 	return nil
@@ -200,6 +203,12 @@ func (g *Governor) Events() []string {
 type ExecContext struct {
 	ctx context.Context
 	gov *Governor
+
+	// tripNoted dedupes the metrics hook: a cancelled or expired context
+	// surfaces through every operator the abort unwinds past, and each
+	// Err call mints a fresh ResourceError; the process-wide trip counter
+	// should advance once per execution, not once per operator.
+	tripNoted atomic.Bool
 }
 
 // NewContext builds an execution context; ctx may be nil (Background)
@@ -239,9 +248,18 @@ func (ec *ExecContext) Err(op string) error {
 	case nil:
 		return nil
 	case context.DeadlineExceeded:
+		ec.noteTrip(obs.GovernorTripsDeadln)
 		return &ResourceError{Kind: DeadlineExceeded, Operator: op, Err: err}
 	default:
+		ec.noteTrip(obs.GovernorTripsCancel)
 		return &ResourceError{Kind: Cancelled, Operator: op, Err: err}
+	}
+}
+
+// noteTrip advances a trip counter at most once for this execution.
+func (ec *ExecContext) noteTrip(c *obs.Counter) {
+	if !ec.tripNoted.Swap(true) {
+		c.Inc()
 	}
 }
 

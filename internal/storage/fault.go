@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"freejoin/internal/obs"
 	"freejoin/internal/relation"
 	"freejoin/internal/resource"
 )
@@ -36,7 +37,10 @@ type Fault struct {
 	Err error
 }
 
+// error mints the injected error; it is called exactly when a
+// configured fault fires, so it doubles as the metrics hook.
 func (f Fault) error() error {
+	obs.FaultInjections.Inc()
 	if f.Err != nil {
 		return f.Err
 	}
