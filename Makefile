@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json experiments faults obs fuzz fmt vet clean
+.PHONY: all check build test race cover bench bench-json experiments faults obs fuzz fuzz-smoke fmt vet clean
 
 all: check
 
-check: build vet test race
+check: build vet test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -51,8 +51,18 @@ fuzz:
 	$(GO) test -fuzz='FuzzExpr$$' -fuzztime=$(FUZZTIME) ./internal/parse
 	$(GO) test -fuzz='FuzzPred$$' -fuzztime=$(FUZZTIME) ./internal/parse
 	$(GO) test -fuzz='FuzzExprGraph$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/parse
 	$(GO) test -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/lang
+	$(GO) test -fuzz='FuzzFingerprint$$' -fuzztime=$(FUZZTIME) ./internal/plancache
 	$(GO) test -fuzz='FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/storage
+
+# Quick fuzz smoke for check/CI: a few seconds on the two pipeline
+# targets (parser front half, plan-cache fingerprint invariance) catches
+# gross regressions without the full fuzz budget.
+SMOKETIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='FuzzParse$$' -fuzztime=$(SMOKETIME) ./internal/parse
+	$(GO) test -run='^$$' -fuzz='FuzzFingerprint$$' -fuzztime=$(SMOKETIME) ./internal/plancache
 
 fmt:
 	gofmt -w .

@@ -20,6 +20,7 @@ import (
 	"freejoin/internal/graph"
 	"freejoin/internal/lang"
 	"freejoin/internal/optimizer"
+	"freejoin/internal/plancache"
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
 	"freejoin/internal/storage"
@@ -276,6 +277,52 @@ func BenchmarkOptimizerDP(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPlanCacheHit: a warm plan-cache lookup (fingerprint the graph,
+// find the resident plan) vs re-running the cold DP for the same query.
+// The hit path must beat the cold path by at least 5x for the cache to
+// carry its weight in a prepared-query pipeline.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	rnd := rand.New(rand.NewSource(15))
+	g := workload.CoreWithTreesGraph(4, 3)
+	cat := storage.NewCatalog()
+	for _, node := range g.Nodes() {
+		cat.AddRelation(node, workload.UniformRelation(rnd, node, 500, 100))
+	}
+	b.Run("cold", func(b *testing.B) {
+		o := optimizer.New(cat)
+		for i := 0; i < b.N; i++ {
+			if _, err := o.OptimizeGraph(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		o := optimizer.New(cat)
+		o.Cache = plancache.New(16)
+		if _, err := o.OptimizeGraph(g); err != nil { // populate
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.OptimizeGraph(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFingerprint: cost of canonicalizing and hashing a query graph
+// — the fixed overhead every cache lookup pays.
+func BenchmarkFingerprint(b *testing.B) {
+	g := workload.CoreWithTreesGraph(4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fp := plancache.Of(g); fp.Hash == 0 {
+			b.Fatal("degenerate fingerprint")
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"freejoin/internal/obs"
 	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
+	"freejoin/internal/plancache"
 	"freejoin/internal/relation"
 	"freejoin/internal/storage"
 )
@@ -35,11 +36,32 @@ type Shell struct {
 	// ("set metrics_addr").
 	tracer *obs.Tracer
 	mon    *obs.Server
+
+	// plans is the session plan cache shared by plan/explain/prepare/
+	// execute; nil when disabled ("set plan_cache off"). Stats-epoch
+	// invalidation makes it safe across table loads, restores and index
+	// builds within the session.
+	plans *plancache.Cache
+
+	// prepared holds named statements ("prepare NAME EXPR"); execute
+	// re-plans them, which is where the cache pays off.
+	prepared map[string]*preparedStmt
+}
+
+type preparedStmt struct {
+	src string
+	q   *expr.Node
 }
 
 // NewShell returns a shell writing to out.
 func NewShell(out io.Writer) *Shell {
-	return &Shell{cat: storage.NewCatalog(), out: out, tracer: obs.NewTracer()}
+	return &Shell{
+		cat:      storage.NewCatalog(),
+		out:      out,
+		tracer:   obs.NewTracer(),
+		plans:    plancache.New(plancache.DefaultCapacity),
+		prepared: make(map[string]*preparedStmt),
+	}
 }
 
 // Close releases the shell's background resources: the monitoring
@@ -128,6 +150,10 @@ func (s *Shell) Exec(line string) error {
 		return s.cmdPlan(rest)
 	case "explain":
 		return s.cmdExplain(rest)
+	case "prepare":
+		return s.cmdPrepare(rest)
+	case "execute":
+		return s.cmdExecute(rest)
 	case "set":
 		return s.cmdSet(rest)
 	case "metrics":
@@ -157,6 +183,9 @@ func (s *Shell) help() {
   plan    EXPR                                optimize, explain and execute
   explain EXPR                                show the chosen plan and optimizer trace
   explain analyze EXPR                        run the plan with per-operator statistics
+  prepare NAME EXPR                           parse and plan a named query once
+  execute NAME                                run a prepared query (plan-cache hit)
+  set plan_cache on|off|N                     toggle the plan cache / set its capacity
   set timeout DUR|off                         execution deadline (e.g. 500ms, 2s)
   set memory_limit N[KB|MB]|off               executor memory budget
   set metrics_addr ADDR|off                   HTTP /metrics, /debug/queries, /healthz
@@ -383,11 +412,16 @@ func (s *Shell) cmdSet(rest string) error {
 			addr = s.mon.Addr()
 		}
 		slow := s.tracer.Slow().Threshold()
-		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nmetrics_addr: %s\nslow_query: %s\n",
+		cacheState := "off"
+		if s.plans != nil {
+			cacheState = fmt.Sprintf("on (cap %d, %d cached)", s.plans.Cap(), s.plans.Len())
+		}
+		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nmetrics_addr: %s\nslow_query: %s\nplan_cache: %s\n",
 			orOff(s.timeout.String(), s.timeout == 0),
 			orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0),
 			orOff(addr, s.mon == nil),
-			orOff(slow.String(), slow == 0))
+			orOff(slow.String(), slow == 0),
+			cacheState)
 		return nil
 	}
 	name, val, _ := strings.Cut(rest, " ")
@@ -438,6 +472,27 @@ func (s *Shell) cmdSet(rest string) error {
 		s.mon = srv
 		fmt.Fprintf(s.out, "serving /metrics, /debug/queries, /healthz on %s\n", srv.Addr())
 		return nil
+	case "plan_cache":
+		switch {
+		case strings.EqualFold(val, "off"):
+			s.plans = nil
+			fmt.Fprintln(s.out, "plan_cache off")
+			return nil
+		case strings.EqualFold(val, "on"):
+			if s.plans == nil {
+				s.plans = plancache.New(plancache.DefaultCapacity)
+			}
+			fmt.Fprintf(s.out, "plan_cache on (cap %d)\n", s.plans.Cap())
+			return nil
+		default:
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("usage: set plan_cache on|off|N")
+			}
+			s.plans = plancache.New(n)
+			fmt.Fprintf(s.out, "plan_cache on (cap %d)\n", n)
+			return nil
+		}
 	case "slow_query":
 		if strings.EqualFold(val, "off") {
 			s.tracer.Slow().SetThreshold(0)
@@ -453,7 +508,7 @@ func (s *Shell) cmdSet(rest string) error {
 		fmt.Fprintf(s.out, "slow_query %s\n", d)
 		return nil
 	default:
-		return fmt.Errorf("usage: set timeout|memory_limit|metrics_addr|slow_query VALUE|off")
+		return fmt.Errorf("usage: set timeout|memory_limit|metrics_addr|slow_query|plan_cache VALUE|off")
 	}
 }
 
@@ -529,6 +584,7 @@ func (s *Shell) cmdExplain(rest string) error {
 		return err
 	}
 	o := optimizer.New(s.cat)
+	o.Cache = s.plans
 	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
@@ -560,6 +616,7 @@ func (s *Shell) cmdPlan(rest string) error {
 		return err
 	}
 	o := optimizer.New(s.cat)
+	o.Cache = s.plans
 	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
@@ -591,6 +648,80 @@ func (s *Shell) cmdPlan(rest string) error {
 	qt.Finish(err)
 	if err != nil {
 		return err
+	}
+	fmt.Fprintf(s.out, "tuples retrieved: %d\n", c.TuplesRetrieved())
+	fmt.Fprint(s.out, out)
+	return nil
+}
+
+// cmdPrepare parses "NAME EXPR", plans the expression once (warming the
+// plan cache), and stores it for execute. Re-preparing a name replaces
+// the old statement.
+func (s *Shell) cmdPrepare(rest string) error {
+	name, src, found := strings.Cut(rest, " ")
+	src = strings.TrimSpace(src)
+	if !found || name == "" || src == "" {
+		return fmt.Errorf("usage: prepare NAME EXPR")
+	}
+	q, err := parse.Expr(src)
+	if err != nil {
+		return err
+	}
+	o := optimizer.New(s.cat)
+	o.Cache = s.plans
+	_, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		return err
+	}
+	s.prepared[name] = &preparedStmt{src: src, q: q}
+	if tr.CacheOutcome != "" {
+		fmt.Fprintf(s.out, "prepared %s (plan cache %s, fp %s)\n", name, tr.CacheOutcome, tr.Fingerprint)
+	} else {
+		fmt.Fprintf(s.out, "prepared %s\n", name)
+	}
+	return nil
+}
+
+// cmdExecute re-plans a prepared statement — a plan-cache hit unless the
+// catalog's statistics changed underneath it — and runs it under the
+// session's resource limits.
+func (s *Shell) cmdExecute(rest string) error {
+	name := strings.TrimSpace(rest)
+	if name == "" {
+		return fmt.Errorf("usage: execute NAME")
+	}
+	ps, ok := s.prepared[name]
+	if !ok {
+		return fmt.Errorf("no prepared query %q (use prepare NAME EXPR)", name)
+	}
+	qt := s.tracer.Start("execute " + name + ": " + ps.src)
+	o := optimizer.New(s.cat)
+	o.Cache = s.plans
+	t0 := time.Now()
+	p, tr, err := o.PlanQueryTrace(ps.q)
+	if err != nil {
+		qt.Finish(err)
+		return err
+	}
+	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
+	ec, cancel := s.execContext()
+	defer cancel()
+	execDone := qt.Span("execute")
+	out, c, err := o.ExecuteCtx(ec, p)
+	execDone()
+	qt.Rec.Strategy = tr.Strategy
+	qt.Rec.FallbackReason = tr.FallbackReason
+	qt.Rec.PlanTree = p.Tree()
+	if c != nil {
+		qt.Rec.Rows = c.RowsProduced()
+		qt.Rec.Tuples = c.TuplesRetrieved()
+	}
+	qt.Finish(err)
+	if err != nil {
+		return err
+	}
+	if tr.CacheOutcome != "" {
+		fmt.Fprintf(s.out, "plan cache: %s (fp %s)\n", tr.CacheOutcome, tr.Fingerprint)
 	}
 	fmt.Fprintf(s.out, "tuples retrieved: %d\n", c.TuplesRetrieved())
 	fmt.Fprint(s.out, out)

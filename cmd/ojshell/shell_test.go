@@ -254,3 +254,89 @@ quit
 		t.Errorf("governed plan within budget must produce the result:\n%s", out)
 	}
 }
+
+// The prepared-query pipeline: prepare warms the plan cache, execute
+// hits it, and the hit shares the fingerprint prepare reported.
+func TestShellPrepareExecute(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2), (3)
+table S(a) = (2), (3)
+prepare q1 R ->[R.a = S.a] S
+execute q1
+execute q1
+prepare q1 R -[R.a = S.a] S
+execute q1
+execute
+execute nope
+prepare q2
+quit
+`)
+	if !strings.Contains(out, "prepared q1 (plan cache miss, fp ") {
+		t.Errorf("prepare must report the cold plan:\n%s", out)
+	}
+	if n := strings.Count(out, "plan cache: hit"); n < 3 {
+		t.Errorf("expected >=3 plan-cache hits across executes, got %d:\n%s", n, out)
+	}
+	if n := strings.Count(out, "(3 rows)"); n < 2 {
+		t.Errorf("outerjoin result must render on every execute:\n%s", out)
+	}
+	if n := strings.Count(out, "error:"); n < 3 {
+		t.Errorf("usage errors missing (got %d):\n%s", n, out)
+	}
+}
+
+// set plan_cache toggles and resizes the session cache; plan/explain
+// share it, so a repeated plan is a hit until the cache is turned off.
+func TestShellSetPlanCache(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2)
+table S(a) = (2), (3)
+explain R -[R.a = S.a] S
+explain R -[R.a = S.a] S
+set
+set plan_cache off
+explain R -[R.a = S.a] S
+set plan_cache 4
+set
+set plan_cache on
+set plan_cache bogus
+quit
+`)
+	if !strings.Contains(out, "plancache: miss") || !strings.Contains(out, "plancache: hit") {
+		t.Errorf("explain must trace the plan-cache outcome:\n%s", out)
+	}
+	if !strings.Contains(out, "plan_cache: on (cap 128, 1 cached)") {
+		t.Errorf("bare set must show the cache state:\n%s", out)
+	}
+	if !strings.Contains(out, "plan_cache off") || !strings.Contains(out, "plan_cache on (cap 4)") {
+		t.Errorf("plan_cache toggle output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("bogus plan_cache value must error:\n%s", out)
+	}
+}
+
+// Index builds and restores change the statistics epoch, so a prepared
+// plan is re-optimized instead of reusing a stale cached plan.
+func TestShellPrepareInvalidation(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2), (3)
+table S(a) = (2), (3)
+prepare q1 R -[R.a = S.a] S
+execute q1
+index S a
+execute q1
+quit
+`)
+	if !strings.Contains(out, "plan cache: hit") {
+		t.Errorf("pre-index execute must hit:\n%s", out)
+	}
+	// After the index build the epoch moved: the second execute re-plans.
+	idx := strings.Index(out, "hash index on S.a")
+	if idx < 0 {
+		t.Fatalf("index build missing:\n%s", out)
+	}
+	if !strings.Contains(out[idx:], "plan cache: miss") {
+		t.Errorf("post-index execute must miss (stale epoch):\n%s", out)
+	}
+}

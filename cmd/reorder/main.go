@@ -24,6 +24,7 @@ import (
 	"freejoin/internal/obs"
 	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
+	"freejoin/internal/plancache"
 	"freejoin/internal/relation"
 	"freejoin/internal/storage"
 )
@@ -36,6 +37,7 @@ func main() {
 		modulo   = flag.Bool("modulo", true, "count trees modulo reversal")
 		limit    = flag.Int64("limit", 100000, "maximum trees to list with -all")
 		explain     = flag.Bool("explain", false, "plan over a synthetic catalog, execute with per-operator statistics, and print both")
+		planCache   = flag.Bool("plan-cache", false, "with -explain: attach a plan cache and re-plan to show the fingerprint hit")
 		timeout     = flag.Duration("timeout", 0, "deadline for the -explain execution (e.g. 500ms; 0 = none)")
 		memLimit    = flag.Int64("mem-limit", 0, "memory budget in bytes for the -explain execution (0 = none)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/queries and /healthz on this address while the command runs")
@@ -65,7 +67,7 @@ func main() {
 		srv = s
 		fmt.Fprintln(os.Stderr, "reorder: serving metrics on", srv.Addr())
 	}
-	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *timeout, *memLimit, tracer)
+	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *planCache, *timeout, *memLimit, tracer)
 	if ferr := tracer.Disable(); err == nil && ferr != nil {
 		err = ferr
 	}
@@ -78,7 +80,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain bool, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
+func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain, planCache bool, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
 	q, err := parse.Expr(query)
 	if err != nil {
 		return err
@@ -126,7 +128,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain 
 		fmt.Fprint(w, analysis.Graph.DOT())
 	}
 	if explain {
-		if err := explainPlan(w, q, analysis.Graph, timeout, memLimit, tracer); err != nil {
+		if err := explainPlan(w, q, analysis.Graph, planCache, timeout, memLimit, tracer); err != nil {
 			return err
 		}
 	}
@@ -139,7 +141,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain 
 // then executes it instrumented under the given resource limits (zero
 // means unlimited) so a runaway implementing tree aborts with a typed
 // resource error instead of running without bound.
-func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
+func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
 	cols := map[string]map[string]struct{}{}
 	for _, n := range g.Nodes() {
 		cols[n] = map[string]struct{}{}
@@ -187,6 +189,9 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duratio
 		}
 	}
 	o := optimizer.New(cat)
+	if planCache {
+		o.Cache = plancache.New(plancache.DefaultCapacity)
+	}
 	var qt *obs.QueryTrace
 	if tracer != nil {
 		qt = tracer.Start(q.StringWithPreds())
@@ -201,6 +206,26 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, timeout time.Duratio
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "plan (synthetic catalog, 1000 rows per relation):")
 	fmt.Fprint(w, optimizer.Explain(p, tr))
+
+	if planCache {
+		// Re-plan the same query: the canonical fingerprint must find the
+		// plan just cached, skipping the DP entirely.
+		p2, tr2, err := o.PlanQueryTrace(q)
+		if err != nil {
+			return err
+		}
+		if tr2.CacheOutcome == "" {
+			// Fixed-order and GOJ fallbacks keep the written association;
+			// there is no graph-keyed plan to cache.
+			fmt.Fprintf(w, "\nre-plan: not cached (strategy %s)\n", tr2.Strategy)
+		} else {
+			reused := "reused"
+			if p2 != p {
+				reused = "NOT reused"
+			}
+			fmt.Fprintf(w, "\nre-plan: plan cache %s (fp %s), plan object %s\n", tr2.CacheOutcome, tr2.Fingerprint, reused)
+		}
+	}
 
 	ctx := context.Background()
 	if timeout > 0 {

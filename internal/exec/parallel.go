@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"freejoin/internal/hashutil"
 	"freejoin/internal/relation"
 )
 
@@ -103,7 +104,7 @@ func (p *ParallelHashJoin) Open(ec *ExecContext) error {
 			continue
 		}
 		buf = relation.AppendJoinKey(buf[:0], v)
-		h := fnv32(buf) % uint32(nparts)
+		h := hashutil.Sum32(buf) % uint32(nparts)
 		lparts[h] = append(lparts[h], row)
 	}
 	for _, row := range rrows {
@@ -112,7 +113,7 @@ func (p *ParallelHashJoin) Open(ec *ExecContext) error {
 			continue
 		}
 		buf = relation.AppendJoinKey(buf[:0], v)
-		h := fnv32(buf) % uint32(nparts)
+		h := hashutil.Sum32(buf) % uint32(nparts)
 		rparts[h] = append(rparts[h], row)
 	}
 
@@ -287,12 +288,3 @@ func (p *ParallelHashJoin) Close() error {
 	return nil
 }
 
-// fnv32 is the FNV-1a hash over the key encoding.
-func fnv32(b []byte) uint32 {
-	h := uint32(2166136261)
-	for _, c := range b {
-		h ^= uint32(c)
-		h *= 16777619
-	}
-	return h
-}

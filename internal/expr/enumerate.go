@@ -34,7 +34,7 @@ func EnumerateITs(g *graph.Graph, moduloReversal bool) ([]*Node, error) {
 	if !g.Connected() {
 		return nil, fmt.Errorf("expr: graph is not connected")
 	}
-	e := &enumerator{g: g, modulo: moduloReversal, memo: map[graph.NodeSet][]*Node{}}
+	e := &enumerator{g: g, modulo: moduloReversal, sm: NewSplitMemo(g), memo: map[graph.NodeSet][]*Node{}}
 	return e.trees(g.AllNodes()), nil
 }
 
@@ -47,13 +47,14 @@ func CountITs(g *graph.Graph, moduloReversal bool) (int64, error) {
 	if !g.Connected() {
 		return 0, fmt.Errorf("expr: graph is not connected")
 	}
-	e := &enumerator{g: g, modulo: moduloReversal, counts: map[graph.NodeSet]int64{}}
+	e := &enumerator{g: g, modulo: moduloReversal, sm: NewSplitMemo(g), counts: map[graph.NodeSet]int64{}}
 	return e.count(g.AllNodes()), nil
 }
 
 type enumerator struct {
 	g      *graph.Graph
 	modulo bool
+	sm     *SplitMemo
 	memo   map[graph.NodeSet][]*Node
 	counts map[graph.NodeSet]int64
 }
@@ -74,6 +75,14 @@ type Split struct {
 // node). The optimizer's plan enumeration and the IT enumerator share
 // this rule.
 func ValidSplits(g *graph.Graph, s graph.NodeSet) []Split {
+	return validSplits(g, s, g.ConnectedSet)
+}
+
+// validSplits is ValidSplits with the connectivity test abstracted so a
+// SplitMemo can substitute its memoized version: both halves of every
+// candidate submask are probed, and the same half recurs across many
+// supersets, so caching the flood fill pays across one optimization.
+func validSplits(g *graph.Graph, s graph.NodeSet, connected func(graph.NodeSet) bool) []Split {
 	var out []Split
 	low := lowestBit(s)
 	// Iterate proper submasks of s that contain the lowest bit, so each
@@ -83,7 +92,7 @@ func ValidSplits(g *graph.Graph, s graph.NodeSet) []Split {
 			continue
 		}
 		s1, s2 := sub, s&^sub
-		if !g.ConnectedSet(s1) || !g.ConnectedSet(s2) {
+		if !connected(s1) || !connected(s2) {
 			continue
 		}
 		cut := g.CutEdges(s1, s2)
@@ -118,9 +127,10 @@ func ValidSplits(g *graph.Graph, s graph.NodeSet) []Split {
 	return out
 }
 
-// splits adapts ValidSplits to the enumerator's callback style.
+// splits adapts the memoized split enumeration to the enumerator's
+// callback style.
 func (e *enumerator) splits(s graph.NodeSet, f func(s1, s2 graph.NodeSet, op Op, pred predicate.Predicate, s1Preserved bool)) {
-	for _, sp := range ValidSplits(e.g, s) {
+	for _, sp := range e.sm.Splits(s) {
 		f(sp.S1, sp.S2, sp.Op, sp.Pred, sp.S1Preserved)
 	}
 }

@@ -1,0 +1,57 @@
+package expr
+
+import (
+	"freejoin/internal/graph"
+)
+
+// SplitMemo memoizes the two facts the split rule computes over and
+// over within one plan search: whether a node subset induces a
+// connected subgraph, and the list of valid splits of a subset. The DP
+// plan enumeration and the implementing-tree enumerator both probe the
+// same halves from many different supersets — a set like {R,S} is
+// tested once per superset that might split it off — so one memo table
+// per optimization turns the repeated O(edges) flood fills into map
+// lookups. A SplitMemo is bound to one graph and is not safe for
+// concurrent use (the optimizer creates one per optimizeGraph call).
+type SplitMemo struct {
+	g         *graph.Graph
+	connected map[graph.NodeSet]bool
+	splits    map[graph.NodeSet][]Split
+	hits      int64
+}
+
+// NewSplitMemo returns an empty memo over g.
+func NewSplitMemo(g *graph.Graph) *SplitMemo {
+	return &SplitMemo{
+		g:         g,
+		connected: make(map[graph.NodeSet]bool),
+		splits:    make(map[graph.NodeSet][]Split),
+	}
+}
+
+// Connected is a memoized graph.ConnectedSet.
+func (m *SplitMemo) Connected(s graph.NodeSet) bool {
+	if v, ok := m.connected[s]; ok {
+		m.hits++
+		return v
+	}
+	v := m.g.ConnectedSet(s)
+	m.connected[s] = v
+	return v
+}
+
+// Splits is a memoized ValidSplits. Callers must not modify the
+// returned slice.
+func (m *SplitMemo) Splits(s graph.NodeSet) []Split {
+	if v, ok := m.splits[s]; ok {
+		m.hits++
+		return v
+	}
+	v := validSplits(m.g, s, m.Connected)
+	m.splits[s] = v
+	return v
+}
+
+// Hits returns how many lookups were answered from the memo; the
+// optimizer surfaces it in Trace.MemoHits.
+func (m *SplitMemo) Hits() int64 { return m.hits }

@@ -1,0 +1,108 @@
+package expr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// The memoized split enumeration must agree with the direct one on
+// every connected subset, and repeated queries must be served from the
+// memo.
+func TestSplitMemoEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	for trial := 0; trial < 50; trial++ {
+		g := graph.New()
+		for _, n := range names {
+			g.MustAddNode(n)
+		}
+		// Random spanning tree plus a few extra join edges, some
+		// promoted to outerjoins.
+		for i := 1; i < len(names); i++ {
+			u, v := names[rnd.Intn(i)], names[i]
+			p := predicate.Eq(relation.Attr{Rel: u, Name: "a"}, relation.Attr{Rel: v, Name: "a"})
+			var err error
+			if rnd.Intn(3) == 0 {
+				err = g.AddOuterEdge(u, v, p)
+			} else {
+				err = g.AddJoinEdge(u, v, p)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < 2; k++ {
+			u, v := names[rnd.Intn(len(names))], names[rnd.Intn(len(names))]
+			if u == v {
+				continue
+			}
+			// Ignore errors: parallel-to-outerjoin edges are rejected.
+			g.AddJoinEdge(u, v, predicate.Eq(relation.Attr{Rel: u, Name: "b"}, relation.Attr{Rel: v, Name: "b"}))
+		}
+
+		sm := NewSplitMemo(g)
+		all := g.AllNodes()
+		for s := graph.NodeSet(1); s <= all; s++ {
+			if s&all != s || !g.ConnectedSet(s) {
+				continue
+			}
+			want := ValidSplits(g, s)
+			got := sm.Splits(s)
+			if !reflect.DeepEqual(splitKeys(want), splitKeys(got)) {
+				t.Fatalf("trial %d set %b: memoized splits differ\nwant %v\ngot  %v", trial, s, want, got)
+			}
+			if sm.Connected(s) != g.ConnectedSet(s) {
+				t.Fatalf("trial %d set %b: memoized connectivity differs", trial, s)
+			}
+		}
+		if sm.Hits() == 0 {
+			t.Fatalf("trial %d: memo never hit across %d subsets", trial, all.Count())
+		}
+		// Second sweep: everything is memoized now.
+		before := sm.Hits()
+		for s := graph.NodeSet(1); s <= all; s++ {
+			if s&all != s || !g.ConnectedSet(s) {
+				continue
+			}
+			sm.Splits(s)
+		}
+		if sm.Hits() <= before {
+			t.Fatalf("trial %d: second sweep did not hit the memo", trial)
+		}
+	}
+}
+
+// splitKeys projects splits onto comparable structure (predicates are
+// compared by rendering).
+func splitKeys(sps []Split) []string {
+	out := make([]string, len(sps))
+	for i, sp := range sps {
+		out[i] = splitKey(sp)
+	}
+	return out
+}
+
+func splitKey(sp Split) string {
+	pred := ""
+	if sp.Pred != nil {
+		pred = sp.Pred.String()
+	}
+	return string(rune(sp.Op)) + ":" + pred +
+		":" + nodeSetBits(sp.S1) + ":" + nodeSetBits(sp.S2) +
+		":" + map[bool]string{true: "p1", false: "p2"}[sp.S1Preserved]
+}
+
+func nodeSetBits(s graph.NodeSet) string {
+	b := make([]byte, 0, 8)
+	for i := 0; i < 64; i++ {
+		if s.Has(i) {
+			b = append(b, byte('0'+i))
+		}
+	}
+	return string(b)
+}

@@ -8,6 +8,7 @@ import (
 	"freejoin/internal/core"
 	"freejoin/internal/expr"
 	"freejoin/internal/graph"
+	"freejoin/internal/plancache"
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
 	"freejoin/internal/storage"
@@ -37,6 +38,14 @@ type Optimizer struct {
 	// Bushy plans are searched by default; the flag exists for the
 	// ablation in BenchmarkLeftDeepVsBushy.
 	LeftDeepOnly bool
+
+	// Cache, when set, is consulted before the reordering DP: queries
+	// whose canonical graph fingerprint is resident skip optimization
+	// entirely and share the cached plan (Theorem 1 makes the graph the
+	// correct key — every implementing tree has the same result). Nil
+	// disables caching. Several optimizers may share one cache; it is
+	// safe for concurrent use.
+	Cache *plancache.Cache
 }
 
 // New returns an optimizer over the catalog.
@@ -79,7 +88,7 @@ func (o *Optimizer) optimizeTrace(q *expr.Node) (*Plan, *Trace, error) {
 	}
 	tr := &Trace{AnalyzeTime: time.Since(aStart)}
 	if analysis.Free {
-		p, err := o.optimizeGraph(analysis.Graph, nil, tr)
+		p, err := o.optimizeGraphCached(analysis.Graph, nil, tr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -97,13 +106,13 @@ func (o *Optimizer) optimizeTrace(q *expr.Node) (*Plan, *Trace, error) {
 // subsets (the classic DP, with outerjoin edges handled like join edges
 // but orientation-pinned).
 func (o *Optimizer) OptimizeGraph(g *graph.Graph) (*Plan, error) {
-	return o.optimizeGraph(g, nil, nil)
+	return o.optimizeGraphCached(g, nil, nil)
 }
 
 // OptimizeGraphTrace is OptimizeGraph with DP search statistics attached.
 func (o *Optimizer) OptimizeGraphTrace(g *graph.Graph) (*Plan, *Trace, error) {
 	tr := &Trace{Strategy: "reordered"}
-	p, err := o.optimizeGraph(g, nil, tr)
+	p, err := o.optimizeGraphCached(g, nil, tr)
 	if err == nil {
 		recordTrace(tr)
 	}

@@ -72,7 +72,7 @@ func (o *Optimizer) planBlock(q *expr.Node) (*Plan, *Trace, error) {
 	} else if a.SemiExtension {
 		tr.FallbackReason = "freely reorderable only under the §6.3 semijoin extension (no physical semijoin operators)"
 	} else {
-		p, err := o.optimizeGraph(a.Graph, filters, tr)
+		p, err := o.optimizeGraphCached(a.Graph, filters, tr)
 		if err == nil {
 			tr.Strategy = "reordered"
 			return p, tr, nil
@@ -155,41 +155,47 @@ func (o *Optimizer) optimizeGraph(g *graph.Graph, filters map[string]predicate.P
 		best[s] = p
 	}
 	all := g.AllNodes()
-	n := g.NumNodes()
-	for size := 2; size <= n; size++ {
-		for s := graph.NodeSet(1); s <= all; s++ {
-			if s.Count() != size || s&all != s || !g.ConnectedSet(s) {
+	// One ascending pass over the subset masks suffices: every proper
+	// subset of s is numerically smaller than s, so both halves of any
+	// split are planned before s itself is reached. The SplitMemo shares
+	// connectivity flood fills and split lists across subsets — the same
+	// half recurs under many supersets (Trace.MemoHits counts the wins).
+	sm := expr.NewSplitMemo(g)
+	for s := graph.NodeSet(1); s <= all; s++ {
+		if s&all != s || s.Count() < 2 || !sm.Connected(s) {
+			continue
+		}
+		splits := sm.Splits(s)
+		if tr != nil {
+			tr.Subsets++
+			tr.Splits += len(splits)
+		}
+		var bestPlan *Plan
+		cands := 0
+		for _, sp := range splits {
+			p1, p2 := best[sp.S1], best[sp.S2]
+			if p1 == nil || p2 == nil {
 				continue
 			}
-			splits := expr.ValidSplits(g, s)
-			if tr != nil {
-				tr.Subsets++
-				tr.Splits += len(splits)
-			}
-			var bestPlan *Plan
-			cands := 0
-			for _, sp := range splits {
-				p1, p2 := best[sp.S1], best[sp.S2]
-				if p1 == nil || p2 == nil {
-					continue
-				}
-				for _, cand := range o.joinPlans(sp, p1, p2) {
-					cands++
-					if bestPlan == nil || cand.Cost < bestPlan.Cost {
-						bestPlan = cand
-					}
-				}
-			}
-			if tr != nil {
-				tr.Candidates += cands
-			}
-			if bestPlan != nil {
-				best[s] = bestPlan
-				if tr != nil {
-					tr.Pruned += cands - 1
+			for _, cand := range o.joinPlans(sp, p1, p2) {
+				cands++
+				if bestPlan == nil || cand.Cost < bestPlan.Cost {
+					bestPlan = cand
 				}
 			}
 		}
+		if tr != nil {
+			tr.Candidates += cands
+		}
+		if bestPlan != nil {
+			best[s] = bestPlan
+			if tr != nil {
+				tr.Pruned += cands - 1
+			}
+		}
+	}
+	if tr != nil {
+		tr.MemoHits += sm.Hits()
 	}
 	p := best[all]
 	if p == nil {

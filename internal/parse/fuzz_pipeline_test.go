@@ -1,0 +1,63 @@
+package parse
+
+import (
+	"testing"
+
+	"freejoin/internal/core"
+	"freejoin/internal/plancache"
+)
+
+// FuzzParse drives the full front half of the pipeline on arbitrary
+// input: parse, analyze, and — when the query graph is defined —
+// fingerprint it for the plan cache. Nothing may panic, and the
+// fingerprint must be stable across the parse → render → parse round
+// trip: the rendered form is a different string for the same query, so
+// a fingerprint mismatch would mean syntactically equal queries miss
+// each other in the cache.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R",
+		"R -[R.a = S.a] S",
+		"(R -[R.a = S.a] S) ->[S.a = T.a] T",
+		"(R ->[R.a = S.a] S) -[R.b = T.b] T",
+		"sigma[R.a = 1](R -[R.a = S.a] S)",
+		"R -[R.a = S.a and R.b = S.b] S",
+		"((((A -[A.a=B.a] B) -[B.a=C.a] C) ->[C.a=D.a] D) <-[D.a=E.a] E)",
+		"R ->[R.a = S.a or S.a is null] S",
+		"R -[R.a = R.a] R",
+		"sigma[",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Expr(src)
+		if err != nil {
+			return
+		}
+		// Analysis must never panic, defined graph or not.
+		a, err := core.Analyze(q)
+		if err != nil {
+			return
+		}
+		fp := plancache.Of(a.Graph)
+
+		rendered := q.StringWithPreds()
+		back, err := Expr(rendered)
+		if err != nil {
+			t.Fatalf("rendered form does not parse: %q from %q: %v", rendered, src, err)
+		}
+		a2, err := core.Analyze(back)
+		if err != nil {
+			t.Fatalf("rendered form lost its graph: %q: %v", rendered, err)
+		}
+		if fp2 := plancache.Of(a2.Graph); fp2 != fp {
+			t.Fatalf("fingerprint unstable across render round trip:\n%q -> %s\n%q -> %s",
+				src, fp, rendered, fp2)
+		}
+		// Free-reorderability is a graph property; it must round-trip too.
+		if a2.Free != a.Free {
+			t.Fatalf("free verdict unstable across render round trip: %q %v vs %q %v",
+				src, a.Free, rendered, a2.Free)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package plancache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"freejoin/internal/obs"
+)
+
+// Outcome classifies what a Cache.Do lookup did.
+type Outcome int
+
+// Lookup outcomes. Miss ran the compute function and (on success)
+// populated the cache; Hit returned a resident entry; Coalesced waited
+// for a concurrent identical miss and shared its result (singleflight).
+const (
+	Miss Outcome = iota
+	Hit
+	Coalesced
+)
+
+// String returns the outcome name as rendered in optimizer traces.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// DefaultCapacity is the entry bound used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 128
+
+// Cache is a process-wide plan cache: an LRU over canonical query
+// fingerprints with singleflight coalescing and stats-epoch
+// invalidation. Values are opaque (the optimizer stores *Plan; keeping
+// the type out of this package avoids an import cycle) and must be
+// immutable once cached — every hit shares the same value.
+//
+// Entries are keyed by the fingerprint's full canonical string, not its
+// 64-bit hash, so two queries can collide only by being the same query.
+// Each entry remembers the stats epoch it was optimized under; a lookup
+// whose epoch differs drops the entry and re-optimizes, so stale
+// cardinalities can never pin an old plan.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // canon -> element in lru
+	lru     *list.List               // front = most recently used; values are *entry
+	flights map[string]*flight       // canon+epoch -> in-progress optimization
+}
+
+type entry struct {
+	canon string
+	epoch uint64
+	value any
+}
+
+type flight struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// New returns a cache bounded to capacity entries (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Cap returns the entry bound the cache was created with.
+func (c *Cache) Cap() int {
+	return c.cap
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Invalidate drops every resident entry (in-flight optimizations are
+// unaffected; they complete and re-populate under their own epoch).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.mu.Unlock()
+	if n > 0 {
+		obs.PlanCacheInvalidations.Add(int64(n))
+		obs.PlanCacheEntries.Add(int64(-n))
+	}
+}
+
+// flightKey scopes singleflight coalescing to one (query, epoch) pair:
+// a lookup under a newer epoch must not share a plan being optimized
+// against stale statistics.
+func flightKey(canon string, epoch uint64) string {
+	var buf [20]byte
+	b := append(buf[:0], canon...)
+	b = append(b, 0)
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(epoch>>(8*i)))
+	}
+	return string(b)
+}
+
+// Do looks up the plan for fp at the given stats epoch, calling compute
+// to produce it on a miss. Concurrent Do calls with the same
+// fingerprint and epoch run compute exactly once; the others block and
+// share the result (including an error — an error is never cached, so
+// the next lookup retries). The returned Outcome says which path was
+// taken. The cached value is shared across callers and must be treated
+// as immutable.
+func (c *Cache) Do(fp Fingerprint, epoch uint64, compute func() (any, error)) (any, Outcome, error) {
+	start := time.Now()
+	fkey := flightKey(fp.Canon, epoch)
+
+	c.mu.Lock()
+	if el, ok := c.entries[fp.Canon]; ok {
+		e := el.Value.(*entry)
+		if e.epoch == epoch {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			obs.PlanCacheHits.Inc()
+			obs.PlanCacheHitLatency.ObserveDuration(time.Since(start))
+			return e.value, Hit, nil
+		}
+		// The world changed since this plan was optimized: drop it and
+		// fall through to a fresh optimization.
+		c.lru.Remove(el)
+		delete(c.entries, fp.Canon)
+		obs.PlanCacheInvalidations.Inc()
+		obs.PlanCacheEntries.Dec()
+	}
+	if fl, ok := c.flights[fkey]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		obs.PlanCacheCoalesced.Inc()
+		return fl.value, Coalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[fkey] = fl
+	c.mu.Unlock()
+
+	value, err := compute()
+	fl.value, fl.err = value, err
+
+	c.mu.Lock()
+	if c.flights[fkey] == fl {
+		delete(c.flights, fkey)
+	}
+	if err == nil {
+		c.insertLocked(fp.Canon, epoch, value)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	obs.PlanCacheMisses.Inc()
+	return value, Miss, err
+}
+
+// insertLocked adds or replaces an entry and enforces the LRU bound.
+// Callers hold c.mu.
+func (c *Cache) insertLocked(canon string, epoch uint64, value any) {
+	if el, ok := c.entries[canon]; ok {
+		// A racing Do under another epoch populated first; newest wins.
+		el.Value = &entry{canon: canon, epoch: epoch, value: value}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[canon] = c.lru.PushFront(&entry{canon: canon, epoch: epoch, value: value})
+	obs.PlanCacheEntries.Inc()
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*entry).canon)
+		obs.PlanCacheEvictions.Inc()
+		obs.PlanCacheEntries.Dec()
+	}
+}

@@ -1,0 +1,197 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"freejoin/internal/obs"
+)
+
+func fp(s string) Fingerprint { return Fingerprint{Hash: 0, Canon: s} }
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(4)
+	calls := 0
+	compute := func() (any, error) { calls++; return "plan", nil }
+
+	v, out, err := c.Do(fp("q1"), 1, compute)
+	if err != nil || v != "plan" || out != Miss {
+		t.Fatalf("first Do = (%v, %v, %v); want (plan, miss, nil)", v, out, err)
+	}
+	v, out, err = c.Do(fp("q1"), 1, compute)
+	if err != nil || v != "plan" || out != Hit {
+		t.Fatalf("second Do = (%v, %v, %v); want (plan, hit, nil)", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times; want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d; want 1", c.Len())
+	}
+}
+
+// A lookup under a newer stats epoch must not reuse the old plan.
+func TestCacheEpochInvalidation(t *testing.T) {
+	c := New(4)
+	inval0 := obs.PlanCacheInvalidations.Value()
+	gen := 0
+	compute := func() (any, error) { gen++; return fmt.Sprintf("plan-%d", gen), nil }
+
+	c.Do(fp("q"), 1, compute)
+	v, out, _ := c.Do(fp("q"), 2, compute)
+	if out != Miss || v != "plan-2" {
+		t.Fatalf("epoch-bumped Do = (%v, %v); want (plan-2, miss)", v, out)
+	}
+	if got := obs.PlanCacheInvalidations.Value() - inval0; got != 1 {
+		t.Fatalf("invalidations delta = %d; want 1", got)
+	}
+	// The refreshed entry now hits under the new epoch.
+	if _, out, _ := c.Do(fp("q"), 2, compute); out != Hit {
+		t.Fatalf("post-refresh Do outcome = %v; want hit", out)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2)
+	evict0 := obs.PlanCacheEvictions.Value()
+	mk := func(s string) func() (any, error) { return func() (any, error) { return s, nil } }
+
+	c.Do(fp("a"), 1, mk("A"))
+	c.Do(fp("b"), 1, mk("B"))
+	c.Do(fp("a"), 1, mk("A2")) // touch a: b is now LRU
+	c.Do(fp("c"), 1, mk("C"))  // evicts b
+
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", c.Len())
+	}
+	if _, out, _ := c.Do(fp("a"), 1, mk("A3")); out != Hit {
+		t.Fatalf("a should have survived; outcome = %v", out)
+	}
+	if _, out, _ := c.Do(fp("b"), 1, mk("B2")); out != Miss {
+		t.Fatalf("b should have been evicted; outcome = %v", out)
+	}
+	if got := obs.PlanCacheEvictions.Value() - evict0; got < 1 {
+		t.Fatalf("evictions delta = %d; want >= 1", got)
+	}
+}
+
+// Errors are returned but never cached: the next lookup retries.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	fail := func() (any, error) { return nil, boom }
+	if _, out, err := c.Do(fp("q"), 1, fail); out != Miss || !errors.Is(err, boom) {
+		t.Fatalf("failing Do = (%v, %v)", out, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached; Len = %d", c.Len())
+	}
+	ok := func() (any, error) { return "fine", nil }
+	if v, out, err := c.Do(fp("q"), 1, ok); v != "fine" || out != Miss || err != nil {
+		t.Fatalf("retry Do = (%v, %v, %v)", v, out, err)
+	}
+}
+
+// N concurrent identical lookups run compute exactly once; the rest
+// coalesce onto the flight. Run with -race.
+func TestCacheSingleflight(t *testing.T) {
+	c := New(4)
+	const n = 32
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	compute := func() (any, error) {
+		calls.Add(1)
+		<-gate // hold the flight open until every goroutine has arrived
+		return "plan", nil
+	}
+
+	var started, wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	values := make([]any, n)
+	started.Add(n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			v, out, err := c.Do(fp("q"), 1, compute)
+			if err != nil {
+				t.Error(err)
+			}
+			values[i], outcomes[i] = v, out
+		}(i)
+	}
+	started.Wait()
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times; want 1", got)
+	}
+	misses, coalesced := 0, 0
+	for i := range outcomes {
+		if values[i] != "plan" {
+			t.Fatalf("goroutine %d got %v", i, values[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		}
+	}
+	if misses != 1 || coalesced != n-1 {
+		t.Fatalf("outcomes: %d misses, %d coalesced; want 1, %d", misses, coalesced, n-1)
+	}
+}
+
+// Flights are scoped per epoch: a lookup under a different epoch must
+// not share a plan being optimized against other statistics.
+func TestCacheFlightEpochScope(t *testing.T) {
+	c := New(4)
+	gate := make(chan struct{})
+	slow := func() (any, error) { <-gate; return "old", nil }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(fp("q"), 1, slow)
+	}()
+
+	// Wait until the epoch-1 flight is registered, then look up under
+	// epoch 2: it must compute its own plan, not coalesce.
+	for c.flightCount() == 0 {
+		runtime.Gosched()
+	}
+	v, out, err := c.Do(fp("q"), 2, func() (any, error) { return "new", nil })
+	if err != nil || v != "new" || out != Miss {
+		t.Fatalf("epoch-2 Do = (%v, %v, %v); want (new, miss, nil)", v, out, err)
+	}
+	close(gate)
+	wg.Wait()
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := New(4)
+	c.Do(fp("a"), 1, func() (any, error) { return 1, nil })
+	c.Do(fp("b"), 1, func() (any, error) { return 2, nil })
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Invalidate = %d; want 0", c.Len())
+	}
+	if _, out, _ := c.Do(fp("a"), 1, func() (any, error) { return 1, nil }); out != Miss {
+		t.Fatalf("post-Invalidate outcome = %v; want miss", out)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := New(0)
+	if c.cap != DefaultCapacity {
+		t.Fatalf("cap = %d; want %d", c.cap, DefaultCapacity)
+	}
+}

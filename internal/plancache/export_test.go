@@ -1,0 +1,8 @@
+package plancache
+
+// flightCount exposes the in-progress optimization count to tests.
+func (c *Cache) flightCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
+}

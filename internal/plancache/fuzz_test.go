@@ -1,0 +1,113 @@
+package plancache
+
+import (
+	"testing"
+
+	"freejoin/internal/graph"
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+// FuzzFingerprint decodes an arbitrary byte string into a query-graph
+// edge list, builds the graph twice — once as decoded, once with the
+// edges reversed, join endpoints flipped, and conjuncts reversed — and
+// asserts the two fingerprints are identical. This is the fingerprint's
+// core contract (invariance under every rewriting that preserves the
+// graph) exercised over machine-generated shapes instead of the
+// hand-picked ones in TestFingerprintInvariance.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x12, 0x83, 0x24})
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x45, 0x56})
+	f.Add([]byte{0x81, 0x92, 0xa3, 0x10, 0x21})
+	f.Add([]byte{0xff, 0x00, 0x77, 0x31, 0x13})
+
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode: each byte is one candidate edge. Low nibble picks the
+		// endpoints (u = bits 0-2, v = u XOR (1 + bit 3)), the high bit
+		// picks the kind, bits 4-6 vary the predicate columns. Parallel
+		// edges (same unordered pair) are dropped so both constructions
+		// below succeed deterministically.
+		type spec struct {
+			u, v  string
+			outer bool
+			conj  []predicate.Predicate
+		}
+		var specs []spec
+		seen := map[[2]string]bool{}
+		for _, b := range data {
+			ui := int(b & 0x07)
+			vi := ui ^ (1 + int(b>>3&0x01))
+			if vi >= len(names) {
+				vi %= len(names)
+			}
+			if ui == vi {
+				continue
+			}
+			u, v := names[ui], names[vi]
+			ku, kv := u, v
+			if ku > kv {
+				ku, kv = kv, ku
+			}
+			if seen[[2]string{ku, kv}] {
+				continue
+			}
+			seen[[2]string{ku, kv}] = true
+			col1 := []string{"a", "b"}[b>>4&0x01]
+			col2 := []string{"a", "b"}[b>>5&0x01]
+			conj := []predicate.Predicate{
+				predicate.Eq(relation.Attr{Rel: u, Name: col1}, relation.Attr{Rel: v, Name: col1}),
+			}
+			if b>>6&0x01 == 1 && col2 != col1 {
+				conj = append(conj,
+					predicate.Eq(relation.Attr{Rel: u, Name: col2}, relation.Attr{Rel: v, Name: col2}))
+			}
+			specs = append(specs, spec{u: u, v: v, outer: b&0x80 != 0, conj: conj})
+		}
+		if len(specs) == 0 {
+			return
+		}
+
+		build := func(reversed bool) *graph.Graph {
+			g := graph.New()
+			order := make([]spec, len(specs))
+			copy(order, specs)
+			if reversed {
+				for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+			for _, s := range order {
+				conj := make([]predicate.Predicate, len(s.conj))
+				copy(conj, s.conj)
+				u, v := s.u, s.v
+				if reversed && !s.outer {
+					u, v = v, u // join edges are undirected
+					for i, j := 0, len(conj)-1; i < j; i, j = i+1, j-1 {
+						conj[i], conj[j] = conj[j], conj[i]
+					}
+				}
+				var err error
+				if s.outer {
+					err = g.AddOuterEdge(u, v, predicate.NewAnd(conj...))
+				} else {
+					err = g.AddJoinEdge(u, v, predicate.NewAnd(conj...))
+				}
+				if err != nil {
+					t.Fatalf("edge %s-%s: %v", u, v, err)
+				}
+			}
+			return g
+		}
+
+		f1, f2 := Of(build(false)), Of(build(true))
+		if f1 != f2 {
+			t.Fatalf("fingerprint not invariant under reconstruction:\n--- forward ---\n%s--- reversed ---\n%s", f1.Canon, f2.Canon)
+		}
+		// Self-consistency: the hex form is derived from the hash alone.
+		if f1.String() != f2.String() || len(f1.String()) != 16 {
+			t.Fatalf("hex form broken: %q vs %q", f1, f2)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"testing"
+
+	"freejoin/internal/relation"
+)
+
+// The stats epoch must advance on every planning-relevant change —
+// adding tables, building indexes — and must be unique across catalogs
+// so a process-wide plan cache can never confuse two catalogs.
+func TestStatsEpoch(t *testing.T) {
+	c := NewCatalog()
+	e0 := c.StatsEpoch()
+	if e0 == 0 {
+		t.Fatalf("fresh catalog epoch = 0; want a drawn epoch")
+	}
+
+	r := relation.New(relation.SchemeOf("R", "a"))
+	r.AppendRaw([]relation.Value{relation.Int(1)})
+	tab := c.AddRelation("R", r)
+	e1 := c.StatsEpoch()
+	if e1 <= e0 {
+		t.Fatalf("epoch after Add = %d; want > %d", e1, e0)
+	}
+
+	if _, err := tab.BuildHashIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	e2 := c.StatsEpoch()
+	if e2 <= e1 {
+		t.Fatalf("epoch after BuildHashIndex = %d; want > %d", e2, e1)
+	}
+
+	if _, err := tab.BuildOrderedIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	e3 := c.StatsEpoch()
+	if e3 <= e2 {
+		t.Fatalf("epoch after BuildOrderedIndex = %d; want > %d", e3, e2)
+	}
+
+	// A second catalog must never share epoch values with the first.
+	c2 := NewCatalog()
+	if c2.StatsEpoch() <= e3 {
+		t.Fatalf("second catalog epoch = %d; want > %d (process-unique)", c2.StatsEpoch(), e3)
+	}
+}

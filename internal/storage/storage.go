@@ -8,9 +8,18 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"freejoin/internal/relation"
 )
+
+// statsEpoch is the process-wide statistics-epoch source. Every catalog
+// draws its epoch values from this single counter, so an epoch value is
+// never reused — not within one catalog, and not across catalogs either.
+// That matters because the plan cache is process-wide: a shell `restore`
+// swaps in a brand-new catalog, and if epochs restarted at zero the new
+// catalog could alias a cached plan optimized for the old one.
+var statsEpoch atomic.Uint64
 
 // Table is a named relation plus its indexes and statistics.
 type Table struct {
@@ -19,6 +28,11 @@ type Table struct {
 	hash    map[string]*HashIndex    // by column name
 	ordered map[string]*OrderedIndex // by column name
 	stats   *TableStats
+
+	// onChange is set when the table joins a catalog; it bumps the
+	// catalog's stats epoch whenever the table's planning-relevant state
+	// changes (new indexes change the available access paths).
+	onChange func()
 }
 
 // NewTable wraps a relation as a table. The relation is owned by the
@@ -41,6 +55,14 @@ func (t *Table) Relation() *relation.Relation { return t.rel }
 
 // Scheme returns the table's scheme.
 func (t *Table) Scheme() *relation.Scheme { return t.rel.Scheme() }
+
+// changed notifies the owning catalog (if any) that planning-relevant
+// table state changed.
+func (t *Table) changed() {
+	if t.onChange != nil {
+		t.onChange()
+	}
+}
 
 // colIndex resolves a column name (unqualified) to its position.
 func (t *Table) colIndex(col string) (int, error) {
@@ -69,6 +91,7 @@ func (t *Table) BuildHashIndex(col string) (*HashIndex, error) {
 		idx.buckets[string(buf)] = append(idx.buckets[string(buf)], i)
 	}
 	t.hash[col] = idx
+	t.changed()
 	return idx, nil
 }
 
@@ -93,6 +116,7 @@ func (t *Table) BuildOrderedIndex(col string) (*OrderedIndex, error) {
 		return t.rel.RawRow(idx.order[a])[pos].Compare(t.rel.RawRow(idx.order[b])[pos]) < 0
 	})
 	t.ordered[col] = idx
+	t.changed()
 	return idx, nil
 }
 
@@ -216,13 +240,33 @@ func (t *Table) Stats() *TableStats {
 // relation) and the optimizer's scheme/statistics lookups.
 type Catalog struct {
 	tables map[string]*Table
+	epoch  atomic.Uint64 // current stats epoch; see StatsEpoch
 }
 
 // NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+func NewCatalog() *Catalog {
+	c := &Catalog{tables: map[string]*Table{}}
+	c.bumpEpoch()
+	return c
+}
+
+// StatsEpoch returns the catalog's current statistics epoch. The epoch
+// advances whenever table membership or planning-relevant table state
+// (indexes, hence statistics and access paths) changes, and the values
+// are unique process-wide: a plan cached under one epoch is never valid
+// under any other, so cache entries keyed by (fingerprint, epoch) go
+// stale the instant the data they were costed against changes.
+func (c *Catalog) StatsEpoch() uint64 { return c.epoch.Load() }
+
+// bumpEpoch advances the catalog to a fresh, process-unique epoch.
+func (c *Catalog) bumpEpoch() { c.epoch.Store(statsEpoch.Add(1)) }
 
 // Add registers a table, replacing any previous table of the same name.
-func (c *Catalog) Add(t *Table) { c.tables[t.Name()] = t }
+func (c *Catalog) Add(t *Table) {
+	c.tables[t.Name()] = t
+	t.onChange = c.bumpEpoch
+	c.bumpEpoch()
+}
 
 // AddRelation wraps and registers a relation under its name.
 func (c *Catalog) AddRelation(name string, rel *relation.Relation) *Table {
