@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json experiments faults obs fuzz fuzz-smoke fmt vet clean
+.PHONY: all check build test race cover bench bench-json experiments faults obs spill fuzz fuzz-smoke fmt vet clean
 
 all: check
 
@@ -44,6 +44,19 @@ faults:
 obs:
 	$(GO) test -race -count=2 ./internal/obs ./internal/exec -run 'Span|Scrape|Counter|Histogram|Gauge|Registry|Trace|Ring|Slow|Server|Health|Metrics'
 	$(GO) test -race -count=2 ./cmd/ojshell ./cmd/reorder ./cmd/benchjson
+
+# Spill-to-disk suite: external sort, grace hash join, the spilled
+# nested-loop/merge joins, the metamorphic and fault-injection spill
+# oracles, and the failed-Open/trip-during-Open governor regressions —
+# under the race detector, -count=2 for state reuse across re-Open.
+# Runs with TMPDIR pointed at a scratch dir and fails if any ojspill-*
+# run file survives the suite.
+spill:
+	@dir=$$(mktemp -d) && \
+	TMPDIR=$$dir $(GO) test -race -count=2 -run 'Spill|FailedOpen|TripDuring|ExternalSort|Grace' ./internal/exec ./internal/exec/spill ./internal/optimizer && \
+	leaked=$$(find $$dir -name 'ojspill-*' | wc -l) && \
+	rm -rf $$dir && \
+	if [ $$leaked -ne 0 ]; then echo "spill: $$leaked run files leaked"; exit 1; fi
 
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s

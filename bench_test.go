@@ -8,6 +8,7 @@
 package freejoin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -667,5 +668,82 @@ func BenchmarkLangTranslate(b *testing.B) {
 		if !tr.Analysis.Free {
 			b.Fatal("block must be free")
 		}
+	}
+}
+
+// BenchmarkExternalSort measures the external merge sort against the
+// in-memory path on the same input: a byte budget forces every run to
+// disk and back through the k-way merge.
+func BenchmarkExternalSort(b *testing.B) {
+	const n = 20000
+	rnd := rand.New(rand.NewSource(31))
+	rt := storage.NewTable("R", workload.UniformRelation(rnd, "R", n, int64(n)))
+	by := []relation.Attr{relation.A("R", "a")}
+	for _, bc := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"in-memory", 0},
+		{"spill-64KB", 64 << 10},
+		{"spill-8KB", 8 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				s, err := exec.NewSort(exec.NewScan(rt, nil), by)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var ec *exec.ExecContext
+				if bc.bytes > 0 {
+					ec = exec.NewExecContext(context.Background(), exec.NewGovernor(0, bc.bytes))
+					ec.EnableSpill(exec.SpillConfig{Dir: dir})
+				}
+				out, err := exec.CollectCtx(ec, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() != n {
+					b.Fatalf("lost rows: %d", out.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraceHashJoin measures the grace hash join against the
+// in-memory build on the same inputs.
+func BenchmarkGraceHashJoin(b *testing.B) {
+	const n = 10000
+	rnd := rand.New(rand.NewSource(33))
+	lt := storage.NewTable("L", workload.UniformRelation(rnd, "L", n, int64(n/4)))
+	rt := storage.NewTable("R", workload.UniformRelation(rnd, "R", n, int64(n/4)))
+	lk := []relation.Attr{relation.A("L", "a")}
+	rk := []relation.Attr{relation.A("R", "a")}
+	for _, bc := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"in-memory", 0},
+		{"grace-64KB", 64 << 10},
+		{"grace-8KB", 8 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				h, err := exec.NewHashJoin(exec.NewScan(lt, nil), exec.NewScan(rt, nil), lk, rk, nil, exec.InnerMode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var ec *exec.ExecContext
+				if bc.bytes > 0 {
+					ec = exec.NewExecContext(context.Background(), exec.NewGovernor(0, bc.bytes))
+					ec.EnableSpill(exec.SpillConfig{Dir: dir})
+				}
+				if _, err := exec.CollectCtx(ec, h, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -31,6 +31,13 @@ type Shell struct {
 	timeout  time.Duration
 	memLimit int64 // bytes
 
+	// spill enables spill-to-disk execution: blocking operators that
+	// trip the memory budget switch to external algorithms (external
+	// sort, grace hash join) instead of degrading or aborting. spillDir
+	// overrides where run files go (default: the OS temp dir).
+	spill    bool
+	spillDir string
+
 	// tracer collects per-query spans, the recent-query ring, and the
 	// slow-query log; mon is the optional monitoring HTTP server
 	// ("set metrics_addr").
@@ -188,6 +195,8 @@ func (s *Shell) help() {
   set plan_cache on|off|N                     toggle the plan cache / set its capacity
   set timeout DUR|off                         execution deadline (e.g. 500ms, 2s)
   set memory_limit N[KB|MB]|off               executor memory budget
+  set spill on|off                            spill to disk on memory budget trips
+  set spill_dir DIR|off                       directory for spill run files
   set metrics_addr ADDR|off                   HTTP /metrics, /debug/queries, /healthz
   set slow_query DUR|off                      log queries slower than DUR
   set                                         show current limits
@@ -416,9 +425,11 @@ func (s *Shell) cmdSet(rest string) error {
 		if s.plans != nil {
 			cacheState = fmt.Sprintf("on (cap %d, %d cached)", s.plans.Cap(), s.plans.Len())
 		}
-		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nmetrics_addr: %s\nslow_query: %s\nplan_cache: %s\n",
+		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nspill: %s\nspill_dir: %s\nmetrics_addr: %s\nslow_query: %s\nplan_cache: %s\n",
 			orOff(s.timeout.String(), s.timeout == 0),
 			orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0),
+			orOff("on", !s.spill),
+			orOff(s.spillDir, s.spillDir == ""),
 			orOff(addr, s.mon == nil),
 			orOff(slow.String(), slow == 0),
 			cacheState)
@@ -452,6 +463,28 @@ func (s *Shell) cmdSet(rest string) error {
 		}
 		s.memLimit = n
 		fmt.Fprintf(s.out, "memory_limit %d bytes\n", n)
+		return nil
+	case "spill":
+		switch {
+		case strings.EqualFold(val, "on"):
+			s.spill = true
+			fmt.Fprintln(s.out, "spill on")
+			return nil
+		case strings.EqualFold(val, "off"):
+			s.spill = false
+			fmt.Fprintln(s.out, "spill off")
+			return nil
+		default:
+			return fmt.Errorf("usage: set spill on|off")
+		}
+	case "spill_dir":
+		if strings.EqualFold(val, "off") || val == "" {
+			s.spillDir = ""
+			fmt.Fprintln(s.out, "spill_dir off (OS temp dir)")
+			return nil
+		}
+		s.spillDir = val
+		fmt.Fprintf(s.out, "spill_dir %s\n", val)
 		return nil
 	case "metrics_addr":
 		if s.mon != nil {
@@ -542,7 +575,7 @@ func parseBytes(v string) (int64, error) {
 // returned cancel must be called when the execution finishes. A session
 // with no limits gets a nil context (the ungoverned fast path).
 func (s *Shell) execContext() (*exec.ExecContext, context.CancelFunc) {
-	if s.timeout == 0 && s.memLimit == 0 {
+	if s.timeout == 0 && s.memLimit == 0 && !s.spill {
 		return nil, func() {}
 	}
 	ctx, cancel := context.Background(), context.CancelFunc(func() {})
@@ -553,7 +586,20 @@ func (s *Shell) execContext() (*exec.ExecContext, context.CancelFunc) {
 	if s.memLimit > 0 {
 		gov = exec.NewGovernor(0, s.memLimit)
 	}
-	return exec.NewExecContext(ctx, gov), cancel
+	ec := exec.NewExecContext(ctx, gov)
+	if s.spill {
+		ec.EnableSpill(exec.SpillConfig{Dir: s.spillDir})
+	}
+	return ec, cancel
+}
+
+// newOptimizer builds an optimizer carrying the session's planner
+// configuration (plan cache, spill mode).
+func (s *Shell) newOptimizer() *optimizer.Optimizer {
+	o := optimizer.New(s.cat)
+	o.Cache = s.plans
+	o.Spill = s.spill
+	return o
 }
 
 // cmdExplain handles "explain EXPR" (plan plus optimizer trace, no
@@ -583,8 +629,7 @@ func (s *Shell) cmdExplain(rest string) error {
 		qt.Finish(err)
 		return err
 	}
-	o := optimizer.New(s.cat)
-	o.Cache = s.plans
+	o := s.newOptimizer()
 	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
@@ -615,8 +660,7 @@ func (s *Shell) cmdPlan(rest string) error {
 		qt.Finish(err)
 		return err
 	}
-	o := optimizer.New(s.cat)
-	o.Cache = s.plans
+	o := s.newOptimizer()
 	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
@@ -667,8 +711,7 @@ func (s *Shell) cmdPrepare(rest string) error {
 	if err != nil {
 		return err
 	}
-	o := optimizer.New(s.cat)
-	o.Cache = s.plans
+	o := s.newOptimizer()
 	_, tr, err := o.PlanQueryTrace(q)
 	if err != nil {
 		return err
@@ -695,8 +738,7 @@ func (s *Shell) cmdExecute(rest string) error {
 		return fmt.Errorf("no prepared query %q (use prepare NAME EXPR)", name)
 	}
 	qt := s.tracer.Start("execute " + name + ": " + ps.src)
-	o := optimizer.New(s.cat)
-	o.Cache = s.plans
+	o := s.newOptimizer()
 	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(ps.q)
 	if err != nil {

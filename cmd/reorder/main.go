@@ -31,11 +31,11 @@ import (
 
 func main() {
 	var (
-		query    = flag.String("q", "", "expression to analyze (required)")
-		all      = flag.Bool("all", false, "list every implementing tree")
-		dot      = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
-		modulo   = flag.Bool("modulo", true, "count trees modulo reversal")
-		limit    = flag.Int64("limit", 100000, "maximum trees to list with -all")
+		query       = flag.String("q", "", "expression to analyze (required)")
+		all         = flag.Bool("all", false, "list every implementing tree")
+		dot         = flag.Bool("dot", false, "print the query graph in Graphviz dot syntax")
+		modulo      = flag.Bool("modulo", true, "count trees modulo reversal")
+		limit       = flag.Int64("limit", 100000, "maximum trees to list with -all")
 		explain     = flag.Bool("explain", false, "plan over a synthetic catalog, execute with per-operator statistics, and print both")
 		planCache   = flag.Bool("plan-cache", false, "with -explain: attach a plan cache and re-plan to show the fingerprint hit")
 		timeout     = flag.Duration("timeout", 0, "deadline for the -explain execution (e.g. 500ms; 0 = none)")
@@ -43,6 +43,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/queries and /healthz on this address while the command runs")
 		traceOut    = flag.String("trace-out", "", "write the -explain run's spans as Chrome trace JSON to this file")
 		slowQuery   = flag.Duration("slow-query", 0, "log -explain executions slower than this to stderr (0 = off)")
+		spillDir    = flag.String("spill-dir", "", "enable spill-to-disk for the -explain execution, writing run files to this directory (\"tmp\" = OS temp dir)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -67,7 +68,7 @@ func main() {
 		srv = s
 		fmt.Fprintln(os.Stderr, "reorder: serving metrics on", srv.Addr())
 	}
-	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *planCache, *timeout, *memLimit, tracer)
+	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *planCache, *timeout, *memLimit, *spillDir, tracer)
 	if ferr := tracer.Disable(); err == nil && ferr != nil {
 		err = ferr
 	}
@@ -80,7 +81,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain, planCache bool, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
+func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain, planCache bool, timeout time.Duration, memLimit int64, spillDir string, tracer *obs.Tracer) error {
 	q, err := parse.Expr(query)
 	if err != nil {
 		return err
@@ -128,7 +129,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain,
 		fmt.Fprint(w, analysis.Graph.DOT())
 	}
 	if explain {
-		if err := explainPlan(w, q, analysis.Graph, planCache, timeout, memLimit, tracer); err != nil {
+		if err := explainPlan(w, q, analysis.Graph, planCache, timeout, memLimit, spillDir, tracer); err != nil {
 			return err
 		}
 	}
@@ -141,7 +142,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain,
 // then executes it instrumented under the given resource limits (zero
 // means unlimited) so a runaway implementing tree aborts with a typed
 // resource error instead of running without bound.
-func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, timeout time.Duration, memLimit int64, tracer *obs.Tracer) error {
+func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, timeout time.Duration, memLimit int64, spillDir string, tracer *obs.Tracer) error {
 	cols := map[string]map[string]struct{}{}
 	for _, n := range g.Nodes() {
 		cols[n] = map[string]struct{}{}
@@ -189,6 +190,7 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, time
 		}
 	}
 	o := optimizer.New(cat)
+	o.Spill = spillDir != ""
 	if planCache {
 		o.Cache = plancache.New(plancache.DefaultCapacity)
 	}
@@ -238,8 +240,15 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, time
 		gov = exec.NewGovernor(0, memLimit)
 	}
 	var ec *exec.ExecContext
-	if timeout > 0 || memLimit > 0 {
+	if timeout > 0 || memLimit > 0 || spillDir != "" {
 		ec = exec.NewExecContext(ctx, gov)
+	}
+	if spillDir != "" {
+		dir := spillDir
+		if dir == "tmp" {
+			dir = "" // spill.SpillConfig default: the OS temp dir
+		}
+		ec.EnableSpill(exec.SpillConfig{Dir: dir})
 	}
 	// The optimizer trace was already printed above; the nil tr keeps the
 	// analyze text unchanged, so stamp the strategy into the record here.

@@ -19,10 +19,12 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
+	"freejoin/internal/exec/spill"
 	"freejoin/internal/obs"
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
@@ -43,6 +45,9 @@ type (
 	ResourceError = resource.ResourceError
 	// Kind classifies a ResourceError.
 	Kind = resource.Kind
+	// SpillConfig enables and parameterizes spill-to-disk execution;
+	// attach one with ExecContext.EnableSpill.
+	SpillConfig = resource.SpillConfig
 )
 
 // Resource error kinds (see resource.Kind).
@@ -50,7 +55,20 @@ const (
 	Cancelled        = resource.Cancelled
 	DeadlineExceeded = resource.DeadlineExceeded
 	MemoryExceeded   = resource.MemoryExceeded
+	SpillExceeded    = resource.SpillExceeded
 )
+
+// spillable reports whether err is a memory-budget trip that the
+// spill-to-disk paths can absorb: spilling must be enabled on the
+// context and the error must be a MemoryExceeded governor trip (a
+// cancellation or deadline aborts regardless).
+func spillable(ec *ExecContext, err error) bool {
+	if ec.Spill() == nil {
+		return false
+	}
+	var re *ResourceError
+	return errors.As(err, &re) && re.Kind == MemoryExceeded
+}
 
 // NewGovernor returns a governor with the given row/byte budgets (zero
 // disables a limit).
@@ -459,8 +477,13 @@ func (p *Project) Close() error {
 	return p.child.Close()
 }
 
-// Sort materializes and orders its input by the given columns (ascending,
-// nulls first), enabling merge joins and deterministic output.
+// Sort orders its input by the given columns (ascending, nulls first),
+// enabling merge joins and deterministic output. In memory it is a plain
+// materializing sort; when the governor trips the memory budget and the
+// context enables spilling, it becomes an external merge sort — sorted
+// runs are written to disk as the budget fills, reduced to at most
+// mergeFanIn runs by intermediate merge passes, and streamed through a
+// final k-way merge on Next.
 type Sort struct {
 	child Iterator
 	by    []int
@@ -468,7 +491,15 @@ type Sort struct {
 	held  hold
 	rows  [][]relation.Value
 	pos   int
+
+	runs  []*spill.Run
+	merge *runMerge
+	spst  SpillStats
 }
+
+// mergeFanIn bounds the number of runs a single merge reads at once;
+// more runs than this are first reduced by intermediate merge passes.
+const mergeFanIn = 16
 
 // NewSort orders by the listed attributes of the child's scheme.
 func NewSort(child Iterator, by []relation.Attr) (*Sort, error) {
@@ -489,31 +520,205 @@ func (s *Sort) Scheme() *relation.Scheme { return s.child.Scheme() }
 // Open implements Iterator.
 func (s *Sort) Open(ec *ExecContext) error {
 	s.held.release(s.ec) // re-Open without Close: drop any stale charge
+	s.reset(s.ec)        // ... and any stale spill state
 	s.ec = ec
+	s.spst = SpillStats{}
 	if err := ec.Err("sort"); err != nil {
 		return err
 	}
 	s.rows = s.rows[:0]
-	rows, err := materialize(s.child, ec, "sort", &s.held)
-	if err != nil {
-		s.held.release(ec)
+	s.pos = 0
+	if err := s.child.Open(ec); err != nil {
+		s.child.Close()
 		return err
 	}
-	s.rows = rows
-	sort.SliceStable(s.rows, func(i, j int) bool {
-		for _, c := range s.by {
-			if cmp := s.rows[i][c].Compare(s.rows[j][c]); cmp != 0 {
-				return cmp < 0
+	for {
+		row, ok, err := s.child.Next()
+		if err != nil {
+			return s.abort(ec, err)
+		}
+		if !ok {
+			break
+		}
+		if cerr := s.held.charge(ec, "sort", row); cerr != nil {
+			// Budget full: flush the buffer as a sorted run and retry. A
+			// retry failure means a single row exceeds the budget on its
+			// own — nothing left to spill.
+			if !spillable(ec, cerr) || len(s.rows) == 0 {
+				return s.abort(ec, cerr)
+			}
+			if serr := s.spillRun(ec); serr != nil {
+				return s.abort(ec, serr)
+			}
+			if cerr = s.held.charge(ec, "sort", row); cerr != nil {
+				return s.abort(ec, cerr)
 			}
 		}
-		return false
-	})
-	s.pos = 0
+		s.rows = append(s.rows, row)
+	}
+	if err := s.child.Close(); err != nil {
+		return s.fail(ec, err)
+	}
+	if len(s.runs) == 0 {
+		s.sortRows() // everything fit: plain in-memory sort
+		return nil
+	}
+	// External path: spill the tail so the merge is uniform over runs,
+	// reduce to the merge fan-in, and stream the final pass on Next.
+	if len(s.rows) > 0 {
+		if err := s.spillRun(ec); err != nil {
+			return s.fail(ec, err)
+		}
+	}
+	if err := s.reduceRuns(ec); err != nil {
+		return s.fail(ec, err)
+	}
+	m, err := newRunMerge(s.runs, s.by)
+	if err != nil {
+		return s.fail(ec, err)
+	}
+	s.merge = m
+	s.spst.MergePasses++ // the final streaming pass
 	return nil
+}
+
+// abort is the mid-drain error path: the child is closed and every
+// buffer, run and charge is released before err is returned.
+func (s *Sort) abort(ec *ExecContext, err error) error {
+	s.child.Close()
+	return s.fail(ec, err)
+}
+
+// fail releases everything Open accumulated and returns err.
+func (s *Sort) fail(ec *ExecContext, err error) error {
+	s.rows, s.pos = nil, 0
+	s.held.release(ec)
+	s.reset(ec)
+	return err
+}
+
+// reset drops spill state (runs and the merge) against ec.
+func (s *Sort) reset(ec *ExecContext) {
+	if s.merge != nil {
+		s.merge.Close()
+		s.merge = nil
+	}
+	for _, r := range s.runs {
+		r.Drop(ec)
+	}
+	s.runs = nil
+}
+
+// sortRows orders the in-memory buffer by the sort columns.
+func (s *Sort) sortRows() {
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		return lessRows(s.rows[i], s.rows[j], s.by)
+	})
+}
+
+// spillRun sorts the buffer, writes it to a new run file, and releases
+// the buffer's governor charge (the rows now live on disk, charged
+// against the spill budget instead).
+func (s *Sort) spillRun(ec *ExecContext) error {
+	s.sortRows()
+	w, err := spill.NewWriter(ec, "sort")
+	if err != nil {
+		return err
+	}
+	for _, row := range s.rows {
+		if err := w.Append(row); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, run)
+	s.spst.Runs++
+	s.spst.Bytes += run.Bytes
+	s.rows = s.rows[:0]
+	s.held.release(ec)
+	return nil
+}
+
+// reduceRuns merges groups of mergeFanIn runs into single longer runs
+// until at most mergeFanIn remain, counting one merge pass per sweep.
+func (s *Sort) reduceRuns(ec *ExecContext) error {
+	for len(s.runs) > mergeFanIn {
+		var next []*spill.Run
+		rest := s.runs
+		for len(rest) > 0 {
+			n := len(rest)
+			if n > mergeFanIn {
+				n = mergeFanIn
+			}
+			group := rest[:n]
+			merged, err := s.mergeToRun(ec, group)
+			if err != nil {
+				// Keep the live set consistent for cleanup by the caller.
+				s.runs = append(next, rest...)
+				return err
+			}
+			for _, r := range group {
+				r.Drop(ec)
+			}
+			rest = rest[n:]
+			next = append(next, merged)
+		}
+		s.runs = next
+		s.spst.MergePasses++
+	}
+	return nil
+}
+
+// mergeToRun merges a group of sorted runs into one new run file.
+func (s *Sort) mergeToRun(ec *ExecContext, group []*spill.Run) (*spill.Run, error) {
+	m, err := newRunMerge(group, s.by)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	w, err := spill.NewWriter(ec, "sort")
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if err := ec.Err("sort"); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		row, ok, err := m.Next()
+		if err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Append(row); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.spst.Runs++
+	s.spst.Bytes += run.Bytes
+	return run, nil
 }
 
 // Next implements Iterator.
 func (s *Sort) Next() ([]relation.Value, bool, error) {
+	if s.merge != nil {
+		if err := s.ec.Err("sort"); err != nil {
+			return nil, false, err
+		}
+		return s.merge.Next()
+	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
@@ -524,15 +729,104 @@ func (s *Sort) Next() ([]relation.Value, bool, error) {
 
 // Close implements Iterator: the materialized input is released (a Sort
 // that merely finished streaming would otherwise pin every input row for
-// the lifetime of the plan).
+// the lifetime of the plan), run files are deleted and their spill-byte
+// charges returned.
 func (s *Sort) Close() error {
 	s.rows = nil
 	s.held.release(s.ec)
+	s.reset(s.ec)
 	return nil
 }
 
-// BufferedRows implements Buffered.
+// BufferedRows implements Buffered. In the external phase the in-memory
+// buffer is empty; the merge holds at most mergeFanIn head rows, which
+// are not counted (nor charged).
 func (s *Sort) BufferedRows() int { return len(s.rows) }
+
+// SpillInfo implements Spiller.
+func (s *Sort) SpillInfo() SpillStats { return s.spst }
+
+// lessRows compares rows on the given columns (Value.Compare order,
+// nulls first); the strict inequality keeps merges stable.
+func lessRows(a, b []relation.Value, by []int) bool {
+	for _, c := range by {
+		if cmp := a[c].Compare(b[c]); cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}
+
+// runMerge is the k-way merge over sorted runs behind the external
+// sort's Next: every run contributes its head row, and each Next emits
+// the least head. With at most mergeFanIn runs, a linear scan of the
+// heads beats heap bookkeeping.
+type runMerge struct {
+	by    []int
+	rds   []*spill.Reader
+	heads [][]relation.Value // nil entry = run exhausted
+}
+
+// newRunMerge opens every run and primes the heads; on error whatever
+// was opened is closed again.
+func newRunMerge(runs []*spill.Run, by []int) (*runMerge, error) {
+	m := &runMerge{by: by}
+	for _, run := range runs {
+		rd, err := run.Open()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.rds = append(m.rds, rd)
+		head, ok, err := rd.Next()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		if !ok {
+			head = nil
+		}
+		m.heads = append(m.heads, head)
+	}
+	return m, nil
+}
+
+// Next emits the least remaining row across all runs. Ties go to the
+// earliest run — runs are spilled in input order and sorted stably, so
+// the merge output is stable too.
+func (m *runMerge) Next() ([]relation.Value, bool, error) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || lessRows(h, m.heads[best], m.by) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	row := m.heads[best]
+	next, ok, err := m.rds[best].Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		m.heads[best] = next
+	} else {
+		m.heads[best] = nil
+	}
+	return row, true, nil
+}
+
+// Close releases every reader. The runs themselves belong to the Sort.
+func (m *runMerge) Close() {
+	for _, rd := range m.rds {
+		rd.Close()
+	}
+	m.rds, m.heads = nil, nil
+}
 
 // materialize drains an iterator into memory (used by blocking joins),
 // charging each buffered row to the governor on behalf of op when h is

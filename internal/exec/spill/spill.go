@@ -1,0 +1,174 @@
+// Package spill implements governed spill-to-disk run files for the
+// external-memory execution paths: the external merge sort and the grace
+// hash join. A Writer streams rows into a temp file in a compact binary
+// encoding, charging the governor's spill-bytes budget as it goes;
+// Finish seals the file into a Run, which can be opened for sequential
+// re-reading any number of times and is deleted (and its byte charge
+// released) by Drop.
+//
+// The package sits below internal/exec (which consumes it) and above
+// internal/resource (whose ExecContext carries the SpillConfig and the
+// spill budget), mirroring how exec itself layers over resource.
+package spill
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"freejoin/internal/obs"
+	"freejoin/internal/relation"
+	"freejoin/internal/resource"
+)
+
+// Enabled reports whether the context allows spilling to disk.
+func Enabled(ec *resource.ExecContext) bool { return ec.Spill() != nil }
+
+// Writer streams rows into a new spill run file. Append charges the
+// governor's spill budget with each row's encoded size; the caller must
+// end the writer with exactly one of Finish (sealing a Run that now owns
+// the file and the charge) or Abort (deleting the file and releasing the
+// charge).
+type Writer struct {
+	ec    *resource.ExecContext
+	op    string
+	f     *os.File
+	bw    *bufio.Writer
+	buf   []byte
+	rows  int64
+	bytes int64
+	start time.Time
+	done  bool
+}
+
+// NewWriter creates a run file in the context's spill directory on
+// behalf of op (the operator name used in resource errors). The
+// directory is created if it does not exist yet.
+func NewWriter(ec *resource.ExecContext, op string) (*Writer, error) {
+	dir := ec.Spill().Directory()
+	f, err := os.CreateTemp(dir, "ojspill-*.run")
+	if errors.Is(err, os.ErrNotExist) {
+		if err = os.MkdirAll(dir, 0o755); err == nil {
+			f, err = os.CreateTemp(dir, "ojspill-*.run")
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Writer{ec: ec, op: op, f: f, bw: bufio.NewWriter(f), start: time.Now()}, nil
+}
+
+// Append encodes and writes one row, charging its encoded size against
+// the spill budget. On error (including a spill-budget trip) the writer
+// still owns its charge: call Abort.
+func (w *Writer) Append(row []relation.Value) error {
+	w.buf = appendRow(w.buf[:0], row)
+	n := int64(len(w.buf))
+	if err := w.ec.ReserveSpill(w.op, n); err != nil {
+		return err
+	}
+	w.bytes += n
+	w.rows++
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	return nil
+}
+
+// Rows returns the rows appended so far.
+func (w *Writer) Rows() int64 { return w.rows }
+
+// Finish flushes and seals the run. The returned Run owns the file and
+// the spill-byte charge; on error the writer aborts itself first.
+func (w *Writer) Finish() (*Run, error) {
+	if w.done {
+		return nil, fmt.Errorf("spill: writer already finished")
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	w.done = true
+	obs.SpillRuns.Inc()
+	obs.SpillBytes.Add(w.bytes)
+	obs.SpillWriteLatency.ObserveDuration(time.Since(w.start))
+	return &Run{path: w.f.Name(), Rows: w.rows, Bytes: w.bytes}, nil
+}
+
+// Abort discards an unfinished run: the file is removed and the
+// accumulated spill-byte charge released. Safe to call after a failed
+// Append or Finish; a no-op after a successful Finish.
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.f.Close()
+	os.Remove(w.f.Name())
+	w.ec.ReleaseSpill(w.bytes)
+	w.bytes = 0
+}
+
+// Run is a sealed spill file: Rows rows over Bytes encoded bytes, held
+// against the governor's spill budget until Drop.
+type Run struct {
+	path    string
+	Rows    int64
+	Bytes   int64
+	dropped bool
+}
+
+// Open returns a sequential reader over the run. A run may be opened
+// many times (the nested-loop spill path re-scans per outer row).
+func (r *Run) Open() (*Reader, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Reader{f: f, br: bufio.NewReader(f)}, nil
+}
+
+// Drop deletes the run file and releases its spill-byte charge.
+// Idempotent; any open Readers keep working on the unlinked file.
+func (r *Run) Drop(ec *resource.ExecContext) {
+	if r == nil || r.dropped {
+		return
+	}
+	r.dropped = true
+	os.Remove(r.path)
+	ec.ReleaseSpill(r.Bytes)
+}
+
+// Reader iterates a run's rows in write order.
+type Reader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+// Next returns the next row, or false at end of run.
+func (r *Reader) Next() ([]relation.Value, bool, error) {
+	row, err := readRow(r.br)
+	if err != nil {
+		return nil, false, err
+	}
+	if row == nil {
+		return nil, false, nil
+	}
+	return row, true, nil
+}
+
+// Close releases the underlying file handle. Idempotent.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

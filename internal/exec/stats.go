@@ -33,6 +33,30 @@ type Stats struct {
 	// WallTime is the total time spent inside Open and Next, children
 	// included.
 	WallTime time.Duration
+	// Spill counts the operator's spill-to-disk activity (zero unless a
+	// budget trip moved it to the external path).
+	Spill SpillStats
+}
+
+// SpillStats counts one operator's spill-to-disk activity: run files
+// written, grace-hash partitions created, bytes encoded to disk, and
+// external-sort merge passes (the final streaming pass included).
+type SpillStats struct {
+	Runs        int64
+	Partitions  int64
+	Bytes       int64
+	MergePasses int64
+}
+
+// Spilled reports whether any spill activity happened.
+func (s SpillStats) Spilled() bool { return s.Runs > 0 || s.Partitions > 0 }
+
+// Spiller is implemented by operators with an external-memory path
+// (external sort, grace hash join, spilling nested-loop join);
+// SpillInfo reports the activity of the current/latest Open cycle so
+// instrumentation can surface it in EXPLAIN ANALYZE.
+type Spiller interface {
+	SpillInfo() SpillStats
 }
 
 // StatsNode is one operator's entry in an instrumented plan tree: a
@@ -117,6 +141,7 @@ type Buffered interface {
 type Instrumented struct {
 	child    Iterator
 	buffered Buffered // child, if it materializes rows; else nil
+	spiller  Spiller  // child, if it can spill to disk; else nil
 	counters *Counters
 	node     *StatsNode
 }
@@ -126,9 +151,11 @@ type Instrumented struct {
 // operator's already-instrumented inputs.
 func Instrument(child Iterator, label string, c *Counters, children ...*StatsNode) *Instrumented {
 	b, _ := child.(Buffered)
+	sp, _ := child.(Spiller)
 	return &Instrumented{
 		child:    child,
 		buffered: b,
+		spiller:  sp,
 		counters: c,
 		node:     &StatsNode{Label: label, EstRows: -1, EstCost: -1, Children: children},
 	}
@@ -173,7 +200,7 @@ func (w *Instrumented) Next() ([]relation.Value, bool, error) {
 	if ok {
 		w.node.Stats.RowsOut++
 	}
-	if w.buffered != nil {
+	if w.buffered != nil || w.spiller != nil {
 		w.observeBuffer()
 	}
 	return row, ok, w.noteErr(err)
@@ -201,10 +228,12 @@ func (w *Instrumented) noteErr(err error) error {
 func (w *Instrumented) Close() error { return w.child.Close() }
 
 func (w *Instrumented) observeBuffer() {
-	if w.buffered == nil {
-		return
+	if w.buffered != nil {
+		if n := int64(w.buffered.BufferedRows()); n > w.node.Stats.PeakBuffered {
+			w.node.Stats.PeakBuffered = n
+		}
 	}
-	if n := int64(w.buffered.BufferedRows()); n > w.node.Stats.PeakBuffered {
-		w.node.Stats.PeakBuffered = n
+	if w.spiller != nil {
+		w.node.Stats.Spill = w.spiller.SpillInfo()
 	}
 }

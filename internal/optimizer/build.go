@@ -15,7 +15,7 @@ import (
 // returned tree is exactly the operators themselves (the zero-overhead
 // path measured by BenchmarkStatsOverhead).
 func (o *Optimizer) Build(p *Plan, c *exec.Counters) (exec.Iterator, error) {
-	it, _, err := o.build(p, c, false)
+	it, _, err := o.build(p, c, false, nil)
 	return it, err
 }
 
@@ -24,12 +24,19 @@ func (o *Optimizer) Build(p *Plan, c *exec.Counters) (exec.Iterator, error) {
 // StatsNode tree. Estimates (rows, cost) are copied onto each node so
 // EXPLAIN ANALYZE can report estimation error next to actuals.
 func (o *Optimizer) BuildInstrumented(p *Plan, c *exec.Counters) (exec.Iterator, *exec.StatsNode, error) {
-	return o.build(p, c, true)
+	return o.build(p, c, true, nil)
+}
+
+// BuildInstrumentedTraced is BuildInstrumented recording lowering
+// decisions — which degradation path hash joins were wired with — into
+// tr (which may be nil).
+func (o *Optimizer) BuildInstrumentedTraced(p *Plan, c *exec.Counters, tr *Trace) (exec.Iterator, *exec.StatsNode, error) {
+	return o.build(p, c, true, tr)
 }
 
 // build is the shared lowering; when ins is set every operator is wrapped
 // and the second result is its stats node (nil otherwise).
-func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *exec.StatsNode, error) {
+func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.Iterator, *exec.StatsNode, error) {
 	if p.IsLeaf() {
 		t, err := o.cat.Table(p.Table)
 		if err != nil {
@@ -47,12 +54,12 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 		return wrapped, node, nil
 	}
 	if p.Op == expr.GOJ {
-		return o.buildGOJ(p, c, ins)
+		return o.buildGOJ(p, c, ins, tr)
 	}
 	if p.Op == expr.Restrict {
-		return o.buildFilter(p, c, ins)
+		return o.buildFilter(p, c, ins, tr)
 	}
-	left, lnode, err := o.build(p.Left, c, ins)
+	left, lnode, err := o.build(p.Left, c, ins, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -84,7 +91,7 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 		wrapped, node := wrapNode(it, p, c, ins, kids...)
 		return wrapped, node, nil
 	case AlgoHash:
-		right, rnode, err := o.build(p.Right, c, ins)
+		right, rnode, err := o.build(p.Right, c, ins, tr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -96,11 +103,11 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 		if err != nil {
 			return nil, nil, err
 		}
-		o.attachFallback(it, p, lk, rk, mode, c)
+		o.attachFallback(it, p, lk, rk, mode, c, tr)
 		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
 		return wrapped, node, nil
 	case AlgoNL:
-		right, rnode, err := o.build(p.Right, c, ins)
+		right, rnode, err := o.build(p.Right, c, ins, tr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -111,7 +118,7 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
 		return wrapped, node, nil
 	case AlgoMerge:
-		right, rnode, err := o.build(p.Right, c, ins)
+		right, rnode, err := o.build(p.Right, c, ins, tr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -154,7 +161,17 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *
 // the build can be served by an index join over the same left input
 // instead of aborting. Both strategies produce the same bag (null keys
 // never match in either).
-func (o *Optimizer) attachFallback(it *exec.HashJoin, p *Plan, lk, rk []relation.Attr, mode exec.JoinMode, c *exec.Counters) {
+//
+// When the optimizer runs with spilling enabled, the grace hash join is
+// the preferred degradation — it keeps the planned hash strategy and
+// needs no index — and the executor picks it over the index fallback at
+// trip time. The index fallback is still wired as the path for
+// spill-disabled contexts; the trace records whichever path this
+// session would actually take.
+func (o *Optimizer) attachFallback(it *exec.HashJoin, p *Plan, lk, rk []relation.Attr, mode exec.JoinMode, c *exec.Counters, tr *Trace) {
+	if o.Spill && tr != nil && tr.Degradation == "" {
+		tr.Degradation = "grace-hash spill"
+	}
 	if len(lk) != 1 || !p.Right.IsLeaf() || p.Right.Algo != AlgoScan {
 		return
 	}
@@ -164,6 +181,9 @@ func (o *Optimizer) attachFallback(it *exec.HashJoin, p *Plan, lk, rk []relation
 	}
 	if _, ok := t.HashIndexOn(rk[0].Name); !ok {
 		return
+	}
+	if !o.Spill && tr != nil && tr.Degradation == "" {
+		tr.Degradation = fmt.Sprintf("index join via %s.%s", p.Right.Table, rk[0].Name)
 	}
 	it.SetFallback(func(left exec.Iterator) (exec.Iterator, error) {
 		return exec.NewIndexJoin(left, t, rk[0].Name, lk[0], nil, mode, c)

@@ -56,5 +56,10 @@ func (o *Optimizer) fingerprintFor(g *graph.Graph, filters map[string]predicate.
 	if o.LeftDeepOnly {
 		extras = append(extras, "config: left-deep-only")
 	}
+	if o.Spill {
+		// Spilling changes the degradation wiring built into the plan's
+		// iterators; toggling it must not reuse the other mode's entry.
+		extras = append(extras, "config: spill")
+	}
 	return plancache.Of(g, extras...)
 }

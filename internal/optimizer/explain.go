@@ -45,6 +45,13 @@ type Trace struct {
 	// (the nice-graph check), so the tracer can split an optimize call
 	// into its analyze and DP phases.
 	AnalyzeTime time.Duration
+
+	// Degradation names the budget-pressure escape hatch wired into the
+	// plan's hash joins at lowering time: "grace-hash spill" when
+	// spilling is enabled (preferred — it keeps the hash strategy), or
+	// the index alternative otherwise. Empty when a memory trip would
+	// simply abort. Filled by BuildInstrumentedTraced, not by planning.
+	Degradation string
 }
 
 // Reordered reports whether the plan came from the DP over the query
@@ -67,6 +74,9 @@ func (tr *Trace) String() string {
 	}
 	if tr.CacheOutcome != "" {
 		fmt.Fprintf(&b, "-- plancache: %s (fp %s)\n", tr.CacheOutcome, tr.Fingerprint)
+	}
+	if tr.Degradation != "" {
+		fmt.Fprintf(&b, "-- degradation: %s\n", tr.Degradation)
 	}
 	return b.String()
 }
@@ -110,7 +120,7 @@ func (o *Optimizer) ExplainAnalyzeCtx(ec *exec.ExecContext, p *Plan, tr *Trace) 
 func (o *Optimizer) ExplainAnalyzeTraced(ec *exec.ExecContext, p *Plan, tr *Trace, qt *obs.QueryTrace) (*relation.Relation, *exec.Counters, string, error) {
 	var c exec.Counters
 	buildStart := time.Now()
-	it, root, err := o.BuildInstrumented(p, &c)
+	it, root, err := o.BuildInstrumentedTraced(p, &c, tr)
 	qt.AddSpan(obs.Span{Name: "build", Cat: "phase", Start: buildStart, Dur: time.Since(buildStart)})
 	if err != nil {
 		return nil, nil, "", err // build failed; nothing ran
@@ -169,6 +179,15 @@ func RenderStats(root *exec.StatsNode) string {
 		fmt.Fprintf(&b, " (actual rows=%d next=%d tuples=%d", n.Stats.RowsOut, n.Stats.NextCalls, n.SelfTuples())
 		if n.Stats.PeakBuffered > 0 {
 			fmt.Fprintf(&b, " peak=%d", n.Stats.PeakBuffered)
+		}
+		if sp := n.Stats.Spill; sp.Spilled() {
+			fmt.Fprintf(&b, " spill-runs=%d spill-bytes=%d", sp.Runs, sp.Bytes)
+			if sp.Partitions > 0 {
+				fmt.Fprintf(&b, " spill-partitions=%d", sp.Partitions)
+			}
+			if sp.MergePasses > 0 {
+				fmt.Fprintf(&b, " merge-passes=%d", sp.MergePasses)
+			}
 		}
 		fmt.Fprintf(&b, " time=%s", n.Stats.WallTime.Round(time.Microsecond))
 		if n.EstRows >= 0 {

@@ -35,12 +35,12 @@ func (o *Optimizer) planGOJ(l, r *Plan, pred predicate.Predicate, s []relation.A
 }
 
 // buildGOJ lowers a GOJ plan node.
-func (o *Optimizer) buildGOJ(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *exec.StatsNode, error) {
-	left, lnode, err := o.build(p.Left, c, ins)
+func (o *Optimizer) buildGOJ(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.Iterator, *exec.StatsNode, error) {
+	left, lnode, err := o.build(p.Left, c, ins, tr)
 	if err != nil {
 		return nil, nil, err
 	}
-	right, rnode, err := o.build(p.Right, c, ins)
+	right, rnode, err := o.build(p.Right, c, ins, tr)
 	if err != nil {
 		return nil, nil, err
 	}

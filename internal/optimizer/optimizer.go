@@ -39,6 +39,17 @@ type Optimizer struct {
 	// ablation in BenchmarkLeftDeepVsBushy.
 	LeftDeepOnly bool
 
+	// Spill declares that plans from this optimizer run on execution
+	// contexts with spill-to-disk enabled, so blocking operators degrade
+	// to external algorithms (grace hash join, external sort) instead of
+	// index fallbacks or aborts on a memory-budget trip. The flag is
+	// planner-side configuration: it selects the degradation path
+	// recorded in the trace and keys the plan cache (a plan whose
+	// fallback wiring assumed spilling must not be served to a
+	// non-spilling session, and vice versa). The execution context's
+	// EnableSpill carries the actual directory and fan-out.
+	Spill bool
+
 	// Cache, when set, is consulted before the reordering DP: queries
 	// whose canonical graph fingerprint is resident skip optimization
 	// entirely and share the cached plan (Theorem 1 makes the graph the

@@ -316,8 +316,8 @@ func (o *Optimizer) planFixedRestricted(q *expr.Node) (*Plan, error) {
 }
 
 // buildFilter lowers a Restrict plan node.
-func (o *Optimizer) buildFilter(p *Plan, c *exec.Counters, ins bool) (exec.Iterator, *exec.StatsNode, error) {
-	child, cnode, err := o.build(p.Left, c, ins)
+func (o *Optimizer) buildFilter(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.Iterator, *exec.StatsNode, error) {
+	child, cnode, err := o.build(p.Left, c, ins, tr)
 	if err != nil {
 		return nil, nil, err
 	}

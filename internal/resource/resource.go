@@ -16,6 +16,7 @@ package resource
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,9 @@ const (
 	DeadlineExceeded
 	// MemoryExceeded: a governor memory budget (rows or bytes) tripped.
 	MemoryExceeded
+	// SpillExceeded: the governor's spill-bytes budget tripped — the
+	// execution already moved to disk and the disk budget ran out too.
+	SpillExceeded
 )
 
 // String returns the kind name.
@@ -44,6 +48,8 @@ func (k Kind) String() string {
 		return "deadline exceeded"
 	case MemoryExceeded:
 		return "memory budget exceeded"
+	case SpillExceeded:
+		return "spill budget exceeded"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -85,6 +91,9 @@ func (e *ResourceError) Error() string {
 			msg += fmt.Sprintf(": %d bytes held, limit %d bytes", e.UsedBytes, e.LimitBytes)
 		}
 	}
+	if e.Kind == SpillExceeded && e.LimitBytes > 0 {
+		msg += fmt.Sprintf(": %d spill bytes held, limit %d bytes", e.UsedBytes, e.LimitBytes)
+	}
 	return "resource: " + msg
 }
 
@@ -101,9 +110,11 @@ func (e *ResourceError) Unwrap() error { return e.Err }
 type Governor struct {
 	limitRows  int64
 	limitBytes int64
+	limitSpill int64
 
 	usedRows  atomic.Int64
 	usedBytes atomic.Int64
+	usedSpill atomic.Int64
 
 	mu     sync.Mutex
 	events []string
@@ -158,6 +169,62 @@ func (g *Governor) Release(rows, bytes int64) {
 	g.usedBytes.Add(-bytes)
 }
 
+// SetSpillLimit configures the spill-bytes budget: the total size of the
+// run files a spilling execution may hold on disk at once. Zero (the
+// default) disables the limit. Call before execution starts; the limit
+// is not synchronized against concurrent reservations.
+func (g *Governor) SetSpillLimit(bytes int64) {
+	if g != nil {
+		g.limitSpill = bytes
+	}
+}
+
+// SpillLimit returns the configured spill-bytes budget; zero = unlimited.
+func (g *Governor) SpillLimit() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.limitSpill
+}
+
+// ReserveSpill charges bytes of spill-file space on behalf of op. When
+// the charge would exceed the spill budget it is rolled back and a
+// SpillExceeded error is returned. Nil-safe.
+func (g *Governor) ReserveSpill(op string, bytes int64) *ResourceError {
+	if g == nil {
+		return nil
+	}
+	ub := g.usedSpill.Add(bytes)
+	if g.limitSpill > 0 && ub > g.limitSpill {
+		g.usedSpill.Add(-bytes)
+		e := &ResourceError{
+			Kind: SpillExceeded, Operator: op,
+			UsedBytes: ub, LimitBytes: g.limitSpill,
+		}
+		g.Note(e.Error())
+		obs.GovernorTripsSpill.Inc()
+		return e
+	}
+	return nil
+}
+
+// ReleaseSpill returns previously reserved spill bytes (a dropped run
+// file) to the budget. Nil-safe.
+func (g *Governor) ReleaseSpill(bytes int64) {
+	if g == nil {
+		return
+	}
+	g.usedSpill.Add(-bytes)
+}
+
+// UsedSpillBytes returns the spill-file bytes currently reserved.
+func (g *Governor) UsedSpillBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.usedSpill.Load()
+}
+
 // UsedRows returns the rows currently reserved.
 func (g *Governor) UsedRows() int64 {
 	if g == nil {
@@ -195,14 +262,66 @@ func (g *Governor) Events() []string {
 	return append([]string(nil), g.events...)
 }
 
+// Spill defaults, applied when the corresponding SpillConfig field is
+// zero.
+const (
+	// DefaultSpillRecursion bounds grace-hash re-partitioning depth; a
+	// partition that still cannot fit after this many re-partitionings is
+	// processed by a streaming block-nested scan of its run files instead.
+	DefaultSpillRecursion = 4
+	// DefaultSpillPartitions is the grace-hash partitioning fanout.
+	DefaultSpillPartitions = 8
+)
+
+// SpillConfig enables and parameterizes spill-to-disk execution. A nil
+// *SpillConfig (the ExecContext default) means spilling is disabled and
+// a memory-budget trip aborts or degrades as before.
+type SpillConfig struct {
+	// Dir is the directory spill run files are created in; empty means
+	// os.TempDir().
+	Dir string
+	// MaxRecursion bounds grace-hash re-partitioning depth; zero means
+	// DefaultSpillRecursion.
+	MaxRecursion int
+	// Partitions is the grace-hash fanout; zero means
+	// DefaultSpillPartitions.
+	Partitions int
+}
+
+// Directory resolves the spill directory, defaulting to os.TempDir().
+// Nil-safe.
+func (c *SpillConfig) Directory() string {
+	if c == nil || c.Dir == "" {
+		return os.TempDir()
+	}
+	return c.Dir
+}
+
+// Recursion resolves the grace-hash re-partitioning bound. Nil-safe.
+func (c *SpillConfig) Recursion() int {
+	if c == nil || c.MaxRecursion <= 0 {
+		return DefaultSpillRecursion
+	}
+	return c.MaxRecursion
+}
+
+// Fanout resolves the grace-hash partition count. Nil-safe.
+func (c *SpillConfig) Fanout() int {
+	if c == nil || c.Partitions <= 1 {
+		return DefaultSpillPartitions
+	}
+	return c.Partitions
+}
+
 // ExecContext carries the per-execution governance state through every
 // operator's Open: a context.Context for cancellation and deadlines plus
 // an optional Governor for memory budgets. A nil *ExecContext is valid
 // everywhere and means "ungoverned" — every method has a nil-safe fast
 // path, preserving the zero-cost uninstrumented execution path.
 type ExecContext struct {
-	ctx context.Context
-	gov *Governor
+	ctx   context.Context
+	gov   *Governor
+	spill *SpillConfig
 
 	// tripNoted dedupes the metrics hook: a cancelled or expired context
 	// surfaces through every operator the abort unwinds past, and each
@@ -235,6 +354,24 @@ func (ec *ExecContext) Governor() *Governor {
 		return nil
 	}
 	return ec.gov
+}
+
+// EnableSpill turns on spill-to-disk execution for this context. The
+// config is copied; call before execution starts.
+func (ec *ExecContext) EnableSpill(cfg SpillConfig) {
+	if ec != nil {
+		c := cfg
+		ec.spill = &c
+	}
+}
+
+// Spill returns the context's spill configuration, or nil when spilling
+// is disabled (including on a nil context).
+func (ec *ExecContext) Spill() *SpillConfig {
+	if ec == nil {
+		return nil
+	}
+	return ec.spill
 }
 
 // Err reports whether the context has been cancelled or its deadline has
@@ -281,4 +418,25 @@ func (ec *ExecContext) Release(rows, bytes int64) {
 		return
 	}
 	ec.gov.Release(rows, bytes)
+}
+
+// ReserveSpill charges spill-file bytes on behalf of op, returning an
+// untyped nil interface when the charge fits (or no governor is
+// attached).
+func (ec *ExecContext) ReserveSpill(op string, bytes int64) error {
+	if ec == nil || ec.gov == nil {
+		return nil
+	}
+	if e := ec.gov.ReserveSpill(op, bytes); e != nil {
+		return e
+	}
+	return nil
+}
+
+// ReleaseSpill returns previously reserved spill bytes. Nil-safe.
+func (ec *ExecContext) ReleaseSpill(bytes int64) {
+	if ec == nil {
+		return
+	}
+	ec.gov.ReleaseSpill(bytes)
 }
