@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json experiments faults obs spill fuzz fuzz-smoke fmt vet clean
+.PHONY: all check build test race cover bench bench-json experiments faults obs spill server fuzz fuzz-smoke fmt vet clean
 
 all: check
 
@@ -57,6 +57,16 @@ spill:
 	leaked=$$(find $$dir -name 'ojspill-*' | wc -l) && \
 	rm -rf $$dir && \
 	if [ $$leaked -ne 0 ]; then echo "spill: $$leaked run files leaked"; exit 1; fi
+
+# Concurrent query server suite: admission control (FIFO order,
+# oversized/queue-full shedding, cancel-while-queued, never-overcommit
+# stress), the TCP protocol end to end, the workload driver, and the
+# 16-client mixed-traffic soak (prepared hits, cold misses, governor
+# trips, spilling, cancellations against one shared core) with tracer
+# reconciliation and goroutine/temp-file leak checks — under the race
+# detector, -count=2 for state reuse across server restarts.
+server:
+	$(GO) test -race -count=2 ./internal/server ./internal/workload ./cmd/ojserver
 
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s

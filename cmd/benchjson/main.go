@@ -18,24 +18,21 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. Extra carries custom units
+// reported with b.ReportMetric (e.g. latency percentiles "p95-ns/op" of
+// the concurrent server benchmark), keyed by unit.
 type Result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
-
-// benchLine matches `BenchmarkName-8   1000   123.4 ns/op   56 B/op   7 allocs/op`
-// (the -benchmem columns are optional).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // testEvent is the subset of `go test -json` events we care about.
 type testEvent struct {
@@ -98,23 +95,40 @@ func parse(r io.Reader) ([]Result, error) {
 	return results, sc.Err()
 }
 
-// parseLine parses one benchmark result line.
+// parseLine parses one benchmark result line: the name, the iteration
+// count, then (value, unit) measurement pairs — ns/op plus the optional
+// -benchmem columns and any custom units from b.ReportMetric. A line
+// without an ns/op measurement is not a result.
 func parseLine(line string) (Result, bool) {
-	m := benchLine.FindStringSubmatch(line)
-	if m == nil {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Result{}, false
 	}
-	iters, err1 := strconv.ParseInt(m[2], 10, 64)
-	ns, err2 := strconv.ParseFloat(m[3], 64)
-	if err1 != nil || err2 != nil {
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
 		return Result{}, false
 	}
-	res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-	if m[4] != "" {
-		res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+	res := Result{Name: fields[0], Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
+		}
 	}
-	if m[5] != "" {
-		res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-	}
-	return res, true
+	return res, sawNs
 }

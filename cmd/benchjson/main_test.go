@@ -59,3 +59,26 @@ func TestParseIgnoresNonBenchLines(t *testing.T) {
 		t.Errorf("got %+v, want none", results)
 	}
 }
+
+// Custom units reported with b.ReportMetric (the concurrent-server
+// latency percentiles) land in Extra keyed by unit.
+func TestParseReportMetricExtras(t *testing.T) {
+	in := "BenchmarkServerConcurrent16-8  \t50\t 2100456 ns/op\t 800123 p50-ns/op\t 4100456 p95-ns/op\t 9100456 p99-ns/op\t 1024 B/op\t 12 allocs/op\n"
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.NsPerOp != 2100456 || r.BytesPerOp != 1024 || r.AllocsPerOp != 12 {
+		t.Errorf("standard columns = %+v", r)
+	}
+	if r.Extra["p50-ns/op"] != 800123 || r.Extra["p95-ns/op"] != 4100456 || r.Extra["p99-ns/op"] != 9100456 {
+		t.Errorf("extras = %+v", r.Extra)
+	}
+	if len(r.Extra) != 3 {
+		t.Errorf("unexpected extras: %+v", r.Extra)
+	}
+}

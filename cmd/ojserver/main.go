@@ -1,0 +1,103 @@
+// Command ojserver is the long-running concurrent query server: many
+// TCP sessions speaking the ojshell command syntax (one JSON response
+// line per command) over one shared catalog, plan cache and admission
+// controller.
+//
+//	$ ojserver -addr 127.0.0.1:7432 -metrics-addr 127.0.0.1:9090 \
+//	    -max-concurrent 8 -pool 64MB -query-mem 8MB
+//	$ printf 'table R(a) = (1), (2)\ntable S(a) = (2), (3)\nquery R -[R.a = S.a] S\nquit\n' | nc 127.0.0.1 7432
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"freejoin/internal/parse"
+	"freejoin/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7432", "TCP address for the query protocol")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP /metrics, /debug/queries, /healthz address (off when empty)")
+		maxConc     = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "concurrent query slots")
+		queueDepth  = flag.Int("queue-depth", server.DefaultQueueDepth, "admission wait-queue bound (negative disables waiting)")
+		pool        = flag.String("pool", "", "process-wide memory pool, e.g. 64MB (empty = unlimited)")
+		spillPool   = flag.String("spill-pool", "", "process-wide spill pool, e.g. 256MB (empty = unlimited)")
+		queryMem    = flag.String("query-mem", "", "default per-query memory grant, e.g. 8MB (empty = ungoverned)")
+		querySpill  = flag.String("query-spill", "", "per-query spill grant when spill is on (empty = ungoverned)")
+		timeout     = flag.Duration("timeout", 0, "default per-query deadline, admission wait included (0 = none)")
+		planCache   = flag.Int("plan-cache", 0, "shared plan-cache capacity (0 = default, negative = off)")
+		spill       = flag.Bool("spill", false, "default spill-to-disk mode for new sessions")
+		spillDir    = flag.String("spill-dir", "", "spill run-file directory (empty = OS temp dir)")
+		restore     = flag.String("restore", "", "catalog snapshot (.fjdb) to restore at startup")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:          *addr,
+		MetricsAddr:   *metricsAddr,
+		MaxConcurrent: *maxConc,
+		QueueDepth:    *queueDepth,
+		Timeout:       *timeout,
+		PlanCache:     *planCache,
+		Spill:         *spill,
+		SpillDir:      *spillDir,
+		SnapshotPath:  *restore,
+	}
+	for _, f := range []struct {
+		val string
+		dst *int64
+	}{
+		{*pool, &cfg.PoolBytes},
+		{*spillPool, &cfg.SpillPoolBytes},
+		{*queryMem, &cfg.QueryMemBytes},
+		{*querySpill, &cfg.QuerySpillBytes},
+	} {
+		if f.val == "" {
+			continue
+		}
+		n, err := parse.Bytes(f.val)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ojserver:", err)
+			os.Exit(2)
+		}
+		*f.dst = n
+	}
+
+	srv, err := server.Start(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ojserver:", err)
+		os.Exit(1)
+	}
+	if n := srv.SweptSpillFiles(); n > 0 {
+		fmt.Fprintf(os.Stderr, "ojserver: swept %d stale spill file(s)\n", n)
+	}
+	fmt.Printf("ojserver: serving on %s", srv.Addr())
+	if srv.MetricsAddr() != "" {
+		fmt.Printf(", metrics on %s", srv.MetricsAddr())
+	}
+	fmt.Println()
+
+	// Block until SIGINT/SIGTERM, then drain gracefully.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "ojserver: shutting down")
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ojserver:", err)
+			os.Exit(1)
+		}
+	case <-time.After(10 * time.Second):
+		fmt.Fprintln(os.Stderr, "ojserver: shutdown timed out")
+		os.Exit(1)
+	}
+}

@@ -12,9 +12,16 @@ package main
 import (
 	"fmt"
 	"os"
+
+	"freejoin/internal/exec/spill"
 )
 
 func main() {
+	// A previous shell killed mid-query may have orphaned spill run
+	// files; reclaim the disk before this session writes its own.
+	if n, err := spill.SweepStale(os.TempDir(), 0); err == nil && n > 0 {
+		fmt.Fprintf(os.Stderr, "ojshell: swept %d stale spill file(s)\n", n)
+	}
 	sh := NewShell(os.Stdout)
 	defer sh.Close()
 	fmt.Println("freejoin shell — type help for commands, quit to exit")

@@ -212,84 +212,13 @@ restriction:  sigma[R.a = 1](R ->[R.a = S.a] S)
 
 // cmdTable parses "NAME(col, col) = (1, 'x'), (2, null)".
 func (s *Shell) cmdTable(rest string) error {
-	head, data, found := strings.Cut(rest, "=")
-	if !found {
-		return fmt.Errorf("usage: table NAME(col, ...) = (v, ...), ...")
-	}
-	head = strings.TrimSpace(head)
-	open := strings.IndexByte(head, '(')
-	if open < 0 || !strings.HasSuffix(head, ")") {
-		return fmt.Errorf("table header must be NAME(col, ...)")
-	}
-	name := strings.TrimSpace(head[:open])
-	var cols []string
-	for _, c := range strings.Split(head[open+1:len(head)-1], ",") {
-		cols = append(cols, strings.TrimSpace(c))
-	}
-	rel := relation.New(relation.SchemeOf(name, cols...))
-	rows, err := parseRows(data, len(cols))
+	name, rel, err := parse.TableLiteral(rest)
 	if err != nil {
 		return err
-	}
-	for _, r := range rows {
-		rel.AppendRaw(r)
 	}
 	s.cat.AddRelation(name, rel)
 	fmt.Fprintf(s.out, "table %s: %d rows\n", name, rel.Len())
 	return nil
-}
-
-// parseRows parses "(v, ...), (v, ...)" with int, float, 'string', null.
-func parseRows(data string, arity int) ([][]relation.Value, error) {
-	var out [][]relation.Value
-	data = strings.TrimSpace(data)
-	for data != "" {
-		if !strings.HasPrefix(data, "(") {
-			return nil, fmt.Errorf("expected '(' at %q", data)
-		}
-		end := strings.IndexByte(data, ')')
-		if end < 0 {
-			return nil, fmt.Errorf("missing ')' in %q", data)
-		}
-		fields := strings.Split(data[1:end], ",")
-		if len(fields) != arity {
-			return nil, fmt.Errorf("row has %d values, want %d", len(fields), arity)
-		}
-		row := make([]relation.Value, len(fields))
-		for i, f := range fields {
-			v, err := parseValue(strings.TrimSpace(f))
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		out = append(out, row)
-		data = strings.TrimSpace(data[end+1:])
-		data = strings.TrimPrefix(data, ",")
-		data = strings.TrimSpace(data)
-	}
-	return out, nil
-}
-
-func parseValue(f string) (relation.Value, error) {
-	switch {
-	case strings.EqualFold(f, "null"), f == "-":
-		return relation.Null(), nil
-	case strings.HasPrefix(f, "'") && strings.HasSuffix(f, "'") && len(f) >= 2:
-		return relation.Str(f[1 : len(f)-1]), nil
-	case strings.EqualFold(f, "true"):
-		return relation.Bool(true), nil
-	case strings.EqualFold(f, "false"):
-		return relation.Bool(false), nil
-	default:
-		if i, err := strconv.ParseInt(f, 10, 64); err == nil {
-			return relation.Int(i), nil
-		}
-		if fl, err := strconv.ParseFloat(f, 64); err == nil {
-			return relation.Float(fl), nil
-		}
-		return relation.Value{}, fmt.Errorf("cannot parse value %q", f)
-	}
 }
 
 func (s *Shell) cmdLoad(rest string) error {
@@ -457,7 +386,7 @@ func (s *Shell) cmdSet(rest string) error {
 			fmt.Fprintln(s.out, "memory_limit off")
 			return nil
 		}
-		n, err := parseBytes(val)
+		n, err := parse.Bytes(val)
 		if err != nil {
 			return err
 		}
@@ -550,25 +479,6 @@ func orOff(s string, off bool) string {
 		return "off"
 	}
 	return s
-}
-
-// parseBytes parses "4096", "64KB", "2MB".
-func parseBytes(v string) (int64, error) {
-	mult := int64(1)
-	upper := strings.ToUpper(v)
-	switch {
-	case strings.HasSuffix(upper, "MB"):
-		mult, v = 1<<20, v[:len(v)-2]
-	case strings.HasSuffix(upper, "KB"):
-		mult, v = 1<<10, v[:len(v)-2]
-	case strings.HasSuffix(upper, "B"):
-		v = v[:len(v)-1]
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf("cannot parse byte size %q (use N, NKB or NMB)", v)
-	}
-	return n * mult, nil
 }
 
 // execContext builds the execution context for the session's limits; the

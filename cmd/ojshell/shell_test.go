@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"freejoin/internal/parse"
 )
 
 func runScript(t *testing.T, script string) string {
@@ -158,15 +160,15 @@ func TestShellTreeListLimit(t *testing.T) {
 
 func TestParseValueForms(t *testing.T) {
 	for _, bad := range []string{"abc", "1x", "''x"} {
-		if _, err := parseValue(bad); err == nil && bad != "''x" {
-			t.Errorf("parseValue(%q) should fail", bad)
+		if _, err := parse.Value(bad); err == nil && bad != "''x" {
+			t.Errorf("parse.Value(%q) should fail", bad)
 		}
 	}
-	v, err := parseValue("3")
+	v, err := parse.Value("3")
 	if err != nil || v.AsInt() != 3 {
 		t.Error("int parse broken")
 	}
-	v, err = parseValue("2.5")
+	v, err = parse.Value("2.5")
 	if err != nil || v.AsFloat() != 2.5 {
 		t.Error("float parse broken")
 	}

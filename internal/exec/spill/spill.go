@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"freejoin/internal/obs"
@@ -48,10 +50,10 @@ type Writer struct {
 // directory is created if it does not exist yet.
 func NewWriter(ec *resource.ExecContext, op string) (*Writer, error) {
 	dir := ec.Spill().Directory()
-	f, err := os.CreateTemp(dir, "ojspill-*.run")
+	f, err := os.CreateTemp(dir, Prefix+"*.run")
 	if errors.Is(err, os.ErrNotExist) {
 		if err = os.MkdirAll(dir, 0o755); err == nil {
-			f, err = os.CreateTemp(dir, "ojspill-*.run")
+			f, err = os.CreateTemp(dir, Prefix+"*.run")
 		}
 	}
 	if err != nil {
@@ -171,4 +173,56 @@ func (r *Reader) Close() error {
 	err := r.f.Close()
 	r.f = nil
 	return err
+}
+
+// Prefix is the filename prefix of every spill run file this package
+// creates (the CreateTemp pattern is Prefix + random + ".run").
+const Prefix = "ojspill-"
+
+// DefaultStaleAge is the age past which SweepStale considers an
+// orphaned run file dead. Live queries hold their runs for seconds to
+// minutes; an hour-old run can only belong to a process that died
+// mid-query.
+const DefaultStaleAge = time.Hour
+
+// SweepStale removes ojspill-* run files in dir whose modification time
+// is older than olderThan (DefaultStaleAge when olderThan <= 0),
+// returning how many were removed. Run files are normally deleted by
+// Drop/Abort, but a process killed mid-query orphans whatever it had on
+// disk; the server and shell sweep their spill directory on startup.
+// The age threshold keeps a sweep from deleting run files a concurrently
+// running process still owns (the default spill dir is the shared OS
+// temp dir). Missing directories are not an error — there is simply
+// nothing to sweep.
+func SweepStale(dir string, olderThan time.Duration) (int, error) {
+	if olderThan <= 0 {
+		olderThan = DefaultStaleAge
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("spill: sweep %s: %w", dir, err)
+	}
+	cutoff := time.Now().Add(-olderThan)
+	removed := 0
+	var firstErr error
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), Prefix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if firstErr == nil && !errors.Is(err, os.ErrNotExist) {
+				firstErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
 }

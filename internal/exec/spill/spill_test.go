@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"freejoin/internal/relation"
 	"freejoin/internal/resource"
@@ -276,4 +277,56 @@ func TestWriterCreatesMissingDir(t *testing.T) {
 		t.Fatalf("run files leaked: %v", files)
 	}
 	_ = os.RemoveAll(dir)
+}
+
+// Startup sweep: run files orphaned by a dead process (old mtime) are
+// removed; fresh files — possibly owned by a live process sharing the
+// directory — and non-spill files survive.
+func TestSweepStale(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, age time.Duration) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-age)
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	stale1 := mk(Prefix+"dead1.run", 2*time.Hour)
+	stale2 := mk(Prefix+"dead2.run", 90*time.Minute)
+	fresh := mk(Prefix+"live.run", time.Minute)
+	other := mk("unrelated.dat", 3*time.Hour)
+
+	n, err := SweepStale(dir, 0) // 0 = DefaultStaleAge (1h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d files; want 2", n)
+	}
+	for _, gone := range []string{stale1, stale2} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("%s survived the sweep", gone)
+		}
+	}
+	for _, kept := range []string{fresh, other} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Errorf("%s was wrongly swept: %v", kept, err)
+		}
+	}
+	// A second sweep finds nothing; a missing directory is not an error.
+	if n, err := SweepStale(dir, 0); err != nil || n != 0 {
+		t.Fatalf("re-sweep = (%d, %v); want (0, nil)", n, err)
+	}
+	if n, err := SweepStale(filepath.Join(dir, "nope"), 0); err != nil || n != 0 {
+		t.Fatalf("missing-dir sweep = (%d, %v); want (0, nil)", n, err)
+	}
+	// An explicit age overrides the default: everything older than 30s.
+	mkOld := mk(Prefix+"recent.run", 10*time.Minute)
+	if n, err := SweepStale(dir, 30*time.Second); err != nil || n != 2 {
+		t.Fatalf("aged sweep = (%d, %v); want (2, nil) [%s, %s]", n, err, fresh, mkOld)
+	}
 }

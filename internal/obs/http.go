@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -48,7 +49,12 @@ type Server struct {
 	ln     net.Listener
 	srv    *http.Server
 	closed atomic.Bool
+	done   chan struct{} // closed when Serve has returned
 }
+
+// CloseDrainTimeout bounds how long Close waits for in-flight handlers
+// before forcing connections shut.
+const CloseDrainTimeout = 2 * time.Second
 
 // StartServer binds addr and serves Handler(reg, ring) on it in a
 // background goroutine. Pass nil for the process-wide defaults.
@@ -57,18 +63,37 @@ func StartServer(addr string, reg *Registry, ring *Recent) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, ring)}}
-	go s.srv.Serve(ln) // returns ErrServerClosed on Close
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, ring)}, done: make(chan struct{})}
+	go func() {
+		s.srv.Serve(ln) // returns ErrServerClosed on Close
+		close(s.done)
+	}()
 	return s, nil
 }
 
 // Addr returns the listener's resolved address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down; idempotent.
+// Close shuts the server down: the listener closes immediately (so the
+// address can be rebound — `set metrics_addr` twice must not leak the
+// first listener) and in-flight handlers get CloseDrainTimeout to
+// finish before their connections are forced shut. Idempotent and
+// nil-safe; concurrent and repeated calls return nil without waiting
+// twice.
 func (s *Server) Close() error {
 	if s == nil || s.closed.Swap(true) {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), CloseDrainTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain timed out (or the context failed): force-close whatever
+		// is still open so nothing leaks.
+		if cerr := s.srv.Close(); err == context.DeadlineExceeded && cerr != nil {
+			err = cerr
+		}
+	}
+	<-s.done // Serve has returned; the accept goroutine is gone
+	return err
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -92,5 +93,82 @@ func TestStartServerResolvesAddr(t *testing.T) {
 	}
 	if err := s.Close(); err != nil { // idempotent
 		t.Fatal(err)
+	}
+}
+
+// The rebind regression: "set metrics_addr" issued twice must not leak
+// the previous listener or its accept goroutine. Two successive binds to
+// 127.0.0.1:0 with a Close in between; the first address must stop
+// answering (listener really closed) while the second serves.
+func TestServerRebindNoLeak(t *testing.T) {
+	first, err := StartServer("127.0.0.1:0", nil, NewRecent(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstAddr := first.Addr()
+	if _, err := http.Get("http://" + firstAddr + "/healthz"); err != nil {
+		t.Fatalf("first bind not serving: %v", err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	second, err := StartServer("127.0.0.1:0", nil, NewRecent(4))
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer second.Close()
+	// The old address must be dead — a lingering listener would accept.
+	if conn, err := net.DialTimeout("tcp", firstAddr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("first listener still accepting after Close")
+	}
+	resp, err := http.Get("http://" + second.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("second bind not serving: %v", err)
+	}
+	resp.Body.Close()
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent — repeated and on nil.
+	if err := second.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	// Close waits on the Serve goroutine's exit channel, so both accept
+	// goroutines are provably gone here; no global count needed (other
+	// tests' transport goroutines would make one flaky).
+}
+
+// Close must drain an in-flight handler rather than cut it off.
+func TestServerCloseDrainsHandlers(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := StartServer("127.0.0.1:0", reg, NewRecent(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow scrape: hold the response open by requesting /metrics on a
+	// raw connection and reading after Close begins.
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- err
+	}()
+	// Give the request a moment to be in flight, then close.
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight scrape was cut off: %v", err)
 	}
 }

@@ -232,6 +232,28 @@ func (qt *QueryTrace) Finish(err error) {
 	}
 }
 
+// Reject seals the trace for a query turned away by admission control
+// before execution started. It counts as rejected — not failed — so the
+// server invariant `started = completed + failed + rejected` holds over
+// the lifecycle counters. The record still lands in the ring buffer
+// (with the rejection text as its error) so /debug/queries shows what
+// was turned away. Idempotent and nil-safe, like Finish.
+func (qt *QueryTrace) Reject(err error) {
+	if qt == nil || qt.done {
+		return
+	}
+	qt.done = true
+	qt.Rec.Duration = time.Since(qt.Rec.Start)
+	if err != nil {
+		qt.Rec.Err = err.Error()
+	}
+	QueriesRejected.Inc()
+	QueriesActive.Dec()
+	if qt.t != nil {
+		qt.t.ring.Add(qt.Rec)
+	}
+}
+
 // chromeEvent is one entry of the Chrome trace-event format ("X" =
 // complete event with explicit duration, "M" = metadata). Timestamps
 // and durations are microseconds; tid groups one query's spans onto one

@@ -28,7 +28,7 @@ func (o *Optimizer) optimizeGraphCached(g *graph.Graph, filters map[string]predi
 	if tr != nil {
 		tr.Fingerprint = fp.String()
 	}
-	v, outcome, err := o.Cache.Do(fp, o.cat.StatsEpoch(), func() (any, error) {
+	v, outcome, err := o.Cache.DoAt(fp, o.cat.StatsEpoch, func() (any, error) {
 		return o.optimizeGraph(g, filters, tr)
 	})
 	if tr != nil {

@@ -10,6 +10,7 @@ import (
 	"freejoin/internal/plancache"
 	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
+	"freejoin/internal/storage"
 	"freejoin/internal/workload"
 )
 
@@ -218,4 +219,70 @@ func TestPlanCacheConcurrentSingleflight(t *testing.T) {
 	if d := obs.DPSubsets.Value() - subsets0; d != int64(refTr.Subsets) {
 		t.Fatalf("DP subsets delta = %d; want %d (one run)", d, refTr.Subsets)
 	}
+}
+
+// The epoch-race satellite: concurrent catalog Adds (driving
+// Table.onChange epoch bumps) while identical queries plan and execute
+// through the shared cache. Under -race this exercises the catalog and
+// table locks; the cache's insert-time epoch revalidation keeps any
+// plan computed across an Add from being served stale. The re-added
+// table carries the same rows, so every execution must agree with the
+// pre-storm reference result.
+func TestPlanCacheConcurrentAddExecute(t *testing.T) {
+	o, q := cacheFixture(t, 106)
+	cat := o.CatalogOf()
+	name := cat.Tables()[0]
+	tab, err := cat.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := tab.Relation()
+
+	refPlan, _, err := o.OptimizeTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := o.ExecuteCtx(nil, refPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the concurrent Add: same data, fresh Table, epoch bumps
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cat.Add(storage.NewTable(name, rel))
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p, _, err := o.OptimizeTrace(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, _, err := o.ExecuteCtx(nil, p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !got.EqualBag(want) {
+					t.Error("execution under concurrent Add diverged from reference")
+					return
+				}
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,0 +1,116 @@
+package parse
+
+// Table-literal and byte-size parsing shared by the interactive shell
+// (cmd/ojshell) and the query server (internal/server): both speak the
+// same "table NAME(col, ...) = (v, ...), ..." command syntax.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"freejoin/internal/relation"
+)
+
+// TableLiteral parses "NAME(col, col) = (1, 'x'), (2, null)" into a
+// named relation. Values are int, float, 'string', true/false, and null
+// (or "-") for the null value.
+func TableLiteral(src string) (string, *relation.Relation, error) {
+	head, data, found := strings.Cut(src, "=")
+	if !found {
+		return "", nil, fmt.Errorf("usage: table NAME(col, ...) = (v, ...), ...")
+	}
+	head = strings.TrimSpace(head)
+	open := strings.IndexByte(head, '(')
+	if open < 0 || !strings.HasSuffix(head, ")") {
+		return "", nil, fmt.Errorf("table header must be NAME(col, ...)")
+	}
+	name := strings.TrimSpace(head[:open])
+	var cols []string
+	for _, c := range strings.Split(head[open+1:len(head)-1], ",") {
+		cols = append(cols, strings.TrimSpace(c))
+	}
+	rel := relation.New(relation.SchemeOf(name, cols...))
+	rows, err := Rows(data, len(cols))
+	if err != nil {
+		return "", nil, err
+	}
+	for _, r := range rows {
+		rel.AppendRaw(r)
+	}
+	return name, rel, nil
+}
+
+// Rows parses "(v, ...), (v, ...)" with int, float, 'string', null.
+func Rows(data string, arity int) ([][]relation.Value, error) {
+	var out [][]relation.Value
+	data = strings.TrimSpace(data)
+	for data != "" {
+		if !strings.HasPrefix(data, "(") {
+			return nil, fmt.Errorf("expected '(' at %q", data)
+		}
+		end := strings.IndexByte(data, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("missing ')' in %q", data)
+		}
+		fields := strings.Split(data[1:end], ",")
+		if len(fields) != arity {
+			return nil, fmt.Errorf("row has %d values, want %d", len(fields), arity)
+		}
+		row := make([]relation.Value, len(fields))
+		for i, f := range fields {
+			v, err := Value(strings.TrimSpace(f))
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+		data = strings.TrimSpace(data[end+1:])
+		data = strings.TrimPrefix(data, ",")
+		data = strings.TrimSpace(data)
+	}
+	return out, nil
+}
+
+// Value parses one literal value: null/-, 'string', true/false, int,
+// float.
+func Value(f string) (relation.Value, error) {
+	switch {
+	case strings.EqualFold(f, "null"), f == "-":
+		return relation.Null(), nil
+	case strings.HasPrefix(f, "'") && strings.HasSuffix(f, "'") && len(f) >= 2:
+		return relation.Str(f[1 : len(f)-1]), nil
+	case strings.EqualFold(f, "true"):
+		return relation.Bool(true), nil
+	case strings.EqualFold(f, "false"):
+		return relation.Bool(false), nil
+	default:
+		if i, err := strconv.ParseInt(f, 10, 64); err == nil {
+			return relation.Int(i), nil
+		}
+		if fl, err := strconv.ParseFloat(f, 64); err == nil {
+			return relation.Float(fl), nil
+		}
+		return relation.Value{}, fmt.Errorf("cannot parse value %q", f)
+	}
+}
+
+// Bytes parses a byte size: "4096", "64KB", "2MB".
+func Bytes(v string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(v)
+	switch {
+	case strings.HasSuffix(upper, "MB"):
+		mult, v = 1<<20, v[:len(v)-2]
+	case strings.HasSuffix(upper, "KB"):
+		mult, v = 1<<10, v[:len(v)-2]
+	case strings.HasSuffix(upper, "B"):
+		v = v[:len(v)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("cannot parse byte size %q (use N, NKB or NMB)", v)
+	}
+	return n * mult, nil
+}

@@ -120,15 +120,29 @@ func flightKey(canon string, epoch uint64) string {
 	return string(b)
 }
 
-// Do looks up the plan for fp at the given stats epoch, calling compute
-// to produce it on a miss. Concurrent Do calls with the same
+// Do looks up the plan for fp at the given fixed stats epoch, calling
+// compute to produce it on a miss. Concurrent Do calls with the same
 // fingerprint and epoch run compute exactly once; the others block and
 // share the result (including an error — an error is never cached, so
 // the next lookup retries). The returned Outcome says which path was
 // taken. The cached value is shared across callers and must be treated
 // as immutable.
 func (c *Cache) Do(fp Fingerprint, epoch uint64, compute func() (any, error)) (any, Outcome, error) {
+	return c.DoAt(fp, func() uint64 { return epoch }, compute)
+}
+
+// DoAt is Do against a live epoch source (typically
+// storage.Catalog.StatsEpoch). The epoch is read once before the lookup
+// and re-read after compute returns: a plan computed against epoch E is
+// cached only if the catalog is still at E at insert time. Without the
+// revalidation, a catalog change landing between the lookup and the
+// insert (a concurrent Add's Table.onChange bump) would cache a plan
+// computed against partly stale statistics under the new epoch, serving
+// it until the next bump. The caller still receives the computed plan —
+// it is correct to execute, merely not worth caching.
+func (c *Cache) DoAt(fp Fingerprint, epochAt func() uint64, compute func() (any, error)) (any, Outcome, error) {
 	start := time.Now()
+	epoch := epochAt()
 	fkey := flightKey(fp.Canon, epoch)
 
 	c.mu.Lock()
@@ -166,7 +180,14 @@ func (c *Cache) Do(fp Fingerprint, epoch uint64, compute func() (any, error)) (a
 		delete(c.flights, fkey)
 	}
 	if err == nil {
-		c.insertLocked(fp.Canon, epoch, value)
+		if now := epochAt(); now == epoch {
+			c.insertLocked(fp.Canon, epoch, value)
+		} else {
+			// The catalog moved while compute ran; the result may reflect a
+			// mix of old and new statistics. Hand it to the caller but keep
+			// it out of the cache.
+			obs.PlanCacheStaleSkips.Inc()
+		}
 	}
 	c.mu.Unlock()
 	close(fl.done)

@@ -195,3 +195,85 @@ func TestCacheDefaultCapacity(t *testing.T) {
 		t.Fatalf("cap = %d; want %d", c.cap, DefaultCapacity)
 	}
 }
+
+// A plan computed against epoch E must not be cached once the catalog
+// has moved past E: DoAt re-reads the epoch at insert time and skips the
+// insert, so the next lookup re-optimizes instead of serving a plan that
+// may mix old and new statistics.
+func TestDoAtStaleInsertSkipped(t *testing.T) {
+	c := New(4)
+	stale0 := obs.PlanCacheStaleSkips.Value()
+	var epoch atomic.Uint64
+	epoch.Store(1)
+	v, out, err := c.DoAt(fp("q"), epoch.Load, func() (any, error) {
+		// The catalog changes while the DP runs (a concurrent Add).
+		epoch.Store(2)
+		return "stale-plan", nil
+	})
+	if err != nil || out != Miss || v != "stale-plan" {
+		t.Fatalf("DoAt = (%v, %v, %v); want (stale-plan, miss, nil)", v, out, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale plan was cached (Len = %d); want 0", c.Len())
+	}
+	if got := obs.PlanCacheStaleSkips.Value() - stale0; got != 1 {
+		t.Fatalf("stale-skip delta = %d; want 1", got)
+	}
+	// The next lookup (current epoch) must recompute and cache normally.
+	v, out, err = c.DoAt(fp("q"), epoch.Load, func() (any, error) { return "fresh-plan", nil })
+	if err != nil || out != Miss || v != "fresh-plan" {
+		t.Fatalf("post-skip DoAt = (%v, %v, %v); want (fresh-plan, miss, nil)", v, out, err)
+	}
+	if _, out, _ = c.DoAt(fp("q"), epoch.Load, func() (any, error) { return "x", nil }); out != Hit {
+		t.Fatalf("fresh plan did not hit (outcome %v)", out)
+	}
+}
+
+// Race-targeted: concurrent epoch bumps and lookups must never let a
+// hit observe a plan tagged with an epoch other than the one it was
+// computed under. Run with -race.
+func TestDoAtConcurrentEpochBumps(t *testing.T) {
+	c := New(8)
+	var epoch atomic.Uint64
+	epoch.Store(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the "concurrent Add" driving Table.onChange bumps
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				epoch.Add(1)
+				runtime.Gosched()
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v, _, err := c.DoAt(fp("q"), epoch.Load, func() (any, error) {
+					// The value records the epoch the "DP" ran under (read
+					// after the lookup read, like the real optimizer reading
+					// catalog stats).
+					return epoch.Load(), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := v.(uint64)
+				if got > epoch.Load() {
+					t.Errorf("plan from the future: computed at %d, now %d", got, epoch.Load())
+					return
+				}
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -145,8 +145,8 @@ func (g *Governor) Reserve(op string, rows, bytes int64) *ResourceError {
 	ur := g.usedRows.Add(rows)
 	ub := g.usedBytes.Add(bytes)
 	if (g.limitRows > 0 && ur > g.limitRows) || (g.limitBytes > 0 && ub > g.limitBytes) {
-		g.usedRows.Add(-rows)
-		g.usedBytes.Add(-bytes)
+		subClamped(&g.usedRows, rows)
+		subClamped(&g.usedBytes, bytes)
 		e := &ResourceError{
 			Kind: MemoryExceeded, Operator: op,
 			UsedRows: ur, LimitRows: g.limitRows,
@@ -161,12 +161,32 @@ func (g *Governor) Reserve(op string, rows, bytes int64) *ResourceError {
 
 // Release returns previously reserved rows/bytes to the budget. Release
 // on a nil governor is a no-op.
+//
+// The counters clamp at zero: a double release — a re-Open after a trip
+// racing a concurrent cancellation's unwind through the same operator —
+// must not drive `used` negative, which would mint free budget for every
+// other query sharing the governor's pool.
 func (g *Governor) Release(rows, bytes int64) {
 	if g == nil {
 		return
 	}
-	g.usedRows.Add(-rows)
-	g.usedBytes.Add(-bytes)
+	subClamped(&g.usedRows, rows)
+	subClamped(&g.usedBytes, bytes)
+}
+
+// subClamped subtracts n from c, flooring at zero (CAS loop so
+// concurrent releases cannot jointly underflow).
+func subClamped(c *atomic.Int64, n int64) {
+	for {
+		cur := c.Load()
+		next := cur - n
+		if next < 0 {
+			next = 0
+		}
+		if c.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // SetSpillLimit configures the spill-bytes budget: the total size of the
@@ -196,7 +216,7 @@ func (g *Governor) ReserveSpill(op string, bytes int64) *ResourceError {
 	}
 	ub := g.usedSpill.Add(bytes)
 	if g.limitSpill > 0 && ub > g.limitSpill {
-		g.usedSpill.Add(-bytes)
+		subClamped(&g.usedSpill, bytes)
 		e := &ResourceError{
 			Kind: SpillExceeded, Operator: op,
 			UsedBytes: ub, LimitBytes: g.limitSpill,
@@ -209,12 +229,12 @@ func (g *Governor) ReserveSpill(op string, bytes int64) *ResourceError {
 }
 
 // ReleaseSpill returns previously reserved spill bytes (a dropped run
-// file) to the budget. Nil-safe.
+// file) to the budget, clamping at zero like Release. Nil-safe.
 func (g *Governor) ReleaseSpill(bytes int64) {
 	if g == nil {
 		return
 	}
-	g.usedSpill.Add(-bytes)
+	subClamped(&g.usedSpill, bytes)
 }
 
 // UsedSpillBytes returns the spill-file bytes currently reserved.

@@ -146,3 +146,67 @@ func TestResourceErrorMessage(t *testing.T) {
 		t.Errorf("bare message = %q", (&ResourceError{Kind: Cancelled}).Error())
 	}
 }
+
+// A double release (re-Open after a trip racing a concurrent
+// cancellation's unwind) must clamp at zero, not mint negative usage
+// that would hand free budget to other queries sharing the governor.
+func TestGovernorDoubleReleaseClamps(t *testing.T) {
+	g := NewGovernor(10, 1000)
+	if err := g.Reserve("op", 4, 400); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(4, 400)
+	g.Release(4, 400) // the bug: drove used to -4 rows / -400 bytes
+	if r, b := g.UsedRows(), g.UsedBytes(); r != 0 || b != 0 {
+		t.Fatalf("after double release used = (%d rows, %d bytes); want (0, 0)", r, b)
+	}
+	// The budget must still enforce the true limit: 10 rows fit, 11 trip.
+	if err := g.Reserve("op", 10, 0); err != nil {
+		t.Fatalf("10 rows must fit a 10-row budget after clamp: %v", err)
+	}
+	if err := g.Reserve("op", 1, 0); err == nil {
+		t.Fatal("11th row must trip; the double release minted budget")
+	}
+}
+
+func TestGovernorSpillDoubleReleaseClamps(t *testing.T) {
+	g := NewGovernor(0, 0)
+	g.SetSpillLimit(1000)
+	if err := g.ReserveSpill("sort", 600); err != nil {
+		t.Fatal(err)
+	}
+	g.ReleaseSpill(600)
+	g.ReleaseSpill(600)
+	if b := g.UsedSpillBytes(); b != 0 {
+		t.Fatalf("after double release spill used = %d; want 0", b)
+	}
+	if err := g.ReserveSpill("sort", 1000); err != nil {
+		t.Fatalf("full spill budget must fit after clamp: %v", err)
+	}
+	if err := g.ReserveSpill("sort", 1); err == nil {
+		t.Fatal("over-budget spill reserve must trip")
+	}
+}
+
+// Concurrent double releases across goroutines (the cancellation-unwind
+// shape: every worker and the coordinator racing to return the same
+// hold) must never leave the counters negative. Run with -race.
+func TestGovernorConcurrentDoubleRelease(t *testing.T) {
+	g := NewGovernor(0, 1<<30)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = g.Reserve("op", 1, 64)
+				g.Release(1, 64)
+				g.Release(1, 64) // deliberate double release
+			}
+		}()
+	}
+	wg.Wait()
+	if r, b := g.UsedRows(), g.UsedBytes(); r < 0 || b < 0 {
+		t.Fatalf("negative usage after concurrent double releases: (%d, %d)", r, b)
+	}
+}

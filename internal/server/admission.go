@@ -1,0 +1,291 @@
+// Package server is the long-running concurrent query server: many TCP
+// sessions speaking a line/JSON protocol over one shared-everything core
+// (one catalog, one plan cache, one tracer), with admission control
+// drawing per-query governor budgets from process-wide memory and spill
+// pools.
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freejoin/internal/obs"
+)
+
+// Admission defaults; AdmissionConfig zero values resolve to these.
+const (
+	DefaultMaxConcurrent = 8
+	DefaultQueueDepth    = 32
+)
+
+// RejectReason classifies why admission turned a query away.
+type RejectReason uint8
+
+const (
+	// RejectQueueFull: the concurrency slots and the wait queue are both
+	// full — the server is saturated and sheds load instead of queueing
+	// without bound.
+	RejectQueueFull RejectReason = iota + 1
+	// RejectOversized: the query's budget request exceeds the whole
+	// pool, so it could never be admitted; waiting would deadlock it at
+	// the queue head.
+	RejectOversized
+)
+
+func (r RejectReason) String() string {
+	switch r {
+	case RejectQueueFull:
+		return "queue_full"
+	case RejectOversized:
+		return "oversized"
+	default:
+		return "unknown"
+	}
+}
+
+// AdmissionRejectedError is the typed error for a query the server
+// refused to run. It is a rejection (shed load), not a failure: the
+// tracer counts it under oj_queries_rejected_total, preserving
+// started = completed + failed + rejected.
+type AdmissionRejectedError struct {
+	Reason RejectReason
+	Active int   // queries holding a slot at decision time
+	Queued int   // queries waiting at decision time
+	Need   int64 // bytes requested (oversized only)
+	Pool   int64 // capacity of the pool the request exceeded (oversized only)
+}
+
+func (e *AdmissionRejectedError) Error() string {
+	if e.Reason == RejectOversized {
+		return fmt.Sprintf("admission rejected (oversized): request of %d bytes exceeds the whole pool of %d bytes", e.Need, e.Pool)
+	}
+	return fmt.Sprintf("admission rejected (queue full): %d active, %d queued", e.Active, e.Queued)
+}
+
+// IsAdmissionRejected reports whether err is an admission rejection.
+func IsAdmissionRejected(err error) bool {
+	var r *AdmissionRejectedError
+	return errors.As(err, &r)
+}
+
+// AdmissionConfig sizes the admission controller. Zero values mean the
+// defaults for the counts and "unlimited" for the byte pools; a
+// negative QueueDepth disables waiting entirely (admit or reject).
+type AdmissionConfig struct {
+	MaxConcurrent  int   // concurrency slots (0 → DefaultMaxConcurrent)
+	QueueDepth     int   // wait-queue bound (0 → DefaultQueueDepth, <0 → no queue)
+	PoolBytes      int64 // process-wide memory pool (0 → unlimited)
+	SpillPoolBytes int64 // process-wide spill pool (0 → unlimited)
+}
+
+func (c AdmissionConfig) maxConcurrent() int {
+	if c.MaxConcurrent <= 0 {
+		return DefaultMaxConcurrent
+	}
+	return c.MaxConcurrent
+}
+
+func (c AdmissionConfig) queueDepth() int {
+	switch {
+	case c.QueueDepth < 0:
+		return 0
+	case c.QueueDepth == 0:
+		return DefaultQueueDepth
+	default:
+		return c.QueueDepth
+	}
+}
+
+// Admission gates query execution over shared resources: a bounded
+// number of concurrent queries, each holding a byte grant from the
+// process-wide memory and spill pools. Requests that do not fit wait in
+// a bounded FIFO queue; a full queue or an impossible request rejects
+// with a typed *AdmissionRejectedError so clients can back off.
+//
+// Promotion is strict FIFO: a release admits waiters from the head and
+// stops at the first that does not fit, so a large request cannot be
+// starved by a stream of small ones slipping past it.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu        sync.Mutex
+	active    int
+	usedBytes int64
+	usedSpill int64
+	waiters   *list.List // of *waiter, FIFO
+}
+
+type waiter struct {
+	mem, spill int64
+	ready      chan *Grant // buffered 1: a releaser hands the grant over
+}
+
+// NewAdmission builds an admission controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{cfg: cfg, waiters: list.New()}
+}
+
+// Config returns the resolved configuration.
+func (a *Admission) Config() AdmissionConfig {
+	cfg := a.cfg
+	cfg.MaxConcurrent = a.cfg.maxConcurrent()
+	cfg.QueueDepth = a.cfg.queueDepth()
+	return cfg
+}
+
+// AdmissionStats is a point-in-time snapshot for status reporting.
+type AdmissionStats struct {
+	Active         int   `json:"active"`
+	Queued         int   `json:"queued"`
+	UsedBytes      int64 `json:"used_bytes"`
+	UsedSpillBytes int64 `json:"used_spill_bytes"`
+}
+
+// Stats snapshots the controller state.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{Active: a.active, Queued: a.waiters.Len(),
+		UsedBytes: a.usedBytes, UsedSpillBytes: a.usedSpill}
+}
+
+// Acquire asks for a concurrency slot plus mem bytes from the memory
+// pool and spill bytes from the spill pool. It returns a *Grant to
+// Release when the query finishes, an *AdmissionRejectedError when the
+// server sheds the query, or ctx.Err() when the context expires while
+// waiting in the queue (a failure of this query, not a rejection).
+func (a *Admission) Acquire(ctx context.Context, mem, spill int64) (*Grant, error) {
+	if mem < 0 {
+		mem = 0
+	}
+	if spill < 0 {
+		spill = 0
+	}
+	if a.cfg.PoolBytes > 0 && mem > a.cfg.PoolBytes {
+		obs.AdmissionOversized.Inc()
+		return nil, &AdmissionRejectedError{Reason: RejectOversized, Need: mem, Pool: a.cfg.PoolBytes}
+	}
+	if a.cfg.SpillPoolBytes > 0 && spill > a.cfg.SpillPoolBytes {
+		obs.AdmissionOversized.Inc()
+		return nil, &AdmissionRejectedError{Reason: RejectOversized, Need: spill, Pool: a.cfg.SpillPoolBytes}
+	}
+
+	a.mu.Lock()
+	// Admit immediately only when nobody is waiting — otherwise this
+	// request would jump the FIFO queue.
+	if a.waiters.Len() == 0 && a.fitsLocked(mem, spill) {
+		g := a.admitLocked(mem, spill)
+		a.mu.Unlock()
+		obs.AdmissionAdmitted.Inc()
+		return g, nil
+	}
+	if a.waiters.Len() >= a.cfg.queueDepth() {
+		act, q := a.active, a.waiters.Len()
+		a.mu.Unlock()
+		obs.AdmissionQueueFull.Inc()
+		return nil, &AdmissionRejectedError{Reason: RejectQueueFull, Active: act, Queued: q}
+	}
+	w := &waiter{mem: mem, spill: spill, ready: make(chan *Grant, 1)}
+	el := a.waiters.PushBack(w)
+	a.mu.Unlock()
+	obs.AdmissionQueuedTotal.Inc()
+	obs.AdmissionQueueDepth.Inc()
+	t0 := time.Now()
+
+	select {
+	case g := <-w.ready:
+		obs.AdmissionQueueDepth.Dec()
+		obs.AdmissionWaitLatency.Observe(time.Since(t0).Seconds())
+		obs.AdmissionAdmitted.Inc()
+		return g, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.waiters.Remove(el) // no-op if a releaser already popped us
+		a.mu.Unlock()
+		obs.AdmissionQueueDepth.Dec()
+		obs.AdmissionCancelled.Inc()
+		select {
+		case g := <-w.ready:
+			// Lost the race: a releaser granted us just as the context
+			// expired. Hand the budget straight back so it is not leaked.
+			g.Release()
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// fitsLocked reports whether a request fits right now. Caller holds mu.
+func (a *Admission) fitsLocked(mem, spill int64) bool {
+	if a.active >= a.cfg.maxConcurrent() {
+		return false
+	}
+	if a.cfg.PoolBytes > 0 && a.usedBytes+mem > a.cfg.PoolBytes {
+		return false
+	}
+	if a.cfg.SpillPoolBytes > 0 && a.usedSpill+spill > a.cfg.SpillPoolBytes {
+		return false
+	}
+	return true
+}
+
+// admitLocked charges the pools and builds the grant. Caller holds mu.
+func (a *Admission) admitLocked(mem, spill int64) *Grant {
+	a.active++
+	a.usedBytes += mem
+	a.usedSpill += spill
+	a.publishLocked()
+	return &Grant{a: a, mem: mem, spill: spill}
+}
+
+// publishLocked mirrors the controller state into the gauges.
+func (a *Admission) publishLocked() {
+	obs.AdmissionActive.Set(int64(a.active))
+	obs.AdmissionPoolUsed.Set(a.usedBytes)
+	obs.AdmissionSpillPoolUsed.Set(a.usedSpill)
+}
+
+// Grant is an admitted query's hold on a concurrency slot and its pool
+// bytes. Release is idempotent, so a deferred Release composes with an
+// early one on the error path.
+type Grant struct {
+	a          *Admission
+	mem, spill int64
+	released   atomic.Bool
+}
+
+// Bytes is the memory budget granted (0 = ungoverned).
+func (g *Grant) Bytes() int64 { return g.mem }
+
+// SpillBytes is the spill budget granted (0 = ungoverned).
+func (g *Grant) SpillBytes() int64 { return g.spill }
+
+// Release returns the slot and bytes to the pools and promotes waiters
+// from the queue head while they fit.
+func (g *Grant) Release() {
+	if g == nil || g.released.Swap(true) {
+		return
+	}
+	a := g.a
+	a.mu.Lock()
+	a.active--
+	a.usedBytes -= g.mem
+	a.usedSpill -= g.spill
+	for e := a.waiters.Front(); e != nil; {
+		w := e.Value.(*waiter)
+		if !a.fitsLocked(w.mem, w.spill) {
+			break
+		}
+		next := e.Next()
+		a.waiters.Remove(e)
+		w.ready <- a.admitLocked(w.mem, w.spill)
+		e = next
+	}
+	a.publishLocked()
+	a.mu.Unlock()
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediate(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2, PoolBytes: 100})
+	g1, err := a.Acquire(context.Background(), 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := a.Acquire(context.Background(), 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Active != 2 || st.UsedBytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	g1.Release()
+	g2.Release()
+	st = a.Stats()
+	if st.Active != 0 || st.UsedBytes != 0 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+}
+
+func TestAdmissionOversizedRejected(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2, PoolBytes: 100})
+	_, err := a.Acquire(context.Background(), 101, 0)
+	var rej *AdmissionRejectedError
+	if !errors.As(err, &rej) || rej.Reason != RejectOversized {
+		t.Fatalf("want oversized rejection, got %v", err)
+	}
+	if !IsAdmissionRejected(err) {
+		t.Fatal("IsAdmissionRejected(oversized) = false")
+	}
+	// Spill pool checked independently.
+	a = NewAdmission(AdmissionConfig{SpillPoolBytes: 50})
+	_, err = a.Acquire(context.Background(), 0, 51)
+	if !errors.As(err, &rej) || rej.Reason != RejectOversized {
+		t.Fatalf("want spill-oversized rejection, got %v", err)
+	}
+}
+
+func TestAdmissionQueueFullRejected(t *testing.T) {
+	// One slot, no queue: the second concurrent query is shed, not queued.
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: -1})
+	g, err := a.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Acquire(context.Background(), 0, 0)
+	var rej *AdmissionRejectedError
+	if !errors.As(err, &rej) || rej.Reason != RejectQueueFull {
+		t.Fatalf("want queue-full rejection, got %v", err)
+	}
+	if rej.Active != 1 {
+		t.Fatalf("rejection snapshot = %+v", rej)
+	}
+	g.Release()
+	// The slot is free again.
+	g2, err := a.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Release()
+}
+
+func TestAdmissionQueueFIFO(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 8})
+	g, err := a.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue three waiters; record the order they are admitted in.
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, 3)
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize enqueue order: waiter i enqueues only after
+			// waiter i-1 is in the queue.
+			for a.Stats().Queued < i-1 {
+				time.Sleep(time.Millisecond)
+			}
+			ready <- struct{}{}
+			gi, err := a.Acquire(context.Background(), 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			gi.Release()
+		}(i)
+	}
+	// Wait until all three are queued, then release the slot.
+	for i := 0; i < 3; i++ {
+		<-ready
+	}
+	for a.Stats().Queued < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	g.Release()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("admission order = %v, want FIFO [1 2 3]", order)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 8})
+	g, err := a.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 0, 0)
+		errc <- err
+	}()
+	for a.Stats().Queued < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter error = %v", err)
+	}
+	if q := a.Stats().Queued; q != 0 {
+		t.Fatalf("cancelled waiter still queued: %d", q)
+	}
+	g.Release()
+	// The pool must be fully recovered even if the release raced the
+	// cancellation (the handed-back grant path).
+	st := a.Stats()
+	if st.Active != 0 || st.UsedBytes != 0 {
+		t.Fatalf("stats after cancel+release = %+v", st)
+	}
+}
+
+// Admission must never overcommit: under a storm of concurrent
+// acquire/release cycles the granted bytes stay within the pool and the
+// active count within the slots.
+func TestAdmissionNeverOvercommits(t *testing.T) {
+	const (
+		slots = 4
+		pool  = 1000
+		per   = 300 // 3 fit, 4th must wait
+	)
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: slots, QueueDepth: 64, PoolBytes: pool})
+	var peakViolations atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g, err := a.Acquire(context.Background(), per, 0)
+				if err != nil {
+					continue // queue-full shed is fine; overcommit is not
+				}
+				st := a.Stats()
+				if st.Active > slots || st.UsedBytes > pool {
+					peakViolations.Add(1)
+				}
+				g.Release()
+				g.Release() // double release must be harmless
+			}
+		}()
+	}
+	wg.Wait()
+	if n := peakViolations.Load(); n > 0 {
+		t.Fatalf("admission overcommitted %d times", n)
+	}
+	st := a.Stats()
+	if st.Active != 0 || st.UsedBytes != 0 || st.Queued != 0 {
+		t.Fatalf("pool not fully recovered: %+v", st)
+	}
+}

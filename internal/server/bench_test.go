@@ -1,0 +1,65 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+
+	"freejoin/internal/workload"
+)
+
+// BenchmarkServerConcurrent16 drives 16 concurrent TCP clients of mixed
+// query shapes (the metamorphic mix, plan cache warm) through one
+// server and reports end-to-end latency percentiles alongside the
+// standard per-op time:
+//
+//	p50-ns/op, p95-ns/op, p99-ns/op
+//
+// benchjson files these custom units under "extra" in the dated
+// baseline, so concurrency latency drift is tracked across PRs like
+// ns/op drift.
+func BenchmarkServerConcurrent16(b *testing.B) {
+	const clients = 16
+	srv := startTestServer(b, Config{MaxConcurrent: 8, QueueDepth: 64})
+	core := srv.Core()
+
+	rnd := rand.New(rand.NewSource(1))
+	queries, names := workload.QueryMix(rnd, 8)
+	for _, name := range names {
+		core.Catalog().AddRelation(name, workload.RandomRelation(rnd, name, 40))
+	}
+	conns := make([]*testClient, clients)
+	for i := range conns {
+		conns[i] = dialServer(b, srv.Addr())
+	}
+	// Warm the shared plan cache so the steady state is measured.
+	for _, q := range queries {
+		conns[0].mustOK("query " + q)
+	}
+
+	perClient := (b.N + clients - 1) / clients
+	b.ResetTimer()
+	d := &workload.Driver{
+		Clients:   clients,
+		PerClient: perClient,
+		Exec: func(client, iter int) workload.Outcome {
+			q := queries[(client*perClient+iter)%len(queries)]
+			r := conns[client].send("query " + q)
+			switch {
+			case r.OK:
+				return workload.OutcomeOK
+			case r.Code == CodeAdmissionRejected:
+				return workload.OutcomeRejected
+			default:
+				return workload.OutcomeFailed
+			}
+		},
+	}
+	rep := d.Run()
+	b.StopTimer()
+	if rep.OK() == 0 {
+		b.Fatalf("no successful queries: %s", rep)
+	}
+	b.ReportMetric(float64(rep.Percentile(0.50).Nanoseconds()), "p50-ns/op")
+	b.ReportMetric(float64(rep.Percentile(0.95).Nanoseconds()), "p95-ns/op")
+	b.ReportMetric(float64(rep.Percentile(0.99).Nanoseconds()), "p99-ns/op")
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"time"
+
+	"freejoin/internal/obs"
+	"freejoin/internal/plancache"
+	"freejoin/internal/storage"
+)
+
+// Config parameterizes the server: the listen addresses, the admission
+// controller sizing, and the per-query defaults sessions start from
+// (sessions may lower their own limits with "set", never exceed the
+// pools).
+type Config struct {
+	Addr        string // TCP address for the query protocol ("" → 127.0.0.1:0)
+	MetricsAddr string // optional HTTP /metrics,/debug/queries,/healthz address
+
+	MaxConcurrent  int   // concurrent queries (0 → DefaultMaxConcurrent)
+	QueueDepth     int   // admission wait-queue bound (0 → DefaultQueueDepth, <0 → none)
+	PoolBytes      int64 // process-wide memory pool (0 → unlimited)
+	SpillPoolBytes int64 // process-wide spill pool (0 → unlimited)
+
+	QueryMemBytes   int64         // default per-query memory grant (0 → ungoverned)
+	QuerySpillBytes int64         // per-query spill grant when spill is on (0 → ungoverned)
+	Timeout         time.Duration // default per-query deadline, admission wait included (0 → none)
+
+	PlanCache int    // shared plan-cache capacity (0 → DefaultCapacity, <0 → disabled)
+	Spill     bool   // default spill-to-disk mode for new sessions
+	SpillDir  string // spill run-file directory ("" → OS temp dir)
+
+	SnapshotPath string // optional .fjdb catalog snapshot to restore at startup
+}
+
+// Core is the shared-everything state all sessions execute over: one
+// catalog (one stats epoch), one plan cache, one tracer ring, one
+// admission controller. Sessions are cheap; the core is the server.
+type Core struct {
+	cfg    Config
+	cat    *storage.Catalog
+	plans  *plancache.Cache
+	tracer *obs.Tracer
+	adm    *Admission
+}
+
+// NewCore builds the shared core for cfg. When cfg.SnapshotPath names a
+// catalog snapshot it is restored into the fresh catalog.
+func NewCore(cfg Config) (*Core, error) {
+	cat := storage.NewCatalog()
+	if cfg.SnapshotPath != "" {
+		restored, err := storage.LoadCatalogFile(cfg.SnapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		cat = restored
+	}
+	var plans *plancache.Cache
+	switch {
+	case cfg.PlanCache > 0:
+		plans = plancache.New(cfg.PlanCache)
+	case cfg.PlanCache == 0:
+		plans = plancache.New(plancache.DefaultCapacity)
+	}
+	return &Core{
+		cfg:    cfg,
+		cat:    cat,
+		plans:  plans,
+		tracer: obs.NewTracer(),
+		adm: NewAdmission(AdmissionConfig{
+			MaxConcurrent:  cfg.MaxConcurrent,
+			QueueDepth:     cfg.QueueDepth,
+			PoolBytes:      cfg.PoolBytes,
+			SpillPoolBytes: cfg.SpillPoolBytes,
+		}),
+	}, nil
+}
+
+// Catalog returns the shared catalog (safe for concurrent use).
+func (c *Core) Catalog() *storage.Catalog { return c.cat }
+
+// Plans returns the shared plan cache (nil when disabled).
+func (c *Core) Plans() *plancache.Cache { return c.plans }
+
+// Tracer returns the server's query tracer.
+func (c *Core) Tracer() *obs.Tracer { return c.tracer }
+
+// Admission returns the admission controller.
+func (c *Core) Admission() *Admission { return c.adm }

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"freejoin/internal/exec/spill"
+	"freejoin/internal/obs"
+)
+
+// Server accepts TCP connections on cfg.Addr and runs one Session per
+// connection over the shared Core. The protocol is line-oriented: the
+// client sends one command per line (the ojshell command syntax), the
+// server answers with exactly one JSON-encoded Response per line.
+//
+// Close is graceful and idempotent: it stops accepting, cancels the
+// base context (aborting in-flight executions through their
+// ExecContexts), unblocks connection reads, and waits for every
+// connection goroutine to exit — no goroutine, listener or connection
+// outlives it.
+type Server struct {
+	core *Core
+	ln   net.Listener
+	mon  *obs.Server // optional monitoring HTTP side
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg         sync.WaitGroup // connection goroutines
+	acceptDone chan struct{}  // closed when the accept loop returns
+	closed     atomic.Bool
+
+	nextSession atomic.Int64
+	swept       int // stale spill files reclaimed at startup
+}
+
+// Start builds the core, sweeps stale spill run files from the spill
+// directory, binds the listeners and begins serving.
+func Start(cfg Config) (*Server, error) {
+	core, err := NewCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return StartWithCore(cfg, core)
+}
+
+// StartWithCore serves an existing core — tests preload catalogs and
+// inspect shared state through it.
+func StartWithCore(cfg Config, core *Core) (*Server, error) {
+	dir := cfg.SpillDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	// A previous server killed mid-query may have orphaned spill run
+	// files; reclaim the disk before this process writes its own.
+	swept, _ := spill.SweepStale(dir, 0)
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listener: %w", err)
+	}
+	var mon *obs.Server
+	if cfg.MetricsAddr != "" {
+		mon, err = obs.StartServer(cfg.MetricsAddr, nil, core.tracer.Ring())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		core:       core,
+		ln:         ln,
+		mon:        mon,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		conns:      make(map[net.Conn]struct{}),
+		acceptDone: make(chan struct{}),
+		swept:      swept,
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the resolved query-protocol address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr is the resolved monitoring address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.mon == nil {
+		return ""
+	}
+	return s.mon.Addr()
+}
+
+// Core exposes the shared state (tests preload tables through it).
+func (s *Server) Core() *Core { return s.core }
+
+// SweptSpillFiles is how many stale spill run files startup reclaimed.
+func (s *Server) SweptSpillFiles() int { return s.swept }
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	id := s.nextSession.Add(1)
+	sess := NewSession(s.core)
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Response{OK: true,
+		Output: fmt.Sprintf("freejoin server session %d (help for commands)", id)}); err != nil {
+		return
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if line == "quit" || line == "exit" || line == `\q` {
+			enc.Encode(Response{OK: true, Output: "bye"})
+			return
+		}
+		if err := enc.Encode(sess.Exec(s.baseCtx, line)); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the server down gracefully. Safe to call repeatedly and
+// on nil.
+func (s *Server) Close() error {
+	if s == nil || s.closed.Swap(true) {
+		return nil
+	}
+	// Abort in-flight executions first so connection goroutines finish
+	// their current command quickly...
+	s.cancel()
+	// ...stop accepting...
+	err := s.ln.Close()
+	<-s.acceptDone
+	// ...unblock reads so every connection goroutine observes EOF...
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	// ...and wait for them all.
+	s.wg.Wait()
+	if s.mon != nil {
+		if merr := s.mon.Close(); err == nil {
+			err = merr
+		}
+	}
+	return err
+}

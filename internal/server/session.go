@@ -1,0 +1,403 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"freejoin/internal/exec"
+	"freejoin/internal/expr"
+	"freejoin/internal/optimizer"
+	"freejoin/internal/parse"
+	"freejoin/internal/relation"
+)
+
+// Response is the one-line JSON answer to every protocol command.
+type Response struct {
+	OK     bool   `json:"ok"`
+	Output string `json:"output,omitempty"`
+	Rows   int64  `json:"rows,omitempty"`
+	Tuples int64  `json:"tuples,omitempty"`
+	Cache  string `json:"cache,omitempty"` // plan-cache outcome (hit/miss/...)
+	Plan   string `json:"plan,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Code   string `json:"code,omitempty"` // machine-readable error class
+}
+
+// Error codes carried in Response.Code.
+const (
+	CodeUsage             = "usage"
+	CodeParse             = "parse"
+	CodePlan              = "plan"
+	CodeExec              = "exec"
+	CodeResource          = "resource"
+	CodeCancelled         = "cancelled"
+	CodeAdmissionRejected = "admission_rejected"
+	CodeUnknownCommand    = "unknown_command"
+)
+
+func errResp(code string, err error) Response {
+	return Response{Error: err.Error(), Code: code}
+}
+
+// Session is one client's state over the shared core: its resource
+// limits (seeded from the server defaults, adjustable with "set") and
+// its prepared statements. A session is used by one connection goroutine
+// at a time; all cross-session state lives in the core.
+type Session struct {
+	core *Core
+
+	timeout  time.Duration
+	memLimit int64 // per-query memory grant request
+	spill    bool
+	useCache bool // whether this session consults the shared plan cache
+
+	prepared map[string]*preparedStmt
+}
+
+type preparedStmt struct {
+	src string
+	q   *expr.Node
+}
+
+// NewSession builds a session with the core's default limits.
+func NewSession(core *Core) *Session {
+	return &Session{
+		core:     core,
+		timeout:  core.cfg.Timeout,
+		memLimit: core.cfg.QueryMemBytes,
+		spill:    core.cfg.Spill,
+		useCache: core.plans != nil,
+		prepared: make(map[string]*preparedStmt),
+	}
+}
+
+const sessionHelp = `commands (one per line; every answer is one JSON line):
+  ping                                        liveness check
+  table NAME(col, ...) = (v, ...), (v, ...)   define a table; null for nulls
+  index NAME col                              build a hash index
+  tables                                      list tables
+  query EXPR                                  optimize and execute an expression
+  explain EXPR                                show the chosen plan (no execution)
+  prepare NAME EXPR                           parse and plan a named query once
+  execute NAME                                run a prepared query (plan-cache hit)
+  set timeout DUR|off                         per-query deadline, admission wait included
+  set memory_limit N[KB|MB]|off               per-query memory grant request
+  set spill on|off                            spill to disk on memory budget trips
+  set plan_cache on|off                       consult the shared plan cache
+  set                                         show current limits
+  stats                                       admission/pool/cache snapshot
+  quit                                        close the session`
+
+// Exec runs one protocol command. ctx is the server's base context:
+// cancelling it (shutdown) aborts in-flight executions.
+func (s *Session) Exec(ctx context.Context, line string) Response {
+	cmd, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToLower(cmd) {
+	case "ping":
+		return Response{OK: true, Output: "pong"}
+	case "help":
+		return Response{OK: true, Output: sessionHelp}
+	case "table":
+		return s.cmdTable(rest)
+	case "index":
+		return s.cmdIndex(rest)
+	case "tables":
+		return s.cmdTables()
+	case "query":
+		q, err := parse.Expr(rest)
+		if err != nil {
+			return errResp(CodeParse, err)
+		}
+		resp, _ := s.runQuery(ctx, "query "+rest, q, false)
+		return resp
+	case "explain":
+		return s.cmdExplain(rest)
+	case "prepare":
+		return s.cmdPrepare(rest)
+	case "execute":
+		ps, ok := s.prepared[rest]
+		if !ok || rest == "" {
+			return errResp(CodeUsage, fmt.Errorf("no prepared query %q (use prepare NAME EXPR)", rest))
+		}
+		resp, _ := s.runQuery(ctx, "execute "+rest+": "+ps.src, ps.q, false)
+		return resp
+	case "set":
+		return s.cmdSet(rest)
+	case "stats":
+		return s.cmdStats()
+	default:
+		return errResp(CodeUnknownCommand, fmt.Errorf("unknown command %q (try help)", cmd))
+	}
+}
+
+func (s *Session) cmdTable(rest string) Response {
+	name, rel, err := parse.TableLiteral(rest)
+	if err != nil {
+		return errResp(CodeUsage, err)
+	}
+	s.core.cat.AddRelation(name, rel)
+	return Response{OK: true, Output: fmt.Sprintf("table %s: %d rows", name, rel.Len()),
+		Rows: int64(rel.Len())}
+}
+
+func (s *Session) cmdIndex(rest string) Response {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return errResp(CodeUsage, fmt.Errorf("usage: index TABLE col"))
+	}
+	t, err := s.core.cat.Table(parts[0])
+	if err != nil {
+		return errResp(CodeUsage, err)
+	}
+	if _, err := t.BuildHashIndex(parts[1]); err != nil {
+		return errResp(CodeUsage, err)
+	}
+	return Response{OK: true, Output: fmt.Sprintf("hash index on %s.%s", parts[0], parts[1])}
+}
+
+func (s *Session) cmdTables() Response {
+	names := s.core.cat.Tables()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		t, err := s.core.cat.Table(n)
+		if err != nil {
+			continue // dropped between list and lookup
+		}
+		fmt.Fprintf(&b, "%s%s  (%d rows)\n", n, t.Scheme(), t.Relation().Len())
+	}
+	return Response{OK: true, Output: strings.TrimRight(b.String(), "\n"), Rows: int64(len(names))}
+}
+
+func (s *Session) cmdExplain(rest string) Response {
+	if rest == "" {
+		return errResp(CodeUsage, fmt.Errorf("usage: explain EXPR"))
+	}
+	q, err := parse.Expr(rest)
+	if err != nil {
+		return errResp(CodeParse, err)
+	}
+	o := s.newOptimizer()
+	p, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		return errResp(CodePlan, err)
+	}
+	return Response{OK: true, Output: optimizer.Explain(p, tr), Plan: p.Tree(),
+		Cache: tr.CacheOutcome}
+}
+
+func (s *Session) cmdPrepare(rest string) Response {
+	name, src, found := strings.Cut(rest, " ")
+	src = strings.TrimSpace(src)
+	if !found || name == "" || src == "" {
+		return errResp(CodeUsage, fmt.Errorf("usage: prepare NAME EXPR"))
+	}
+	q, err := parse.Expr(src)
+	if err != nil {
+		return errResp(CodeParse, err)
+	}
+	o := s.newOptimizer()
+	_, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		return errResp(CodePlan, err)
+	}
+	s.prepared[name] = &preparedStmt{src: src, q: q}
+	return Response{OK: true, Output: "prepared " + name, Cache: tr.CacheOutcome}
+}
+
+func (s *Session) cmdSet(rest string) Response {
+	if rest == "" {
+		cache := "off"
+		if s.useCache && s.core.plans != nil {
+			cache = fmt.Sprintf("on (cap %d, %d cached)", s.core.plans.Cap(), s.core.plans.Len())
+		}
+		return Response{OK: true, Output: fmt.Sprintf(
+			"timeout: %s\nmemory_limit: %s\nspill: %s\nplan_cache: %s",
+			orOff(s.timeout.String(), s.timeout == 0),
+			orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0),
+			orOff("on", !s.spill),
+			cache)}
+	}
+	name, val, _ := strings.Cut(rest, " ")
+	val = strings.TrimSpace(val)
+	switch strings.ToLower(name) {
+	case "timeout":
+		if strings.EqualFold(val, "off") {
+			s.timeout = 0
+			return Response{OK: true, Output: "timeout off"}
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return errResp(CodeUsage, fmt.Errorf("usage: set timeout DUR|off (e.g. 500ms)"))
+		}
+		s.timeout = d
+		return Response{OK: true, Output: "timeout " + d.String()}
+	case "memory_limit":
+		if strings.EqualFold(val, "off") {
+			s.memLimit = 0
+			return Response{OK: true, Output: "memory_limit off"}
+		}
+		n, err := parse.Bytes(val)
+		if err != nil {
+			return errResp(CodeUsage, err)
+		}
+		s.memLimit = n
+		return Response{OK: true, Output: fmt.Sprintf("memory_limit %d bytes", n)}
+	case "spill":
+		switch {
+		case strings.EqualFold(val, "on"):
+			s.spill = true
+			return Response{OK: true, Output: "spill on"}
+		case strings.EqualFold(val, "off"):
+			s.spill = false
+			return Response{OK: true, Output: "spill off"}
+		default:
+			return errResp(CodeUsage, fmt.Errorf("usage: set spill on|off"))
+		}
+	case "plan_cache":
+		switch {
+		case strings.EqualFold(val, "on"):
+			if s.core.plans == nil {
+				return errResp(CodeUsage, fmt.Errorf("plan cache disabled server-wide"))
+			}
+			s.useCache = true
+			return Response{OK: true, Output: "plan_cache on"}
+		case strings.EqualFold(val, "off"):
+			s.useCache = false
+			return Response{OK: true, Output: "plan_cache off"}
+		default:
+			return errResp(CodeUsage, fmt.Errorf("usage: set plan_cache on|off"))
+		}
+	default:
+		return errResp(CodeUsage, fmt.Errorf("usage: set timeout|memory_limit|spill|plan_cache VALUE|off"))
+	}
+}
+
+func (s *Session) cmdStats() Response {
+	st := s.core.adm.Stats()
+	cfg := s.core.adm.Config()
+	var b strings.Builder
+	fmt.Fprintf(&b, "active: %d/%d\nqueued: %d/%d\npool: %d/%d bytes\nspill_pool: %d/%d bytes\ntables: %d\n",
+		st.Active, cfg.MaxConcurrent, st.Queued, cfg.QueueDepth,
+		st.UsedBytes, cfg.PoolBytes, st.UsedSpillBytes, cfg.SpillPoolBytes,
+		len(s.core.cat.Tables()))
+	if s.core.plans != nil {
+		fmt.Fprintf(&b, "plan_cache: %d/%d", s.core.plans.Len(), s.core.plans.Cap())
+	} else {
+		fmt.Fprint(&b, "plan_cache: off")
+	}
+	return Response{OK: true, Output: b.String()}
+}
+
+func orOff(s string, off bool) string {
+	if off {
+		return "off"
+	}
+	return s
+}
+
+// newOptimizer builds an optimizer carrying the session's planner
+// configuration over the shared catalog and plan cache.
+func (s *Session) newOptimizer() *optimizer.Optimizer {
+	o := optimizer.New(s.core.cat)
+	if s.useCache {
+		o.Cache = s.core.plans
+	}
+	o.Spill = s.spill
+	return o
+}
+
+// runQuery is the query lifecycle: trace, admit (queueing under the
+// session deadline), plan, execute under the granted governor, release.
+// The returned relation backs in-process correctness checks; protocol
+// clients read the rendered Output.
+func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, withPlan bool) (Response, *relation.Relation) {
+	qt := s.core.tracer.Start(label)
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	// Admission: the deadline covers the queue wait, so a saturated
+	// server times a query out rather than holding its client forever.
+	var spillNeed int64
+	if s.spill {
+		spillNeed = s.core.cfg.QuerySpillBytes
+	}
+	waitDone := qt.Span("admission")
+	grant, err := s.core.adm.Acquire(ctx, s.memLimit, spillNeed)
+	waitDone()
+	if err != nil {
+		if IsAdmissionRejected(err) {
+			qt.Reject(err)
+			return errResp(CodeAdmissionRejected, err), nil
+		}
+		qt.Finish(err)
+		return errResp(CodeCancelled, err), nil
+	}
+	defer grant.Release()
+
+	o := s.newOptimizer()
+	t0 := time.Now()
+	p, tr, err := o.PlanQueryTrace(q)
+	if err != nil {
+		qt.Finish(err)
+		return errResp(CodePlan, err), nil
+	}
+	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
+
+	var gov *exec.Governor
+	if grant.Bytes() > 0 || grant.SpillBytes() > 0 {
+		gov = exec.NewGovernor(0, grant.Bytes())
+		if grant.SpillBytes() > 0 {
+			gov.SetSpillLimit(grant.SpillBytes())
+		}
+	}
+	ec := exec.NewExecContext(ctx, gov)
+	if s.spill {
+		ec.EnableSpill(exec.SpillConfig{Dir: s.core.cfg.SpillDir})
+	}
+	execDone := qt.Span("execute")
+	out, c, err := o.ExecuteCtx(ec, p)
+	execDone()
+	qt.Rec.Strategy = tr.Strategy
+	qt.Rec.FallbackReason = tr.FallbackReason
+	qt.Rec.PlanTree = p.Tree()
+	if c != nil {
+		qt.Rec.Rows = c.RowsProduced()
+		qt.Rec.Tuples = c.TuplesRetrieved()
+	}
+	qt.Finish(err)
+	if err != nil {
+		return errResp(classifyExecErr(err), err), nil
+	}
+	resp := Response{OK: true, Output: out.String(), Rows: int64(out.Len()),
+		Tuples: c.TuplesRetrieved(), Cache: tr.CacheOutcome}
+	if withPlan {
+		resp.Plan = p.Tree()
+	}
+	return resp, out
+}
+
+// classifyExecErr maps an execution error to a protocol error code.
+func classifyExecErr(err error) string {
+	var re *exec.ResourceError
+	if errors.As(err, &re) {
+		switch re.Kind {
+		case exec.Cancelled, exec.DeadlineExceeded:
+			return CodeCancelled
+		default:
+			return CodeResource
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return CodeCancelled
+	}
+	return CodeExec
+}

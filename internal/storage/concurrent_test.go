@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"freejoin/internal/relation"
+)
+
+func concRel(name string, rows int) *relation.Relation {
+	r := relation.New(relation.SchemeOf(name, "a", "b"))
+	for i := 0; i < rows; i++ {
+		r.AppendRaw([]relation.Value{relation.Int(int64(i)), relation.Int(int64(i % 3))})
+	}
+	return r
+}
+
+// The shared-catalog race: a query server plans and executes against one
+// catalog while other sessions add tables and build indexes. Run with
+// -race; the assertions are secondary to the detector.
+func TestCatalogConcurrentAddLookup(t *testing.T) {
+	cat := NewCatalog()
+	cat.AddRelation("R", concRel("R", 64))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // writers: re-add R, add fresh tables, build indexes
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					cat.AddRelation("R", concRel("R", 64))
+				case 1:
+					cat.AddRelation(fmt.Sprintf("W%d_%d", w, i), concRel("W", 8))
+				default:
+					if tab, err := cat.Table("R"); err == nil {
+						if _, err := tab.BuildHashIndex("a"); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // readers: lookups, stats, index probes, epoch reads
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tab, err := cat.Table("R")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				st := tab.Stats()
+				if st.Rows != 64 {
+					t.Errorf("R stats rows = %d; want 64", st.Rows)
+					return
+				}
+				if idx, ok := tab.HashIndexOn("a"); ok && idx.Col() != "a" {
+					t.Error("index column mismatch")
+					return
+				}
+				_ = cat.Tables()
+				_ = cat.StatsEpoch()
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Concurrent first uses of Stats must memoize one consistent value.
+func TestTableStatsConcurrent(t *testing.T) {
+	tab := NewTable("R", concRel("R", 100))
+	var wg sync.WaitGroup
+	stats := make([]*TableStats, 8)
+	for i := range stats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i] = tab.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range stats {
+		if st.Rows != 100 || st.Distinct["a"] != 100 {
+			t.Fatalf("goroutine %d saw inconsistent stats: %+v", i, st)
+		}
+	}
+}

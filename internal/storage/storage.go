@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"freejoin/internal/relation"
@@ -21,10 +22,16 @@ import (
 // catalog could alias a cached plan optimized for the old one.
 var statsEpoch atomic.Uint64
 
-// Table is a named relation plus its indexes and statistics.
+// Table is a named relation plus its indexes and statistics. The
+// relation itself is immutable once the table is built; the mutable
+// side state (index maps, the lazily memoized statistics, the catalog
+// hook) is guarded by mu so a query server can plan and execute against
+// a table while another session builds an index on it.
 type Table struct {
-	name    string
-	rel     *relation.Relation
+	name string
+	rel  *relation.Relation
+
+	mu      sync.RWMutex
 	hash    map[string]*HashIndex    // by column name
 	ordered map[string]*OrderedIndex // by column name
 	stats   *TableStats
@@ -59,9 +66,21 @@ func (t *Table) Scheme() *relation.Scheme { return t.rel.Scheme() }
 // changed notifies the owning catalog (if any) that planning-relevant
 // table state changed.
 func (t *Table) changed() {
-	if t.onChange != nil {
-		t.onChange()
+	t.mu.RLock()
+	fn := t.onChange
+	t.mu.RUnlock()
+	if fn != nil {
+		fn()
 	}
+}
+
+// setOnChange installs the catalog hook (under the table lock, so a
+// concurrent index build observes either the old or the new hook, not a
+// torn write).
+func (t *Table) setOnChange(fn func()) {
+	t.mu.Lock()
+	t.onChange = fn
+	t.mu.Unlock()
 }
 
 // colIndex resolves a column name (unqualified) to its position.
@@ -90,14 +109,18 @@ func (t *Table) BuildHashIndex(col string) (*HashIndex, error) {
 		buf = relation.AppendJoinKey(buf[:0], v)
 		idx.buckets[string(buf)] = append(idx.buckets[string(buf)], i)
 	}
+	t.mu.Lock()
 	t.hash[col] = idx
+	t.mu.Unlock()
 	t.changed()
 	return idx, nil
 }
 
 // HashIndexOn returns the hash index on col, if built.
 func (t *Table) HashIndexOn(col string) (*HashIndex, bool) {
+	t.mu.RLock()
 	idx, ok := t.hash[col]
+	t.mu.RUnlock()
 	return idx, ok
 }
 
@@ -115,14 +138,18 @@ func (t *Table) BuildOrderedIndex(col string) (*OrderedIndex, error) {
 	sort.SliceStable(idx.order, func(a, b int) bool {
 		return t.rel.RawRow(idx.order[a])[pos].Compare(t.rel.RawRow(idx.order[b])[pos]) < 0
 	})
+	t.mu.Lock()
 	t.ordered[col] = idx
+	t.mu.Unlock()
 	t.changed()
 	return idx, nil
 }
 
 // OrderedIndexOn returns the ordered index on col, if built.
 func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
+	t.mu.RLock()
 	idx, ok := t.ordered[col]
+	t.mu.RUnlock()
 	return idx, ok
 }
 
@@ -203,11 +230,21 @@ type TableStats struct {
 }
 
 // Stats returns the table's statistics, computing them on first use.
+// Concurrent first uses compute once; the memoized value is shared and
+// must be treated as immutable.
 func (t *Table) Stats() *TableStats {
+	t.mu.RLock()
+	st := t.stats
+	t.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.stats != nil {
 		return t.stats
 	}
-	st := &TableStats{
+	st = &TableStats{
 		Rows:     t.rel.Len(),
 		Distinct: map[string]int{},
 		NullFrac: map[string]float64{},
@@ -237,8 +274,11 @@ func (t *Table) Stats() *TableStats {
 }
 
 // Catalog is a set of tables. It implements expr.Source (by table
-// relation) and the optimizer's scheme/statistics lookups.
+// relation) and the optimizer's scheme/statistics lookups. All methods
+// are safe for concurrent use: a query server shares one catalog across
+// every session, so lookups race with Adds from other sessions.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 	epoch  atomic.Uint64 // current stats epoch; see StatsEpoch
 }
@@ -262,9 +302,15 @@ func (c *Catalog) StatsEpoch() uint64 { return c.epoch.Load() }
 func (c *Catalog) bumpEpoch() { c.epoch.Store(statsEpoch.Add(1)) }
 
 // Add registers a table, replacing any previous table of the same name.
+// The table becomes visible before the epoch bump: a concurrent planner
+// that observes the new epoch is therefore guaranteed to also observe
+// the new table, so a plan can go stale-but-cached only in the window
+// the plan cache's insert-time epoch revalidation closes.
 func (c *Catalog) Add(t *Table) {
+	c.mu.Lock()
 	c.tables[t.Name()] = t
-	t.onChange = c.bumpEpoch
+	c.mu.Unlock()
+	t.setOnChange(c.bumpEpoch)
 	c.bumpEpoch()
 }
 
@@ -277,7 +323,9 @@ func (c *Catalog) AddRelation(name string, rel *relation.Relation) *Table {
 
 // Table returns a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown table %s", name)
 	}
@@ -286,10 +334,12 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // Tables lists the table names, sorted.
 func (c *Catalog) Tables() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"freejoin/internal/expr"
+)
+
+// Outcome classifies one driver request, mirroring the tracer's
+// accounting: every request is OK, Failed (errors and cancellations) or
+// Rejected (shed by admission control).
+type Outcome uint8
+
+const (
+	OutcomeOK Outcome = iota
+	OutcomeFailed
+	OutcomeRejected
+)
+
+// Driver runs a concurrent client workload and aggregates outcome
+// counts and latency percentiles. Exec performs one request (client i,
+// iteration j) against the system under test and classifies the result;
+// it is called from Clients goroutines at once and must be safe for
+// that.
+type Driver struct {
+	Clients   int // concurrent client goroutines
+	PerClient int // requests each client issues
+	Exec      func(client, iter int) Outcome
+}
+
+// Run drives the workload to completion and reports.
+func (d *Driver) Run() Report {
+	rep := Report{ByOutcome: make(map[Outcome]int)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < d.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < d.PerClient; i++ {
+				t0 := time.Now()
+				out := d.Exec(c, i)
+				lat := time.Since(t0)
+				mu.Lock()
+				rep.Total++
+				rep.ByOutcome[out]++
+				rep.Latencies = append(rep.Latencies, lat)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(rep.Latencies, func(i, j int) bool { return rep.Latencies[i] < rep.Latencies[j] })
+	return rep
+}
+
+// Report aggregates a driver run: outcome counts and the sorted
+// per-request latencies (all outcomes — a rejection's fast path is part
+// of the served latency distribution).
+type Report struct {
+	Total     int
+	ByOutcome map[Outcome]int
+	Latencies []time.Duration // sorted ascending
+}
+
+// OK, Failed and Rejected are the outcome counts.
+func (r Report) OK() int       { return r.ByOutcome[OutcomeOK] }
+func (r Report) Failed() int   { return r.ByOutcome[OutcomeFailed] }
+func (r Report) Rejected() int { return r.ByOutcome[OutcomeRejected] }
+
+// Percentile returns the q-quantile latency (q in [0,1], e.g. 0.95)
+// using the nearest-rank method on the sorted sample.
+func (r Report) Percentile(q float64) time.Duration {
+	n := len(r.Latencies)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return r.Latencies[0]
+	}
+	if q >= 1 {
+		return r.Latencies[n-1]
+	}
+	rank := int(q*float64(n)+0.5) - 1 // nearest rank, 0-based
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return r.Latencies[rank]
+}
+
+// String renders the report in one line for logs and bench output.
+func (r Report) String() string {
+	return fmt.Sprintf("total=%d ok=%d failed=%d rejected=%d p50=%v p95=%v p99=%v",
+		r.Total, r.OK(), r.Failed(), r.Rejected(),
+		r.Percentile(0.50), r.Percentile(0.95), r.Percentile(0.99))
+}
+
+// QueryMix draws n query expression strings from the metamorphic
+// generator: random nice graphs (join core plus outerjoin trees), each
+// rendered as a random one of its implementing trees, so a mixed
+// workload exercises different shapes that must agree on results. The
+// returned names are every relation the queries mention (generator node
+// names A, B, C, ...); callers load those tables before driving.
+func QueryMix(rnd *rand.Rand, n int) (queries []string, names []string) {
+	seen := make(map[string]bool)
+	for len(queries) < n {
+		g := RandomNiceGraph(rnd, 2+rnd.Intn(2), rnd.Intn(2))
+		its, err := expr.EnumerateITs(g, true)
+		if err != nil || len(its) == 0 {
+			continue
+		}
+		q := its[rnd.Intn(len(its))]
+		queries = append(queries, q.StringWithPreds())
+		for _, name := range g.Nodes() {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return queries, names
+}
+
+// MixKind labels the traffic classes of the server soak workload.
+type MixKind string
+
+const (
+	KindPreparedHit  MixKind = "prepared_hit"
+	KindColdMiss     MixKind = "cold_miss"
+	KindGovernorTrip MixKind = "governor_trip"
+	KindSpilling     MixKind = "spilling"
+	KindCancelled    MixKind = "cancelled"
+)
+
+// DefaultMix is the standard five-way traffic mix, round-robined across
+// clients so every class runs concurrently with every other.
+var DefaultMix = []MixKind{KindPreparedHit, KindColdMiss, KindGovernorTrip, KindSpilling, KindCancelled}
+
+// KindFor assigns client c its traffic class from mix (round-robin).
+func KindFor(mix []MixKind, c int) MixKind {
+	if len(mix) == 0 {
+		mix = DefaultMix
+	}
+	return mix[c%len(mix)]
+}
+
+// FormatMix renders a mix for logs.
+func FormatMix(mix []MixKind) string {
+	parts := make([]string, len(mix))
+	for i, k := range mix {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/parse"
+)
+
+func TestDriverCountsAndConcurrency(t *testing.T) {
+	var calls atomic.Int64
+	var peak atomic.Int64
+	var inFlight atomic.Int64
+	d := &Driver{
+		Clients:   8,
+		PerClient: 25,
+		Exec: func(client, iter int) Outcome {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			calls.Add(1)
+			switch (client + iter) % 3 {
+			case 0:
+				return OutcomeOK
+			case 1:
+				return OutcomeFailed
+			default:
+				return OutcomeRejected
+			}
+		},
+	}
+	rep := d.Run()
+	if calls.Load() != 200 || rep.Total != 200 {
+		t.Fatalf("calls = %d, total = %d", calls.Load(), rep.Total)
+	}
+	if rep.OK()+rep.Failed()+rep.Rejected() != rep.Total {
+		t.Fatalf("outcomes do not reconcile: %s", rep)
+	}
+	if len(rep.Latencies) != 200 {
+		t.Fatalf("latencies = %d", len(rep.Latencies))
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("clients never overlapped (peak %d)", peak.Load())
+	}
+}
+
+func TestReportPercentiles(t *testing.T) {
+	rep := Report{ByOutcome: map[Outcome]int{}}
+	for i := 1; i <= 100; i++ {
+		rep.Latencies = append(rep.Latencies, time.Duration(i)*time.Millisecond)
+	}
+	rep.Total = 100
+	if p := rep.Percentile(0.50); p != 50*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := rep.Percentile(0.95); p != 95*time.Millisecond {
+		t.Errorf("p95 = %v", p)
+	}
+	if p := rep.Percentile(0.99); p != 99*time.Millisecond {
+		t.Errorf("p99 = %v", p)
+	}
+	if p := rep.Percentile(1); p != 100*time.Millisecond {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := rep.Percentile(0); p != 1*time.Millisecond {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := (Report{}).Percentile(0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}
+
+// Every generated query string must parse back (the server protocol is
+// text) and only mention tables in the returned name set.
+func TestQueryMixRoundTrips(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	queries, names := QueryMix(rnd, 20)
+	if len(queries) != 20 || len(names) == 0 {
+		t.Fatalf("mix = %d queries over %d names", len(queries), len(names))
+	}
+	known := make(map[string]bool)
+	for _, n := range names {
+		known[n] = true
+	}
+	for _, q := range queries {
+		node, err := parse.Expr(q)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", q, err)
+		}
+		g, err := expr.GraphOf(node)
+		if err != nil {
+			t.Fatalf("no graph for %q: %v", q, err)
+		}
+		for _, n := range g.Nodes() {
+			if !known[n] {
+				t.Fatalf("query %q uses table %q missing from names %v", q, n, names)
+			}
+		}
+	}
+}
+
+func TestKindFor(t *testing.T) {
+	if k := KindFor(nil, 0); k != KindPreparedHit {
+		t.Fatalf("default mix first = %v", k)
+	}
+	if k := KindFor(DefaultMix, 7); k != DefaultMix[7%len(DefaultMix)] {
+		t.Fatalf("round robin broken: %v", k)
+	}
+}
