@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json experiments faults obs spill server fuzz fuzz-smoke fmt vet clean
+.PHONY: all check build test race cover bench bench-json experiments faults obs spill server chaos fuzz fuzz-smoke fmt vet clean
 
 all: check
 
@@ -68,6 +68,19 @@ spill:
 server:
 	$(GO) test -race -count=2 ./internal/server ./internal/workload ./cmd/ojserver
 
+# Chaos suite: the fault-injection wrapper's determinism and framing
+# contracts, connection hygiene (bounded lines, idle timeout,
+# kill-conn-mid-execute), panic isolation, load shedding, graceful
+# drain, the retrying client, and the seeded 16-client chaos soak
+# (10% per-I/O fault rate with injected executor panics; goodput,
+# bag-correctness, tracer reconciliation and leak checks) — under the
+# race detector, -count=2 for state reuse. The soak seed is fixed in
+# chaos_soak_test.go, so a failure replays byte-for-byte.
+chaos:
+	$(GO) test -race -count=2 ./internal/chaos
+	$(GO) test -race -count=2 -run 'Chaos|Panic|MaxLine|IdleTimeout|KillConn|Shedding|Drain|BusyQuery' ./internal/server ./internal/exec
+	$(GO) test -race -count=2 ./internal/workload
+
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
 fuzz:
@@ -78,14 +91,20 @@ fuzz:
 	$(GO) test -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/lang
 	$(GO) test -fuzz='FuzzFingerprint$$' -fuzztime=$(FUZZTIME) ./internal/plancache
 	$(GO) test -fuzz='FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/storage
+	$(GO) test -fuzz='FuzzTableLiteral$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzValue$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzBytes$$' -fuzztime=$(FUZZTIME) ./internal/parse
+	$(GO) test -fuzz='FuzzProtocol$$' -fuzztime=$(FUZZTIME) ./internal/server
 
-# Quick fuzz smoke for check/CI: a few seconds on the two pipeline
-# targets (parser front half, plan-cache fingerprint invariance) catches
-# gross regressions without the full fuzz budget.
+# Quick fuzz smoke for check/CI: a few seconds each on the pipeline
+# targets (parser front half, plan-cache fingerprint invariance, the
+# full protocol dispatch surface) catches gross regressions without the
+# full fuzz budget.
 SMOKETIME ?= 5s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzParse$$' -fuzztime=$(SMOKETIME) ./internal/parse
 	$(GO) test -run='^$$' -fuzz='FuzzFingerprint$$' -fuzztime=$(SMOKETIME) ./internal/plancache
+	$(GO) test -run='^$$' -fuzz='FuzzProtocol$$' -fuzztime=$(SMOKETIME) ./internal/server
 
 fmt:
 	gofmt -w .

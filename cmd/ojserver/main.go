@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"freejoin/internal/chaos"
 	"freejoin/internal/parse"
 	"freejoin/internal/server"
 )
@@ -35,6 +37,15 @@ func main() {
 		spill       = flag.Bool("spill", false, "default spill-to-disk mode for new sessions")
 		spillDir    = flag.String("spill-dir", "", "spill run-file directory (empty = OS temp dir)")
 		restore     = flag.String("restore", "", "catalog snapshot (.fjdb) to restore at startup")
+
+		idleTimeout  = flag.Duration("idle-timeout", 0, "disconnect idle sessions (0 = default 5m, negative = off)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = default 30s, negative = off)")
+		maxLine      = flag.String("max-line", "", "longest accepted protocol line, e.g. 1MB (empty = default)")
+		shedWait     = flag.Duration("shed-wait", 0, "shed load when smoothed queue wait exceeds this (0 = off)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGTERM")
+
+		chaosSeed = flag.Int64("chaos-seed", 0, "dev mode: seed for network fault injection (needs -chaos-rate)")
+		chaosRate = flag.Float64("chaos-rate", 0, "dev mode: per-I/O fault probability in [0,1] (0 = off)")
 	)
 	flag.Parse()
 
@@ -48,6 +59,24 @@ func main() {
 		Spill:         *spill,
 		SpillDir:      *spillDir,
 		SnapshotPath:  *restore,
+		IdleTimeout:   *idleTimeout,
+		WriteTimeout:  *writeTimeout,
+		ShedWait:      *shedWait,
+	}
+	if *maxLine != "" {
+		n, err := parse.Bytes(*maxLine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ojserver:", err)
+			os.Exit(2)
+		}
+		cfg.MaxLineBytes = int(n)
+	}
+	if *chaosRate > 0 {
+		// Fault injection is a dev/test mode: every accepted connection
+		// suffers seeded, replayable network faults.
+		cfg.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
+		fmt.Fprintf(os.Stderr, "ojserver: CHAOS MODE: injecting faults at rate %g (seed %d)\n",
+			*chaosRate, *chaosSeed)
 	}
 	for _, f := range []struct {
 		val string
@@ -83,21 +112,19 @@ func main() {
 	}
 	fmt.Println()
 
-	// Block until SIGINT/SIGTERM, then drain gracefully.
+	// Block until SIGINT/SIGTERM, then drain gracefully: stop accepting,
+	// reject new queries with the typed "draining" code, finish in-flight
+	// work, then exit. The drain timeout bounds the wait; on expiry the
+	// remainder is cut off hard.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "ojserver: shutting down")
-	done := make(chan error, 1)
-	go func() { done <- srv.Close() }()
-	select {
-	case err := <-done:
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ojserver:", err)
-			os.Exit(1)
-		}
-	case <-time.After(10 * time.Second):
-		fmt.Fprintln(os.Stderr, "ojserver: shutdown timed out")
+	fmt.Fprintln(os.Stderr, "ojserver: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ojserver: drain:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "ojserver: drained")
 }

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeConn is a scripted net.Conn: Read drains a fixed payload, Write
+// appends to a buffer, Close latches.
+type fakeConn struct {
+	net.Conn // panics if an unimplemented method is hit
+	in       *bytes.Reader
+	out      bytes.Buffer
+	closed   bool
+}
+
+func newFakeConn(payload string) *fakeConn {
+	return &fakeConn{in: bytes.NewReader([]byte(payload))}
+}
+
+func (f *fakeConn) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return f.in.Read(p)
+}
+
+func (f *fakeConn) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return f.out.Write(p)
+}
+
+func (f *fakeConn) Close() error { f.closed = true; return nil }
+
+// opLog drives a fixed I/O schedule against a chaos Conn and records
+// every outcome, so two runs can be compared byte for byte.
+func opLog(t *testing.T, cfg Config, seed int64, payload string) []string {
+	t.Helper()
+	c := WrapConn(newFakeConn(payload), cfg, seed)
+	var log []string
+	buf := make([]byte, 8)
+	for i := 0; i < 64; i++ {
+		if i%2 == 0 {
+			n, err := c.Read(buf)
+			log = append(log, fmt.Sprintf("read n=%d data=%q err=%v", n, buf[:n], err))
+		} else {
+			n, err := c.Write([]byte("response line\n"))
+			log = append(log, fmt.Sprintf("write n=%d err=%v", n, err))
+		}
+	}
+	return log
+}
+
+// The same seed must replay the same fault schedule: a failing soak run
+// reproduces from its seed.
+func TestConnDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Rate: 0.5, MaxStall: time.Microsecond}
+	payload := strings.Repeat("query R -[R.a = S.a] S\n", 20)
+	a := opLog(t, cfg, 7, payload)
+	b := opLog(t, cfg, 7, payload)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverges under one seed:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	c := opLog(t, cfg, 8, payload)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fault schedules")
+	}
+}
+
+// Corruption must only ever produce 0x01 bytes — a byte in no valid
+// protocol token — and injection must never fabricate a newline, so a
+// faulty read can produce a typed error but never a different valid
+// command or a desynced response stream.
+func TestReadFaultsAreFramingSafe(t *testing.T) {
+	cfg := Config{Rate: 1, MaxStall: time.Microsecond} // every op faults
+	payload := strings.Repeat("tables\n", 200)
+	c := WrapConn(newFakeConn(payload), cfg, 3)
+	buf := make([]byte, 64)
+	sawCorrupt, sawInject := false, false
+	for i := 0; i < 300; i++ {
+		n, err := c.Read(buf)
+		for _, b := range buf[:n] {
+			switch {
+			case b == 0x01:
+				sawCorrupt = true
+			case b == 'Z':
+				sawInject = true
+			case strings.ContainsRune("tables\n", rune(b)):
+			default:
+				t.Fatalf("read delivered unexpected byte %q", b)
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInjected) && err != io.EOF && err != io.ErrClosedPipe {
+				t.Fatalf("unexpected read error: %v", err)
+			}
+			return // dropped: the schedule closed the conn, as designed
+		}
+		_ = sawCorrupt
+		_ = sawInject
+	}
+}
+
+// A write drop delivers a strict prefix then reports the byte offset; a
+// partial write reports how much reached the wire. Either way the
+// number reported never exceeds what the fake saw.
+func TestWriteFaultsReportPrefix(t *testing.T) {
+	cfg := Config{Rate: 1, MaxStall: time.Microsecond}
+	for seed := int64(0); seed < 20; seed++ {
+		fake := newFakeConn("")
+		c := WrapConn(fake, cfg, seed)
+		msg := []byte(`{"ok":true,"output":"pong"}` + "\n")
+		n, err := c.Write(msg)
+		if n > fake.out.Len() {
+			t.Fatalf("seed %d: reported %d bytes written, wire saw %d", seed, n, fake.out.Len())
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("seed %d: unexpected write error: %v", seed, err)
+		}
+		if fake.closed && err == nil {
+			t.Fatalf("seed %d: connection closed without reporting an error", seed)
+		}
+	}
+}
+
+// Disabled configs must wrap nothing: the production accept path pays
+// zero overhead when chaos is off.
+func TestWrapListenerDisabledIsIdentity(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := WrapListener(ln, Config{}); got != ln {
+		t.Fatalf("disabled WrapListener returned %T, want the original listener", got)
+	}
+	if got := WrapListener(ln, Config{Seed: 9, Rate: 0.5}); got == ln {
+		t.Fatal("enabled WrapListener returned the unwrapped listener")
+	}
+}
+
+// Accepted connections draw decorrelated per-connection RNG streams:
+// two connections from one listener see different schedules, and the
+// same accept sequence under the same seed replays identically.
+func TestListenerPerConnectionStreams(t *testing.T) {
+	run := func(seed int64) []string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		wrapped := WrapListener(ln, Config{Seed: seed, Rate: 1, MaxStall: time.Microsecond})
+		var logs []string
+		for i := 0; i < 2; i++ {
+			cl, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, err := wrapped.Accept()
+			if err != nil {
+				t.Fatal(err)
+			}
+			go cl.Write([]byte(strings.Repeat("x", 1024)))
+			buf := make([]byte, 16)
+			var ops []string
+			for j := 0; j < 8; j++ {
+				n, err := sv.Read(buf)
+				ops = append(ops, fmt.Sprintf("n=%d data=%q injerr=%v", n, buf[:n], errors.Is(err, ErrInjected)))
+				if err != nil {
+					break
+				}
+			}
+			logs = append(logs, strings.Join(ops, ";"))
+			sv.Close()
+			cl.Close()
+		}
+		return logs
+	}
+	a := run(11)
+	b := run(11)
+	if a[0] != b[0] {
+		t.Fatalf("first connection schedule not reproducible:\n  %s\n  %s", a[0], b[0])
+	}
+	if a[0] == a[1] {
+		t.Fatal("two connections drew identical fault schedules")
+	}
+}

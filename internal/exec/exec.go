@@ -199,10 +199,21 @@ func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, 
 		it.Close()
 		return nil, err
 	}
+	// The iterator must be closed on every exit — including a panic
+	// unwinding out of Next (an injected fault, a bug in an operator):
+	// Close releases governor charges, buffers and spill run files, so a
+	// session-level recover() finds nothing leaked.
+	closed := false
+	defer func() {
+		if !closed {
+			it.Close()
+		}
+	}()
 	out := relation.New(it.Scheme())
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
+			closed = true
 			it.Close()
 			return nil, err
 		}
@@ -212,6 +223,7 @@ func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, 
 		out.AppendRaw(row)
 		c.IncRows()
 	}
+	closed = true
 	if err := it.Close(); err != nil {
 		return nil, err
 	}

@@ -14,16 +14,23 @@ import (
 //
 //	/metrics        Prometheus text exposition of reg
 //	/debug/queries  the recent-query ring buffer as JSON, newest first
-//	/healthz        liveness: {"status":"ok", ...}
+//	/healthz        health: {"status":"ok|degraded|draining", ...}
 //
 // reg and ring default to the process-wide Default registry and the
-// DefaultTracer's ring when nil.
-func Handler(reg *Registry, ring *Recent) http.Handler {
+// DefaultTracer's ring when nil. An optional health callback supplies
+// the /healthz status ("ok" when absent or nil): "ok" and "degraded"
+// answer 200 (degraded = serving but shedding load), "draining" answers
+// 503 so load balancers stop routing to a server that is shutting down.
+func Handler(reg *Registry, ring *Recent, health ...func() string) http.Handler {
 	if reg == nil {
 		reg = Default
 	}
 	if ring == nil {
 		ring = DefaultTracer.Ring()
+	}
+	var healthFn func() string
+	if len(health) > 0 {
+		healthFn = health[0]
 	}
 	start := time.Now()
 	mux := http.NewServeMux()
@@ -36,9 +43,18 @@ func Handler(reg *Registry, ring *Recent) http.Handler {
 		json.NewEncoder(w).Encode(ring.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if healthFn != nil {
+			if s := healthFn(); s != "" {
+				status = s
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f,\"queries_completed\":%d}\n",
-			time.Since(start).Seconds(), QueriesCompleted.Value())
+		if status == "draining" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"status\":%q,\"uptime_seconds\":%.0f,\"queries_completed\":%d}\n",
+			status, time.Since(start).Seconds(), QueriesCompleted.Value())
 	})
 	return mux
 }
@@ -56,14 +72,15 @@ type Server struct {
 // before forcing connections shut.
 const CloseDrainTimeout = 2 * time.Second
 
-// StartServer binds addr and serves Handler(reg, ring) on it in a
-// background goroutine. Pass nil for the process-wide defaults.
-func StartServer(addr string, reg *Registry, ring *Recent) (*Server, error) {
+// StartServer binds addr and serves Handler(reg, ring, health...) on it
+// in a background goroutine. Pass nil for the process-wide defaults; an
+// optional health callback feeds /healthz.
+func StartServer(addr string, reg *Registry, ring *Recent, health ...func() string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, ring)}, done: make(chan struct{})}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, ring, health...)}, done: make(chan struct{})}
 	go func() {
 		s.srv.Serve(ln) // returns ErrServerClosed on Close
 		close(s.done)

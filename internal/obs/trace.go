@@ -45,6 +45,10 @@ type QueryRecord struct {
 	GovernorEvents []string `json:"governor_events,omitempty"`
 	Err            string   `json:"error,omitempty"`
 	Slow           bool     `json:"slow,omitempty"`
+	// Stack is the goroutine stack captured when the query died in a
+	// recovered panic; panic records always reach the slow-query log,
+	// threshold or not.
+	Stack string `json:"stack,omitempty"`
 }
 
 // Tracer assigns trace IDs, collects spans per query, maintains the
@@ -232,6 +236,35 @@ func (qt *QueryTrace) Finish(err error) {
 	}
 }
 
+// FinishPanic seals the trace for a query that died in a recovered
+// panic: the stack lands in the record (forcing it into the slow-query
+// log regardless of threshold) and the query counts as failed, so the
+// lifecycle invariant started = completed + failed + rejected includes
+// panics. Idempotent and nil-safe, like Finish.
+func (qt *QueryTrace) FinishPanic(p any, stack []byte) {
+	if qt == nil || qt.done {
+		return
+	}
+	qt.Rec.Stack = string(stack)
+	qt.Finish(fmt.Errorf("panic: %v", p))
+}
+
+// RecordPanic logs a panic recovered outside any traced query (e.g. in
+// command dispatch before a query starts): the record reaches the ring
+// buffer and the slow-query log with its stack, without touching the
+// query lifecycle counters.
+func (t *Tracer) RecordPanic(query string, p any, stack []byte) {
+	rec := QueryRecord{
+		ID:    t.nextID.Add(1),
+		Query: query,
+		Start: time.Now(),
+		Err:   fmt.Sprintf("panic: %v", p),
+		Stack: string(stack),
+	}
+	t.slow.Observe(&rec)
+	t.ring.Add(rec)
+}
+
 // Reject seals the trace for a query turned away by admission control
 // before execution started. It counts as rejected — not failed — so the
 // server invariant `started = completed + failed + rejected` holds over
@@ -386,12 +419,19 @@ func (s *SlowLog) SetJSON(w io.Writer) {
 
 // Observe checks rec against the threshold; when slow it writes the
 // configured logs, bumps the slow-query counter, and reports true.
+// Records carrying a panic stack are written to the configured logs
+// regardless of the threshold — a panic is always worth the entry — but
+// only genuinely slow queries count toward oj_slow_queries_total and
+// report true.
 func (s *SlowLog) Observe(rec *QueryRecord) bool {
 	th := s.threshold.Load()
-	if th <= 0 || int64(rec.Duration) < th {
+	slow := th > 0 && int64(rec.Duration) >= th
+	if !slow && rec.Stack == "" {
 		return false
 	}
-	SlowQueries.Inc()
+	if slow {
+		SlowQueries.Inc()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.textW != nil {
@@ -402,7 +442,7 @@ func (s *SlowLog) Observe(rec *QueryRecord) bool {
 			s.jsonW.Write(append(b, '\n'))
 		}
 	}
-	return true
+	return slow
 }
 
 // renderSlow renders the text form of a slow-query entry: the duration
@@ -410,7 +450,11 @@ func (s *SlowLog) Observe(rec *QueryRecord) bool {
 // why, the effort counters, and any governor events.
 func renderSlow(rec *QueryRecord) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "slow query (%s): %s\n", rec.Duration.Round(time.Microsecond), rec.Query)
+	head := "slow query"
+	if rec.Stack != "" {
+		head = "query panic"
+	}
+	fmt.Fprintf(&b, "%s (%s): %s\n", head, rec.Duration.Round(time.Microsecond), rec.Query)
 	if rec.Strategy != "" {
 		fmt.Fprintf(&b, "  strategy: %s", rec.Strategy)
 		if rec.FallbackReason != "" {
@@ -431,6 +475,12 @@ func renderSlow(rec *QueryRecord) string {
 	}
 	if rec.Err != "" {
 		fmt.Fprintf(&b, "  error: %s\n", rec.Err)
+	}
+	if rec.Stack != "" {
+		b.WriteString("  stack:\n")
+		for _, line := range strings.Split(strings.TrimRight(rec.Stack, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
 	}
 	return b.String()
 }

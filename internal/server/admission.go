@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,11 @@ const (
 	// pool, so it could never be admitted; waiting would deadlock it at
 	// the queue head.
 	RejectOversized
+	// RejectOverload: the load shedder turned the query away early
+	// because the smoothed admission queue-wait latency is over the
+	// configured threshold — queueing would only add latency to a
+	// saturated server. Carries a retry_after hint.
+	RejectOverload
 )
 
 func (r RejectReason) String() string {
@@ -43,6 +49,8 @@ func (r RejectReason) String() string {
 		return "queue_full"
 	case RejectOversized:
 		return "oversized"
+	case RejectOverload:
+		return "overload"
 	default:
 		return "unknown"
 	}
@@ -58,13 +66,20 @@ type AdmissionRejectedError struct {
 	Queued int   // queries waiting at decision time
 	Need   int64 // bytes requested (oversized only)
 	Pool   int64 // capacity of the pool the request exceeded (oversized only)
+	// RetryAfter hints when the client should try again (load shedding
+	// and queue-full rejections; zero when the server has no estimate).
+	RetryAfter time.Duration
 }
 
 func (e *AdmissionRejectedError) Error() string {
-	if e.Reason == RejectOversized {
+	switch e.Reason {
+	case RejectOversized:
 		return fmt.Sprintf("admission rejected (oversized): request of %d bytes exceeds the whole pool of %d bytes", e.Need, e.Pool)
+	case RejectOverload:
+		return fmt.Sprintf("admission rejected (overload): queue wait over threshold, retry after %s", e.RetryAfter)
+	default:
+		return fmt.Sprintf("admission rejected (queue full): %d active, %d queued", e.Active, e.Queued)
 	}
-	return fmt.Sprintf("admission rejected (queue full): %d active, %d queued", e.Active, e.Queued)
 }
 
 // IsAdmissionRejected reports whether err is an admission rejection.
@@ -81,6 +96,12 @@ type AdmissionConfig struct {
 	QueueDepth     int   // wait-queue bound (0 → DefaultQueueDepth, <0 → no queue)
 	PoolBytes      int64 // process-wide memory pool (0 → unlimited)
 	SpillPoolBytes int64 // process-wide spill pool (0 → unlimited)
+	// ShedWait turns on latency-driven load shedding: when the smoothed
+	// queue-wait latency exceeds this threshold, new requests are
+	// rejected up front with RejectOverload and a retry_after hint
+	// instead of queueing behind an already-saturated server. 0 disables
+	// shedding.
+	ShedWait time.Duration
 }
 
 func (c AdmissionConfig) maxConcurrent() int {
@@ -118,6 +139,13 @@ type Admission struct {
 	usedBytes int64
 	usedSpill int64
 	waiters   *list.List // of *waiter, FIFO
+
+	// Load-shedding state: an exponentially weighted moving average of
+	// queue-wait latency, decayed toward zero between observations so a
+	// burst's high EWMA does not shed traffic long after the queue has
+	// drained.
+	waitEWMA   time.Duration
+	waitSample time.Time // when waitEWMA was last updated
 }
 
 type waiter struct {
@@ -154,6 +182,69 @@ func (a *Admission) Stats() AdmissionStats {
 		UsedBytes: a.usedBytes, UsedSpillBytes: a.usedSpill}
 }
 
+// shedHalfLife bounds how fast the queue-wait EWMA decays toward zero
+// between observations (never faster than this half-life).
+const shedHalfLife = 100 * time.Millisecond
+
+// noteWait folds one observed queue wait into the EWMA (0.8 history /
+// 0.2 sample). Cancelled waits count too: a client giving up after a
+// long queue wait is exactly the signal shedding exists to act on.
+func (a *Admission) noteWait(wait time.Duration) {
+	if a.cfg.ShedWait <= 0 {
+		return
+	}
+	a.mu.Lock()
+	now := time.Now()
+	a.waitEWMA = time.Duration(0.8*float64(a.decayedWaitLocked(now)) + 0.2*float64(wait))
+	a.waitSample = now
+	a.mu.Unlock()
+}
+
+// decayedWaitLocked returns the EWMA decayed for the time elapsed since
+// the last observation, so a quiet server forgets a past burst instead
+// of shedding forever. Caller holds mu.
+func (a *Admission) decayedWaitLocked(now time.Time) time.Duration {
+	if a.waitEWMA <= 0 {
+		return 0
+	}
+	hl := a.cfg.ShedWait
+	if hl < shedHalfLife {
+		hl = shedHalfLife
+	}
+	elapsed := now.Sub(a.waitSample)
+	if elapsed <= 0 {
+		return a.waitEWMA
+	}
+	return time.Duration(float64(a.waitEWMA) * math.Pow(0.5, float64(elapsed)/float64(hl)))
+}
+
+// QueueWait returns the current (decayed) smoothed queue-wait latency.
+func (a *Admission) QueueWait() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.decayedWaitLocked(time.Now())
+}
+
+// Shedding reports whether the load shedder is currently rejecting new
+// work; the server's /healthz reports "degraded" while this is true.
+func (a *Admission) Shedding() bool {
+	if a.cfg.ShedWait <= 0 {
+		return false
+	}
+	return a.QueueWait() > a.cfg.ShedWait
+}
+
+// retryAfterLocked estimates when a rejected client should try again:
+// the current smoothed queue wait, floored at the shed threshold so the
+// hint is never uselessly small. Caller holds mu.
+func (a *Admission) retryAfterLocked(now time.Time) time.Duration {
+	hint := a.decayedWaitLocked(now)
+	if a.cfg.ShedWait > 0 && hint < a.cfg.ShedWait {
+		hint = a.cfg.ShedWait
+	}
+	return hint
+}
+
 // Acquire asks for a concurrency slot plus mem bytes from the memory
 // pool and spill bytes from the spill pool. It returns a *Grant to
 // Release when the query finishes, an *AdmissionRejectedError when the
@@ -184,11 +275,23 @@ func (a *Admission) Acquire(ctx context.Context, mem, spill int64) (*Grant, erro
 		obs.AdmissionAdmitted.Inc()
 		return g, nil
 	}
-	if a.waiters.Len() >= a.cfg.queueDepth() {
+	now := time.Now()
+	if a.cfg.ShedWait > 0 && a.decayedWaitLocked(now) > a.cfg.ShedWait {
+		// The queue's smoothed wait is over threshold: queueing this
+		// request would only add latency it is unlikely to survive. Shed
+		// it now with a hint of when to come back.
+		hint := a.retryAfterLocked(now)
 		act, q := a.active, a.waiters.Len()
 		a.mu.Unlock()
+		obs.ServerSheds.Inc()
+		return nil, &AdmissionRejectedError{Reason: RejectOverload, Active: act, Queued: q, RetryAfter: hint}
+	}
+	if a.waiters.Len() >= a.cfg.queueDepth() {
+		act, q := a.active, a.waiters.Len()
+		hint := a.retryAfterLocked(now)
+		a.mu.Unlock()
 		obs.AdmissionQueueFull.Inc()
-		return nil, &AdmissionRejectedError{Reason: RejectQueueFull, Active: act, Queued: q}
+		return nil, &AdmissionRejectedError{Reason: RejectQueueFull, Active: act, Queued: q, RetryAfter: hint}
 	}
 	w := &waiter{mem: mem, spill: spill, ready: make(chan *Grant, 1)}
 	el := a.waiters.PushBack(w)
@@ -202,6 +305,7 @@ func (a *Admission) Acquire(ctx context.Context, mem, spill int64) (*Grant, erro
 		obs.AdmissionQueueDepth.Dec()
 		obs.AdmissionWaitLatency.Observe(time.Since(t0).Seconds())
 		obs.AdmissionAdmitted.Inc()
+		a.noteWait(time.Since(t0))
 		return g, nil
 	case <-ctx.Done():
 		a.mu.Lock()
@@ -209,6 +313,7 @@ func (a *Admission) Acquire(ctx context.Context, mem, spill int64) (*Grant, erro
 		a.mu.Unlock()
 		obs.AdmissionQueueDepth.Dec()
 		obs.AdmissionCancelled.Inc()
+		a.noteWait(time.Since(t0))
 		select {
 		case g := <-w.ready:
 			// Lost the race: a releaser granted us just as the context

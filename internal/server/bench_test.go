@@ -3,7 +3,9 @@ package server
 import (
 	"math/rand"
 	"testing"
+	"time"
 
+	"freejoin/internal/chaos"
 	"freejoin/internal/workload"
 )
 
@@ -61,5 +63,79 @@ func BenchmarkServerConcurrent16(b *testing.B) {
 	}
 	b.ReportMetric(float64(rep.Percentile(0.50).Nanoseconds()), "p50-ns/op")
 	b.ReportMetric(float64(rep.Percentile(0.95).Nanoseconds()), "p95-ns/op")
+	b.ReportMetric(float64(rep.Percentile(0.99).Nanoseconds()), "p99-ns/op")
+}
+
+// BenchmarkChaosSoakGoodput measures goodput under the chaos-soak fault
+// profile: 16 retrying workload.Clients against a listener injecting a
+// 10% per-I/O fault mix. Reported units:
+//
+//	goodput-pct   fraction of requests that completed OK, ×100
+//	retries/op    client retry attempts amortized per request
+//	p99-ns/op     end-to-end latency including backoff sleeps
+//
+// The dated benchjson baseline tracks goodput-pct so a regression in
+// retry/backoff or fault handling shows up as a number, not a flake.
+func BenchmarkChaosSoakGoodput(b *testing.B) {
+	const clients = 16
+	srv := startTestServer(b, Config{
+		MaxConcurrent: 8,
+		QueueDepth:    64,
+		IdleTimeout:   2 * time.Second,
+		WriteTimeout:  2 * time.Second,
+		ShedWait:      50 * time.Millisecond,
+		Chaos:         &chaos.Config{Seed: chaosSoakSeed, Rate: 0.10, MaxStall: time.Millisecond},
+	})
+	core := srv.Core()
+
+	rnd := rand.New(rand.NewSource(chaosSoakSeed))
+	queries, names := workload.QueryMix(rnd, 8)
+	for _, name := range names {
+		core.Catalog().AddRelation(name, workload.RandomRelation(rnd, name, 40))
+	}
+	cls := make([]*workload.Client, clients)
+	for i := range cls {
+		cls[i] = &workload.Client{
+			Addr:        srv.Addr(),
+			Rand:        rand.New(rand.NewSource(chaosSoakSeed + int64(i))),
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+		}
+	}
+	// Warm the shared plan cache so the steady state is measured. Chaos
+	// is already live on the wire, so warmup is best-effort.
+	for _, q := range queries {
+		cls[0].Query(q)
+	}
+
+	perClient := (b.N + clients - 1) / clients
+	b.ResetTimer()
+	d := &workload.Driver{
+		Clients:   clients,
+		PerClient: perClient,
+		Exec: func(client, iter int) workload.Outcome {
+			resp, err := cls[client].Query(queries[(client*perClient+iter)%len(queries)])
+			switch {
+			case err == nil && resp.OK:
+				return workload.OutcomeOK
+			case resp.Code == CodeAdmissionRejected || resp.Code == CodeRetryAfter:
+				return workload.OutcomeRejected
+			default:
+				return workload.OutcomeFailed
+			}
+		},
+	}
+	rep := d.Run()
+	b.StopTimer()
+	if rep.OK() == 0 {
+		b.Fatalf("no successful queries: %s", rep)
+	}
+	retries := 0
+	for _, cl := range cls {
+		retries += cl.Retries
+		cl.Close()
+	}
+	b.ReportMetric(100*float64(rep.OK())/float64(rep.Total), "goodput-pct")
+	b.ReportMetric(float64(retries)/float64(rep.Total), "retries/op")
 	b.ReportMetric(float64(rep.Percentile(0.99).Nanoseconds()), "p99-ns/op")
 }

@@ -1,11 +1,28 @@
 package server
 
 import (
+	"sync/atomic"
 	"time"
 
+	"freejoin/internal/chaos"
 	"freejoin/internal/obs"
 	"freejoin/internal/plancache"
 	"freejoin/internal/storage"
+)
+
+// Connection-hygiene defaults; Config zero values resolve to these, and
+// negative values disable the bound entirely.
+const (
+	// DefaultMaxLineBytes bounds one protocol line (command or value
+	// payload). Longer lines get a typed protocol_error instead of
+	// unbounded buffering.
+	DefaultMaxLineBytes = 1 << 20
+	// DefaultIdleTimeout disconnects sessions that send nothing for this
+	// long (while no command is executing).
+	DefaultIdleTimeout = 5 * time.Minute
+	// DefaultWriteTimeout bounds one response write; a client that stops
+	// reading cannot wedge a session goroutine forever.
+	DefaultWriteTimeout = 30 * time.Second
 )
 
 // Config parameterizes the server: the listen addresses, the admission
@@ -30,6 +47,52 @@ type Config struct {
 	SpillDir  string // spill run-file directory ("" → OS temp dir)
 
 	SnapshotPath string // optional .fjdb catalog snapshot to restore at startup
+
+	// Connection hygiene (0 → the defaults above, <0 → disabled).
+	MaxLineBytes int           // longest accepted protocol line
+	IdleTimeout  time.Duration // disconnect idle sessions after this long
+	WriteTimeout time.Duration // per-response write deadline
+
+	// ShedWait enables queue-wait-latency load shedding (see
+	// AdmissionConfig.ShedWait). 0 disables.
+	ShedWait time.Duration
+
+	// Chaos, when non-nil and enabled, wraps the query listener in the
+	// fault-injection layer — a dev/test mode, never for production.
+	Chaos *chaos.Config
+}
+
+func (c Config) maxLineBytes() int {
+	switch {
+	case c.MaxLineBytes < 0:
+		return 0 // unbounded
+	case c.MaxLineBytes == 0:
+		return DefaultMaxLineBytes
+	default:
+		return c.MaxLineBytes
+	}
+}
+
+func (c Config) idleTimeout() time.Duration {
+	switch {
+	case c.IdleTimeout < 0:
+		return 0 // disabled
+	case c.IdleTimeout == 0:
+		return DefaultIdleTimeout
+	default:
+		return c.IdleTimeout
+	}
+}
+
+func (c Config) writeTimeout() time.Duration {
+	switch {
+	case c.WriteTimeout < 0:
+		return 0 // disabled
+	case c.WriteTimeout == 0:
+		return DefaultWriteTimeout
+	default:
+		return c.WriteTimeout
+	}
 }
 
 // Core is the shared-everything state all sessions execute over: one
@@ -41,6 +104,11 @@ type Core struct {
 	plans  *plancache.Cache
 	tracer *obs.Tracer
 	adm    *Admission
+
+	// draining flips once at the start of a graceful shutdown: sessions
+	// still connected get typed "draining" rejections for new queries
+	// while in-flight ones run to completion.
+	draining atomic.Bool
 }
 
 // NewCore builds the shared core for cfg. When cfg.SnapshotPath names a
@@ -71,6 +139,7 @@ func NewCore(cfg Config) (*Core, error) {
 			QueueDepth:     cfg.QueueDepth,
 			PoolBytes:      cfg.PoolBytes,
 			SpillPoolBytes: cfg.SpillPoolBytes,
+			ShedWait:       cfg.ShedWait,
 		}),
 	}, nil
 }
@@ -86,3 +155,24 @@ func (c *Core) Tracer() *obs.Tracer { return c.tracer }
 
 // Admission returns the admission controller.
 func (c *Core) Admission() *Admission { return c.adm }
+
+// StartDraining flips the core into drain mode; new queries reject with
+// a typed "draining" code. Returns false if already draining.
+func (c *Core) StartDraining() bool { return !c.draining.Swap(true) }
+
+// Draining reports whether the core is shutting down gracefully.
+func (c *Core) Draining() bool { return c.draining.Load() }
+
+// Health summarizes the core for /healthz: "draining" during graceful
+// shutdown, "degraded" while the load shedder is rejecting new work,
+// "ok" otherwise.
+func (c *Core) Health() string {
+	switch {
+	case c.draining.Load():
+		return "draining"
+	case c.adm.Shedding():
+		return "degraded"
+	default:
+		return "ok"
+	}
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"freejoin/internal/obs"
+)
+
+// A line over the configured maximum draws a typed protocol_error and
+// the connection closes — the regression for the unbounded read-buffer
+// hole (a client could previously stream an arbitrarily long line into
+// server memory).
+func TestServerMaxLineProtocolError(t *testing.T) {
+	srv := startTestServer(t, Config{MaxLineBytes: 256})
+	c := dialServer(t, srv.Addr())
+	before := obs.ServerProtocolErrors.Value()
+
+	if _, err := c.conn.Write([]byte("query " + strings.Repeat("x", 4096) + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := c.recv()
+	if r.OK || r.Code != CodeProtocol {
+		t.Fatalf("oversized line = %+v, want code %s", r, CodeProtocol)
+	}
+	if got := obs.ServerProtocolErrors.Value(); got != before+1 {
+		t.Fatalf("oj_server_protocol_errors_total = %d, want %d", got, before+1)
+	}
+	// The connection is closed after the typed response.
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var junk Response
+	if err := c.dec.Decode(&junk); err == nil {
+		t.Fatalf("connection still serving after protocol error: %+v", junk)
+	}
+	// The server itself keeps serving.
+	c2 := dialServer(t, srv.Addr())
+	c2.mustOK("ping")
+}
+
+// An idle session is disconnected with a typed idle_timeout response
+// after the configured quiet period.
+func TestServerIdleTimeout(t *testing.T) {
+	srv := startTestServer(t, Config{IdleTimeout: 80 * time.Millisecond})
+	c := dialServer(t, srv.Addr())
+	c.mustOK("ping")
+
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var r Response
+	if err := c.dec.Decode(&r); err != nil {
+		t.Fatalf("expected an idle_timeout response, read error: %v", err)
+	}
+	if r.OK || r.Code != CodeIdleTimeout {
+		t.Fatalf("idle disconnect = %+v, want code %s", r, CodeIdleTimeout)
+	}
+	if err := c.dec.Decode(&r); err == nil {
+		t.Fatalf("connection still serving after idle timeout: %+v", r)
+	}
+}
+
+// A session that is quiet only because its command is still executing
+// is busy, not idle: the read deadline must re-arm instead of killing
+// the connection out from under a long query.
+func TestServerBusyQueryOutlivesIdleTimeout(t *testing.T) {
+	srv := startTestServer(t, Config{
+		IdleTimeout:   60 * time.Millisecond,
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+	})
+	c := dialServer(t, srv.Addr())
+	c.mustOK("table R(a) = (1)")
+	c.mustOK("table S(a) = (1)")
+
+	// Pin the only slot so the query waits in admission for several idle
+	// windows before executing.
+	g, err := srv.Core().Admission().Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		g.Release()
+	}()
+	r := c.send("query R -[R.a = S.a] S")
+	if !r.OK || r.Rows != 1 {
+		t.Fatalf("long-running query under idle timeout = %+v", r)
+	}
+}
+
+// A client vanishing mid-execute must cancel its query and drain its
+// admission grant: the kill-conn regression. The query here is pinned
+// in the admission queue (indistinguishable from a slow execute for
+// cleanup purposes — the grant and queue slot are the held resources),
+// the connection is severed, and every pool must drain to zero while
+// the rest of the server keeps answering.
+func TestServerKillConnMidExecuteReleasesResources(t *testing.T) {
+	spillDir := t.TempDir()
+	srv := startTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+		PoolBytes:     1 << 20,
+		QueryMemBytes: 1 << 10,
+		SpillDir:      spillDir,
+	})
+	core := srv.Core()
+	baseline := runtime.NumGoroutine()
+
+	c := dialServer(t, srv.Addr())
+	c.mustOK("table R(a) = (1)")
+	c.mustOK("table S(a) = (1)")
+
+	g, err := core.Admission().Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed0 := obs.QueriesFailed.Value()
+
+	// Fire the query and sever the connection while it waits.
+	if _, err := fmt.Fprintln(c.conn, "query R -[R.a = S.a] S"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "query queued", func() bool { return core.Admission().Stats().Queued == 1 })
+	c.conn.Close()
+
+	// The reader goroutine observes the dead client and cancels the
+	// in-flight query: the queue drains without the slot ever freeing.
+	waitFor(t, "queue drained after kill", func() bool { return core.Admission().Stats().Queued == 0 })
+	waitFor(t, "query counted failed", func() bool { return obs.QueriesFailed.Value() > failed0 })
+
+	g.Release()
+	waitFor(t, "pools drained", func() bool {
+		st := core.Admission().Stats()
+		return st.Active == 0 && st.UsedBytes == 0 && st.UsedSpillBytes == 0
+	})
+
+	// The rest of the server is unharmed.
+	c2 := dialServer(t, srv.Addr())
+	if r := c2.mustOK("query R -[R.a = S.a] S"); r.Rows != 1 {
+		t.Fatalf("post-kill query = %+v", r)
+	}
+	c2.send("quit")
+
+	if runs, _ := filepath.Glob(filepath.Join(spillDir, "ojspill-*")); len(runs) != 0 {
+		t.Fatalf("%d spill run files leaked: %v", len(runs), runs)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// Load shedding: once the smoothed queue wait is over the threshold,
+// new queries are turned away with the typed retry_after code and a
+// positive retry hint, /healthz degrades, and the shedder recovers by
+// decay once the pressure is gone.
+func TestServerLoadSheddingRetryAfter(t *testing.T) {
+	srv := startTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    8,
+		ShedWait:      5 * time.Millisecond,
+	})
+	core := srv.Core()
+	c := dialServer(t, srv.Addr())
+	c.mustOK("table R(a) = (1)")
+	c.mustOK("table S(a) = (1)")
+
+	g, err := core.Admission().Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Teach the EWMA a painful queue wait (the seam the shedder smooths).
+	for i := 0; i < 4; i++ {
+		core.Admission().noteWait(80 * time.Millisecond)
+	}
+	if !core.Admission().Shedding() {
+		t.Fatal("shedder not active after repeated long waits")
+	}
+	if h := core.Health(); h != "degraded" {
+		t.Fatalf("health while shedding = %q, want degraded", h)
+	}
+	sheds0 := obs.ServerSheds.Value()
+	r := c.send("query R -[R.a = S.a] S")
+	if r.OK || r.Code != CodeRetryAfter {
+		t.Fatalf("shed response = %+v, want code %s", r, CodeRetryAfter)
+	}
+	if r.RetryAfterMS < 1 {
+		t.Fatalf("shed response carries no retry hint: %+v", r)
+	}
+	if got := obs.ServerSheds.Value(); got != sheds0+1 {
+		t.Fatalf("oj_server_sheds_total = %d, want %d", got, sheds0+1)
+	}
+
+	// Decay: with the queue quiet the EWMA halves away and service
+	// resumes.
+	g.Release()
+	waitFor(t, "shedder recovered by decay", func() bool { return !core.Admission().Shedding() })
+	if h := core.Health(); h != "ok" {
+		t.Fatalf("health after recovery = %q, want ok", h)
+	}
+	if r := c.mustOK("query R -[R.a = S.a] S"); r.Rows != 1 {
+		t.Fatalf("post-recovery query = %+v", r)
+	}
+}
+
+// Graceful drain: queries in flight at drain time run to completion,
+// new queries get the typed draining code, new connections are refused,
+// and Drain returns with everything released.
+func TestServerGracefulDrain(t *testing.T) {
+	srv := startTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 4})
+	core := srv.Core()
+	c1 := dialServer(t, srv.Addr())
+	c1.mustOK("table R(a) = (1)")
+	c1.mustOK("table S(a) = (1)")
+	c2 := dialServer(t, srv.Addr())
+
+	// An in-flight query: pinned in the admission queue when the drain
+	// begins, it must still complete successfully.
+	g, err := core.Admission().Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflight := make(chan Response, 1)
+	go func() { inflight <- c1.send("query R -[R.a = S.a] S") }()
+	waitFor(t, "query queued", func() bool { return core.Admission().Stats().Queued == 1 })
+
+	drainErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { drainErr <- srv.Drain(ctx) }()
+	waitFor(t, "core draining", func() bool { return core.Draining() })
+	if h := srv.Health(); h != "draining" {
+		t.Fatalf("health during drain = %q, want draining", h)
+	}
+
+	// New queries on existing connections get the typed code and count
+	// as rejections, not failures.
+	rejected0 := obs.QueriesRejected.Value()
+	if r := c2.send("query R -[R.a = S.a] S"); r.OK || r.Code != CodeDraining {
+		t.Fatalf("query during drain = %+v, want code %s", r, CodeDraining)
+	}
+	if got := obs.QueriesRejected.Value(); got != rejected0+1 {
+		t.Fatalf("draining rejection not counted: %d, want %d", got, rejected0+1)
+	}
+	// New connections are refused (listener closed).
+	if conn, err := net.DialTimeout("tcp", srv.Addr(), 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting during drain")
+	}
+
+	// Release the slot: the in-flight query completes OK and the drain
+	// finishes cleanly.
+	g.Release()
+	if r := <-inflight; !r.OK || r.Rows != 1 {
+		t.Fatalf("in-flight query during drain = %+v, want success", r)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := core.Admission().Stats(); st.Active != 0 || st.Queued != 0 || st.UsedBytes != 0 {
+		t.Fatalf("admission not drained: %+v", st)
+	}
+}
+
+// waitFor polls cond until it holds, failing after 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/obs"
+)
+
+// TestPanicIsolationContract drives an injected panic through every
+// lifecycle point the hook exposes — command dispatch, planning, and
+// execution (where the admission grant is held) — and asserts the
+// blast radius contract at each: the panicking query gets a typed
+// internal_error response with the panic message, the stack lands in
+// the tracer ring for the slow-query log, oj_server_panics_total
+// increments, the grant drains back to the pools, and every other
+// session keeps answering correctly. The process, of course, survives.
+func TestPanicIsolationContract(t *testing.T) {
+	for _, point := range []string{"dispatch", "plan", "execute"} {
+		t.Run(point, func(t *testing.T) {
+			srv := startTestServer(t, Config{
+				MaxConcurrent: 2,
+				PoolBytes:     1 << 20,
+				QueryMemBytes: 1 << 10,
+			})
+			core := srv.Core()
+			victim := dialServer(t, srv.Addr())
+			bystander := dialServer(t, srv.Addr())
+			victim.mustOK("table BOOMBAIT(a) = (1), (2)")
+			victim.mustOK("table CALM(a) = (1), (2)")
+			victim.mustOK("table CALM2(a) = (1), (2)")
+
+			// Panic only on queries naming the bait relation, only at the
+			// point under test — the bystander's traffic passes through the
+			// same hook unharmed.
+			pt := point
+			SetPanicHook(func(p, label string) {
+				if p == pt && strings.Contains(label, "BOOMBAIT") {
+					panic("injected panic at " + p)
+				}
+			})
+			defer SetPanicHook(nil)
+
+			panics0 := obs.ServerPanics.Value()
+			r := victim.send("query BOOMBAIT -[BOOMBAIT.a = CALM.a] CALM")
+			if r.OK || r.Code != CodeInternal {
+				t.Fatalf("panicked query = %+v, want code %s", r, CodeInternal)
+			}
+			if !strings.Contains(r.Error, "injected panic at "+pt) {
+				t.Fatalf("panic message lost: %q", r.Error)
+			}
+			if got := obs.ServerPanics.Value(); got != panics0+1 {
+				t.Fatalf("oj_server_panics_total = %d, want %d", got, panics0+1)
+			}
+
+			// The stack is preserved for the slow-query log.
+			var stacked bool
+			for _, rec := range core.Tracer().Ring().Snapshot() {
+				if rec.Stack != "" && strings.Contains(rec.Err, "injected panic at "+pt) {
+					stacked = true
+					if !strings.Contains(rec.Stack, "goroutine") {
+						t.Fatalf("stack does not look like a stack: %.80q", rec.Stack)
+					}
+				}
+			}
+			if !stacked {
+				t.Fatal("no traced record carries the panic stack")
+			}
+
+			// The grant drained even when the panic fired mid-lifecycle
+			// with the grant held.
+			if st := core.Admission().Stats(); st.Active != 0 || st.UsedBytes != 0 {
+				t.Fatalf("admission leaked across panic: %+v", st)
+			}
+
+			// The panicking session survives on the same connection, and
+			// so does everyone else.
+			if r := victim.mustOK("query CALM -[CALM.a = CALM2.a] CALM2"); r.Rows != 2 {
+				t.Fatalf("victim session after panic = %+v", r)
+			}
+			if r := bystander.mustOK("query CALM -[CALM.a = CALM2.a] CALM2"); r.Rows != 2 {
+				t.Fatalf("bystander after panic = %+v", r)
+			}
+		})
+	}
+}
+
+// Tracer reconciliation across panics: a panicked query is a failure,
+// so started = completed + failed + rejected still holds.
+func TestPanicCountsAsFailure(t *testing.T) {
+	srv := startTestServer(t, Config{})
+	c := dialServer(t, srv.Addr())
+	c.mustOK("table BOOMBAIT(a) = (1)")
+
+	SetPanicHook(func(p, label string) {
+		if p == "execute" && strings.Contains(label, "BOOMBAIT") {
+			panic("boom")
+		}
+	})
+	defer SetPanicHook(nil)
+
+	started0 := obs.QueriesStarted.Value()
+	failed0 := obs.QueriesFailed.Value()
+	if r := c.send("query BOOMBAIT"); r.OK || r.Code != CodeInternal {
+		t.Fatalf("panicked query = %+v", r)
+	}
+	if s, f := obs.QueriesStarted.Value()-started0, obs.QueriesFailed.Value()-failed0; s != 1 || f != 1 {
+		t.Fatalf("tracer saw started=%d failed=%d for one panicked query, want 1/1", s, f)
+	}
+	if act := obs.QueriesActive.Value(); act != 0 {
+		t.Fatalf("%d queries left active after panic", act)
+	}
+}

@@ -4,13 +4,16 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"freejoin/internal/chaos"
 	"freejoin/internal/exec/spill"
 	"freejoin/internal/obs"
 )
@@ -40,8 +43,12 @@ type Server struct {
 	acceptDone chan struct{}  // closed when the accept loop returns
 	closed     atomic.Bool
 
+	lnOnce sync.Once // listener close is idempotent (Drain then Close)
+	lnErr  error
+
 	nextSession atomic.Int64
-	swept       int // stale spill files reclaimed at startup
+	inflight    atomic.Int64 // commands executing right now (Drain polls this)
+	swept       int          // stale spill files reclaimed at startup
 }
 
 // Start builds the core, sweeps stale spill run files from the spill
@@ -73,9 +80,12 @@ func StartWithCore(cfg Config, core *Core) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listener: %w", err)
 	}
+	if cfg.Chaos != nil {
+		ln = chaos.WrapListener(ln, *cfg.Chaos)
+	}
 	var mon *obs.Server
 	if cfg.MetricsAddr != "" {
-		mon, err = obs.StartServer(cfg.MetricsAddr, nil, core.tracer.Ring())
+		mon, err = obs.StartServer(cfg.MetricsAddr, nil, core.tracer.Ring(), core.Health)
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -133,6 +143,47 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// Connection-hygiene sentinel errors from readLine.
+var (
+	errLineTooLong = errors.New("protocol line exceeds the server's maximum line length")
+	errIdleTimeout = errors.New("idle timeout: no command received")
+)
+
+// readLine reads one newline-terminated line, enforcing the max-line
+// bound and the idle timeout. The busy flag marks a command mid-
+// execution: a read-deadline expiry then is a client patiently awaiting
+// its response, not an idle session, so the deadline is re-armed instead
+// of disconnecting.
+func (s *Server) readLine(conn net.Conn, r *bufio.Reader, busy *atomic.Bool) (string, error) {
+	maxLine := s.core.cfg.maxLineBytes()
+	idle := s.core.cfg.idleTimeout()
+	var buf []byte
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		frag, err := r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if maxLine > 0 && len(buf) > maxLine {
+			return "", errLineTooLong
+		}
+		switch {
+		case err == nil:
+			return strings.TrimRight(string(buf), "\r\n"), nil
+		case err == bufio.ErrBufferFull:
+			continue
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if busy.Load() {
+				continue
+			}
+			return "", errIdleTimeout
+		}
+		return "", err
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -141,32 +192,139 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	// The connection context parents every command execution: server
+	// shutdown cancels it through baseCtx, and the reader goroutine
+	// cancels it the moment the client vanishes — so a mid-execute
+	// disconnect aborts the query and drains its grant instead of running
+	// for a client that will never read the answer.
+	connCtx, connCancel := context.WithCancel(s.baseCtx)
+	defer connCancel()
+
+	write := func(resp Response) bool {
+		buf, err := json.Marshal(resp)
+		if err != nil {
+			return false
+		}
+		if wt := s.core.cfg.writeTimeout(); wt > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		_, err = conn.Write(append(buf, '\n'))
+		return err == nil
+	}
+
 	id := s.nextSession.Add(1)
 	sess := NewSession(s.core)
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(Response{OK: true,
-		Output: fmt.Sprintf("freejoin server session %d (help for commands)", id)}); err != nil {
+	if !write(Response{OK: true,
+		Output: fmt.Sprintf("freejoin server session %d (help for commands)", id)}) {
 		return
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "--") {
-			continue
+
+	// Reads run in their own goroutine so the main loop can multiplex
+	// incoming lines against connection cancellation.
+	type readResult struct {
+		line string
+		err  error
+	}
+	lines := make(chan readResult)
+	var busy atomic.Bool
+	go func() {
+		r := bufio.NewReaderSize(conn, 4096)
+		for {
+			line, err := s.readLine(conn, r, &busy)
+			if err != nil && !errors.Is(err, errLineTooLong) && !errors.Is(err, errIdleTimeout) {
+				// Disconnect (EOF, reset, injected drop): cancel first so an
+				// executing command aborts now, not when it finishes.
+				connCancel()
+				return
+			}
+			select {
+			case lines <- readResult{line, err}:
+			case <-connCtx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
 		}
-		if line == "quit" || line == "exit" || line == `\q` {
-			enc.Encode(Response{OK: true, Output: "bye"})
+	}()
+
+	for {
+		select {
+		case <-connCtx.Done():
 			return
-		}
-		if err := enc.Encode(sess.Exec(s.baseCtx, line)); err != nil {
-			return
+		case rr := <-lines:
+			if rr.err != nil {
+				// Protocol and idle violations get one typed response
+				// before the connection closes.
+				switch {
+				case errors.Is(rr.err, errLineTooLong):
+					obs.ServerProtocolErrors.Inc()
+					write(errResp(CodeProtocol, fmt.Errorf("%w (%d bytes)", rr.err, s.core.cfg.maxLineBytes())))
+				case errors.Is(rr.err, errIdleTimeout):
+					write(errResp(CodeIdleTimeout, rr.err))
+				}
+				return
+			}
+			line := strings.TrimSpace(rr.line)
+			if line == "" || strings.HasPrefix(line, "--") {
+				continue
+			}
+			if line == "quit" || line == "exit" || line == `\q` {
+				write(Response{OK: true, Output: "bye"})
+				return
+			}
+			busy.Store(true)
+			s.inflight.Add(1)
+			resp := sess.SafeExec(connCtx, line)
+			s.inflight.Add(-1)
+			busy.Store(false)
+			if !write(resp) {
+				return
+			}
 		}
 	}
 }
 
-// Close shuts the server down gracefully. Safe to call repeatedly and
-// on nil.
+// closeListener closes the query listener exactly once; Drain and Close
+// both stop accepting, in either order.
+func (s *Server) closeListener() error {
+	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	return s.lnErr
+}
+
+// Health reports the server's /healthz status: "draining" during
+// graceful shutdown, "degraded" while shedding load, "ok" otherwise.
+func (s *Server) Health() string { return s.core.Health() }
+
+// Drain shuts the server down gracefully: stop accepting connections,
+// reject new queries with a typed "draining" code, let every in-flight
+// command run to completion, then Close. ctx bounds the wait; on expiry
+// the remaining work is aborted by Close and ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.core.StartDraining()
+	s.closeListener()
+	<-s.acceptDone
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st := s.core.adm.Stats()
+		if st.Active == 0 && st.Queued == 0 && s.inflight.Load() == 0 {
+			return s.Close()
+		}
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close shuts the server down. Safe to call repeatedly and on nil; for
+// a graceful shutdown that finishes in-flight queries first, use Drain.
 func (s *Server) Close() error {
 	if s == nil || s.closed.Swap(true) {
 		return nil
@@ -175,7 +333,7 @@ func (s *Server) Close() error {
 	// their current command quickly...
 	s.cancel()
 	// ...stop accepting...
-	err := s.ln.Close()
+	err := s.closeListener()
 	<-s.acceptDone
 	// ...unblock reads so every connection goroutine observes EOF...
 	s.mu.Lock()

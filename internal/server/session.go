@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"freejoin/internal/exec"
 	"freejoin/internal/expr"
+	"freejoin/internal/obs"
 	"freejoin/internal/optimizer"
 	"freejoin/internal/parse"
 	"freejoin/internal/relation"
@@ -25,6 +28,9 @@ type Response struct {
 	Plan   string `json:"plan,omitempty"`
 	Error  string `json:"error,omitempty"`
 	Code   string `json:"code,omitempty"` // machine-readable error class
+	// RetryAfterMS hints when a shed client should try again
+	// (retry_after and queue-full admission rejections).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Error codes carried in Response.Code.
@@ -37,10 +43,61 @@ const (
 	CodeCancelled         = "cancelled"
 	CodeAdmissionRejected = "admission_rejected"
 	CodeUnknownCommand    = "unknown_command"
+	// CodeInternal: a panic was caught by per-session isolation; the
+	// query failed but the server keeps serving.
+	CodeInternal = "internal_error"
+	// CodeProtocol: the client broke wire framing (oversized or
+	// malformed line); the connection closes after the response.
+	CodeProtocol = "protocol_error"
+	// CodeIdleTimeout: the session sent nothing for the idle window.
+	CodeIdleTimeout = "idle_timeout"
+	// CodeDraining: the server is shutting down gracefully and takes no
+	// new queries.
+	CodeDraining = "draining"
+	// CodeRetryAfter: load-shed; the response carries retry_after_ms.
+	CodeRetryAfter = "retry_after"
 )
 
 func errResp(code string, err error) Response {
 	return Response{Error: err.Error(), Code: code}
+}
+
+// panicHook is a test seam: when set, it is called at named lifecycle
+// points ("dispatch", "plan", "execute") with the command label, and may
+// panic — the panic-isolation contract test drives every point and
+// asserts the blast radius stays inside the one query.
+var panicHook atomic.Pointer[func(point, label string)]
+
+// SetPanicHook installs (or, with nil, removes) the lifecycle panic
+// hook. Test-only; not for production use.
+func SetPanicHook(f func(point, label string)) {
+	if f == nil {
+		panicHook.Store(nil)
+		return
+	}
+	panicHook.Store(&f)
+}
+
+func firePanicPoint(point, label string) {
+	if f := panicHook.Load(); f != nil {
+		(*f)(point, label)
+	}
+}
+
+// SafeExec is Exec behind the per-session panic barrier: a panic
+// anywhere in command handling becomes a typed internal_error response
+// with the stack preserved in the tracer (and the slow-query log), and
+// the server keeps serving. Connection goroutines call this, never Exec
+// directly.
+func (s *Session) SafeExec(ctx context.Context, line string) (resp Response) {
+	defer func() {
+		if p := recover(); p != nil {
+			obs.ServerPanics.Inc()
+			s.core.tracer.RecordPanic(line, p, debug.Stack())
+			resp = errResp(CodeInternal, fmt.Errorf("internal error: panic: %v", p))
+		}
+	}()
+	return s.Exec(ctx, line)
 }
 
 // Session is one client's state over the shared core: its resource
@@ -97,6 +154,7 @@ const sessionHelp = `commands (one per line; every answer is one JSON line):
 func (s *Session) Exec(ctx context.Context, line string) Response {
 	cmd, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
 	rest = strings.TrimSpace(rest)
+	firePanicPoint("dispatch", line)
 	switch strings.ToLower(cmd) {
 	case "ping":
 		return Response{OK: true, Output: "pong"}
@@ -316,8 +374,23 @@ func (s *Session) newOptimizer() *optimizer.Optimizer {
 // session deadline), plan, execute under the granted governor, release.
 // The returned relation backs in-process correctness checks; protocol
 // clients read the rendered Output.
-func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, withPlan bool) (Response, *relation.Relation) {
+func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, withPlan bool) (resp Response, outRel *relation.Relation) {
 	qt := s.core.tracer.Start(label)
+	// Panic isolation, registered before the grant's deferred Release so
+	// it runs last (LIFO): by the time the panic is converted to a typed
+	// response, the admission grant is already back in the pools.
+	defer func() {
+		if p := recover(); p != nil {
+			obs.ServerPanics.Inc()
+			qt.FinishPanic(p, debug.Stack())
+			resp, outRel = errResp(CodeInternal, fmt.Errorf("internal error: panic: %v", p)), nil
+		}
+	}()
+	if s.core.Draining() {
+		err := errors.New("server draining: not accepting new queries")
+		qt.Reject(err)
+		return errResp(CodeDraining, err), nil
+	}
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -336,13 +409,14 @@ func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, with
 	if err != nil {
 		if IsAdmissionRejected(err) {
 			qt.Reject(err)
-			return errResp(CodeAdmissionRejected, err), nil
+			return rejectionResp(err), nil
 		}
 		qt.Finish(err)
 		return errResp(CodeCancelled, err), nil
 	}
 	defer grant.Release()
 
+	firePanicPoint("plan", label)
 	o := s.newOptimizer()
 	t0 := time.Now()
 	p, tr, err := o.PlanQueryTrace(q)
@@ -351,6 +425,7 @@ func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, with
 		return errResp(CodePlan, err), nil
 	}
 	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
+	firePanicPoint("execute", label)
 
 	var gov *exec.Governor
 	if grant.Bytes() > 0 || grant.SpillBytes() > 0 {
@@ -377,12 +452,31 @@ func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, with
 	if err != nil {
 		return errResp(classifyExecErr(err), err), nil
 	}
-	resp := Response{OK: true, Output: out.String(), Rows: int64(out.Len()),
+	resp = Response{OK: true, Output: out.String(), Rows: int64(out.Len()),
 		Tuples: c.TuplesRetrieved(), Cache: tr.CacheOutcome}
 	if withPlan {
 		resp.Plan = p.Tree()
 	}
 	return resp, out
+}
+
+// rejectionResp maps an admission rejection onto the wire: load sheds
+// are typed retry_after with the hint in retry_after_ms (the one code a
+// well-behaved client backs off and retries on); queue-full and
+// oversized stay admission_rejected, with the hint attached when the
+// server has one.
+func rejectionResp(err error) Response {
+	resp := errResp(CodeAdmissionRejected, err)
+	var ar *AdmissionRejectedError
+	if errors.As(err, &ar) {
+		if ar.Reason == RejectOverload {
+			resp.Code = CodeRetryAfter
+		}
+		if ar.RetryAfter > 0 {
+			resp.RetryAfterMS = max(1, ar.RetryAfter.Milliseconds())
+		}
+	}
+	return resp
 }
 
 // classifyExecErr maps an execution error to a protocol error code.

@@ -35,16 +35,25 @@ type Fault struct {
 	Seed int64
 	// Err overrides the injected error; nil means ErrInjected.
 	Err error
+	// Panic makes a firing fault panic instead of returning an error —
+	// the adversarial case the server's per-session panic isolation must
+	// absorb: a panic out of an operator's Next mid-execution.
+	Panic bool
 }
 
 // error mints the injected error; it is called exactly when a
-// configured fault fires, so it doubles as the metrics hook.
+// configured fault fires, so it doubles as the metrics hook. With Panic
+// set it never returns.
 func (f Fault) error() error {
 	obs.FaultInjections.Inc()
-	if f.Err != nil {
-		return f.Err
+	err := f.Err
+	if err == nil {
+		err = ErrInjected
 	}
-	return ErrInjected
+	if f.Panic {
+		panic(fmt.Sprintf("storage: injected panic: %v", err))
+	}
+	return err
 }
 
 // faultInner is the iterator shape FaultIterator wraps and exposes. It is

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+)
+
+// Resp is the client-side decoding of the server's one-line JSON
+// response. It is deliberately a wire-level type (json tags matching
+// the protocol), not a reuse of the server's internal struct: the
+// client depends on the protocol contract only, and the package stays
+// importable from the server's own tests.
+type Resp struct {
+	OK           bool   `json:"ok"`
+	Output       string `json:"output"`
+	Rows         int64  `json:"rows"`
+	Tuples       int64  `json:"tuples"`
+	Cache        string `json:"cache"`
+	Plan         string `json:"plan"`
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// The typed-retryable response codes: the server refused these requests
+// before executing them, so a retry can never double-apply.
+const (
+	CodeAdmissionRejected = "admission_rejected"
+	CodeRetryAfter        = "retry_after"
+)
+
+// Client is a retrying line/JSON protocol client for the query server,
+// encoding the retry contract the chaos soak verifies:
+//
+//   - Typed-retryable responses (admission_rejected, retry_after) are
+//     retried for any command: the server rejected before executing, so
+//     a retry can never double-apply. The retry_after_ms hint floors
+//     the backoff sleep.
+//   - Connection errors with zero response bytes are retried only for
+//     idempotent commands — the request may have executed with its
+//     answer lost, which only a read can tolerate.
+//   - A connection error after the first response byte is never
+//     retried: the command ran and its outcome is unknown.
+//
+// Backoff is decorrelated jitter (sleep drawn from [base, 3·prev],
+// capped), bounded by both MaxAttempts and the total sleep RetryBudget,
+// so a dying server sheds clients instead of accumulating them.
+//
+// A Client owns one connection and is not safe for concurrent use; the
+// soak gives each goroutine its own.
+type Client struct {
+	Addr string
+
+	MaxAttempts int           // tries per request (0 → 4)
+	RetryBudget time.Duration // total backoff sleep per request (0 → 1s)
+	BaseBackoff time.Duration // backoff lower bound (0 → 2ms)
+	MaxBackoff  time.Duration // backoff upper bound (0 → 250ms)
+	DialTimeout time.Duration // per-dial bound (0 → 5s)
+	Rand        *rand.Rand    // jitter source (nil → seeded from Addr len; set for determinism)
+
+	// Retries counts backoff retries issued (observability for tests).
+	Retries int
+
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 4
+	}
+	return c.MaxAttempts
+}
+
+func (c *Client) retryBudget() time.Duration {
+	if c.RetryBudget <= 0 {
+		return time.Second
+	}
+	return c.RetryBudget
+}
+
+func (c *Client) baseBackoff() time.Duration {
+	if c.BaseBackoff <= 0 {
+		return 2 * time.Millisecond
+	}
+	return c.BaseBackoff
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.MaxBackoff
+}
+
+func (c *Client) rng() *rand.Rand {
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(int64(len(c.Addr)) + 1))
+	}
+	return c.Rand
+}
+
+// Close releases the client's connection. Safe on an unconnected client.
+func (c *Client) Close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.r = nil
+	}
+}
+
+// connect dials and consumes the server hello line.
+func (c *Client) connect() error {
+	if c.conn != nil {
+		return nil
+	}
+	dt := c.DialTimeout
+	if dt <= 0 {
+		dt = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, dt)
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(conn)
+	if _, err := r.ReadString('\n'); err != nil {
+		conn.Close()
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	c.conn, c.r = conn, r
+	return nil
+}
+
+// retryableCode reports whether a typed response code means "the server
+// refused before executing — safe to retry anything".
+func retryableCode(code string) bool {
+	return code == CodeAdmissionRejected || code == CodeRetryAfter
+}
+
+// try sends one request and reads one response.
+// sent=false means the request never reached a connection (dial
+// failure); gotBytes reports whether any response bytes arrived before
+// a read error.
+func (c *Client) try(line string) (resp Resp, sent, gotBytes bool, err error) {
+	if err := c.connect(); err != nil {
+		return Resp{}, false, false, err
+	}
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		c.Close()
+		return Resp{}, true, false, err
+	}
+	raw, err := c.r.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return Resp{}, true, len(raw) > 0, err
+	}
+	if err := json.Unmarshal([]byte(raw), &resp); err != nil {
+		// A truncated or garbled response line: the command ran but its
+		// answer is unreadable — same class as a post-first-byte reset.
+		c.Close()
+		return Resp{}, true, true, fmt.Errorf("garbled response: %w", err)
+	}
+	return resp, true, true, nil
+}
+
+// Do runs one command with the retry contract above. idempotent marks
+// commands safe to re-execute (reads: query, execute, explain, stats).
+// The last response observed is returned with the terminal error, so
+// callers can still read its typed code.
+func (c *Client) Do(line string, idempotent bool) (Resp, error) {
+	prev := c.baseBackoff()
+	var slept time.Duration
+	var lastResp Resp
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, sent, gotBytes, err := c.try(line)
+		switch {
+		case err == nil && !retryableCode(resp.Code):
+			return resp, nil // served (success or non-retryable typed error)
+		case err == nil:
+			lastResp, lastErr = resp, fmt.Errorf("server rejected: %s (%s)", resp.Error, resp.Code)
+		case !sent:
+			lastResp, lastErr = Resp{}, fmt.Errorf("connect %s: %w", c.Addr, err)
+		case !gotBytes && idempotent:
+			lastResp, lastErr = Resp{}, fmt.Errorf("connection lost before response: %w", err)
+		default:
+			// Response partially received, or a non-idempotent command's
+			// connection died: the outcome is unknown — do not retry.
+			return Resp{}, err
+		}
+		if attempt >= c.maxAttempts() {
+			return lastResp, fmt.Errorf("giving up after %d attempts: %w", attempt, lastErr)
+		}
+		sleep := c.backoff(&prev, lastResp.RetryAfterMS)
+		if slept+sleep > c.retryBudget() {
+			return lastResp, fmt.Errorf("retry budget exhausted after %d attempts: %w", attempt, lastErr)
+		}
+		time.Sleep(sleep)
+		slept += sleep
+		c.Retries++
+	}
+}
+
+// Query runs "query EXPR" (idempotent) with retries.
+func (c *Client) Query(expr string) (Resp, error) {
+	return c.Do("query "+strings.TrimSpace(expr), true)
+}
+
+// backoff draws the next decorrelated-jitter sleep: uniform in
+// [base, 3·prev] capped at MaxBackoff, floored by the server's
+// retry_after_ms hint when one was given.
+func (c *Client) backoff(prev *time.Duration, hintMS int64) time.Duration {
+	base := c.baseBackoff()
+	hi := 3 * *prev
+	if hi < base {
+		hi = base
+	}
+	sleep := base
+	if span := int64(hi - base); span > 0 {
+		sleep = base + time.Duration(c.rng().Int63n(span+1))
+	}
+	if hint := time.Duration(hintMS) * time.Millisecond; hint > sleep {
+		sleep = hint
+	}
+	if mx := c.maxBackoff(); sleep > mx {
+		sleep = mx
+	}
+	*prev = sleep
+	return sleep
+}
