@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json experiments faults obs spill server chaos fuzz fuzz-smoke fmt vet clean
+.PHONY: all check build test race cover bench bench-json bench-diff profile experiments faults obs spill server chaos fuzz fuzz-smoke fmt vet clean
 
 all: check
 
@@ -28,6 +28,29 @@ BENCHTIME ?= 100ms
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
 		| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
+
+# Advisory regression gate: compare the newest committed baseline against
+# a fresh run, flagging >20% growth in ns/op or allocs/op. Exits 1 on a
+# regression; CI runs it with continue-on-error so noise never blocks.
+bench-diff:
+	@base=$$(ls BENCH_*.json | sort | tail -1) && \
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-new.json && \
+	$(GO) run ./cmd/benchjson -diff $$base /tmp/bench-new.json
+
+# Continuous-profiling snapshot: bench the root package (go test only
+# accepts -cpuprofile/-memprofile for a single package) under CPU and
+# allocation profiling, regenerate the dated BENCH_*.json across ./...,
+# and file a top-N attribution report next to it. PROFILE_<date>.json is
+# the hit list for the vectorized-execution work (ROADMAP open item 1).
+profile:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
+		-cpuprofile=cpu.prof -memprofile=mem.prof .
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
+	$(GO) run ./cmd/benchjson -cpu cpu.prof -mem mem.prof -top 20 \
+		-o PROFILE_$$(date +%F).json
+	@echo "profile: attribution report in PROFILE_$$(date +%F).json"
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -113,4 +136,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt cpu.prof mem.prof freejoin.test

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Delta is one benchmark's movement between two baselines. Percentages
+// are (new-old)/old*100 — positive ns/op or allocs/op is a slowdown.
+type Delta struct {
+	Name                 string
+	OldNs, NewNs         float64
+	NsPct                float64
+	OldAllocs, NewAllocs int64
+	AllocsPct            float64
+}
+
+// loadBaseline reads a BENCH_*.json array and indexes it by name.
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}
+
+// diffBaselines compares two baselines and renders a report. A
+// benchmark regresses when ns/op OR allocs/op grew by more than
+// threshold percent; the second result reports whether any did.
+// Benchmarks present in only one file are listed informationally and
+// never count as regressions (suites grow PR over PR).
+func diffBaselines(oldPath, newPath string, threshold float64) (string, bool, error) {
+	oldRes, err := loadBaseline(oldPath)
+	if err != nil {
+		return "", false, err
+	}
+	newRes, err := loadBaseline(newPath)
+	if err != nil {
+		return "", false, err
+	}
+
+	var deltas []Delta
+	var added, removed []string
+	for name, nr := range newRes {
+		or, ok := oldRes[name]
+		if !ok {
+			added = append(added, name)
+			continue
+		}
+		d := Delta{
+			Name:  name,
+			OldNs: or.NsPerOp, NewNs: nr.NsPerOp,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+		}
+		if or.NsPerOp > 0 {
+			d.NsPct = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		if or.AllocsPerOp > 0 {
+			d.AllocsPct = float64(nr.AllocsPerOp-or.AllocsPerOp) / float64(or.AllocsPerOp) * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].NsPct > deltas[j].NsPct })
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	var b strings.Builder
+	regressed := false
+	for _, d := range deltas {
+		slowNs := d.NsPct > threshold
+		slowAllocs := d.AllocsPct > threshold
+		if !slowNs && !slowAllocs {
+			continue
+		}
+		regressed = true
+		fmt.Fprintf(&b, "REGRESSION %s:", d.Name)
+		if slowNs {
+			fmt.Fprintf(&b, " ns/op %+.1f%% (%.0f -> %.0f)", d.NsPct, d.OldNs, d.NewNs)
+		}
+		if slowAllocs {
+			fmt.Fprintf(&b, " allocs/op %+.1f%% (%d -> %d)", d.AllocsPct, d.OldAllocs, d.NewAllocs)
+		}
+		b.WriteByte('\n')
+	}
+	if !regressed {
+		fmt.Fprintf(&b, "no regressions over %.0f%% across %d shared benchmarks\n",
+			threshold, len(deltas))
+	}
+	for _, name := range added {
+		fmt.Fprintf(&b, "new benchmark (no baseline): %s\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(&b, "benchmark gone from new run: %s\n", name)
+	}
+	return b.String(), regressed, nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// writeBaseline writes a BENCH_*.json-shaped file for diff tests.
+func writeBaseline(t *testing.T, name string, results []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json", []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkSlowed", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkAllocsUp", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkRemoved", NsPerOp: 100},
+	})
+	newPath := writeBaseline(t, "new.json", []Result{
+		{Name: "BenchmarkFast", NsPerOp: 90, AllocsPerOp: 10},      // improved
+		{Name: "BenchmarkSlowed", NsPerOp: 150, AllocsPerOp: 10},   // +50% ns/op
+		{Name: "BenchmarkAllocsUp", NsPerOp: 100, AllocsPerOp: 20}, // +100% allocs
+		{Name: "BenchmarkAdded", NsPerOp: 100},                     // no baseline
+	})
+
+	report, regressed, err := diffBaselines(oldPath, newPath, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("regressions not flagged")
+	}
+	for _, want := range []string{
+		"REGRESSION BenchmarkSlowed: ns/op +50.0%",
+		"REGRESSION BenchmarkAllocsUp:", "allocs/op +100.0%",
+		"new benchmark (no baseline): BenchmarkAdded",
+		"benchmark gone from new run: BenchmarkRemoved",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "REGRESSION BenchmarkFast") {
+		t.Errorf("improvement flagged as regression:\n%s", report)
+	}
+	// Added/removed benchmarks never regress on their own.
+	if strings.Contains(report, "REGRESSION BenchmarkAdded") ||
+		strings.Contains(report, "REGRESSION BenchmarkRemoved") {
+		t.Errorf("added/removed benchmark counted as regression:\n%s", report)
+	}
+}
+
+func TestDiffThresholdAndCleanRun(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json", []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+	})
+	newPath := writeBaseline(t, "new.json", []Result{
+		{Name: "BenchmarkA", NsPerOp: 115, AllocsPerOp: 11}, // +15%, +10%
+	})
+
+	report, regressed, err := diffBaselines(oldPath, newPath, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("+15%% flagged at a 20%% threshold:\n%s", report)
+	}
+	if !strings.Contains(report, "no regressions over 20% across 1 shared benchmarks") {
+		t.Errorf("clean summary missing:\n%s", report)
+	}
+
+	// The same drift regresses at a 10% threshold.
+	if _, regressed, err = diffBaselines(oldPath, newPath, 10); err != nil || !regressed {
+		t.Fatalf("threshold 10: regressed=%v err=%v", regressed, err)
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	good := writeBaseline(t, "good.json", []Result{{Name: "BenchmarkA", NsPerOp: 1}})
+	if _, _, err := diffBaselines(good, filepath.Join(t.TempDir(), "missing.json"), 20); err == nil {
+		t.Error("missing baseline not an error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, _, err := diffBaselines(bad, good, 20); err == nil {
+		t.Error("corrupt baseline not an error")
+	}
+}
+
+// The attribution report resolves a real profile: a heap profile of this
+// test binary always carries alloc_space samples, so the Alloc section
+// has a total, a top list, and the requested cap.
+func TestProfileReportFromHeapProfile(t *testing.T) {
+	// Allocate something attributable so the profile is never empty.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	_ = sink
+
+	path := filepath.Join(t.TempDir(), "mem.prof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := attributeProfiles("", path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPU != nil {
+		t.Error("CPU section present without a CPU profile")
+	}
+	sec := rep.Alloc
+	if sec == nil {
+		t.Fatal("no Alloc section")
+	}
+	if sec.SampleType != "alloc_space" && sec.SampleType != "alloc_objects" {
+		t.Errorf("sample type = %q", sec.SampleType)
+	}
+	if sec.Total <= 0 {
+		t.Errorf("total = %d, want > 0", sec.Total)
+	}
+	if len(sec.Top) == 0 || len(sec.Top) > 5 {
+		t.Errorf("top list has %d entries, want 1..5", len(sec.Top))
+	}
+	for _, e := range sec.Top {
+		if e.Cum < e.Flat {
+			t.Errorf("%s: cum %d < flat %d", e.Name, e.Cum, e.Flat)
+		}
+	}
+
+	// A heap profile carries no cpu/samples type: asking for a CPU
+	// section from it is a typed error, not a zero report.
+	if _, err := attributeProfiles(path, "", 5); err == nil {
+		t.Error("heap profile accepted as CPU profile")
+	}
+}

@@ -9,6 +9,21 @@
 // The Makefile's bench-json target drives this to snapshot a dated,
 // machine-readable baseline next to the repository (tracking ns/op
 // drift of the metrics hot path, the DP, and the executor across PRs).
+//
+// Two further modes ride on the same baselines:
+//
+//	benchjson -diff old.json new.json
+//
+// compares two baselines and flags regressions over the threshold
+// (default 20%) in ns/op and allocs/op, exiting 1 when any are found —
+// the advisory CI step against the committed baseline. And
+//
+//	benchjson -cpu cpu.prof -mem mem.prof -top 20 -o PROFILE_<date>.json
+//
+// parses the profiles `go test -cpuprofile/-memprofile` wrote during the
+// bench run (via internal/pprofparse, no external tooling) and emits a
+// top-N CPU and allocation attribution report — the hit list for the
+// vectorized-execution work in ROADMAP open item 1.
 package main
 
 import (
@@ -41,8 +56,48 @@ type testEvent struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	var (
+		out       = flag.String("o", "", "output file (default stdout)")
+		diff      = flag.Bool("diff", false, "compare two baselines: benchjson -diff old.json new.json")
+		threshold = flag.Float64("threshold", 20, "regression threshold in percent for -diff")
+		cpuProf   = flag.String("cpu", "", "CPU profile (pprof) to attribute")
+		memProf   = flag.String("mem", "", "allocation profile (pprof) to attribute")
+		topN      = flag.Int("top", 20, "entries per attribution top-N list")
+	)
 	flag.Parse()
+
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		report, regressed, err := diffBaselines(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	case *cpuProf != "" || *memProf != "":
+		rep, err := attributeProfiles(*cpuProf, *memProf, *topN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "benchjson: wrote attribution report to %s\n", *out)
+		}
+		return
+	}
+
 	results, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -52,25 +107,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := writeJSON(*out, results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 	}
+}
+
+// writeJSON encodes v, indented, to path ("" = stdout).
+func writeJSON(path string, v any) error {
+	w := io.Writer(os.Stdout)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // parse extracts benchmark results from r, accepting raw bench output

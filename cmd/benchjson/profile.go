@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+
+	"freejoin/internal/pprofparse"
+)
+
+// ProfileReport is the attribution report `benchjson -cpu/-mem` writes
+// next to BENCH_*.json: where the benchmark suite's CPU time and
+// allocations go, by function, plus per-query-label splits when the
+// profile carries pprof labels (profiles captured from the live server
+// do; `go test -cpuprofile` bench profiles usually do not).
+type ProfileReport struct {
+	CPU   *ProfileSection `json:"cpu,omitempty"`
+	Alloc *ProfileSection `json:"alloc,omitempty"`
+}
+
+// ProfileSection is one profile's top-N attribution.
+type ProfileSection struct {
+	File       string             `json:"file"`
+	SampleType string             `json:"sample_type"`
+	Unit       string             `json:"unit"`
+	Total      int64              `json:"total"`
+	Top        []pprofparse.Entry `json:"top"`
+	// ByQueryID / ByFingerprint split the total across pprof label
+	// values; the "" key is the unattributed remainder (runtime, GC,
+	// goroutines outside any labeled query).
+	ByQueryID     map[string]int64 `json:"by_query_id,omitempty"`
+	ByFingerprint map[string]int64 `json:"by_fingerprint,omitempty"`
+}
+
+// attributeProfiles parses the given profiles (either path may be
+// empty) and builds the report.
+func attributeProfiles(cpuPath, memPath string, topN int) (*ProfileReport, error) {
+	rep := &ProfileReport{}
+	if cpuPath != "" {
+		sec, err := sectionFor(cpuPath, []string{"cpu", "samples"}, topN)
+		if err != nil {
+			return nil, err
+		}
+		rep.CPU = sec
+	}
+	if memPath != "" {
+		sec, err := sectionFor(memPath, []string{"alloc_space", "alloc_objects"}, topN)
+		if err != nil {
+			return nil, err
+		}
+		rep.Alloc = sec
+	}
+	return rep, nil
+}
+
+// sectionFor parses one profile and aggregates the first sample type in
+// wanted that the profile carries.
+func sectionFor(path string, wanted []string, topN int) (*ProfileSection, error) {
+	p, err := pprofparse.ParseFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	vi := -1
+	var st pprofparse.ValueType
+	for _, w := range wanted {
+		if i := p.Index(w); i >= 0 {
+			vi, st = i, p.SampleTypes[i]
+			break
+		}
+	}
+	if vi < 0 {
+		return nil, fmt.Errorf("%s: none of the sample types %v present (have %v)",
+			path, wanted, p.SampleTypes)
+	}
+	sec := &ProfileSection{
+		File:       path,
+		SampleType: st.Type,
+		Unit:       st.Unit,
+		Total:      p.Total(vi),
+		Top:        p.TopFunctions(vi, topN),
+	}
+	if len(p.LabelValues("query_id")) > 0 {
+		sec.ByQueryID = p.ByLabel("query_id", vi)
+	}
+	if len(p.LabelValues("fingerprint")) > 0 {
+		sec.ByFingerprint = p.ByLabel("fingerprint", vi)
+	}
+	return sec, nil
+}

@@ -46,6 +46,12 @@ func main() {
 
 		chaosSeed = flag.Int64("chaos-seed", 0, "dev mode: seed for network fault injection (needs -chaos-rate)")
 		chaosRate = flag.Float64("chaos-rate", 0, "dev mode: per-I/O fault probability in [0,1] (0 = off)")
+
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the metrics address (needs -metrics-addr)")
+		runtimeSamp = flag.Duration("runtime-metrics", 0, "background runtime/metrics sampling period (0 = scrape-time only)")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-query threshold (0 = off)")
+		slowLog     = flag.String("slow-query-log", "", "slow-query JSONL file, size-capped with rotation (empty = off)")
+		slowLogMax  = flag.String("slow-query-log-max", "", "slow-query log size cap before rotation, e.g. 64MB (empty = default)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,18 @@ func main() {
 		IdleTimeout:   *idleTimeout,
 		WriteTimeout:  *writeTimeout,
 		ShedWait:      *shedWait,
+		Pprof:         *pprofOn,
+		RuntimeSample: *runtimeSamp,
+		SlowQuery:     *slowQuery,
+		SlowQueryLog:  *slowLog,
+	}
+	if *slowLogMax != "" {
+		n, err := parse.Bytes(*slowLogMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ojserver:", err)
+			os.Exit(2)
+		}
+		cfg.SlowQueryLogMaxBytes = n
 	}
 	if *maxLine != "" {
 		n, err := parse.Bytes(*maxLine)

@@ -40,9 +40,11 @@ type Shell struct {
 
 	// tracer collects per-query spans, the recent-query ring, and the
 	// slow-query log; mon is the optional monitoring HTTP server
-	// ("set metrics_addr").
+	// ("set metrics_addr"). pprof mounts /debug/pprof on the next
+	// metrics server ("set pprof on", then "set metrics_addr ...").
 	tracer *obs.Tracer
 	mon    *obs.Server
+	pprof  bool
 
 	// plans is the session plan cache shared by plan/explain/prepare/
 	// execute; nil when disabled ("set plan_cache off"). Stats-epoch
@@ -198,7 +200,9 @@ func (s *Shell) help() {
   set spill on|off                            spill to disk on memory budget trips
   set spill_dir DIR|off                       directory for spill run files
   set metrics_addr ADDR|off                   HTTP /metrics, /debug/queries, /healthz
+  set pprof on|off                            mount /debug/pprof on the next metrics_addr
   set slow_query DUR|off                      log queries slower than DUR
+  set slow_query_log FILE [CAP]|off           slow-query JSONL file, rotated at CAP bytes
   set                                         show current limits
   metrics                                     print the metrics in Prometheus text form
   trace on FILE | trace off                   export query spans as Chrome trace JSON
@@ -427,13 +431,30 @@ func (s *Shell) cmdSet(rest string) error {
 		if val == "" {
 			return fmt.Errorf("usage: set metrics_addr HOST:PORT|off (e.g. 127.0.0.1:9090)")
 		}
-		srv, err := obs.StartServer(val, nil, s.tracer.Ring())
+		srv, err := obs.StartServerOpts(val, obs.ServerOptions{Tracer: s.tracer, Pprof: s.pprof})
 		if err != nil {
 			return err
 		}
 		s.mon = srv
-		fmt.Fprintf(s.out, "serving /metrics, /debug/queries, /healthz on %s\n", srv.Addr())
+		endpoints := "/metrics, /debug/queries, /healthz"
+		if s.pprof {
+			endpoints += ", /debug/pprof"
+		}
+		fmt.Fprintf(s.out, "serving %s on %s\n", endpoints, srv.Addr())
 		return nil
+	case "pprof":
+		switch {
+		case strings.EqualFold(val, "on"):
+			s.pprof = true
+			fmt.Fprintln(s.out, "pprof on (applies to the next set metrics_addr)")
+			return nil
+		case strings.EqualFold(val, "off"):
+			s.pprof = false
+			fmt.Fprintln(s.out, "pprof off (applies to the next set metrics_addr)")
+			return nil
+		default:
+			return fmt.Errorf("usage: set pprof on|off")
+		}
 	case "plan_cache":
 		switch {
 		case strings.EqualFold(val, "off"):
@@ -469,8 +490,31 @@ func (s *Shell) cmdSet(rest string) error {
 		s.tracer.Slow().SetText(s.out)
 		fmt.Fprintf(s.out, "slow_query %s\n", d)
 		return nil
+	case "slow_query_log":
+		if strings.EqualFold(val, "off") || val == "" {
+			if err := s.tracer.Slow().SetJSONFile("", 0); err != nil {
+				return err
+			}
+			fmt.Fprintln(s.out, "slow_query_log off")
+			return nil
+		}
+		// Optional size cap after the path: "set slow_query_log q.jsonl 16MB".
+		path, capStr, _ := strings.Cut(val, " ")
+		maxBytes := int64(64 << 20)
+		if capStr = strings.TrimSpace(capStr); capStr != "" {
+			n, err := parse.Bytes(capStr)
+			if err != nil {
+				return err
+			}
+			maxBytes = n
+		}
+		if err := s.tracer.Slow().SetJSONFile(path, maxBytes); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "slow_query_log %s (rotate at %d bytes)\n", path, maxBytes)
+		return nil
 	default:
-		return fmt.Errorf("usage: set timeout|memory_limit|metrics_addr|slow_query|plan_cache VALUE|off")
+		return fmt.Errorf("usage: set timeout|memory_limit|metrics_addr|pprof|slow_query|slow_query_log|plan_cache VALUE|off")
 	}
 }
 
@@ -583,21 +627,24 @@ func (s *Shell) cmdPlan(rest string) error {
 	defer cancel()
 	var out *relation.Relation
 	var c *exec.Counters
+	qt.SetLabels(tr.Strategy, tr.Fingerprint)
 	if s.tracer.Enabled() {
 		// Span export wants per-operator spans, which only the
 		// instrumented path produces (it also fills the query record).
 		out, c, _, err = o.ExplainAnalyzeTraced(ec, p, tr, qt)
 	} else {
+		var cc exec.Counters
+		qt.AttachProgress(cc.RowsProduced, cc.TuplesRetrieved, ec.Governor())
 		execDone := qt.Span("execute")
-		out, c, err = o.ExecuteCtx(ec, p)
+		obs.WithQueryLabels(context.Background(), qt.Rec.ID, tr.Fingerprint, tr.Strategy,
+			func(context.Context) { out, err = o.ExecuteCtxCounted(ec, p, &cc) })
 		execDone()
+		c = &cc
 		qt.Rec.Strategy = tr.Strategy
 		qt.Rec.FallbackReason = tr.FallbackReason
 		qt.Rec.PlanTree = p.Tree()
-		if c != nil {
-			qt.Rec.Rows = c.RowsProduced()
-			qt.Rec.Tuples = c.TuplesRetrieved()
-		}
+		qt.Rec.Rows = c.RowsProduced()
+		qt.Rec.Tuples = c.TuplesRetrieved()
 	}
 	qt.Finish(err)
 	if err != nil {
@@ -658,16 +705,19 @@ func (s *Shell) cmdExecute(rest string) error {
 	qt.AddSpans(optimizer.PhaseSpans(tr, t0, time.Since(t0)))
 	ec, cancel := s.execContext()
 	defer cancel()
+	var c exec.Counters
+	qt.SetLabels(tr.Strategy, tr.Fingerprint)
+	qt.AttachProgress(c.RowsProduced, c.TuplesRetrieved, ec.Governor())
 	execDone := qt.Span("execute")
-	out, c, err := o.ExecuteCtx(ec, p)
+	var out *relation.Relation
+	obs.WithQueryLabels(context.Background(), qt.Rec.ID, tr.Fingerprint, tr.Strategy,
+		func(context.Context) { out, err = o.ExecuteCtxCounted(ec, p, &c) })
 	execDone()
 	qt.Rec.Strategy = tr.Strategy
 	qt.Rec.FallbackReason = tr.FallbackReason
 	qt.Rec.PlanTree = p.Tree()
-	if c != nil {
-		qt.Rec.Rows = c.RowsProduced()
-		qt.Rec.Tuples = c.TuplesRetrieved()
-	}
+	qt.Rec.Rows = c.RowsProduced()
+	qt.Rec.Tuples = c.TuplesRetrieved()
 	qt.Finish(err)
 	if err != nil {
 		return err

@@ -44,6 +44,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the -explain run's spans as Chrome trace JSON to this file")
 		slowQuery   = flag.Duration("slow-query", 0, "log -explain executions slower than this to stderr (0 = off)")
 		spillDir    = flag.String("spill-dir", "", "enable spill-to-disk for the -explain execution, writing run files to this directory (\"tmp\" = OS temp dir)")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the metrics address (needs -metrics-addr)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -60,7 +61,7 @@ func main() {
 	}
 	var srv *obs.Server
 	if *metricsAddr != "" {
-		s, err := obs.StartServer(*metricsAddr, nil, tracer.Ring())
+		s, err := obs.StartServerOpts(*metricsAddr, obs.ServerOptions{Tracer: tracer, Pprof: *pprofOn})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reorder:", err)
 			os.Exit(1)

@@ -78,6 +78,20 @@ type Gauge struct {
 	n atomic.Int64
 }
 
+// FloatGauge is a gauge holding a float64 (quantiles, seconds) — the
+// runtime sampler's GC-pause and scheduler-latency exports. Reads and
+// writes are atomic on the value's bit pattern.
+type FloatGauge struct {
+	desc
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return bitsFloat(g.bits.Load()) }
+
 // Set replaces the gauge value.
 func (g *Gauge) Set(v int64) { g.n.Store(v) }
 
@@ -104,6 +118,20 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64  // float64 bits, CAS-accumulated
 	count  atomic.Int64
+	// exemplars holds, per bucket, the most recent (value, query ID)
+	// observed with ObserveExemplar — the link from a latency bucket back
+	// to a concrete query in the recent-query ring. Lazily allocated slots
+	// swapped atomically; plain Observe never touches them.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one histogram observation to the query that produced
+// it, OpenMetrics-style: the observed value, the query ID (look it up in
+// /debug/queries), and when it was recorded.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	QueryID uint64    `json:"query_id"`
+	Time    time.Time `json:"time"`
 }
 
 // DefBuckets are latency buckets in seconds, 100µs to ~100s, suitable
@@ -133,6 +161,30 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records one value and stamps the bucket it lands in
+// with an exemplar naming the query that produced the observation, so a
+// scrape with ?exemplars=1 (or the Exemplars accessor) can link latency
+// buckets to concrete recent query IDs.
+func (h *Histogram) ObserveExemplar(v float64, queryID uint64) {
+	h.Observe(v)
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars[i].Store(&Exemplar{Value: v, QueryID: queryID, Time: time.Now()})
+}
+
+// Exemplars returns the per-bucket exemplars, indexed like the buckets
+// (len(bounds)+1, last is +Inf); nil entries are buckets that never saw
+// an exemplar observation.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -156,32 +208,55 @@ func (d *desc) Name() string { return d.name }
 // metric is anything the registry can expose.
 type metric interface {
 	describe() *desc
-	// write appends the sample line(s), name and labels included.
-	write(b *strings.Builder)
+	// write appends the sample line(s), name and labels included; when
+	// exemplars is set, histograms annotate bucket lines OpenMetrics-style.
+	write(b *strings.Builder, exemplars bool)
 }
 
-func (c *Counter) describe() *desc   { return &c.desc }
-func (g *Gauge) describe() *desc     { return &g.desc }
-func (h *Histogram) describe() *desc { return &h.desc }
+func (c *Counter) describe() *desc    { return &c.desc }
+func (g *Gauge) describe() *desc      { return &g.desc }
+func (g *FloatGauge) describe() *desc { return &g.desc }
+func (h *Histogram) describe() *desc  { return &h.desc }
 
-func (c *Counter) write(b *strings.Builder) {
+func (c *Counter) write(b *strings.Builder, _ bool) {
 	sampleLine(b, c.name, c.labels, "", fmt.Sprintf("%d", c.Value()))
 }
 
-func (g *Gauge) write(b *strings.Builder) {
+func (g *Gauge) write(b *strings.Builder, _ bool) {
 	sampleLine(b, g.name, g.labels, "", fmt.Sprintf("%d", g.Value()))
 }
 
-func (h *Histogram) write(b *strings.Builder) {
+func (g *FloatGauge) write(b *strings.Builder, _ bool) {
+	sampleLine(b, g.name, g.labels, "", fmt.Sprintf("%g", g.Value()))
+}
+
+func (h *Histogram) write(b *strings.Builder, exemplars bool) {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		sampleLine(b, h.name+"_bucket", h.labels, fmt.Sprintf(`le="%v"`, bound), fmt.Sprintf("%d", cum))
+		sampleLine(b, h.name+"_bucket", h.labels, fmt.Sprintf(`le="%v"`, bound),
+			fmt.Sprintf("%d", cum)+h.exemplarSuffix(i, exemplars))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	sampleLine(b, h.name+"_bucket", h.labels, `le="+Inf"`, fmt.Sprintf("%d", cum))
+	sampleLine(b, h.name+"_bucket", h.labels, `le="+Inf"`,
+		fmt.Sprintf("%d", cum)+h.exemplarSuffix(len(h.bounds), exemplars))
 	sampleLine(b, h.name+"_sum", h.labels, "", fmt.Sprintf("%g", h.Sum()))
 	sampleLine(b, h.name+"_count", h.labels, "", fmt.Sprintf("%d", h.count.Load()))
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for bucket
+// i (` # {query_id="17"} 0.0042 1700000000.123`), or "" when exemplars
+// are off or the bucket has never seen one.
+func (h *Histogram) exemplarSuffix(i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {query_id="%d"} %g %.3f`,
+		e.QueryID, e.Value, float64(e.Time.UnixMilli())/1000)
 }
 
 // sampleLine writes `name{labels,extra} value\n`, omitting empty braces.
@@ -206,7 +281,7 @@ func typeOf(m metric) string {
 	switch m.(type) {
 	case *Counter:
 		return "counter"
-	case *Gauge:
+	case *Gauge, *FloatGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -218,8 +293,19 @@ func typeOf(m metric) string {
 // init, test setup); reads and writes of the instruments themselves
 // never touch the registry lock.
 type Registry struct {
-	mu      sync.Mutex
-	metrics []metric
+	mu       sync.Mutex
+	metrics  []metric
+	onScrape []func()
+}
+
+// OnScrape registers a hook run at the start of every WritePrometheus
+// call, before instruments are read — the refresh point for pull-style
+// sources like the runtime/metrics sampler, so a scrape always sees
+// fresh values even without a background sampler running.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, f)
 }
 
 // NewRegistry returns an empty registry.
@@ -264,12 +350,20 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64, kv ...strin
 		}
 	}
 	h := &Histogram{
-		desc:   desc{name: name, help: help, labels: renderLabels(kv)},
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		desc:      desc{name: name, help: help, labels: renderLabels(kv)},
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	r.register(h)
 	return h
+}
+
+// NewFloatGauge registers a float-valued gauge.
+func (r *Registry) NewFloatGauge(name, help string, kv ...string) *FloatGauge {
+	g := &FloatGauge{desc: desc{name: name, help: help, labels: renderLabels(kv)}}
+	r.register(g)
+	return g
 }
 
 // renderLabels renders alternating key/value pairs as `k="v",k2="v2"`.
@@ -295,9 +389,24 @@ func renderLabels(kv []string) string {
 // variants as separate sample lines under it), names sorted for stable
 // output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteExemplars is WritePrometheus with OpenMetrics exemplar
+// annotations on histogram bucket lines — served at /metrics?exemplars=1
+// so the default scrape stays strict Prometheus text format.
+func (r *Registry) WriteExemplars(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
 	r.mu.Lock()
 	ms := append([]metric(nil), r.metrics...)
+	hooks := append([]func(){}, r.onScrape...)
 	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 
 	sort.SliceStable(ms, func(i, j int) bool {
 		di, dj := ms[i].describe(), ms[j].describe()
@@ -315,7 +424,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "# TYPE %s %s\n", d.name, typeOf(m))
 			prev = d.name
 		}
-		m.write(&b)
+		m.write(&b, exemplars)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

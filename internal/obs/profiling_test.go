@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The runtime sampler fills the oj_go_* gauges with live values, both on
+// an explicit sample and via the registry's scrape hook, so a bare
+// /metrics scrape always carries fresh runtime numbers.
+func TestRuntimeMetricsSample(t *testing.T) {
+	SampleRuntime()
+	if v := GoGoroutines.Value(); v <= 0 {
+		t.Errorf("oj_go_goroutines = %d, want > 0", v)
+	}
+	if v := GoHeapObjectBytes.Value(); v <= 0 {
+		t.Errorf("oj_go_heap_objects_bytes = %d, want > 0", v)
+	}
+	if v := GoMemTotalBytes.Value(); v <= GoHeapObjectBytes.Value() {
+		t.Errorf("oj_go_mem_total_bytes = %d, want > heap objects %d",
+			v, GoHeapObjectBytes.Value())
+	}
+
+	// A plain scrape runs the OnScrape hook and renders the series.
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"oj_go_goroutines", "oj_go_heap_objects_bytes", "oj_go_mem_total_bytes",
+		"oj_go_gc_cycles", "oj_go_gc_pause_p50_seconds", "oj_go_gc_pause_p99_seconds",
+		"oj_go_sched_latency_p50_seconds", "oj_go_sched_latency_p99_seconds",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+// The background sampler stops cleanly: Close waits for the goroutine,
+// repeated and nil Closes are no-ops.
+func TestRuntimeMetricsSamplerLifecycle(t *testing.T) {
+	s := StartRuntimeSampler(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	s.Close()
+	var nilS *RuntimeSampler
+	nilS.Close()
+	if v := GoGoroutines.Value(); v <= 0 {
+		t.Errorf("sampler never sampled: oj_go_goroutines = %d", v)
+	}
+}
+
+// Exemplars ride only the opt-in OpenMetrics exposition: a histogram
+// observed with ObserveExemplar annotates the landing bucket with the
+// query ID, the plain Prometheus form stays untouched, and the latest
+// observation per bucket wins.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_seconds", "test latency", []float64{0.1, 1, 10})
+	h.ObserveExemplar(0.05, 7)
+	h.ObserveExemplar(0.5, 8)
+	h.ObserveExemplar(0.06, 9) // replaces ID 7 in the first bucket
+	h.ObserveExemplar(50, 10)  // +Inf bucket
+
+	var plain, om strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteExemplars(&om); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "# {") {
+		t.Errorf("plain exposition carries exemplars:\n%s", plain.String())
+	}
+	for _, want := range []string{`# {query_id="9"}`, `# {query_id="8"}`, `# {query_id="10"}`} {
+		if !strings.Contains(om.String(), want) {
+			t.Errorf("exemplar exposition missing %s:\n%s", want, om.String())
+		}
+	}
+	if strings.Contains(om.String(), `query_id="7"`) {
+		t.Errorf("stale exemplar survived a newer observation in its bucket:\n%s", om.String())
+	}
+
+	// Exemplars() is indexed like the buckets: 4 slots (3 bounds + +Inf),
+	// of which the 0.1–1 and 1–10 split leaves one never-hit slot nil.
+	got := h.Exemplars()
+	if len(got) != 4 {
+		t.Fatalf("Exemplars() = %d slots, want 4", len(got))
+	}
+	live := 0
+	for _, e := range got {
+		if e != nil {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("Exemplars() holds %d live entries, want 3", live)
+	}
+}
+
+// The file-backed slow-query log is bounded: when an entry would push
+// the file past the cap it rotates to <path>.1, keeping at most two
+// generations on disk, and keeps accepting entries afterwards.
+func TestSlowLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.jsonl")
+	var s SlowLog
+	s.SetThreshold(time.Nanosecond)
+	const cap = 256
+	if err := s.SetJSONFile(path, cap); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &QueryRecord{Query: "R -[R.a = S.a] S", Duration: time.Second}
+	for i := 0; i < 40; i++ {
+		rec.ID = uint64(i)
+		if !s.Observe(rec) {
+			t.Fatal("record above threshold not observed")
+		}
+	}
+	s.CloseJSONFile()
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("live log missing after rotation: %v", err)
+	}
+	st1, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated generation missing: %v", err)
+	}
+	if st.Size() > cap || st1.Size() > cap {
+		t.Errorf("size cap not enforced: live %d, rotated %d, cap %d",
+			st.Size(), st1.Size(), cap)
+	}
+	if files, _ := filepath.Glob(path + "*"); len(files) != 2 {
+		t.Errorf("rotation left %d generations, want 2: %v", len(files), files)
+	}
+
+	// Every surviving line is intact JSON (rotation never splits a line).
+	for _, p := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			var got QueryRecord
+			if err := json.Unmarshal([]byte(line), &got); err != nil {
+				t.Errorf("%s: corrupt line %q: %v", p, line, err)
+			}
+		}
+	}
+
+	// An empty path closes the file and disables file logging.
+	if err := s.SetJSONFile("", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(rec) // must not panic or write
+}
+
+// fakeGov is a GovernorUsage for live-progress tests.
+type fakeGov struct{ used, spill atomic.Int64 }
+
+func (g *fakeGov) UsedBytes() int64      { return g.used.Load() }
+func (g *fakeGov) UsedSpillBytes() int64 { return g.spill.Load() }
+
+// The live-progress view is consistent under concurrency: while the
+// query's goroutine advances phase and counters, concurrent Active()
+// snapshots always see rows-so-far monotonically non-decreasing and the
+// published identity fields.
+func TestTracerActiveLiveProgress(t *testing.T) {
+	tr := NewTracer()
+	qt := tr.Start("R -[R.a = S.a] S")
+	defer qt.Finish(nil)
+	qt.SetLabels("dp", "fp123")
+	qt.SetAdmissionWait(5 * time.Millisecond)
+
+	var rows, tuples atomic.Int64
+	gov := &fakeGov{}
+	qt.AttachProgress(rows.Load, tuples.Load, gov)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the "query": advances progress and phases
+		defer wg.Done()
+		phases := []string{"parse", "optimize", "execute"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rows.Add(1)
+			tuples.Add(3)
+			gov.used.Store(int64(i) * 64)
+			done := qt.Span(phases[i%len(phases)])
+			done()
+		}
+	}()
+
+	var last int64 = -1
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		live := tr.Active()
+		if len(live) != 1 {
+			t.Fatalf("Active() = %d queries, want 1", len(live))
+		}
+		lq := live[0]
+		if lq.ID != qt.Rec.ID || lq.Query != qt.Rec.Query {
+			t.Fatalf("identity mismatch: %+v", lq)
+		}
+		if lq.Strategy != "dp" || lq.Fingerprint != "fp123" {
+			t.Fatalf("labels not visible: %+v", lq)
+		}
+		if lq.AdmissionWait != 5*time.Millisecond {
+			t.Fatalf("admission wait = %v", lq.AdmissionWait)
+		}
+		if lq.Rows < last {
+			t.Fatalf("rows-so-far went backwards: %d after %d", lq.Rows, last)
+		}
+		last = lq.Rows
+		if lq.Tuples < lq.Rows*3-3 { // tuples advance with rows (±1 iteration)
+			t.Fatalf("tuples %d lag rows %d", lq.Tuples, lq.Rows)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if last <= 0 {
+		t.Fatal("progress never advanced during the poll window")
+	}
+
+	// Finish removes the query from the live set.
+	qt.Finish(nil)
+	if live := tr.Active(); len(live) != 0 {
+		t.Fatalf("finished query still live: %+v", live)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The oj_go_* instruments: the Go runtime's own health, sampled from
+// runtime/metrics into the Default registry so one /metrics scrape
+// carries both engine counters and runtime state. Values refresh on
+// every scrape (via OnScrape) and, when a server runs with
+// RuntimeEvery set, on a background cadence too — so a dashboard sees
+// fresh values either way.
+var (
+	GoGoroutines = Default.NewGauge("oj_go_goroutines",
+		"Live goroutines (runtime/metrics /sched/goroutines).")
+	GoHeapObjectBytes = Default.NewGauge("oj_go_heap_objects_bytes",
+		"Bytes of live heap objects (/memory/classes/heap/objects).")
+	GoMemTotalBytes = Default.NewGauge("oj_go_mem_total_bytes",
+		"Total bytes of memory mapped by the Go runtime (/memory/classes/total).")
+	GoGCCycles = Default.NewGauge("oj_go_gc_cycles",
+		"Completed GC cycles (/gc/cycles/total).")
+	GoGCPauseP50 = Default.NewFloatGauge("oj_go_gc_pause_p50_seconds",
+		"Median stop-the-world GC pause (/gc/pauses distribution).")
+	GoGCPauseP99 = Default.NewFloatGauge("oj_go_gc_pause_p99_seconds",
+		"99th-percentile stop-the-world GC pause (/gc/pauses distribution).")
+	GoSchedLatencyP50 = Default.NewFloatGauge("oj_go_sched_latency_p50_seconds",
+		"Median time goroutines spend runnable before running (/sched/latencies).")
+	GoSchedLatencyP99 = Default.NewFloatGauge("oj_go_sched_latency_p99_seconds",
+		"99th-percentile time goroutines spend runnable (/sched/latencies).")
+)
+
+// runtimeSampleNames are the runtime/metrics keys SampleRuntime reads,
+// in the order the update switch expects.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+func init() {
+	// Scrape-time refresh: every WritePrometheus re-samples the runtime,
+	// so even without a background sampler /metrics is never stale.
+	Default.OnScrape(SampleRuntime)
+}
+
+// SampleRuntime reads the runtime/metrics snapshot into the oj_go_*
+// instruments. Safe for concurrent callers (each gets its own sample
+// buffer); cheap enough to run per scrape.
+func SampleRuntime() {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				GoGoroutines.Set(int64(s.Value.Uint64()))
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				GoHeapObjectBytes.Set(int64(s.Value.Uint64()))
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				GoMemTotalBytes.Set(int64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				GoGCCycles.Set(int64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				GoGCPauseP50.Set(histQuantile(h, 0.50))
+				GoGCPauseP99.Set(histQuantile(h, 0.99))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				GoSchedLatencyP50.Set(histQuantile(h, 0.50))
+				GoSchedLatencyP99.Set(histQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+// histQuantile computes a nearest-rank quantile from a runtime/metrics
+// Float64Histogram, returning the upper bound of the bucket holding the
+// q-th observation (0 for an empty histogram). The runtime's bucket
+// boundaries can include ±Inf; an infinite upper bound falls back to
+// the bucket's finite lower bound.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Counts[i] covers Buckets[i] (lower) to Buckets[i+1] (upper).
+			upper := h.Buckets[i+1]
+			if upper > 1e308 || upper != upper { // +Inf or NaN guard
+				return h.Buckets[i]
+			}
+			return upper
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RuntimeSampler re-samples the runtime/metrics instruments on a fixed
+// cadence — continuous profiling's heartbeat, so gauges move even
+// between scrapes (e.g. for exemplar timestamps or push-style
+// collectors tailing the registry).
+type RuntimeSampler struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartRuntimeSampler samples immediately and then every period until
+// Close.
+func StartRuntimeSampler(every time.Duration) *RuntimeSampler {
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	SampleRuntime()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the sampler and waits for its goroutine to exit.
+// Idempotent and nil-safe.
+func (s *RuntimeSampler) Close() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

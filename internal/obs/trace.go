@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,13 @@ type Tracer struct {
 	path   string
 	events []chromeEvent
 
+	// active indexes in-flight traces by ID — the /debug/queries?live=1
+	// payload. Entries are added by Start and removed by Finish/Reject;
+	// the fields Active reads off a live trace are all immutable or
+	// atomic, so a scrape never races the query's own goroutine.
+	activeMu sync.Mutex
+	active   map[uint64]*QueryTrace
+
 	ring *Recent
 	slow *SlowLog
 }
@@ -73,7 +81,12 @@ type Tracer struct {
 // NewTracer returns a tracer with a 64-entry ring buffer and a disabled
 // slow-query log; span export starts disabled.
 func NewTracer() *Tracer {
-	return &Tracer{epoch: time.Now(), ring: NewRecent(64), slow: &SlowLog{}}
+	return &Tracer{
+		epoch:  time.Now(),
+		active: make(map[uint64]*QueryTrace),
+		ring:   NewRecent(64),
+		slow:   &SlowLog{},
+	}
 }
 
 // DefaultTracer is the process-wide tracer the commands share.
@@ -146,20 +159,53 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 func (t *Tracer) Start(query string) *QueryTrace {
 	QueriesStarted.Inc()
 	QueriesActive.Inc()
-	return &QueryTrace{
+	qt := &QueryTrace{
 		t:   t,
 		Rec: QueryRecord{ID: t.nextID.Add(1), Query: query, Start: time.Now()},
 	}
+	t.activeMu.Lock()
+	t.active[qt.Rec.ID] = qt
+	t.activeMu.Unlock()
+	return qt
 }
 
 // QueryTrace collects the spans and outcome of one query between Start
 // and Finish. A nil *QueryTrace is valid everywhere and records nothing,
 // so library paths can thread one through unconditionally.
+//
+// The atomic fields at the bottom are the live-progress surface: the
+// query's own goroutine publishes phase, labels, progress callbacks and
+// admission wait as it goes, and Tracer.Active reads them from scrape
+// goroutines without touching the non-atomic Rec/spans state.
 type QueryTrace struct {
 	t     *Tracer
 	Rec   QueryRecord
 	spans []Span
 	done  bool
+
+	phase         atomic.Pointer[string]
+	labels        atomic.Pointer[queryLabels]
+	prog          atomic.Pointer[progress]
+	admissionWait atomic.Int64 // nanoseconds
+}
+
+// queryLabels is the atomic snapshot of a live query's plan identity.
+type queryLabels struct{ strategy, fingerprint string }
+
+// progress is the atomic snapshot of a live query's progress sources:
+// row/tuple counter reads and the governor's byte usage.
+type progress struct {
+	rows, tuples func() int64
+	gov          GovernorUsage
+}
+
+// GovernorUsage is the subset of resource.Governor the live-progress
+// snapshot reads. Declared here (obs is a leaf package) so exec/resource
+// can hand their governor in without an import cycle; implementations
+// must be nil-receiver-safe, as resource.Governor's accessors are.
+type GovernorUsage interface {
+	UsedBytes() int64
+	UsedSpillBytes() int64
 }
 
 // Span opens a phase span and returns its closer:
@@ -167,14 +213,47 @@ type QueryTrace struct {
 //	done := qt.Span("optimize")
 //	... work ...
 //	done()
+//
+// Opening a span also publishes its name as the query's current phase
+// for the live-progress view.
 func (qt *QueryTrace) Span(name string) func() {
 	if qt == nil {
 		return func() {}
 	}
+	qt.phase.Store(&name)
 	start := time.Now()
 	return func() {
 		qt.AddSpan(Span{Name: name, Cat: "phase", Start: start, Dur: time.Since(start)})
 	}
+}
+
+// SetLabels publishes the optimizer's chosen strategy and the plan
+// fingerprint for the live-progress view (the same values the pprof
+// goroutine labels carry). Nil-safe.
+func (qt *QueryTrace) SetLabels(strategy, fingerprint string) {
+	if qt == nil {
+		return
+	}
+	qt.labels.Store(&queryLabels{strategy: strategy, fingerprint: fingerprint})
+}
+
+// AttachProgress publishes live progress sources: rows/tuples callbacks
+// (typically exec.Counters loads — atomic, monotonic) and the query's
+// governor for byte usage. Any of the three may be nil. Nil-safe.
+func (qt *QueryTrace) AttachProgress(rows, tuples func() int64, gov GovernorUsage) {
+	if qt == nil {
+		return
+	}
+	qt.prog.Store(&progress{rows: rows, tuples: tuples, gov: gov})
+}
+
+// SetAdmissionWait publishes how long the query waited for admission.
+// Nil-safe.
+func (qt *QueryTrace) SetAdmissionWait(d time.Duration) {
+	if qt == nil {
+		return
+	}
+	qt.admissionWait.Store(int64(d))
 }
 
 // AddSpan appends a pre-timed span (phases with synthesized bounds,
@@ -220,12 +299,17 @@ func (qt *QueryTrace) Finish(err error) {
 		QueriesCompleted.Inc()
 	}
 	QueriesActive.Dec()
-	QueryDuration.ObserveDuration(qt.Rec.Duration)
+	// The exemplar ties this latency bucket back to the query ID in the
+	// ring, so a scrape with ?exemplars=1 links buckets to real queries.
+	QueryDuration.ObserveExemplar(qt.Rec.Duration.Seconds(), qt.Rec.ID)
 
 	t := qt.t
 	if t == nil {
 		return
 	}
+	t.activeMu.Lock()
+	delete(t.active, qt.Rec.ID)
+	t.activeMu.Unlock()
 	qt.Rec.Slow = t.slow.Observe(&qt.Rec)
 	t.ring.Add(qt.Rec)
 	if t.enabled.Load() {
@@ -283,8 +367,71 @@ func (qt *QueryTrace) Reject(err error) {
 	QueriesRejected.Inc()
 	QueriesActive.Dec()
 	if qt.t != nil {
+		qt.t.activeMu.Lock()
+		delete(qt.t.active, qt.Rec.ID)
+		qt.t.activeMu.Unlock()
 		qt.t.ring.Add(qt.Rec)
 	}
+}
+
+// LiveQuery is one in-flight query as /debug/queries?live=1 reports it:
+// identity, current phase, elapsed time, progress so far, governor byte
+// usage, and how long admission made it wait.
+type LiveQuery struct {
+	ID                uint64        `json:"id"`
+	Query             string        `json:"query"`
+	Phase             string        `json:"phase"`
+	Elapsed           time.Duration `json:"elapsed_ns"`
+	Strategy          string        `json:"strategy,omitempty"`
+	Fingerprint       string        `json:"fingerprint,omitempty"`
+	Rows              int64         `json:"rows"`
+	Tuples            int64         `json:"tuples"`
+	GovernorBytes     int64         `json:"governor_bytes"`
+	GovernorSpillByte int64         `json:"governor_spill_bytes"`
+	AdmissionWait     time.Duration `json:"admission_wait_ns"`
+}
+
+// Active snapshots the in-flight queries, ordered by ID (oldest first).
+// It reads only immutable (ID, Query, Start) or atomic fields off each
+// live trace, so it is safe against the queries' own goroutines.
+func (t *Tracer) Active() []LiveQuery {
+	t.activeMu.Lock()
+	qts := make([]*QueryTrace, 0, len(t.active))
+	for _, qt := range t.active {
+		qts = append(qts, qt)
+	}
+	t.activeMu.Unlock()
+	sort.Slice(qts, func(i, j int) bool { return qts[i].Rec.ID < qts[j].Rec.ID })
+
+	out := make([]LiveQuery, 0, len(qts))
+	for _, qt := range qts {
+		lq := LiveQuery{
+			ID:            qt.Rec.ID,
+			Query:         qt.Rec.Query,
+			Elapsed:       time.Since(qt.Rec.Start),
+			AdmissionWait: time.Duration(qt.admissionWait.Load()),
+		}
+		if p := qt.phase.Load(); p != nil {
+			lq.Phase = *p
+		}
+		if l := qt.labels.Load(); l != nil {
+			lq.Strategy, lq.Fingerprint = l.strategy, l.fingerprint
+		}
+		if pr := qt.prog.Load(); pr != nil {
+			if pr.rows != nil {
+				lq.Rows = pr.rows()
+			}
+			if pr.tuples != nil {
+				lq.Tuples = pr.tuples()
+			}
+			if pr.gov != nil {
+				lq.GovernorBytes = pr.gov.UsedBytes()
+				lq.GovernorSpillByte = pr.gov.UsedSpillBytes()
+			}
+		}
+		out = append(out, lq)
+	}
+	return out
 }
 
 // chromeEvent is one entry of the Chrome trace-event format ("X" =
@@ -389,12 +536,23 @@ func (r *Recent) Len() int {
 
 // SlowLog records queries whose duration exceeds a threshold, as
 // human-readable text and/or JSON lines. A zero threshold disables it.
+// The JSON side can log straight to a size-bounded file (SetJSONFile)
+// so a long soak cannot fill the disk.
 type SlowLog struct {
 	threshold atomic.Int64 // nanoseconds; 0 = off
 
 	mu    sync.Mutex
 	textW io.Writer
 	jsonW io.Writer
+
+	// File-backed JSON log with rotation: when jsonFile is set and an
+	// entry would push jsonSize past jsonMaxBytes, the file is renamed to
+	// <path>.1 (replacing any previous .1) and a fresh file is opened —
+	// at most 2×maxBytes on disk, and recent entries always survive.
+	jsonFile     *os.File
+	jsonPath     string
+	jsonMaxBytes int64
+	jsonSize     int64
 }
 
 // SetThreshold sets the slow-query duration (0 disables).
@@ -410,11 +568,81 @@ func (s *SlowLog) SetText(w io.Writer) {
 	s.mu.Unlock()
 }
 
-// SetJSON directs the JSON-lines log to w (nil to stop).
+// SetJSON directs the JSON-lines log to w (nil to stop). It closes any
+// file previously attached with SetJSONFile.
 func (s *SlowLog) SetJSON(w io.Writer) {
 	s.mu.Lock()
+	s.closeFileLocked()
 	s.jsonW = w
 	s.mu.Unlock()
+}
+
+// SetJSONFile directs the JSON-lines log to the file at path, appending
+// if it exists, rotating to <path>.1 whenever the file would exceed
+// maxBytes (maxBytes <= 0 means no bound). An empty path closes the
+// current file and stops JSON logging.
+func (s *SlowLog) SetJSONFile(path string, maxBytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeFileLocked()
+	if path == "" {
+		s.jsonW = nil
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: slow-query log: %w", err)
+	}
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	s.jsonFile, s.jsonPath, s.jsonMaxBytes, s.jsonSize = f, path, maxBytes, size
+	s.jsonW = f
+	return nil
+}
+
+// CloseJSONFile closes a file attached with SetJSONFile and stops JSON
+// logging to it; a no-op when none is attached.
+func (s *SlowLog) CloseJSONFile() {
+	s.mu.Lock()
+	s.closeFileLocked()
+	s.mu.Unlock()
+}
+
+// closeFileLocked closes the managed file (if any) and clears the
+// file-backed state. Callers hold s.mu.
+func (s *SlowLog) closeFileLocked() {
+	if s.jsonFile == nil {
+		return
+	}
+	if s.jsonW == io.Writer(s.jsonFile) {
+		s.jsonW = nil
+	}
+	s.jsonFile.Close()
+	s.jsonFile, s.jsonPath, s.jsonMaxBytes, s.jsonSize = nil, "", 0, 0
+}
+
+// writeJSONLocked appends one encoded entry to the JSON log, rotating a
+// file-backed log first when the entry would push it past the size cap.
+// Callers hold s.mu.
+func (s *SlowLog) writeJSONLocked(line []byte) {
+	if s.jsonFile != nil && s.jsonMaxBytes > 0 && s.jsonSize+int64(len(line)) > s.jsonMaxBytes && s.jsonSize > 0 {
+		s.jsonFile.Close()
+		os.Rename(s.jsonPath, s.jsonPath+".1")
+		f, err := os.OpenFile(s.jsonPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			// Could not reopen: drop the file-backed log rather than crash
+			// the query path; the next SetJSONFile can re-establish it.
+			s.jsonFile, s.jsonW, s.jsonPath, s.jsonMaxBytes, s.jsonSize = nil, nil, "", 0, 0
+			return
+		}
+		s.jsonFile, s.jsonW, s.jsonSize = f, f, 0
+	}
+	if s.jsonW != nil {
+		n, _ := s.jsonW.Write(line)
+		s.jsonSize += int64(n)
+	}
 }
 
 // Observe checks rec against the threshold; when slow it writes the
@@ -439,7 +667,7 @@ func (s *SlowLog) Observe(rec *QueryRecord) bool {
 	}
 	if s.jsonW != nil {
 		if b, err := json.Marshal(rec); err == nil {
-			s.jsonW.Write(append(b, '\n'))
+			s.writeJSONLocked(append(b, '\n'))
 		}
 	}
 	return slow

@@ -245,15 +245,20 @@ func (o *Optimizer) Execute(p *Plan) (*relation.Relation, *exec.Counters, error)
 // deadline and memory budgets; ec may be nil for ungoverned execution.
 func (o *Optimizer) ExecuteCtx(ec *exec.ExecContext, p *Plan) (*relation.Relation, *exec.Counters, error) {
 	var c exec.Counters
-	it, err := o.Build(p, &c)
+	out, err := o.ExecuteCtxCounted(ec, p, &c)
+	return out, &c, err
+}
+
+// ExecuteCtxCounted is ExecuteCtx with caller-owned counters: the
+// caller allocates c before execution and may read it concurrently
+// while the query runs (Counters is atomic), which is how the server's
+// live-progress view streams rows-so-far for in-flight queries.
+func (o *Optimizer) ExecuteCtxCounted(ec *exec.ExecContext, p *Plan, c *exec.Counters) (*relation.Relation, error) {
+	it, err := o.Build(p, c)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	out, err := exec.CollectCtx(ec, it, &c)
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, &c, nil
+	return exec.CollectCtx(ec, it, c)
 }
 
 // ExecuteAnalyzed lowers p with instrumentation, runs it, and returns the

@@ -1,0 +1,182 @@
+// Package pprofparse is a dependency-free reader for the pprof profile
+// format (gzip-compressed protobuf, as served by /debug/pprof/profile
+// and written by `go test -cpuprofile`). It decodes just enough of the
+// proto — sample types, samples with their label sets, and the
+// location→function tables — to answer the two questions the repo's
+// profiling layer asks:
+//
+//   - attribution by code: which functions burn the most CPU/allocations
+//     (TopFunctions, the `make profile` hit list for ROADMAP item 1), and
+//   - attribution by query: how do samples split across the pprof labels
+//     the executor sets (ByLabel over query_id / fingerprint / strategy).
+//
+// The decoder is a hand-rolled protobuf walker: profile.proto's field
+// numbers are stable and documented, the messages involved are shallow,
+// and depending on github.com/google/pprof for two aggregations would
+// drag in a vendored tree. Unknown fields are skipped, so profiles from
+// newer Go versions parse fine.
+package pprofparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ValueType names one sample dimension, e.g. {Type: "cpu", Unit:
+// "nanoseconds"} or {Type: "alloc_space", Unit: "bytes"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one stack sample: its values (one per sample type), the
+// string and numeric pprof labels attached to it, and the stack as
+// function names, leaf first.
+type Sample struct {
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string]int64
+	Stack     []string
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	DurationNanos int64
+	Period        int64
+}
+
+// Parse decodes a pprof profile from r, transparently un-gzipping
+// (profiles are gzipped on the wire, but a raw proto also parses).
+func Parse(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("pprofparse: read: %w", err)
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprofparse: gzip: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("pprofparse: gunzip: %w", err)
+		}
+	}
+	return parseProto(data)
+}
+
+// ParseFile decodes the profile at path.
+func ParseFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Index returns the position of the named sample type in each sample's
+// Values ("cpu", "alloc_space", ...), or -1 when absent.
+func (p *Profile) Index(sampleType string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == sampleType {
+			return i
+		}
+	}
+	return -1
+}
+
+// Total sums value index vi across all samples.
+func (p *Profile) Total(vi int) int64 {
+	var t int64
+	for _, s := range p.Samples {
+		if vi < len(s.Values) {
+			t += s.Values[vi]
+		}
+	}
+	return t
+}
+
+// Entry is one row of a top-N report: a function's flat value (samples
+// with it as the leaf) and cumulative value (samples with it anywhere
+// on the stack).
+type Entry struct {
+	Name string `json:"name"`
+	Flat int64  `json:"flat"`
+	Cum  int64  `json:"cum"`
+}
+
+// TopFunctions aggregates value index vi by function and returns the
+// top n entries by flat value (ties broken by cumulative, then name for
+// determinism). n <= 0 returns all.
+func (p *Profile) TopFunctions(vi, n int) []Entry {
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	for _, s := range p.Samples {
+		if vi >= len(s.Values) || len(s.Stack) == 0 {
+			continue
+		}
+		v := s.Values[vi]
+		flat[s.Stack[0]] += v
+		seen := map[string]bool{}
+		for _, fn := range s.Stack {
+			if !seen[fn] { // recursion: count each frame once per stack
+				seen[fn] = true
+				cum[fn] += v
+			}
+		}
+	}
+	out := make([]Entry, 0, len(cum))
+	for name, c := range cum {
+		out = append(out, Entry{Name: name, Flat: flat[name], Cum: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		if out[i].Cum != out[j].Cum {
+			return out[i].Cum > out[j].Cum
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ByLabel sums value index vi per distinct value of the string label
+// key; samples without the label are summed under "" so callers can see
+// the unattributed remainder.
+func (p *Profile) ByLabel(key string, vi int) map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range p.Samples {
+		if vi >= len(s.Values) {
+			continue
+		}
+		out[s.Labels[key]] += s.Values[vi]
+	}
+	return out
+}
+
+// LabelValues returns the distinct values of the string label key,
+// sorted.
+func (p *Profile) LabelValues(key string) []string {
+	set := map[string]bool{}
+	for _, s := range p.Samples {
+		if v, ok := s.Labels[key]; ok {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

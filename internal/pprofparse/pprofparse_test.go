@@ -1,0 +1,111 @@
+package pprofparse
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// burn spins the CPU for roughly d so the profiler has samples to take.
+// The sink defeats dead-code elimination.
+var sink int
+
+func burn(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			sink += i * i
+		}
+	}
+}
+
+// TestParseCPUProfileRoundTrip captures a real CPU profile with labeled
+// work and checks the parser recovers sample types, stacks, and the
+// pprof labels — the exact shape the query server produces.
+func TestParseCPUProfileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	pprof.Do(context.Background(), pprof.Labels("query_id", "42", "fingerprint", "deadbeef"),
+		func(context.Context) { burn(300 * time.Millisecond) })
+	burn(100 * time.Millisecond) // unlabeled remainder
+	pprof.StopCPUProfile()
+
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Fatal("no sample types decoded")
+	}
+	vi := p.Index("cpu")
+	if vi < 0 {
+		t.Fatalf("no cpu sample type in %v", p.SampleTypes)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("profiler took no samples (starved CI); nothing to assert")
+	}
+
+	// Stacks must resolve to function names, and the busy loop should be
+	// visible in the top-N report.
+	top := p.TopFunctions(vi, 10)
+	if len(top) == 0 {
+		t.Fatal("TopFunctions returned nothing")
+	}
+	foundBurn := false
+	for _, e := range top {
+		if e.Name == "" {
+			t.Fatal("entry with empty function name")
+		}
+		if e.Cum < e.Flat {
+			t.Fatalf("cum %d < flat %d for %s", e.Cum, e.Flat, e.Name)
+		}
+		if e.Name == "freejoin/internal/pprofparse.burn" {
+			foundBurn = true
+		}
+	}
+	if !foundBurn {
+		t.Errorf("burn not in top functions: %+v", top)
+	}
+
+	// The labeled span must be attributed to query_id=42.
+	byQ := p.ByLabel("query_id", vi)
+	if byQ["42"] == 0 {
+		t.Errorf("no CPU attributed to query_id=42: %v", byQ)
+	}
+	if got := p.LabelValues("query_id"); len(got) != 1 || got[0] != "42" {
+		t.Errorf("LabelValues(query_id) = %v, want [42]", got)
+	}
+	byF := p.ByLabel("fingerprint", vi)
+	if byF["deadbeef"] == 0 {
+		t.Errorf("no CPU attributed to fingerprint=deadbeef: %v", byF)
+	}
+	if p.Total(vi) <= 0 {
+		t.Errorf("Total(%d) = %d, want > 0", vi, p.Total(vi))
+	}
+}
+
+// TestParseRejectsGarbage checks truncated/corrupt input errors instead
+// of panicking.
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{
+		{0x08},             // truncated varint field
+		{0x12, 0xff, 0x01}, // length longer than payload
+		{0xfd, 0x01},       // wire type 5 with no payload
+	} {
+		if _, err := Parse(bytes.NewReader(in)); err == nil {
+			t.Errorf("Parse(%x) succeeded, want error", in)
+		}
+	}
+	// Empty profile is valid (no fields at all).
+	p, err := Parse(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatalf("Parse(empty): %v", err)
+	}
+	if len(p.Samples) != 0 || len(p.SampleTypes) != 0 {
+		t.Fatalf("empty profile decoded to %+v", p)
+	}
+}

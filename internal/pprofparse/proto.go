@@ -1,0 +1,441 @@
+package pprofparse
+
+import "fmt"
+
+// The protobuf walker. profile.proto field numbers (stable since the
+// format was published):
+//
+//	Profile:  1 sample_type (ValueType)   4 location (Location)
+//	          2 sample (Sample)           5 function (Function)
+//	          6 string_table (string)    10 duration_nanos
+//	         12 period
+//	ValueType: 1 type*  2 unit*                     (* = string index)
+//	Sample:    1 location_id (repeated uint64)  2 value (repeated int64)
+//	           3 label (Label)
+//	Label:     1 key*  2 str*  3 num
+//	Location:  1 id  4 line (Line)
+//	Line:      1 function_id  2 line
+//	Function:  1 id  2 name*
+//
+// Repeated scalars arrive packed (one length-delimited field) or
+// unpacked (one varint field per element); both are handled.
+
+// pbuf is a protobuf wire-format cursor over one message's bytes.
+type pbuf struct {
+	data []byte
+	pos  int
+}
+
+func (b *pbuf) done() bool { return b.pos >= len(b.data) }
+
+func (b *pbuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if b.pos >= len(b.data) {
+			return 0, fmt.Errorf("pprofparse: truncated varint")
+		}
+		c := b.data[b.pos]
+		b.pos++
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("pprofparse: varint overflow")
+		}
+	}
+}
+
+// field reads one field tag and returns (fieldNumber, wireType).
+func (b *pbuf) field() (int, int, error) {
+	tag, err := b.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (b *pbuf) bytes() ([]byte, error) {
+	n, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b.data)-b.pos) {
+		return nil, fmt.Errorf("pprofparse: truncated bytes field")
+	}
+	out := b.data[b.pos : b.pos+int(n)]
+	b.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field of the given wire type.
+func (b *pbuf) skip(wire int) error {
+	switch wire {
+	case 0: // varint
+		_, err := b.varint()
+		return err
+	case 1: // fixed64
+		if len(b.data)-b.pos < 8 {
+			return fmt.Errorf("pprofparse: truncated fixed64")
+		}
+		b.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := b.bytes()
+		return err
+	case 5: // fixed32
+		if len(b.data)-b.pos < 4 {
+			return fmt.Errorf("pprofparse: truncated fixed32")
+		}
+		b.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprofparse: unsupported wire type %d", wire)
+	}
+}
+
+// repeatedUint64 appends elements of a repeated uint64/int64 field,
+// handling both packed (wire 2) and unpacked (wire 0) encodings.
+func repeatedUint64(b *pbuf, wire int, dst []uint64) ([]uint64, error) {
+	if wire == 0 {
+		v, err := b.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, v), nil
+	}
+	payload, err := b.bytes()
+	if err != nil {
+		return nil, err
+	}
+	pb := &pbuf{data: payload}
+	for !pb.done() {
+		v, err := pb.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// rawSample / rawLabel / rawLocation hold the ID-based form before the
+// string and function tables are resolved.
+type rawSample struct {
+	locIDs []uint64
+	values []uint64
+	labels []rawLabel
+}
+
+type rawLabel struct {
+	key, str uint64
+	num      int64
+}
+
+type rawLocation struct {
+	id    uint64
+	fnIDs []uint64 // from Line messages, leaf order as encoded
+}
+
+func parseProto(data []byte) (*Profile, error) {
+	var (
+		strtab   []string
+		types    []ValueType
+		rawTypes [][2]uint64
+		samples  []rawSample
+		locs     = map[uint64][]uint64{} // location id -> function ids
+		fns      = map[uint64]uint64{}   // function id -> name string index
+		prof     = &Profile{}
+	)
+
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			rawTypes = append(rawTypes, vt)
+		case 2: // sample
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			locs[loc.id] = loc.fnIDs
+		case 5: // function
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, name, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			fns[id] = name
+		case 6: // string_table
+			s, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		case 10: // duration_nanos
+			v, err := b.varint()
+			if err != nil {
+				return nil, err
+			}
+			prof.DurationNanos = int64(v)
+		case 12: // period
+			v, err := b.varint()
+			if err != nil {
+				return nil, err
+			}
+			prof.Period = int64(v)
+		default:
+			if err := b.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range rawTypes {
+		types = append(types, ValueType{Type: str(vt[0]), Unit: str(vt[1])})
+	}
+	prof.SampleTypes = types
+	for _, rs := range samples {
+		s := Sample{Values: make([]int64, len(rs.values))}
+		for i, v := range rs.values {
+			s.Values[i] = int64(v)
+		}
+		for _, l := range rs.labels {
+			k := str(l.key)
+			if k == "" {
+				continue
+			}
+			if l.str != 0 {
+				if s.Labels == nil {
+					s.Labels = map[string]string{}
+				}
+				s.Labels[k] = str(l.str)
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string]int64{}
+				}
+				s.NumLabels[k] = l.num
+			}
+		}
+		// Stack: sample location_ids are leaf first; each location's Line
+		// entries are innermost (inlined callee) first.
+		for _, lid := range rs.locIDs {
+			for _, fid := range locs[lid] {
+				if name := str(fns[fid]); name != "" {
+					s.Stack = append(s.Stack, name)
+				}
+			}
+		}
+		prof.Samples = append(prof.Samples, s)
+	}
+	return prof, nil
+}
+
+func parseValueType(data []byte) ([2]uint64, error) {
+	var vt [2]uint64
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1, 2:
+			v, err := b.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt[num-1] = v
+		default:
+			if err := b.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.locIDs, err = repeatedUint64(b, wire, s.locIDs); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.values, err = repeatedUint64(b, wire, s.values); err != nil {
+				return s, err
+			}
+		case 3:
+			msg, err := b.bytes()
+			if err != nil {
+				return s, err
+			}
+			l, err := parseLabel(msg)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, l)
+		default:
+			if err := b.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(data []byte) (rawLabel, error) {
+	var l rawLabel
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1, 2, 3:
+			v, err := b.varint()
+			if err != nil {
+				return l, err
+			}
+			switch num {
+			case 1:
+				l.key = v
+			case 2:
+				l.str = v
+			case 3:
+				l.num = int64(v)
+			}
+		default:
+			if err := b.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseLocation(data []byte) (rawLocation, error) {
+	var loc rawLocation
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1:
+			v, err := b.varint()
+			if err != nil {
+				return loc, err
+			}
+			loc.id = v
+		case 4:
+			msg, err := b.bytes()
+			if err != nil {
+				return loc, err
+			}
+			fid, err := parseLine(msg)
+			if err != nil {
+				return loc, err
+			}
+			loc.fnIDs = append(loc.fnIDs, fid)
+		default:
+			if err := b.skip(wire); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func parseLine(data []byte) (uint64, error) {
+	var fid uint64
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return 0, err
+		}
+		if num == 1 {
+			if fid, err = b.varint(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := b.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return fid, nil
+}
+
+func parseFunction(data []byte) (id, name uint64, err error) {
+	b := &pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case 1:
+			if id, err = b.varint(); err != nil {
+				return 0, 0, err
+			}
+		case 2:
+			if name, err = b.varint(); err != nil {
+				return 0, 0, err
+			}
+		default:
+			if err := b.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, name, nil
+}

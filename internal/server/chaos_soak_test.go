@@ -55,6 +55,9 @@ func TestChaosSoak(t *testing.T) {
 		WriteTimeout:    2 * time.Second,
 		ShedWait:        50 * time.Millisecond,
 		Chaos:           &chaos.Config{Seed: chaosSoakSeed, Rate: 0.10, MaxStall: 2 * time.Millisecond},
+		MetricsAddr:     "127.0.0.1:0",
+		Pprof:           true,
+		RuntimeSample:   20 * time.Millisecond,
 	})
 	core := srv.Core()
 
@@ -177,7 +180,43 @@ func TestChaosSoak(t *testing.T) {
 			}
 		},
 	}
+	// The monitoring surface is scraped throughout the chaos run: the
+	// metrics listener is not behind the fault injector, so /metrics,
+	// the live-query view and the pprof index must answer cleanly while
+	// the query side drops, stalls and panics. Runs under -race, so any
+	// scrape-vs-execution race is a failure, not a flake.
+	scrapeStop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	mon := "http://" + srv.MetricsAddr()
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			default:
+			}
+			for _, path := range []string{
+				"/metrics", "/metrics?exemplars=1",
+				"/debug/queries", "/debug/queries?live=1",
+				"/healthz", "/debug/pprof/cmdline",
+			} {
+				if _, err := getBody(mon + path); err != nil {
+					note("monitoring scrape %s: %v", path, err)
+					return
+				}
+			}
+			var live []obs.LiveQuery
+			if err := getJSON(mon+"/debug/queries?live=1", &live); err != nil {
+				note("live view not decodable mid-chaos: %v", err)
+				return
+			}
+		}
+	}()
+
 	rep := d.Run()
+	close(scrapeStop)
+	<-scrapeDone
 	for _, cl := range cls {
 		cl.Close()
 	}

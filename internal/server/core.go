@@ -23,6 +23,9 @@ const (
 	// DefaultWriteTimeout bounds one response write; a client that stops
 	// reading cannot wedge a session goroutine forever.
 	DefaultWriteTimeout = 30 * time.Second
+	// DefaultSlowLogMaxBytes caps the slow-query JSONL file before it
+	// rotates to <path>.1 (at most double this on disk).
+	DefaultSlowLogMaxBytes = int64(64 << 20)
 )
 
 // Config parameterizes the server: the listen addresses, the admission
@@ -56,6 +59,23 @@ type Config struct {
 	// ShedWait enables queue-wait-latency load shedding (see
 	// AdmissionConfig.ShedWait). 0 disables.
 	ShedWait time.Duration
+
+	// Pprof mounts net/http/pprof on the monitoring server (requires
+	// MetricsAddr). Off by default: profiling endpoints expose stacks.
+	Pprof bool
+	// RuntimeSample, when > 0, runs a background runtime/metrics sampler
+	// at this period for the monitoring server's lifetime (scrape-time
+	// sampling happens regardless).
+	RuntimeSample time.Duration
+
+	// SlowQuery sets the slow-query threshold (0 → off); queries at or
+	// over it are recorded in the slow-query log.
+	SlowQuery time.Duration
+	// SlowQueryLog, when non-empty, appends slow-query records as JSON
+	// lines to this file, rotated to <path>.1 at SlowQueryLogMaxBytes
+	// (DefaultSlowLogMaxBytes when 0) so a long soak cannot fill the disk.
+	SlowQueryLog         string
+	SlowQueryLogMaxBytes int64
 
 	// Chaos, when non-nil and enabled, wraps the query listener in the
 	// fault-injection layer — a dev/test mode, never for production.
@@ -129,7 +149,7 @@ func NewCore(cfg Config) (*Core, error) {
 	case cfg.PlanCache == 0:
 		plans = plancache.New(plancache.DefaultCapacity)
 	}
-	return &Core{
+	core := &Core{
 		cfg:    cfg,
 		cat:    cat,
 		plans:  plans,
@@ -141,7 +161,20 @@ func NewCore(cfg Config) (*Core, error) {
 			SpillPoolBytes: cfg.SpillPoolBytes,
 			ShedWait:       cfg.ShedWait,
 		}),
-	}, nil
+	}
+	if cfg.SlowQuery > 0 {
+		core.tracer.Slow().SetThreshold(cfg.SlowQuery)
+	}
+	if cfg.SlowQueryLog != "" {
+		maxBytes := cfg.SlowQueryLogMaxBytes
+		if maxBytes == 0 {
+			maxBytes = DefaultSlowLogMaxBytes
+		}
+		if err := core.tracer.Slow().SetJSONFile(cfg.SlowQueryLog, maxBytes); err != nil {
+			return nil, err
+		}
+	}
+	return core, nil
 }
 
 // Catalog returns the shared catalog (safe for concurrent use).

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"freejoin/internal/expr"
+	"freejoin/internal/obs"
+	"freejoin/internal/parse"
+	"freejoin/internal/pprofparse"
+	"freejoin/internal/workload"
+)
+
+// TestServerSoakProfileAttribution is the continuous-profiling contract
+// end to end: while 16 in-process runners keep the core saturated, the
+// monitoring side is scraped concurrently —
+//
+//   - /debug/pprof/profile (1s CPU profile) resolves samples back to
+//     query_id and fingerprint goroutine labels, so profiling data is
+//     attributable per query without any cooperation from the profiler
+//   - /debug/queries?live=1 snapshots are consistent: rows-so-far never
+//     decreases for a given query ID, and phases are published
+//   - /metrics carries the runtime oj_go_* gauges and, with
+//     ?exemplars=1, latency-bucket exemplars naming recent query IDs
+//
+// The profile assertions skip (never flake) when the OS profiler
+// delivers no samples at all, but with 16 busy runners for the whole
+// window that is a pathological machine, not a normal run.
+func TestServerSoakProfileAttribution(t *testing.T) {
+	const runners = 16
+	srv := startTestServer(t, Config{
+		MaxConcurrent: 4,
+		QueueDepth:    runners, // deep enough that nothing is shed
+		PoolBytes:     1 << 20,
+		MetricsAddr:   "127.0.0.1:0",
+		Pprof:         true,
+		RuntimeSample: 10 * time.Millisecond,
+	})
+	core := srv.Core()
+	base := "http://" + srv.MetricsAddr()
+
+	rnd := rand.New(rand.NewSource(7))
+	queries, names := workload.QueryMix(rnd, 8)
+	for _, name := range names {
+		core.Catalog().AddRelation(name, workload.RandomRelation(rnd, name, 80))
+	}
+	nodes := make([]*expr.Node, len(queries))
+	for i, q := range queries {
+		node, err := parse.Expr(q)
+		if err != nil {
+			t.Fatalf("mix query %q: %v", q, err)
+		}
+		nodes[i] = node
+	}
+
+	// Load: each runner loops its own session until stop. In-process
+	// sessions keep the CPU in parse/optimize/execute, where the pprof
+	// labels live.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < runners; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sess := NewSession(core)
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sess.runQuery(context.Background(), "profile soak", nodes[i%len(nodes)], false)
+			}
+		}(r)
+	}
+
+	// Scraper: hammers the read-only monitoring surface while queries
+	// run, checking live-progress monotonicity per query ID.
+	maxRows := make(map[uint64]int64)
+	sawLive := false
+	var scrapeErrs []string
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var live []obs.LiveQuery
+			if err := getJSON(base+"/debug/queries?live=1", &live); err != nil {
+				scrapeErrs = append(scrapeErrs, fmt.Sprintf("live scrape: %v", err))
+				return
+			}
+			for _, lq := range live {
+				sawLive = true
+				if lq.Rows < maxRows[lq.ID] {
+					scrapeErrs = append(scrapeErrs,
+						fmt.Sprintf("query %d rows went backwards: %d after %d", lq.ID, lq.Rows, maxRows[lq.ID]))
+					return
+				}
+				maxRows[lq.ID] = lq.Rows
+			}
+			if _, err := getBody(base + "/metrics"); err != nil {
+				scrapeErrs = append(scrapeErrs, fmt.Sprintf("metrics scrape: %v", err))
+				return
+			}
+		}
+	}()
+
+	// The profile capture is the pacing element: the handler blocks for
+	// the requested second while the load and the scrapers run.
+	profBody, err := getBody(base + "/debug/pprof/profile?seconds=1")
+	close(stop)
+	wg.Wait()
+	<-scrapeDone
+	if err != nil {
+		t.Fatalf("profile capture: %v", err)
+	}
+	for _, e := range scrapeErrs {
+		t.Error(e)
+	}
+	if !sawLive {
+		t.Error("live view never showed an in-flight query under 16 runners")
+	}
+
+	// Post-load monitoring state: runtime gauges and latency exemplars.
+	metricsBody, err := getBody(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metricsBody, "oj_go_goroutines") {
+		t.Error("/metrics missing runtime gauge oj_go_goroutines")
+	}
+	if strings.Contains(metricsBody, "# {query_id=") {
+		t.Error("plain /metrics scrape leaked exemplars")
+	}
+	omBody, err := getBody(base + "/metrics?exemplars=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(omBody, `oj_query_duration_seconds`) || !strings.Contains(omBody, "# {query_id=") {
+		t.Error("?exemplars=1 scrape carries no latency exemplars")
+	}
+
+	// The captured CPU profile attributes to queries by label.
+	prof, err := pprofparse.Parse(bytes.NewReader([]byte(profBody)))
+	if err != nil {
+		t.Fatalf("parse captured profile: %v", err)
+	}
+	vi := prof.Index("cpu")
+	if vi < 0 {
+		vi = prof.Index("samples")
+	}
+	if vi < 0 {
+		t.Fatalf("profile has no cpu sample type: %v", prof.SampleTypes)
+	}
+	total := prof.Total(vi)
+	if total == 0 {
+		t.Skip("profiler delivered zero samples (overloaded machine); nothing to attribute")
+	}
+	var labeled int64
+	for id, v := range prof.ByLabel("query_id", vi) {
+		if id != "" {
+			labeled += v
+		}
+	}
+	if labeled == 0 {
+		t.Errorf("no CPU samples carry query_id labels (total %d)", total)
+	}
+	if len(prof.LabelValues("fingerprint")) == 0 {
+		t.Error("no CPU samples carry fingerprint labels")
+	}
+	t.Logf("profile soak: %d/%d samples attributed across %d query IDs, %d fingerprints",
+		labeled, total, len(prof.LabelValues("query_id")), len(prof.LabelValues("fingerprint")))
+}
+
+// getBody GETs a monitoring URL and returns the body, insisting on 200.
+func getBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b), nil
+}
+
+// getJSON GETs a monitoring URL and decodes the JSON body into v.
+func getJSON(url string, v any) error {
+	body, err := getBody(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(body), v)
+}

@@ -85,7 +85,12 @@ func StartWithCore(cfg Config, core *Core) (*Server, error) {
 	}
 	var mon *obs.Server
 	if cfg.MetricsAddr != "" {
-		mon, err = obs.StartServer(cfg.MetricsAddr, nil, core.tracer.Ring(), core.Health)
+		mon, err = obs.StartServerOpts(cfg.MetricsAddr, obs.ServerOptions{
+			Tracer:       core.tracer,
+			Health:       core.Health,
+			Pprof:        cfg.Pprof,
+			RuntimeEvery: cfg.RuntimeSample,
+		})
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -138,6 +143,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		obs.ServerConnectionsActive.Inc()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -191,6 +197,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		obs.ServerConnectionsActive.Dec()
 	}()
 	// The connection context parents every command execution: server
 	// shutdown cancels it through baseCtx, and the reader goroutine
@@ -348,5 +355,8 @@ func (s *Server) Close() error {
 			err = merr
 		}
 	}
+	// Close the file-backed slow-query log (if configured) now that no
+	// query can append to it.
+	s.core.tracer.Slow().CloseJSONFile()
 	return err
 }

@@ -404,7 +404,9 @@ func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, with
 		spillNeed = s.core.cfg.QuerySpillBytes
 	}
 	waitDone := qt.Span("admission")
+	admitStart := time.Now()
 	grant, err := s.core.adm.Acquire(ctx, s.memLimit, spillNeed)
+	qt.SetAdmissionWait(time.Since(admitStart))
 	waitDone()
 	if err != nil {
 		if IsAdmissionRejected(err) {
@@ -438,16 +440,25 @@ func (s *Session) runQuery(ctx context.Context, label string, q *expr.Node, with
 	if s.spill {
 		ec.EnableSpill(exec.SpillConfig{Dir: s.core.cfg.SpillDir})
 	}
+	// Live progress and profile attribution: the caller-owned counters
+	// stream rows/tuples-so-far to /debug/queries?live=1 while the query
+	// runs, and the pprof goroutine labels (inherited by every goroutine
+	// the execution spawns — ParallelHashJoin workers, spill writers) let
+	// a CPU profile slice by query_id/fingerprint/strategy.
+	var c exec.Counters
+	qt.SetLabels(tr.Strategy, tr.Fingerprint)
+	qt.AttachProgress(c.RowsProduced, c.TuplesRetrieved, gov)
 	execDone := qt.Span("execute")
-	out, c, err := o.ExecuteCtx(ec, p)
+	var out *relation.Relation
+	obs.WithQueryLabels(ctx, qt.Rec.ID, tr.Fingerprint, tr.Strategy, func(context.Context) {
+		out, err = o.ExecuteCtxCounted(ec, p, &c)
+	})
 	execDone()
 	qt.Rec.Strategy = tr.Strategy
 	qt.Rec.FallbackReason = tr.FallbackReason
 	qt.Rec.PlanTree = p.Tree()
-	if c != nil {
-		qt.Rec.Rows = c.RowsProduced()
-		qt.Rec.Tuples = c.TuplesRetrieved()
-	}
+	qt.Rec.Rows = c.RowsProduced()
+	qt.Rec.Tuples = c.TuplesRetrieved()
 	qt.Finish(err)
 	if err != nil {
 		return errResp(classifyExecErr(err), err), nil

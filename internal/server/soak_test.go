@@ -73,6 +73,8 @@ func TestServerConcurrentSoak(t *testing.T) {
 	failed0 := obs.QueriesFailed.Value()
 	rejected0 := obs.QueriesRejected.Value()
 	active0 := obs.QueriesActive.Value()
+	conns0 := obs.ServerConnectionsActive.Value()
+	qdepth0 := obs.AdmissionQueueDepth.Value()
 	goroutines0 := runtime.NumGoroutine()
 
 	// TCP clients: one connection each, configured for their class.
@@ -80,6 +82,11 @@ func TestServerConcurrentSoak(t *testing.T) {
 	for i := range tcp {
 		tcp[i] = dialServer(t, srv.Addr())
 		configureTCPClient(t, tcp[i], workload.KindFor(nil, i), queries)
+	}
+	// Every dialed connection is on the books (the hello implies the
+	// server registered it before serving).
+	if d := obs.ServerConnectionsActive.Value() - conns0; d != int64(len(tcp)) {
+		t.Errorf("oj_server_connections_active delta = %d after dialing, want %d", d, len(tcp))
 	}
 	// In-process clients: one session each over the same core.
 	sessions := make([]*Session, clients/2)
@@ -139,9 +146,12 @@ func TestServerConcurrentSoak(t *testing.T) {
 		t.Errorf("%d queries still active after the soak", act)
 	}
 
-	// Admission fully drained.
+	// Admission fully drained, and the queue-depth gauge agrees.
 	if st := core.Admission().Stats(); st.Active != 0 || st.Queued != 0 || st.UsedBytes != 0 || st.UsedSpillBytes != 0 {
 		t.Errorf("admission not drained: %+v", st)
+	}
+	if d := obs.AdmissionQueueDepth.Value() - qdepth0; d != 0 {
+		t.Errorf("oj_admission_queue_depth did not drain: delta %d", d)
 	}
 
 	// Shut everything down; nothing may leak.
@@ -152,6 +162,11 @@ func TestServerConcurrentSoak(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
+	// Connection teardown is asynchronous (each serveConn decrements on
+	// its way out), so the gauge drains shortly after Close.
+	waitFor(t, "oj_server_connections_active drained", func() bool {
+		return obs.ServerConnectionsActive.Value() == conns0
+	})
 	if runs, _ := filepath.Glob(filepath.Join(spillDir, "ojspill-*")); len(runs) != 0 {
 		t.Errorf("%d spill run files leaked: %v", len(runs), runs)
 	}
