@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json bench-diff profile experiments faults obs spill server chaos fuzz fuzz-smoke fmt vet clean
+.PHONY: all check build test race cover bench bench-json bench-diff profile experiments faults obs spill server chaos yannakakis fuzz fuzz-smoke fmt vet clean
 
 all: check
 
@@ -104,6 +104,23 @@ chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Panic|MaxLine|IdleTimeout|KillConn|Shedding|Drain|BusyQuery' ./internal/server ./internal/exec
 	$(GO) test -race -count=2 ./internal/workload
 
+# Yannakakis acyclic fast-path suite: join-tree construction and the
+# outerjoin-aware reducer program, the semijoin-reduce operator (both
+# paths, spill, null keys, reduction counters), the 200-instance
+# metamorphic oracle against the DP and fixed-order execution on
+# dangling-heavy data (with the intermediate-cardinality guarantee
+# checked on every instance), strategy dispatch/fallback/auto, plan-
+# cache keying, and the dangling workload generator — under the race
+# detector, -count=2 for state reuse across re-Open. The spill leak
+# check mirrors the spill suite's.
+yannakakis:
+	@dir=$$(mktemp -d) && \
+	TMPDIR=$$dir $(GO) test -race -count=2 -run 'Yannakakis|JoinTree|ReducerProgram|SemiReduce|Strategy|Dangling' \
+		./internal/graph ./internal/exec ./internal/optimizer ./internal/workload && \
+	leaked=$$(find $$dir -name 'ojspill-*' | wc -l) && \
+	rm -rf $$dir && \
+	if [ $$leaked -ne 0 ]; then echo "yannakakis: $$leaked run files leaked"; exit 1; fi
+
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
 fuzz:
@@ -118,6 +135,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzValue$$' -fuzztime=$(FUZZTIME) ./internal/parse
 	$(GO) test -fuzz='FuzzBytes$$' -fuzztime=$(FUZZTIME) ./internal/parse
 	$(GO) test -fuzz='FuzzProtocol$$' -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -fuzz='FuzzJoinTree$$' -fuzztime=$(FUZZTIME) ./internal/optimizer
 
 # Quick fuzz smoke for check/CI: a few seconds each on the pipeline
 # targets (parser front half, plan-cache fingerprint invariance, the
@@ -128,6 +146,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzParse$$' -fuzztime=$(SMOKETIME) ./internal/parse
 	$(GO) test -run='^$$' -fuzz='FuzzFingerprint$$' -fuzztime=$(SMOKETIME) ./internal/plancache
 	$(GO) test -run='^$$' -fuzz='FuzzProtocol$$' -fuzztime=$(SMOKETIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz='FuzzJoinTree$$' -fuzztime=$(SMOKETIME) ./internal/optimizer
 
 fmt:
 	gofmt -w .

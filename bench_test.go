@@ -747,3 +747,65 @@ func BenchmarkGraceHashJoin(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkYannakakisDangling pits the Yannakakis full reducer against
+// the classic DP plan on the fast path's home turf: a join chain
+// A - B - C where 90% of every relation is dead weight that no complete
+// result can use, but which no single join can see. A and B share a hot
+// key absent from C; B and C share another hot key absent from A — so
+// EVERY join order's first join explodes to ~10^6 rows before the third
+// relation kills them all. The full reducer deletes both hot groups
+// with O(input) semijoin passes and joins only the 10% that survives.
+func BenchmarkYannakakisDangling(b *testing.B) {
+	const (
+		hot      = 1000 // rows per hot group
+		backbone = 400  // joinable rows per relation (1:1 across the chain)
+		hotAB    = int64(5_000_001)
+		hotBC    = int64(5_000_002)
+	)
+	rnd := rand.New(rand.NewSource(31))
+	g := workload.JoinChainGraph(3)
+	cat := storage.NewCatalog()
+	for i, node := range g.Nodes() {
+		r := relation.New(relation.SchemeOf(node, "a", "b"))
+		add := func(key int64, count int) {
+			for j := 0; j < count; j++ {
+				r.AppendRaw([]relation.Value{relation.Int(key), relation.Int(rnd.Int63n(1 << 20))})
+			}
+		}
+		switch node {
+		case "A":
+			add(hotAB, hot)
+		case "B":
+			add(hotAB, hot)
+			add(hotBC, hot)
+		case "C":
+			add(hotBC, hot)
+		}
+		for j := 0; j < backbone; j++ {
+			add(int64(j*10), 1) // shared across all three relations
+		}
+		// Pad to 4000 rows with per-relation unique keys; with the hot
+		// groups (dead past their one edge) that is ~90% dangling.
+		offset := int64(100_000 * (i + 1))
+		for r.Len() < 4000 {
+			add(offset+int64(r.Len()), 1)
+		}
+		cat.AddRelation(node, r)
+	}
+	for _, strat := range []string{"dp", "yannakakis"} {
+		o := optimizer.New(cat)
+		o.Strategy = strat
+		p, err := o.OptimizeGraph(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(strat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := o.Execute(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

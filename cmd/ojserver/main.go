@@ -36,6 +36,7 @@ func main() {
 		planCache   = flag.Int("plan-cache", 0, "shared plan-cache capacity (0 = default, negative = off)")
 		spill       = flag.Bool("spill", false, "default spill-to-disk mode for new sessions")
 		spillDir    = flag.String("spill-dir", "", "spill run-file directory (empty = OS temp dir)")
+		strategy    = flag.String("strategy", "", "default planner strategy: dp, yannakakis or auto (empty = dp)")
 		restore     = flag.String("restore", "", "catalog snapshot (.fjdb) to restore at startup")
 
 		idleTimeout  = flag.Duration("idle-timeout", 0, "disconnect idle sessions (0 = default 5m, negative = off)")
@@ -64,6 +65,7 @@ func main() {
 		PlanCache:     *planCache,
 		Spill:         *spill,
 		SpillDir:      *spillDir,
+		Strategy:      *strategy,
 		SnapshotPath:  *restore,
 		IdleTimeout:   *idleTimeout,
 		WriteTimeout:  *writeTimeout,
@@ -72,6 +74,12 @@ func main() {
 		RuntimeSample: *runtimeSamp,
 		SlowQuery:     *slowQuery,
 		SlowQueryLog:  *slowLog,
+	}
+	switch cfg.Strategy {
+	case "", "dp", "yannakakis", "auto":
+	default:
+		fmt.Fprintf(os.Stderr, "ojserver: unknown -strategy %q (want dp, yannakakis or auto)\n", cfg.Strategy)
+		os.Exit(2)
 	}
 	if *slowLogMax != "" {
 		n, err := parse.Bytes(*slowLogMax)

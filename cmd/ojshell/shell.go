@@ -38,6 +38,12 @@ type Shell struct {
 	spill    bool
 	spillDir string
 
+	// strategy selects how freely-reorderable queries are planned:
+	// "" / "dp" (the classic DP), "yannakakis" (the acyclic semijoin-
+	// reducer fast path, DP fallback on cyclic graphs), or "auto"
+	// (cost-compared). See optimizer.Optimizer.Strategy.
+	strategy string
+
 	// tracer collects per-query spans, the recent-query ring, and the
 	// slow-query log; mon is the optional monitoring HTTP server
 	// ("set metrics_addr"). pprof mounts /debug/pprof on the next
@@ -199,6 +205,7 @@ func (s *Shell) help() {
   set memory_limit N[KB|MB]|off               executor memory budget
   set spill on|off                            spill to disk on memory budget trips
   set spill_dir DIR|off                       directory for spill run files
+  set strategy dp|yannakakis|auto             planner for reorderable queries
   set metrics_addr ADDR|off                   HTTP /metrics, /debug/queries, /healthz
   set pprof on|off                            mount /debug/pprof on the next metrics_addr
   set slow_query DUR|off                      log queries slower than DUR
@@ -358,11 +365,16 @@ func (s *Shell) cmdSet(rest string) error {
 		if s.plans != nil {
 			cacheState = fmt.Sprintf("on (cap %d, %d cached)", s.plans.Cap(), s.plans.Len())
 		}
-		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nspill: %s\nspill_dir: %s\nmetrics_addr: %s\nslow_query: %s\nplan_cache: %s\n",
+		strategy := s.strategy
+		if strategy == "" {
+			strategy = "dp"
+		}
+		fmt.Fprintf(s.out, "timeout: %s\nmemory_limit: %s\nspill: %s\nspill_dir: %s\nstrategy: %s\nmetrics_addr: %s\nslow_query: %s\nplan_cache: %s\n",
 			orOff(s.timeout.String(), s.timeout == 0),
 			orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0),
 			orOff("on", !s.spill),
 			orOff(s.spillDir, s.spillDir == ""),
+			strategy,
 			orOff(addr, s.mon == nil),
 			orOff(slow.String(), slow == 0),
 			cacheState)
@@ -419,6 +431,19 @@ func (s *Shell) cmdSet(rest string) error {
 		s.spillDir = val
 		fmt.Fprintf(s.out, "spill_dir %s\n", val)
 		return nil
+	case "strategy":
+		switch strings.ToLower(val) {
+		case "dp":
+			s.strategy = ""
+			fmt.Fprintln(s.out, "strategy dp")
+			return nil
+		case "yannakakis", "auto":
+			s.strategy = strings.ToLower(val)
+			fmt.Fprintf(s.out, "strategy %s\n", s.strategy)
+			return nil
+		default:
+			return fmt.Errorf("usage: set strategy dp|yannakakis|auto")
+		}
 	case "metrics_addr":
 		if s.mon != nil {
 			s.mon.Close()
@@ -553,6 +578,7 @@ func (s *Shell) newOptimizer() *optimizer.Optimizer {
 	o := optimizer.New(s.cat)
 	o.Cache = s.plans
 	o.Spill = s.spill
+	o.Strategy = s.strategy
 	return o
 }
 

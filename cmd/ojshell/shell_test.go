@@ -218,6 +218,36 @@ quit
 	}
 }
 
+// "set strategy yannakakis" must force the acyclic fast path: the plan
+// shows semireduce steps, the query still answers correctly, and bogus
+// values get the usage error.
+func TestShellSetStrategy(t *testing.T) {
+	out := runScript(t, `
+table R(a) = (1), (2)
+table S(a) = (2), (3)
+table T(a) = (2), (4)
+set strategy yannakakis
+set
+plan (R -[R.a = S.a] S) -[S.a = T.a] T
+query (R -[R.a = S.a] S) -[S.a = T.a] T
+set strategy dp
+set strategy bogus
+quit
+`)
+	for _, want := range []string{
+		"strategy yannakakis",
+		"strategy: yannakakis",
+		"semireduce",
+		"(1 rows)",
+		"strategy dp",
+		"error: usage: set strategy dp|yannakakis|auto",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strategy output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // A plan over budget must surface the typed resource error instead of
 // silently truncating, and explain analyze must render the abort with
 // the tripping operator.

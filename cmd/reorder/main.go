@@ -44,6 +44,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the -explain run's spans as Chrome trace JSON to this file")
 		slowQuery   = flag.Duration("slow-query", 0, "log -explain executions slower than this to stderr (0 = off)")
 		spillDir    = flag.String("spill-dir", "", "enable spill-to-disk for the -explain execution, writing run files to this directory (\"tmp\" = OS temp dir)")
+		strategy    = flag.String("strategy", "", "planner strategy for -explain: dp, yannakakis or auto (empty = dp)")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the metrics address (needs -metrics-addr)")
 	)
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 		srv = s
 		fmt.Fprintln(os.Stderr, "reorder: serving metrics on", srv.Addr())
 	}
-	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *planCache, *timeout, *memLimit, *spillDir, tracer)
+	err := run(os.Stdout, *query, *all, *dot, *modulo, *limit, *explain, *planCache, *timeout, *memLimit, *spillDir, *strategy, tracer)
 	if ferr := tracer.Disable(); err == nil && ferr != nil {
 		err = ferr
 	}
@@ -82,7 +83,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain, planCache bool, timeout time.Duration, memLimit int64, spillDir string, tracer *obs.Tracer) error {
+func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain, planCache bool, timeout time.Duration, memLimit int64, spillDir, strategy string, tracer *obs.Tracer) error {
 	q, err := parse.Expr(query)
 	if err != nil {
 		return err
@@ -130,7 +131,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain,
 		fmt.Fprint(w, analysis.Graph.DOT())
 	}
 	if explain {
-		if err := explainPlan(w, q, analysis.Graph, planCache, timeout, memLimit, spillDir, tracer); err != nil {
+		if err := explainPlan(w, q, analysis.Graph, planCache, timeout, memLimit, spillDir, strategy, tracer); err != nil {
 			return err
 		}
 	}
@@ -143,7 +144,7 @@ func run(w io.Writer, query string, all, dot, modulo bool, limit int64, explain,
 // then executes it instrumented under the given resource limits (zero
 // means unlimited) so a runaway implementing tree aborts with a typed
 // resource error instead of running without bound.
-func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, timeout time.Duration, memLimit int64, spillDir string, tracer *obs.Tracer) error {
+func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, timeout time.Duration, memLimit int64, spillDir, strategy string, tracer *obs.Tracer) error {
 	cols := map[string]map[string]struct{}{}
 	for _, n := range g.Nodes() {
 		cols[n] = map[string]struct{}{}
@@ -192,6 +193,7 @@ func explainPlan(w io.Writer, q *expr.Node, g *graph.Graph, planCache bool, time
 	}
 	o := optimizer.New(cat)
 	o.Spill = spillDir != ""
+	o.Strategy = strategy
 	if planCache {
 		o.Cache = plancache.New(plancache.DefaultCapacity)
 	}

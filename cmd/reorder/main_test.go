@@ -13,7 +13,7 @@ import (
 
 func TestRunAnalysis(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", true, true, true, 1000, false, false, 0, 0, "", nil)
+	err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", true, true, true, 1000, false, false, 0, 0, "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestRunAnalysis(t *testing.T) {
 
 func TestRunFullEnumeration(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "R -[R.a = S.a] S", true, false, false, 1000, false, false, 0, 0, "", nil); err != nil {
+	if err := run(&out, "R -[R.a = S.a] S", true, false, false, 1000, false, false, 0, 0, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "implementing trees: 2\n") {
@@ -44,10 +44,10 @@ func TestRunFullEnumeration(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "R -[", false, false, true, 1000, false, false, 0, 0, "", nil); err == nil {
+	if err := run(&out, "R -[", false, false, true, 1000, false, false, 0, 0, "", "", nil); err == nil {
 		t.Error("parse error must surface")
 	}
-	if err := run(&out, "R -[R.a = 1] S", false, false, true, 1000, false, false, 0, 0, "", nil); err == nil {
+	if err := run(&out, "R -[R.a = 1] S", false, false, true, 1000, false, false, 0, 0, "", "", nil); err == nil {
 		t.Error("undefined graph must surface")
 	}
 	// Limit enforcement.
@@ -57,14 +57,14 @@ func TestRunErrors(t *testing.T) {
 		v := string(rune('A' + i))
 		big = "(" + big + " -[" + u + ".a = " + v + ".a] " + v + ")"
 	}
-	if err := run(&out, big, true, false, true, 10, false, false, 0, 0, "", nil); err == nil {
+	if err := run(&out, big, true, false, true, 10, false, false, 0, 0, "", "", nil); err == nil {
 		t.Error("limit must be enforced")
 	}
 }
 
 func TestRunExplain(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, false, 0, 0, "", nil); err != nil {
+	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, false, 0, 0, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -82,7 +82,7 @@ func TestRunExplain(t *testing.T) {
 
 func TestRunNonNice(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "R ->[R.a = S.a] (S -[S.a = T.a] T)", false, false, true, 1000, false, false, 0, 0, "", nil); err != nil {
+	if err := run(&out, "R ->[R.a = S.a] (S -[S.a = T.a] T)", false, false, true, 1000, false, false, 0, 0, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "NOT provably freely reorderable") {
@@ -102,7 +102,7 @@ func TestRunTraced(t *testing.T) {
 	tracer.Slow().SetText(&slow)
 
 	var out strings.Builder
-	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, false, 0, 0, "", tracer); err != nil {
+	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, false, 0, 0, "", "", tracer); err != nil {
 		t.Fatal(err)
 	}
 	if err := tracer.Disable(); err != nil {
@@ -143,7 +143,7 @@ func TestRunTraced(t *testing.T) {
 // the identical plan object.
 func TestRunExplainPlanCache(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, true, 0, 0, "", nil); err != nil {
+	if err := run(&out, "(R -[R.a = S.a] S) ->[S.a = T.a] T", false, false, true, 1000, true, true, 0, 0, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()

@@ -3,7 +3,6 @@ package exec
 import (
 	"testing"
 
-	"freejoin/internal/predicate"
 	"freejoin/internal/relation"
 	"freejoin/internal/storage"
 )
@@ -32,57 +31,20 @@ func contractTables(t *testing.T) (*storage.Table, *storage.Table) {
 	return rt, st
 }
 
+// contractCases derives the contract inventory from the shared operator
+// registry (registry_test.go): every registered operator is built over
+// clean (fault-free, still lifecycle-audited) children.
 func contractCases(t *testing.T, rt, st *storage.Table, c *Counters) map[string]func() Iterator {
 	t.Helper()
-	rk := relation.A("R", "k")
-	sk := relation.A("S", "k")
-	key := predicate.Eq(rk, sk)
-	mk := func(it Iterator, err error) func() Iterator {
-		if err != nil {
-			t.Fatal(err)
+	reg := operatorRegistry(t, rt, st, c)
+	cases := make(map[string]func() Iterator, len(reg))
+	for name, oc := range reg {
+		oc := oc
+		cases[name] = func() Iterator {
+			ch, _ := buildChildren(rt, st, oc.children, -1, storage.Fault{})
+			return oc.build(t, ch)
 		}
-		return func() Iterator { return it }
 	}
-	cases := map[string]func() Iterator{
-		"scan":         func() Iterator { return NewScan(rt, c) },
-		"relationscan": func() Iterator { return NewRelationScan(rt.Relation()) },
-	}
-	cases["indexscan"] = mk(NewIndexScan(st, "k", relation.Int(2), c))
-	cases["filter"] = mk(NewFilter(NewScan(rt, c),
-		predicate.Cmp(predicate.GtOp, predicate.Col(rk), predicate.Const(relation.Int(1)))))
-	cases["project"] = mk(NewProject(NewScan(rt, c), []relation.Attr{rk}, false))
-	cases["project-dedup"] = mk(NewProject(NewScan(rt, c), []relation.Attr{rk}, true))
-	cases["sort"] = mk(NewSort(NewScan(rt, c), []relation.Attr{rk}))
-	for name, mode := range map[string]JoinMode{
-		"hashjoin": InnerMode, "hashjoin-outer": LeftOuterMode, "hashjoin-semi": SemiMode, "hashjoin-anti": AntiMode,
-	} {
-		cases[name] = mk(NewHashJoin(NewScan(rt, c), NewScan(st, c),
-			[]relation.Attr{rk}, []relation.Attr{sk}, nil, mode))
-	}
-	cases["nestedloop"] = mk(NewNestedLoopJoin(NewScan(rt, c), NewScan(st, c), key, InnerMode))
-	cases["indexjoin"] = mk(NewIndexJoin(NewScan(rt, c), st, "k", rk, nil, InnerMode, c))
-	sortR, err := NewSort(NewScan(rt, c), []relation.Attr{rk})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sortS, err := NewSort(NewScan(st, c), []relation.Attr{sk})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cases["mergejoin"] = mk(NewMergeJoin(sortR, sortS, rk, sk, InnerMode))
-	cases["parallelhashjoin"] = mk(NewParallelHashJoin(NewScan(rt, c), NewScan(st, c), rk, sk, InnerMode, 3))
-	cases["hashgoj"] = mk(NewHashGOJ(NewScan(rt, c), NewScan(st, c),
-		[]relation.Attr{rk}, []relation.Attr{sk}, []relation.Attr{rk, relation.A("R", "v")}))
-	hj, err := NewHashJoin(NewScan(rt, c), NewScan(st, c),
-		[]relation.Attr{rk}, []relation.Attr{sk}, nil, InnerMode)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cases["instrumented"] = func() Iterator { return Instrument(hj, "join", c) }
-	// The fault wrapper with no fault configured is itself an operator and
-	// must honor the same contract.
-	ft := storage.NewFaultTable(rt, storage.Fault{})
-	cases["fault"] = func() Iterator { return ft.Iterator() }
 	return cases
 }
 

@@ -25,102 +25,10 @@ import (
 //  5. fail fast with a typed *ResourceError when opened under a
 //     cancelled or deadline-expired context;
 //  6. leak no goroutines (fenced check around ParallelHashJoin).
-
-// faultCase describes one operator: how many fault-injectable child
-// positions it has and how to build it over those children. Position 0
-// reads R, position 1 (joins) reads S.
-type faultCase struct {
-	children int
-	build    func(t *testing.T, ch []Iterator) Iterator
-}
-
-// faultCases enumerates all 18 operators (the same inventory as
-// contract_test.go). Leaf operators have no child position; their error
-// paths are exercised by the context tests below.
-func faultCases(t *testing.T, rt, st *storage.Table, c *Counters) map[string]faultCase {
-	t.Helper()
-	rk := relation.A("R", "k")
-	sk := relation.A("S", "k")
-	key := predicate.Eq(rk, sk)
-	must := func(it Iterator, err error) Iterator {
-		t.Helper()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return it
-	}
-	cases := map[string]faultCase{
-		"scan":         {0, func(t *testing.T, ch []Iterator) Iterator { return NewScan(rt, c) }},
-		"relationscan": {0, func(t *testing.T, ch []Iterator) Iterator { return NewRelationScan(rt.Relation()) }},
-		"indexscan": {0, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewIndexScan(st, "k", relation.Int(2), c))
-		}},
-		"filter": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewFilter(ch[0],
-				predicate.Cmp(predicate.GtOp, predicate.Col(rk), predicate.Const(relation.Int(1)))))
-		}},
-		"project": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewProject(ch[0], []relation.Attr{rk}, false))
-		}},
-		"project-dedup": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewProject(ch[0], []relation.Attr{rk}, true))
-		}},
-		"sort": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewSort(ch[0], []relation.Attr{rk}))
-		}},
-		"nestedloop": {2, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewNestedLoopJoin(ch[0], ch[1], key, InnerMode))
-		}},
-		"indexjoin": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewIndexJoin(ch[0], st, "k", rk, nil, InnerMode, c))
-		}},
-		"mergejoin": {2, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewMergeJoin(ch[0], ch[1], rk, sk, InnerMode))
-		}},
-		"parallelhashjoin": {2, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewParallelHashJoin(ch[0], ch[1], rk, sk, InnerMode, 3))
-		}},
-		"hashgoj": {2, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewHashGOJ(ch[0], ch[1],
-				[]relation.Attr{rk}, []relation.Attr{sk}, []relation.Attr{rk, relation.A("R", "v")}))
-		}},
-		"instrumented": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return Instrument(ch[0], "probe", c)
-		}},
-		"fault": {1, func(t *testing.T, ch []Iterator) Iterator {
-			return storage.NewFaultIterator(ch[0], storage.Fault{})
-		}},
-	}
-	for name, mode := range map[string]JoinMode{
-		"hashjoin": InnerMode, "hashjoin-outer": LeftOuterMode, "hashjoin-semi": SemiMode, "hashjoin-anti": AntiMode,
-	} {
-		mode := mode
-		cases[name] = faultCase{2, func(t *testing.T, ch []Iterator) Iterator {
-			return must(NewHashJoin(ch[0], ch[1], []relation.Attr{rk}, []relation.Attr{sk}, nil, mode))
-		}}
-	}
-	if len(cases) != 18 {
-		t.Fatalf("operator inventory drifted: %d cases, want 18", len(cases))
-	}
-	return cases
-}
-
-// buildChildren vends fault-wrapped scans: position at gets the fault,
-// the others are clean wrappers (so their lifecycle is audited too).
-func buildChildren(rt, st *storage.Table, n, at int, f storage.Fault) ([]Iterator, []*storage.FaultIterator) {
-	tables := []*storage.Table{rt, st}
-	ch := make([]Iterator, n)
-	fis := make([]*storage.FaultIterator, n)
-	for i := 0; i < n; i++ {
-		cfg := storage.Fault{}
-		if i == at {
-			cfg = f
-		}
-		fi := storage.NewFaultTable(tables[i], cfg).Iterator()
-		ch[i], fis[i] = fi, fi
-	}
-	return ch, fis
-}
+//
+// The operator inventory lives in registry_test.go (operatorRegistry):
+// every suite below iterates that one registry, so a new operator is
+// covered by registering it once.
 
 // runCycle performs one governed Open → drain → Close cycle and returns
 // the first error from any phase (Close errors included — they must not
@@ -186,7 +94,7 @@ func TestErrorPathContract(t *testing.T) {
 		{"close", storage.Fault{FailClose: true}, true},
 		{"probabilistic", storage.Fault{Prob: 0.5, Seed: 1}, false},
 	}
-	for name, fc := range faultCases(t, rt, st, &c) {
+	for name, fc := range operatorRegistry(t, rt, st, &c) {
 		for pos := 0; pos < fc.children; pos++ {
 			for _, fault := range faults {
 				t.Run(name+"/"+fault.name+"/child", func(t *testing.T) {
@@ -207,7 +115,7 @@ func TestErrorPathContract(t *testing.T) {
 	}
 }
 
-// TestCancelledContextFailsFast opens all 18 operators under an
+// TestCancelledContextFailsFast opens every registered operator under an
 // already-cancelled context: each must return a typed Cancelled
 // *ResourceError from Open and tear down cleanly.
 func TestCancelledContextFailsFast(t *testing.T) {
@@ -215,7 +123,7 @@ func TestCancelledContextFailsFast(t *testing.T) {
 	var c Counters
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for name, fc := range faultCases(t, rt, st, &c) {
+	for name, fc := range operatorRegistry(t, rt, st, &c) {
 		t.Run(name, func(t *testing.T) {
 			ch, fis := buildChildren(rt, st, fc.children, -1, storage.Fault{})
 			it := fc.build(t, ch)
@@ -303,6 +211,21 @@ func TestMemoryBudgetTrips(t *testing.T) {
 				t.Fatal(err)
 			}
 			return p, "parallel"
+		},
+		"semireduce": func(t *testing.T) (Iterator, string) {
+			s, err := NewSemiReduce(NewScan(rt, nil), NewScan(st, nil), predicate.Eq(rk, sk))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, "semireduce"
+		},
+		"semireduce-scan": func(t *testing.T) (Iterator, string) {
+			s, err := NewSemiReduce(NewScan(rt, nil), NewScan(st, nil),
+				predicate.Cmp(predicate.LtOp, predicate.Col(rk), predicate.Col(sk)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, "semireduce"
 		},
 	}
 	for name, build := range builders {

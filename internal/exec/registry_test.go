@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// The shared operator inventory. Every physical operator is registered
+// here exactly once, and the generic suites are all driven off this one
+// map — the iterator contract (contract_test.go), the per-child
+// fault-injection matrix, the failed-Open governor drain, and the
+// cancelled-context fail-fast check (faults_test.go). Adding an
+// operator means adding one entry; the suites pick it up without any
+// further hand-maintained lists.
+
+// opCase describes one operator: how many fault-injectable child
+// positions it has and how to build it over those children. Position 0
+// reads R, position 1 (binary operators) reads S. Leaf operators have
+// no child position; their error paths are exercised by the context
+// tests in faults_test.go.
+type opCase struct {
+	children int
+	build    func(t *testing.T, ch []Iterator) Iterator
+}
+
+// operatorRegistry enumerates every physical operator over the shared
+// contract tables (see contractTables). Each build must produce a
+// non-empty result on clean children, so the contract suite can tell a
+// working operator from one that silently emits nothing.
+func operatorRegistry(t *testing.T, rt, st *storage.Table, c *Counters) map[string]opCase {
+	t.Helper()
+	rk := relation.A("R", "k")
+	sk := relation.A("S", "k")
+	key := predicate.Eq(rk, sk)
+	must := func(it Iterator, err error) Iterator {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return it
+	}
+	cases := map[string]opCase{
+		"scan":         {0, func(t *testing.T, ch []Iterator) Iterator { return NewScan(rt, c) }},
+		"relationscan": {0, func(t *testing.T, ch []Iterator) Iterator { return NewRelationScan(rt.Relation()) }},
+		"indexscan": {0, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewIndexScan(st, "k", relation.Int(2), c))
+		}},
+		"filter": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewFilter(ch[0],
+				predicate.Cmp(predicate.GtOp, predicate.Col(rk), predicate.Const(relation.Int(1)))))
+		}},
+		"project": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewProject(ch[0], []relation.Attr{rk}, false))
+		}},
+		"project-dedup": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewProject(ch[0], []relation.Attr{rk}, true))
+		}},
+		"sort": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewSort(ch[0], []relation.Attr{rk}))
+		}},
+		"nestedloop": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewNestedLoopJoin(ch[0], ch[1], key, InnerMode))
+		}},
+		"indexjoin": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewIndexJoin(ch[0], st, "k", rk, nil, InnerMode, c))
+		}},
+		"mergejoin": {2, func(t *testing.T, ch []Iterator) Iterator {
+			// Merge join consumes sorted inputs; the sorts ride along so
+			// the faults also traverse a materializing middleman.
+			return must(NewMergeJoin(
+				must(NewSort(ch[0], []relation.Attr{rk})),
+				must(NewSort(ch[1], []relation.Attr{sk})), rk, sk, InnerMode))
+		}},
+		"parallelhashjoin": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewParallelHashJoin(ch[0], ch[1], rk, sk, InnerMode, 3))
+		}},
+		"hashgoj": {2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewHashGOJ(ch[0], ch[1],
+				[]relation.Attr{rk}, []relation.Attr{sk}, []relation.Attr{rk, relation.A("R", "v")}))
+		}},
+		"semireduce": {2, func(t *testing.T, ch []Iterator) Iterator {
+			// Pure equi predicate: the hash-filter fast path.
+			return must(NewSemiReduce(ch[0], ch[1], key))
+		}},
+		"semireduce-scan": {2, func(t *testing.T, ch []Iterator) Iterator {
+			// Non-equi predicate: the materialize-and-scan path.
+			return must(NewSemiReduce(ch[0], ch[1],
+				predicate.Cmp(predicate.LtOp, predicate.Col(rk), predicate.Col(sk))))
+		}},
+		"instrumented": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return Instrument(ch[0], "probe", c)
+		}},
+		"fault": {1, func(t *testing.T, ch []Iterator) Iterator {
+			return storage.NewFaultIterator(ch[0], storage.Fault{})
+		}},
+	}
+	for name, mode := range map[string]JoinMode{
+		"hashjoin": InnerMode, "hashjoin-outer": LeftOuterMode, "hashjoin-semi": SemiMode, "hashjoin-anti": AntiMode,
+	} {
+		mode := mode
+		cases[name] = opCase{2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewHashJoin(ch[0], ch[1], []relation.Attr{rk}, []relation.Attr{sk}, nil, mode))
+		}}
+	}
+	return cases
+}
+
+// buildChildren vends fault-wrapped scans: position at gets the fault,
+// the others are clean wrappers (so their lifecycle is audited too).
+func buildChildren(rt, st *storage.Table, n, at int, f storage.Fault) ([]Iterator, []*storage.FaultIterator) {
+	tables := []*storage.Table{rt, st}
+	ch := make([]Iterator, n)
+	fis := make([]*storage.FaultIterator, n)
+	for i := 0; i < n; i++ {
+		cfg := storage.Fault{}
+		if i == at {
+			cfg = f
+		}
+		fi := storage.NewFaultTable(tables[i], cfg).Iterator()
+		ch[i], fis[i] = fi, fi
+	}
+	return ch, fis
+}

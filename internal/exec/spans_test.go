@@ -25,10 +25,10 @@ import (
 //  4. child spans are laid out back to back inside the parent's
 //     interval, starting at the parent's start.
 
-// instrumentCase builds an operator from faultCases with every child
+// instrumentCase builds an operator from the operator registry with every child
 // position individually instrumented, then instruments the root, so the
 // resulting StatsNode tree has real parent/child structure.
-func instrumentCase(t *testing.T, fc faultCase, rt, st *storage.Table, c *Counters, at int, f storage.Fault) (*Instrumented, []*storage.FaultIterator) {
+func instrumentCase(t *testing.T, fc opCase, rt, st *storage.Table, c *Counters, at int, f storage.Fault) (*Instrumented, []*storage.FaultIterator) {
 	t.Helper()
 	ch, fis := buildChildren(rt, st, fc.children, at, f)
 	nodes := make([]*StatsNode, fc.children)
@@ -119,7 +119,7 @@ func TestSpanTreeProperty(t *testing.T) {
 		{"next-first", storage.Fault{FailNext: true, FailAfter: 0}},
 		{"next-midstream", storage.Fault{FailNext: true, FailAfter: 2}},
 	}
-	for name, fc := range faultCases(t, rt, st, &c) {
+	for name, fc := range operatorRegistry(t, rt, st, &c) {
 		positions := fc.children
 		if positions == 0 {
 			positions = 1 // leaf operators still get a clean run

@@ -353,7 +353,7 @@ func TestFailedOpenDrainsGovernor(t *testing.T) {
 		{"next-first", storage.Fault{FailNext: true, FailAfter: 0}},
 		{"next-midstream", storage.Fault{FailNext: true, FailAfter: 2}},
 	}
-	for name, fc := range faultCases(t, rt, st, &c) {
+	for name, fc := range operatorRegistry(t, rt, st, &c) {
 		for pos := 0; pos < fc.children; pos++ {
 			for _, fault := range faults {
 				t.Run(name+"/"+fault.name, func(t *testing.T) {
@@ -496,7 +496,7 @@ func TestSpillFaultOracle(t *testing.T) {
 		{Prob: 0.4, Seed: 3},
 		{Prob: 0.4, Seed: 9},
 	}
-	for name, fc := range faultCases(t, rt, st, &c) {
+	for name, fc := range operatorRegistry(t, rt, st, &c) {
 		// Clean reference bag, in memory and ungoverned.
 		chRef, _ := buildChildren(rt, st, fc.children, -1, storage.Fault{})
 		ref, err := Collect(fc.build(t, chRef), nil)

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/predicate"
+	"freejoin/internal/relation"
+)
+
+func eq(t *testing.T, u, v string) predicate.Predicate {
+	t.Helper()
+	return predicate.Eq(relation.A(u, "a"), relation.A(v, "a"))
+}
+
+// treeFixture builds A -J- B, B ->O C, B -J- D: a join core {A, B, D}
+// with one outer child C hanging off B.
+func treeFixture(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range []string{"A", "B", "C", "D"} {
+		g.MustAddNode(n)
+	}
+	if err := g.AddJoinEdge("A", "B", eq(t, "A", "B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOuterEdge("B", "C", eq(t, "B", "C")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddJoinEdge("B", "D", eq(t, "B", "D")); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildJoinTreeShape(t *testing.T) {
+	jt, err := BuildJoinTree(treeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Root() != "A" {
+		t.Fatalf("root = %s, want A (first non-null-supplied node)", jt.Root())
+	}
+	if got := strings.Join(jt.Order(), " "); got != "A B C D" {
+		t.Fatalf("order = %q", got)
+	}
+	if got := strings.Join(jt.PostOrder(), " "); got != "D C B A" {
+		t.Fatalf("post-order = %q", got)
+	}
+	if got := strings.Join(jt.Children("B"), " "); got != "C D" {
+		t.Fatalf("children(B) = %q", got)
+	}
+	p, e, ok := jt.Parent("C")
+	if !ok || p != "B" || e.Kind != OuterEdge {
+		t.Fatalf("parent(C) = %s %v %v", p, e, ok)
+	}
+	if _, _, ok := jt.Parent("A"); ok {
+		t.Fatal("root must have no parent")
+	}
+}
+
+func TestReducerProgram(t *testing.T) {
+	jt, err := BuildJoinTree(treeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range jt.ReducerProgram() {
+		got = append(got, s.String())
+		if s.Pred == nil {
+			t.Fatalf("step %s lost its predicate", s)
+		}
+	}
+	// Bottom-up touches only the join edges (reducing B by its
+	// null-supplied child C would delete preserved dangling tuples);
+	// top-down covers every edge.
+	want := []string{
+		"B ⋉ D (up)",
+		"A ⋉ B (up)",
+		"B ⋉ A (down)",
+		"C ⋉ B (down)",
+		"D ⋉ B (down)",
+	}
+	if strings.Join(got, "; ") != strings.Join(want, "; ") {
+		t.Fatalf("program = %v, want %v", got, want)
+	}
+}
+
+func TestBuildJoinTreeRejects(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := BuildJoinTree(New()); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("cyclic", func(t *testing.T) {
+		g := New()
+		for _, n := range []string{"A", "B", "C"} {
+			g.MustAddNode(n)
+		}
+		for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"C", "A"}} {
+			if err := g.AddJoinEdge(e[0], e[1], eq(t, e[0], e[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := BuildJoinTree(g); err == nil || !strings.Contains(err.Error(), "tree") {
+			t.Fatalf("err = %v, want tree-shape rejection", err)
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		g := New()
+		for _, n := range []string{"A", "B", "C", "D"} {
+			g.MustAddNode(n)
+		}
+		for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"C", "A"}} {
+			if err := g.AddJoinEdge(e[0], e[1], eq(t, e[0], e[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := BuildJoinTree(g); err == nil {
+			t.Fatal("want error for disconnected graph")
+		}
+	})
+	t.Run("semijoin edges", func(t *testing.T) {
+		g := New()
+		g.MustAddNode("A")
+		g.MustAddNode("B")
+		if err := g.AddSemiEdge("A", "B", eq(t, "A", "B")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BuildJoinTree(g); err == nil || !strings.Contains(err.Error(), "semijoin") {
+			t.Fatalf("err = %v, want semijoin rejection", err)
+		}
+	})
+	t.Run("misoriented outer", func(t *testing.T) {
+		// A -> B <- C: two preserved sides feed one null-supplied node;
+		// no root can orient both outer edges parent → child.
+		g := New()
+		for _, n := range []string{"A", "B", "C"} {
+			g.MustAddNode(n)
+		}
+		if err := g.AddOuterEdge("A", "B", eq(t, "A", "B")); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddOuterEdge("C", "B", eq(t, "C", "B")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BuildJoinTree(g); err == nil || !strings.Contains(err.Error(), "misoriented") {
+			t.Fatalf("err = %v, want misoriented-outer rejection", err)
+		}
+	})
+}
+
+func TestBuildJoinTreeOuterChain(t *testing.T) {
+	// A -> B -> C roots at A and orients both outer edges outward.
+	g := New()
+	for _, n := range []string{"A", "B", "C"} {
+		g.MustAddNode(n)
+	}
+	if err := g.AddOuterEdge("A", "B", eq(t, "A", "B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOuterEdge("B", "C", eq(t, "B", "C")); err != nil {
+		t.Fatal(err)
+	}
+	jt, err := BuildJoinTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Root() != "A" {
+		t.Fatalf("root = %s", jt.Root())
+	}
+	// All edges are outer, so the bottom-up pass is empty.
+	for _, s := range jt.ReducerProgram() {
+		if !s.TopDown {
+			t.Fatalf("outer-only tree must have no bottom-up steps, got %s", s)
+		}
+	}
+}

@@ -117,6 +117,20 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 		}
 		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
 		return wrapped, node, nil
+	case AlgoSemiReduce:
+		// A Yannakakis reducer step shares its source subplan with other
+		// occurrences in the plan DAG; each occurrence lowers to its own
+		// iterator subtree, so sharing stays read-only.
+		right, rnode, err := o.build(p.Right, c, ins, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		it, err := exec.NewSemiReduce(left, right, p.Pred)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped, node := wrapNode(it, p, c, ins, lnode, rnode)
+		return wrapped, node, nil
 	case AlgoMerge:
 		right, rnode, err := o.build(p.Right, c, ins, tr)
 		if err != nil {
@@ -220,11 +234,19 @@ func nodeLabel(p *Plan) string {
 		opName = "leftouterjoin"
 	case expr.GOJ:
 		opName = "generalizedouterjoin"
+	case expr.Semijoin:
+		opName = "semireduce"
 	}
 	algo := p.Algo.String()
 	switch {
 	case p.Algo == AlgoIndex:
 		algo = fmt.Sprintf("index(%s.%s)", p.Right.Table, p.IndexCol)
+	case p.Algo == AlgoSemiReduce:
+		if _, _, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme); ok {
+			algo = "hash"
+		} else {
+			algo = "scan"
+		}
 	case p.Op == expr.GOJ:
 		if _, _, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme); ok {
 			algo = "hash"

@@ -22,14 +22,14 @@ import (
 // safe.
 func (o *Optimizer) optimizeGraphCached(g *graph.Graph, filters map[string]predicate.Predicate, tr *Trace) (*Plan, error) {
 	if o.Cache == nil {
-		return o.optimizeGraph(g, filters, tr)
+		return o.planGraph(g, filters, tr)
 	}
 	fp := o.fingerprintFor(g, filters)
 	if tr != nil {
 		tr.Fingerprint = fp.String()
 	}
 	v, outcome, err := o.Cache.DoAt(fp, o.cat.StatsEpoch, func() (any, error) {
-		return o.optimizeGraph(g, filters, tr)
+		return o.planGraph(g, filters, tr)
 	})
 	if tr != nil {
 		tr.CacheOutcome = outcome.String()
@@ -60,6 +60,13 @@ func (o *Optimizer) fingerprintFor(g *graph.Graph, filters map[string]predicate.
 		// Spilling changes the degradation wiring built into the plan's
 		// iterators; toggling it must not reuse the other mode's entry.
 		extras = append(extras, "config: spill")
+	}
+	switch o.Strategy {
+	case "", "dp":
+		// The default DP; both spellings produce the same plan.
+	default:
+		// A strategy toggle must never be served the other mode's plan.
+		extras = append(extras, "config: strategy "+o.Strategy)
 	}
 	return plancache.Of(g, extras...)
 }

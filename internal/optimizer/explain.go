@@ -16,9 +16,10 @@ import (
 // tree so a surprising join order can be traced back to the decision that
 // produced it.
 type Trace struct {
-	// Strategy is "reordered" (DP over the query graph), "fixed" (the
-	// written association, algorithm selection only), or "goj" (the §6.2
-	// generalized-outerjoin reassociation).
+	// Strategy is "reordered" (DP over the query graph), "yannakakis"
+	// (the acyclic fast path: semijoin full reducer plus reduced join),
+	// "fixed" (the written association, algorithm selection only), or
+	// "goj" (the §6.2 generalized-outerjoin reassociation).
 	Strategy string
 	// FallbackReason explains a non-"reordered" strategy: the analysis
 	// verdict, an undefined query graph, or a DP failure.
@@ -54,9 +55,12 @@ type Trace struct {
 	Degradation string
 }
 
-// Reordered reports whether the plan came from the DP over the query
-// graph.
-func (tr *Trace) Reordered() bool { return tr.Strategy == "reordered" }
+// Reordered reports whether the optimizer chose the operator order (the
+// DP over the query graph, or the Yannakakis fast path over its join
+// tree) rather than keeping the query's written association.
+func (tr *Trace) Reordered() bool {
+	return tr.Strategy == "reordered" || tr.Strategy == "yannakakis"
+}
 
 // String renders the trace as indented "-- " comment lines.
 func (tr *Trace) String() string {

@@ -50,6 +50,20 @@ type Optimizer struct {
 	// EnableSpill carries the actual directory and fan-out.
 	Spill bool
 
+	// Strategy selects how freely-reorderable graphs are planned:
+	//
+	//	""            — classic DP over implementing trees (the default);
+	//	"dp"          — same, spelled out;
+	//	"yannakakis"  — force the acyclic fast path (a semijoin full
+	//	                reducer over the join tree followed by the reduced
+	//	                join) whenever the graph is a tree, falling back to
+	//	                the DP otherwise;
+	//	"auto"        — plan both and keep whichever the cost model says
+	//	                is cheaper (ties go to the DP).
+	//
+	// The strategy keys the plan cache: toggling it never aliases plans.
+	Strategy string
+
 	// Cache, when set, is consulted before the reordering DP: queries
 	// whose canonical graph fingerprint is resident skip optimization
 	// entirely and share the cached plan (Theorem 1 makes the graph the
@@ -103,7 +117,7 @@ func (o *Optimizer) optimizeTrace(q *expr.Node) (*Plan, *Trace, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		tr.Strategy = "reordered"
+		tr.Strategy = strategyFor(p)
 		return p, tr, nil
 	}
 	tr.Strategy = "fixed"
@@ -125,6 +139,7 @@ func (o *Optimizer) OptimizeGraphTrace(g *graph.Graph) (*Plan, *Trace, error) {
 	tr := &Trace{Strategy: "reordered"}
 	p, err := o.optimizeGraphCached(g, nil, tr)
 	if err == nil {
+		tr.Strategy = strategyFor(p)
 		recordTrace(tr)
 	}
 	return p, tr, err

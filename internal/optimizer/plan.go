@@ -26,7 +26,8 @@ const (
 	AlgoIndex
 	AlgoNL
 	AlgoMerge
-	AlgoIndexScan // leaf fetched through a hash index on a constant key
+	AlgoIndexScan  // leaf fetched through a hash index on a constant key
+	AlgoSemiReduce // semijoin filter step of the Yannakakis full reducer
 )
 
 // String returns the algorithm name.
@@ -44,6 +45,8 @@ func (a Algo) String() string {
 		return "sortmerge"
 	case AlgoIndexScan:
 		return "indexscan"
+	case AlgoSemiReduce:
+		return "semireduce"
 	default:
 		return fmt.Sprintf("Algo(%d)", uint8(a))
 	}
@@ -90,6 +93,8 @@ func (p *Plan) Tree() string {
 		op = "->"
 	case expr.GOJ:
 		op = "goj"
+	case expr.Semijoin:
+		op = "semi"
 	}
 	return "(" + p.Left.Tree() + " " + op + " " + p.Right.Tree() + ")"
 }
@@ -123,10 +128,19 @@ func (p *Plan) explainTo(b *strings.Builder, depth int) {
 		opName = "leftouterjoin"
 	case expr.GOJ:
 		opName = "generalizedouterjoin"
+	case expr.Semijoin:
+		opName = "semireduce"
 	}
 	algo := p.Algo.String()
-	if p.Algo == AlgoIndex {
+	switch {
+	case p.Algo == AlgoIndex:
 		algo = fmt.Sprintf("index(%s.%s)", p.Right.Table, p.IndexCol)
+	case p.Algo == AlgoSemiReduce:
+		if _, _, ok := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme); ok {
+			algo = "hash"
+		} else {
+			algo = "scan"
+		}
 	}
 	fmt.Fprintf(b, "%s%s [%s] on %s (rows=%.0f cost=%.0f)\n", indent, opName, algo, p.Pred, p.EstRows, p.Cost)
 	p.Left.explainTo(b, depth+1)
@@ -153,6 +167,8 @@ func (p *Plan) ToExpr() *expr.Node {
 		return expr.NewOuter(l, r, p.Pred)
 	case expr.GOJ:
 		return expr.NewGOJ(l, r, p.Pred, p.GOJAttrs)
+	case expr.Semijoin:
+		return expr.NewSemi(l, r, p.Pred)
 	default:
 		return expr.NewJoin(l, r, p.Pred)
 	}

@@ -74,7 +74,7 @@ func (o *Optimizer) planBlock(q *expr.Node) (*Plan, *Trace, error) {
 	} else {
 		p, err := o.optimizeGraphCached(a.Graph, filters, tr)
 		if err == nil {
-			tr.Strategy = "reordered"
+			tr.Strategy = strategyFor(p)
 			return p, tr, nil
 		}
 		tr.FallbackReason = "DP failed: " + err.Error()

@@ -192,7 +192,12 @@ func TestMetamorphicSpillOracle(t *testing.T) {
 			t.Fatalf("seed %d: nice graph not certified free: %s", seed, a)
 		}
 
+		// Alternate plain and dangling-heavy databases: spilled runs must
+		// agree with the in-memory bag whether or not most tuples dangle.
 		db := workload.RandomDB(rnd, g, 6)
+		if attempt%2 == 1 {
+			db = workload.RandomDanglingDB(rnd, g, 6, 0.5+rnd.Float64()*0.4)
+		}
 		o := New(catalogFor(db))
 		o.Cache = plancache.New(metamorphicITCap)
 		o.Spill = true

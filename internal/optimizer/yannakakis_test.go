@@ -1,0 +1,343 @@
+package optimizer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"freejoin/internal/core"
+	"freejoin/internal/exec"
+	"freejoin/internal/expr"
+	"freejoin/internal/graph"
+	"freejoin/internal/obs"
+	"freejoin/internal/workload"
+)
+
+// The Yannakakis acyclic fast path: the metamorphic oracle against the
+// DP and fixed-order execution on dangling-heavy data, the intermediate-
+// cardinality guarantee, strategy dispatch and fallback, cost-based auto
+// selection, and plan-cache keying.
+
+// yannakakisFixture builds a deterministic tree-shaped query (join chain
+// core with an outerjoin chain) and its catalog.
+func yannakakisFixture(t *testing.T, seed int64) (*Optimizer, *graph.Graph) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	g := workload.CoreWithTreesGraph(3, 2)
+	db := workload.RandomDanglingDB(rnd, g, 12, 0.6)
+	return New(catalogFor(db)), g
+}
+
+// TestMetamorphicYannakakisOracle is the acyclic edition of the
+// metamorphic suite: for random TREE-shaped nice graphs (outerjoin-heavy
+// included) over heavily dangling, skewed data, the full-reducer plan
+// must produce exactly the bag of the classic DP plan, of a fixed-order
+// execution, and of the reference algebra — and, per the Yannakakis
+// guarantee, after full reduction no join-phase operator may produce
+// more rows than the final result.
+func TestMetamorphicYannakakisOracle(t *testing.T) {
+	in0, out0 := obs.SemiReduceInputRows.Value(), obs.SemiReduceOutputRows.Value()
+	reducedSomewhere := false
+	success := 0
+	for attempt := 0; success < metamorphicInstances; attempt++ {
+		if attempt >= metamorphicInstances*10 {
+			t.Fatalf("only %d/%d instances after %d attempts", success, metamorphicInstances, attempt)
+		}
+		seed := metamorphicBaseSeed + 300_000 + int64(attempt)
+		rnd := rand.New(rand.NewSource(seed))
+		// Trees only (the fast path's domain), skewed toward outerjoin
+		// chains: up to three null-supplied relations per instance.
+		g := workload.RandomTreeGraph(rnd, 1+rnd.Intn(3), rnd.Intn(4))
+		if g.NumNodes() < 2 {
+			continue
+		}
+		if a := core.AnalyzeGraph(g); !a.Free {
+			t.Fatalf("seed %d: generated tree graph not certified free: %s", seed, a)
+		}
+
+		// At least half of every relation dangles; some relations nearly
+		// all of it.
+		db := workload.RandomDanglingDB(rnd, g, 8, 0.5+rnd.Float64()*0.45)
+		cat := catalogFor(db)
+
+		// Ground truth: the reference algebra over one implementing tree.
+		its, err := expr.EnumerateITs(g, true)
+		if err != nil {
+			t.Fatalf("seed %d: EnumerateITs: %v", seed, err)
+		}
+		ref, err := its[0].Eval(db)
+		if err != nil {
+			t.Fatalf("seed %d: Eval: %v", seed, err)
+		}
+
+		// Oracle 1: classic DP.
+		oDP := New(cat)
+		pDP, trDP, err := oDP.OptimizeGraphTrace(g)
+		if err != nil {
+			t.Fatalf("seed %d: DP optimize: %v", seed, err)
+		}
+		if trDP.Strategy != "reordered" {
+			t.Fatalf("seed %d: default strategy = %q; want reordered", seed, trDP.Strategy)
+		}
+		relDP, _, err := oDP.Execute(pDP)
+		if err != nil {
+			t.Fatalf("seed %d: DP execute: %v", seed, err)
+		}
+		if !relDP.EqualBag(ref) {
+			t.Fatalf("seed %d: DP execution differs from algebra result\ngraph:\n%s", seed, g)
+		}
+
+		// Oracle 2: fixed-order execution of the written tree.
+		pFix, err := oDP.PlanFixed(its[0])
+		if err != nil {
+			t.Fatalf("seed %d: PlanFixed: %v", seed, err)
+		}
+		relFix, _, err := oDP.Execute(pFix)
+		if err != nil {
+			t.Fatalf("seed %d: fixed execute: %v", seed, err)
+		}
+		if !relFix.EqualBag(ref) {
+			t.Fatalf("seed %d: fixed-order execution differs\ntree: %s", seed, its[0].StringWithPreds())
+		}
+
+		// The candidate: forced Yannakakis. On a tree it must apply, not
+		// fall back.
+		oY := New(cat)
+		oY.Strategy = "yannakakis"
+		pY, trY, err := oY.OptimizeGraphTrace(g)
+		if err != nil {
+			t.Fatalf("seed %d: yannakakis optimize: %v", seed, err)
+		}
+		if trY.Strategy != "yannakakis" || trY.FallbackReason != "" {
+			t.Fatalf("seed %d: forced yannakakis on a tree fell back: strategy %q (%s)\ngraph:\n%s",
+				seed, trY.Strategy, trY.FallbackReason, g)
+		}
+		relY, _, stats, err := oY.ExecuteAnalyzed(pY)
+		if err != nil {
+			t.Fatalf("seed %d: yannakakis execute: %v\nplan:\n%s", seed, err, pY.Explain())
+		}
+		if !relY.EqualBag(ref) {
+			t.Fatalf("seed %d: yannakakis bag differs from DP/algebra result: want %d rows, got %d\ngraph:\n%s\nplan:\n%s",
+				seed, ref.Len(), relY.Len(), g, pY.Explain())
+		}
+
+		// The Yannakakis guarantee: after full reduction, every join-phase
+		// operator's output is bounded by the final result (reducer steps
+		// themselves are exempt — a partial reduction may still exceed it).
+		final := stats.Stats.RowsOut
+		stats.Walk(func(_ int, n *exec.StatsNode) {
+			if !n.Executed() {
+				return
+			}
+			if strings.HasPrefix(n.Label, "join ") || strings.HasPrefix(n.Label, "leftouterjoin ") {
+				if n.Stats.RowsOut > final {
+					t.Fatalf("seed %d: join-phase intermediate exceeds output: %q produced %d rows, final %d\nplan:\n%s",
+						seed, n.Label, n.Stats.RowsOut, final, pY.Explain())
+				}
+			}
+		})
+		if in, out := obs.SemiReduceInputRows.Value(), obs.SemiReduceOutputRows.Value(); out-out0 < in-in0 {
+			reducedSomewhere = true
+		}
+		success++
+	}
+	if obs.SemiReduceInputRows.Value() == in0 {
+		t.Error("the suite never ran a reducer step; yannakakis plans did not execute")
+	}
+	if !reducedSomewhere {
+		t.Error("no reducer step ever deleted a tuple; the dangling generator is not producing dangling tuples")
+	}
+	t.Logf("verified %d instances", success)
+}
+
+// TestYannakakisFallsBackOnCycles: a cyclic (still nice) graph has no
+// join tree; the forced strategy must fall back to the DP, record why,
+// and still report the plan's true strategy.
+func TestYannakakisFallsBackOnCycles(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	g := graph.New()
+	for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"A", "C"}} {
+		if err := g.AddJoinEdge(e[0], e[1], workload.RandomPredicate(rnd, e[0], e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := workload.RandomDB(rnd, g, 6)
+	o := New(catalogFor(db))
+	o.Strategy = "yannakakis"
+	p, tr, err := o.OptimizeGraphTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Strategy != "reordered" {
+		t.Errorf("strategy = %q; want reordered (DP fallback)", tr.Strategy)
+	}
+	if !strings.Contains(tr.FallbackReason, "yannakakis inapplicable") {
+		t.Errorf("fallback reason %q must name the yannakakis rejection", tr.FallbackReason)
+	}
+	if planUsesSemiReduce(p) {
+		t.Error("fallback plan still contains reducer steps")
+	}
+}
+
+// TestUnknownStrategyErrors: a typo'd strategy must fail loudly, not
+// silently plan with the default.
+func TestUnknownStrategyErrors(t *testing.T) {
+	o, g := yannakakisFixture(t, 11)
+	o.Strategy = "yannakaki"
+	if _, err := o.OptimizeGraph(g); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("err = %v; want unknown strategy", err)
+	}
+}
+
+// TestAutoStrategyPicksCheaper: "auto" must return exactly the cheaper
+// of the two candidate plans (ties to the DP), and its execution must
+// agree with both.
+func TestAutoStrategyPicksCheaper(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		o, g := yannakakisFixture(t, 40+seed)
+		pDP, err := o.OptimizeGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Strategy = "yannakakis"
+		pY, err := o.OptimizeGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Strategy = "auto"
+		pAuto, err := o.OptimizeGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantYann := pY.Cost < pDP.Cost
+		if gotYann := planUsesSemiReduce(pAuto); gotYann != wantYann {
+			t.Errorf("seed %d: auto chose yannakakis=%v; want %v (dp cost %.0f, yannakakis cost %.0f)",
+				seed, gotYann, wantYann, pDP.Cost, pY.Cost)
+		}
+		want, _, err := o.Execute(pDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := o.Execute(pAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.EqualBag(got) {
+			t.Errorf("seed %d: auto plan's bag differs from the DP's", seed)
+		}
+	}
+}
+
+// TestStrategyToggleMissesPlanCache: the strategy keys the plan cache —
+// toggling it must produce a fresh fingerprint and entry, never the
+// other mode's plan, and each mode must hit its own entry on repeat.
+func TestStrategyToggleMissesPlanCache(t *testing.T) {
+	o, q := cacheFixture(t, 78)
+
+	_, tr1, err := o.OptimizeTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.CacheOutcome != "miss" {
+		t.Fatalf("first optimize outcome %q; want miss", tr1.CacheOutcome)
+	}
+
+	o.Strategy = "yannakakis"
+	p2, tr2, err := o.OptimizeTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.CacheOutcome != "miss" {
+		t.Fatalf("strategy-toggled optimize outcome %q; want miss (must not reuse the DP plan)", tr2.CacheOutcome)
+	}
+	if tr1.Fingerprint == tr2.Fingerprint {
+		t.Fatalf("strategy toggle did not change the fingerprint: %s", tr1.Fingerprint)
+	}
+	if !planUsesSemiReduce(p2) {
+		t.Error("yannakakis plan over a tree query has no reducer steps")
+	}
+	if tr2.Strategy != "yannakakis" {
+		t.Errorf("strategy = %q; want yannakakis", tr2.Strategy)
+	}
+
+	_, tr3, err := o.OptimizeTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3.CacheOutcome != "hit" || tr3.Fingerprint != tr2.Fingerprint {
+		t.Fatalf("yannakakis repeat: outcome %q fp %q; want hit on %q", tr3.CacheOutcome, tr3.Fingerprint, tr2.Fingerprint)
+	}
+	if tr3.Strategy != "yannakakis" {
+		t.Errorf("cache-hit strategy = %q; want yannakakis (attributed from the plan shape)", tr3.Strategy)
+	}
+	o.Strategy = ""
+	_, tr4, err := o.OptimizeTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr4.CacheOutcome != "hit" || tr4.Fingerprint != tr1.Fingerprint {
+		t.Fatalf("default repeat: outcome %q fp %q; want hit on %q", tr4.CacheOutcome, tr4.Fingerprint, tr1.Fingerprint)
+	}
+	if o.Cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries; want one per strategy", o.Cache.Len())
+	}
+}
+
+// TestYannakakisObservability: a forced yannakakis optimization counts
+// under oj_optimize_strategy_total{strategy="yannakakis"}, renders
+// reducer steps in EXPLAIN, and the reduction counters absorb executed
+// traffic.
+func TestYannakakisObservability(t *testing.T) {
+	o, g := yannakakisFixture(t, 5)
+	o.Strategy = "yannakakis"
+	strat0 := obs.StrategyYannakakis.Value()
+	in0 := obs.SemiReduceInputRows.Value()
+	p, tr, err := o.OptimizeGraphTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.StrategyYannakakis.Value() != strat0+1 {
+		t.Error("oj_optimize_strategy_total{yannakakis} did not count the optimization")
+	}
+	if !strings.Contains(p.Explain(), "semireduce") {
+		t.Errorf("EXPLAIN must render reducer steps:\n%s", p.Explain())
+	}
+	if !strings.Contains(tr.String(), "strategy: yannakakis") {
+		t.Errorf("trace must carry the strategy:\n%s", tr.String())
+	}
+	if _, _, err := o.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	if obs.SemiReduceInputRows.Value() == in0 {
+		t.Error("oj_semijoin_reduce_input_rows_total did not move")
+	}
+}
+
+// TestYannakakisRoundTrip: the reducer plan converts back to a logical
+// expression (semijoins included) whose algebra evaluation equals the
+// physical execution.
+func TestYannakakisRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	g := workload.CoreWithTreesGraph(3, 2)
+	db := workload.RandomDanglingDB(rnd, g, 10, 0.6)
+	o := New(catalogFor(db))
+	o.Strategy = "yannakakis"
+	p, err := o.OptimizeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planUsesSemiReduce(p) {
+		t.Fatal("expected a reducer plan")
+	}
+	want, err := p.ToExpr().Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := o.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualBag(got) {
+		t.Fatalf("algebra evaluation of the round-tripped plan differs from execution\n%s", p.Explain())
+	}
+}

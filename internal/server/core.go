@@ -48,6 +48,7 @@ type Config struct {
 	PlanCache int    // shared plan-cache capacity (0 → DefaultCapacity, <0 → disabled)
 	Spill     bool   // default spill-to-disk mode for new sessions
 	SpillDir  string // spill run-file directory ("" → OS temp dir)
+	Strategy  string // default planner strategy for new sessions ("" → dp)
 
 	SnapshotPath string // optional .fjdb catalog snapshot to restore at startup
 

@@ -136,6 +136,48 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// "set strategy yannakakis" forces the acyclic fast path session-wide:
+// explain shows semireduce steps, the query still answers correctly, and
+// flipping back to dp is not served the yannakakis plan from the shared
+// cache (the strategy keys the fingerprint).
+func TestServerSetStrategy(t *testing.T) {
+	srv := startTestServer(t, Config{})
+	c := dialServer(t, srv.Addr())
+	c.mustOK("table R(a) = (1), (2)")
+	c.mustOK("table S(a) = (2), (3)")
+	c.mustOK("table T(a) = (2), (4)")
+	if r := c.mustOK("set"); !strings.Contains(r.Output, "strategy: dp") {
+		t.Fatalf("default set output missing strategy:\n%s", r.Output)
+	}
+	c.mustOK("set strategy yannakakis")
+	if r := c.mustOK("set"); !strings.Contains(r.Output, "strategy: yannakakis") {
+		t.Fatalf("set output missing strategy:\n%s", r.Output)
+	}
+	q := "(R -[R.a = S.a] S) -[S.a = T.a] T"
+	if r := c.mustOK("explain " + q); !strings.Contains(r.Output, "semireduce") {
+		t.Fatalf("yannakakis explain missing semireduce:\n%s", r.Output)
+	}
+	if r := c.mustOK("query " + q); r.Rows != 1 {
+		t.Fatalf("query rows = %d, want 1", r.Rows)
+	}
+	if r := c.send("set strategy bogus"); r.OK || r.Code != CodeUsage {
+		t.Fatalf("bogus strategy = %+v", r)
+	}
+	c.mustOK("set strategy dp")
+	if r := c.mustOK("explain " + q); strings.Contains(r.Output, "semireduce") {
+		t.Fatalf("dp explain served the yannakakis plan:\n%s", r.Output)
+	}
+}
+
+// Config.Strategy seeds every new session's planner strategy.
+func TestServerStrategyDefault(t *testing.T) {
+	srv := startTestServer(t, Config{Strategy: "auto"})
+	c := dialServer(t, srv.Addr())
+	if r := c.mustOK("set"); !strings.Contains(r.Output, "strategy: auto") {
+		t.Fatalf("set output missing configured strategy:\n%s", r.Output)
+	}
+}
+
 // Sessions share one catalog and one plan cache: a table defined in one
 // session is queryable from another, and a plan cached by one session is
 // a hit for the next.

@@ -110,7 +110,8 @@ type Session struct {
 	timeout  time.Duration
 	memLimit int64 // per-query memory grant request
 	spill    bool
-	useCache bool // whether this session consults the shared plan cache
+	useCache bool   // whether this session consults the shared plan cache
+	strategy string // planner strategy ("" → dp); see optimizer.Optimizer.Strategy
 
 	prepared map[string]*preparedStmt
 }
@@ -128,6 +129,7 @@ func NewSession(core *Core) *Session {
 		memLimit: core.cfg.QueryMemBytes,
 		spill:    core.cfg.Spill,
 		useCache: core.plans != nil,
+		strategy: core.cfg.Strategy,
 		prepared: make(map[string]*preparedStmt),
 	}
 }
@@ -145,6 +147,7 @@ const sessionHelp = `commands (one per line; every answer is one JSON line):
   set memory_limit N[KB|MB]|off               per-query memory grant request
   set spill on|off                            spill to disk on memory budget trips
   set plan_cache on|off                       consult the shared plan cache
+  set strategy dp|yannakakis|auto             planner for reorderable queries
   set                                         show current limits
   stats                                       admission/pool/cache snapshot
   quit                                        close the session`
@@ -274,12 +277,16 @@ func (s *Session) cmdSet(rest string) Response {
 		if s.useCache && s.core.plans != nil {
 			cache = fmt.Sprintf("on (cap %d, %d cached)", s.core.plans.Cap(), s.core.plans.Len())
 		}
+		strategy := s.strategy
+		if strategy == "" {
+			strategy = "dp"
+		}
 		return Response{OK: true, Output: fmt.Sprintf(
-			"timeout: %s\nmemory_limit: %s\nspill: %s\nplan_cache: %s",
+			"timeout: %s\nmemory_limit: %s\nspill: %s\nplan_cache: %s\nstrategy: %s",
 			orOff(s.timeout.String(), s.timeout == 0),
 			orOff(fmt.Sprintf("%d bytes", s.memLimit), s.memLimit == 0),
 			orOff("on", !s.spill),
-			cache)}
+			cache, strategy)}
 	}
 	name, val, _ := strings.Cut(rest, " ")
 	val = strings.TrimSpace(val)
@@ -331,8 +338,19 @@ func (s *Session) cmdSet(rest string) Response {
 		default:
 			return errResp(CodeUsage, fmt.Errorf("usage: set plan_cache on|off"))
 		}
+	case "strategy":
+		switch strings.ToLower(val) {
+		case "dp":
+			s.strategy = ""
+			return Response{OK: true, Output: "strategy dp"}
+		case "yannakakis", "auto":
+			s.strategy = strings.ToLower(val)
+			return Response{OK: true, Output: "strategy " + s.strategy}
+		default:
+			return errResp(CodeUsage, fmt.Errorf("usage: set strategy dp|yannakakis|auto"))
+		}
 	default:
-		return errResp(CodeUsage, fmt.Errorf("usage: set timeout|memory_limit|spill|plan_cache VALUE|off"))
+		return errResp(CodeUsage, fmt.Errorf("usage: set timeout|memory_limit|spill|plan_cache|strategy VALUE|off"))
 	}
 }
 
@@ -367,6 +385,7 @@ func (s *Session) newOptimizer() *optimizer.Optimizer {
 		o.Cache = s.core.plans
 	}
 	o.Spill = s.spill
+	o.Strategy = s.strategy
 	return o
 }
 

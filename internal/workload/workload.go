@@ -84,6 +84,29 @@ func RandomNiceGraph(rnd *rand.Rand, coreNodes, outerNodes int) *graph.Graph {
 	return g
 }
 
+// RandomTreeGraph is RandomNiceGraph restricted to tree topologies: the
+// join core is a bare random spanning tree (no extra edges, so the whole
+// graph has exactly n-1 edges) with the usual outward outerjoin forest.
+// Every sample is nice AND acyclic — the shape the Yannakakis fast path
+// accepts.
+func RandomTreeGraph(rnd *rand.Rand, coreNodes, outerNodes int) *graph.Graph {
+	if coreNodes < 1 {
+		coreNodes = 1
+	}
+	g := graph.New()
+	g.MustAddNode(nodeName(0))
+	for i := 1; i < coreNodes; i++ {
+		u, v := nodeName(i), nodeName(rnd.Intn(i))
+		mustAdd(g.AddJoinEdge(u, v, RandomPredicate(rnd, u, v)))
+	}
+	for i := coreNodes; i < coreNodes+outerNodes; i++ {
+		u := nodeName(rnd.Intn(i))
+		v := nodeName(i)
+		mustAdd(g.AddOuterEdge(u, v, RandomPredicate(rnd, u, v)))
+	}
+	return g
+}
+
 // RandomConnectedGraph builds an arbitrary connected graph: a spanning
 // tree plus extra edges, each independently join or outerjoin with random
 // orientation. Most larger samples are not nice.
@@ -211,6 +234,60 @@ func RandomRelation(rnd *rand.Rand, name string, maxRows int) *relation.Relation
 			if rnd.Intn(7) == 0 {
 				vals[j] = relation.Null()
 			} else {
+				vals[j] = relation.Int(int64(rnd.Intn(4)))
+			}
+		}
+		r.AppendRaw(vals)
+	}
+	return r
+}
+
+// DanglingDB builds a database where, per relation, a configurable
+// fraction of rows dangles: their values draw from a per-relation
+// disjoint high domain no equality against any other relation can reach,
+// so every equijoin drops them (outerjoins pad them). The surviving
+// joinable rows are skewed toward a hot value. frac maps a relation name
+// to its dangling fraction in [0, 1]; names missing from the map use
+// def. The shape is the Yannakakis stress case — most of every input is
+// dead weight a full reducer deletes before any join materializes.
+func DanglingDB(rnd *rand.Rand, g *graph.Graph, maxRows int, def float64, frac map[string]float64) expr.DB {
+	db := expr.DB{}
+	for i, n := range g.Nodes() {
+		f, ok := frac[n]
+		if !ok {
+			f = def
+		}
+		db[n] = DanglingRelation(rnd, n, maxRows, f, int64(1000*(i+1)))
+	}
+	return db
+}
+
+// RandomDanglingDB is DanglingDB with one uniform dangling fraction.
+func RandomDanglingDB(rnd *rand.Rand, g *graph.Graph, maxRows int, frac float64) expr.DB {
+	return DanglingDB(rnd, g, maxRows, frac, nil)
+}
+
+// DanglingRelation builds one relation over NodeColumns with up to
+// maxRows rows of which ~frac dangle. A dangling row's columns all come
+// from [offset, offset+32) — callers give each relation a disjoint
+// offset (well above the joinable domain) so dangling rows match nothing
+// anywhere under equality. Joinable rows use the usual small domain with
+// occasional nulls, skewed so about half land on the hot value 0.
+func DanglingRelation(rnd *rand.Rand, name string, maxRows int, frac float64, offset int64) *relation.Relation {
+	r := relation.New(relation.SchemeOf(name, NodeColumns...))
+	rows := rnd.Intn(maxRows + 1)
+	for i := 0; i < rows; i++ {
+		dangling := rnd.Float64() < frac
+		vals := make([]relation.Value, len(NodeColumns))
+		for j := range vals {
+			switch {
+			case dangling:
+				vals[j] = relation.Int(offset + rnd.Int63n(32))
+			case rnd.Intn(7) == 0:
+				vals[j] = relation.Null()
+			case rnd.Intn(2) == 0:
+				vals[j] = relation.Int(0) // hot value: skew
+			default:
 				vals[j] = relation.Int(int64(rnd.Intn(4)))
 			}
 		}
