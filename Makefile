@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race cover bench bench-json bench-diff profile experiments faults obs spill server chaos yannakakis fuzz fuzz-smoke fmt vet clean
+.PHONY: all check build test race cover bench bench-json bench-diff profile experiments faults obs spill server chaos yannakakis batch fuzz fuzz-smoke fmt vet clean
 
 all: check
 
@@ -120,6 +120,21 @@ yannakakis:
 	leaked=$$(find $$dir -name 'ojspill-*' | wc -l) && \
 	rm -rf $$dir && \
 	if [ $$leaked -ne 0 ]; then echo "yannakakis: $$leaked run files leaked"; exit 1; fi
+
+# Batch-execution suite: the batch layer's unit tests (null bitmap,
+# adapter round-trip, trip delegation, stream mode), the registry-wide
+# row-ownership detector (poisoned producers + scribbling callers), and
+# the 200-instance metamorphic oracles in both row and batch modes with
+# the per-instance cross-mode bag comparison — under the race detector,
+# -count=2 for state reuse across re-Open, with the spill-leak check
+# (delegated batch operators spill through the row path).
+batch:
+	@dir=$$(mktemp -d) && \
+	TMPDIR=$$dir $(GO) test -race -count=2 -run 'Batch|Ownership|Metamorphic' \
+		./internal/exec ./internal/optimizer && \
+	leaked=$$(find $$dir -name 'ojspill-*' | wc -l) && \
+	rm -rf $$dir && \
+	if [ $$leaked -ne 0 ]; then echo "batch: $$leaked run files leaked"; exit 1; fi
 
 # Each fuzz target runs for a short budget; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s

@@ -3,19 +3,71 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
 )
 
 // Delta is one benchmark's movement between two baselines. Percentages
-// are (new-old)/old*100 — positive ns/op or allocs/op is a slowdown.
+// are (new-old)/old*100 — positive ns/op or allocs/op is a slowdown. A
+// metric that grows from a zero baseline has no finite percentage; its
+// Pct is +Inf so it always counts as a regression instead of being
+// silently dropped by a division guard.
 type Delta struct {
 	Name                 string
 	OldNs, NewNs         float64
 	NsPct                float64
 	OldAllocs, NewAllocs int64
 	AllocsPct            float64
+	Extras               []ExtraDelta
+}
+
+// ExtraDelta is the movement of one custom metric (b.ReportMetric
+// units carried in Result.Extra — latency percentiles such as
+// "p99-ns/op", or goodput percentages). HigherIsBetter flips the
+// regression direction: a goodput drop regresses, a goodput rise does
+// not.
+type ExtraDelta struct {
+	Unit           string
+	Old, New       float64
+	Pct            float64
+	HigherIsBetter bool
+}
+
+// higherIsBetter classifies a custom metric's direction: percentage
+// units ("goodput-pct", "hit-rate-pct") measure achieved throughput or
+// quality, so more is better; everything else (latency percentiles
+// "p95-ns/op", queue waits) follows the ns/op convention where more is
+// worse.
+func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "-pct") }
+
+// pctDelta returns the movement from old to new in percent, with the
+// zero-baseline guards: 0 → 0 is no movement, 0 → x is +Inf (or -Inf
+// for a drop to negative), never a division by zero.
+func pctDelta(old, new float64) float64 {
+	if old != 0 {
+		return (new - old) / old * 100
+	}
+	if new > 0 {
+		return math.Inf(1)
+	}
+	if new < 0 {
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// fmtPct renders a movement percentage, keeping the infinite
+// zero-baseline case readable.
+func fmtPct(pct float64) string {
+	if math.IsInf(pct, 1) {
+		return "+inf% (zero baseline)"
+	}
+	if math.IsInf(pct, -1) {
+		return "-inf% (zero baseline)"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
 }
 
 // loadBaseline reads a BENCH_*.json array and indexes it by name.
@@ -35,11 +87,21 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return byName, nil
 }
 
+// regressedExtra reports whether one custom metric moved the wrong way
+// past the threshold, respecting its direction.
+func regressedExtra(e ExtraDelta, threshold float64) bool {
+	if e.HigherIsBetter {
+		return e.Pct < -threshold
+	}
+	return e.Pct > threshold
+}
+
 // diffBaselines compares two baselines and renders a report. A
-// benchmark regresses when ns/op OR allocs/op grew by more than
-// threshold percent; the second result reports whether any did.
-// Benchmarks present in only one file are listed informationally and
-// never count as regressions (suites grow PR over PR).
+// benchmark regresses when ns/op, allocs/op, or any shared custom
+// metric moved the wrong way by more than threshold percent; the second
+// result reports whether any did. Benchmarks (and custom metrics)
+// present in only one file are listed informationally and never count
+// as regressions (suites grow PR over PR).
 func diffBaselines(oldPath, newPath string, threshold float64) (string, bool, error) {
 	oldRes, err := loadBaseline(oldPath)
 	if err != nil {
@@ -63,12 +125,20 @@ func diffBaselines(oldPath, newPath string, threshold float64) (string, bool, er
 			OldNs: or.NsPerOp, NewNs: nr.NsPerOp,
 			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
 		}
-		if or.NsPerOp > 0 {
-			d.NsPct = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		d.NsPct = pctDelta(or.NsPerOp, nr.NsPerOp)
+		d.AllocsPct = pctDelta(float64(or.AllocsPerOp), float64(nr.AllocsPerOp))
+		for unit, nv := range nr.Extra {
+			ov, shared := or.Extra[unit]
+			if !shared {
+				continue
+			}
+			d.Extras = append(d.Extras, ExtraDelta{
+				Unit: unit, Old: ov, New: nv,
+				Pct:            pctDelta(ov, nv),
+				HigherIsBetter: higherIsBetter(unit),
+			})
 		}
-		if or.AllocsPerOp > 0 {
-			d.AllocsPct = float64(nr.AllocsPerOp-or.AllocsPerOp) / float64(or.AllocsPerOp) * 100
-		}
+		sort.Slice(d.Extras, func(i, j int) bool { return d.Extras[i].Unit < d.Extras[j].Unit })
 		deltas = append(deltas, d)
 	}
 	for name := range oldRes {
@@ -85,16 +155,28 @@ func diffBaselines(oldPath, newPath string, threshold float64) (string, bool, er
 	for _, d := range deltas {
 		slowNs := d.NsPct > threshold
 		slowAllocs := d.AllocsPct > threshold
-		if !slowNs && !slowAllocs {
+		slowExtra := false
+		for _, e := range d.Extras {
+			if regressedExtra(e, threshold) {
+				slowExtra = true
+				break
+			}
+		}
+		if !slowNs && !slowAllocs && !slowExtra {
 			continue
 		}
 		regressed = true
 		fmt.Fprintf(&b, "REGRESSION %s:", d.Name)
 		if slowNs {
-			fmt.Fprintf(&b, " ns/op %+.1f%% (%.0f -> %.0f)", d.NsPct, d.OldNs, d.NewNs)
+			fmt.Fprintf(&b, " ns/op %s (%.0f -> %.0f)", fmtPct(d.NsPct), d.OldNs, d.NewNs)
 		}
 		if slowAllocs {
-			fmt.Fprintf(&b, " allocs/op %+.1f%% (%d -> %d)", d.AllocsPct, d.OldAllocs, d.NewAllocs)
+			fmt.Fprintf(&b, " allocs/op %s (%d -> %d)", fmtPct(d.AllocsPct), d.OldAllocs, d.NewAllocs)
+		}
+		for _, e := range d.Extras {
+			if regressedExtra(e, threshold) {
+				fmt.Fprintf(&b, " %s %s (%g -> %g)", e.Unit, fmtPct(e.Pct), e.Old, e.New)
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -154,3 +154,75 @@ func TestProfileReportFromHeapProfile(t *testing.T) {
 		t.Error("heap profile accepted as CPU profile")
 	}
 }
+
+// Custom metrics from Result.Extra are compared with direction
+// awareness: latency percentiles regress when they rise, goodput
+// percentages regress when they drop, and rises in goodput are never
+// flagged. Metrics present in only one baseline are ignored.
+func TestDiffExtraMetrics(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json", []Result{
+		{Name: "BenchmarkServer", NsPerOp: 100,
+			Extra: map[string]float64{"p99-ns/op": 1000, "goodput-pct": 99, "old-only": 5}},
+		{Name: "BenchmarkGoodputUp", NsPerOp: 100,
+			Extra: map[string]float64{"goodput-pct": 50}},
+	})
+	newPath := writeBaseline(t, "new.json", []Result{
+		{Name: "BenchmarkServer", NsPerOp: 100,
+			Extra: map[string]float64{"p99-ns/op": 2000, "goodput-pct": 60, "new-only": 7}},
+		{Name: "BenchmarkGoodputUp", NsPerOp: 100,
+			Extra: map[string]float64{"goodput-pct": 100}},
+	})
+	report, regressed, err := diffBaselines(oldPath, newPath, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("extra-metric regressions not flagged:\n%s", report)
+	}
+	for _, want := range []string{
+		"REGRESSION BenchmarkServer:",
+		"p99-ns/op +100.0% (1000 -> 2000)",
+		"goodput-pct -39.4% (99 -> 60)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Goodput doubling is an improvement, not a regression.
+	if strings.Contains(report, "BenchmarkGoodputUp") {
+		t.Errorf("goodput improvement flagged:\n%s", report)
+	}
+	// One-sided metrics never compare.
+	if strings.Contains(report, "old-only") || strings.Contains(report, "new-only") {
+		t.Errorf("one-sided extra metric compared:\n%s", report)
+	}
+}
+
+// A metric growing from a zero baseline must count as a regression
+// (old behavior silently skipped it behind the division guard), and
+// 0 → 0 must not divide by zero or flag anything.
+func TestDiffZeroBaselineGuards(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json", []Result{
+		{Name: "BenchmarkFromZero", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkStaysZero", NsPerOp: 100, AllocsPerOp: 0,
+			Extra: map[string]float64{"retries/op": 0}},
+	})
+	newPath := writeBaseline(t, "new.json", []Result{
+		{Name: "BenchmarkFromZero", NsPerOp: 100, AllocsPerOp: 12},
+		{Name: "BenchmarkStaysZero", NsPerOp: 100, AllocsPerOp: 0,
+			Extra: map[string]float64{"retries/op": 0}},
+	})
+	report, regressed, err := diffBaselines(oldPath, newPath, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("allocs growing from zero not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION BenchmarkFromZero: allocs/op +inf% (zero baseline) (0 -> 12)") {
+		t.Errorf("zero-baseline growth not reported:\n%s", report)
+	}
+	if strings.Contains(report, "BenchmarkStaysZero") {
+		t.Errorf("0 -> 0 flagged:\n%s", report)
+	}
+}

@@ -63,7 +63,11 @@ func drainBag(t *testing.T, it Iterator) *relation.Relation {
 		if !ok {
 			break
 		}
-		out.AppendRaw(row)
+		// The ownership contract says row is only valid until the next
+		// Next/Close; retaining it across calls requires a copy. (The
+		// batch evaluators really do reuse the backing slab, so aliasing
+		// here corrupts the drained bag.)
+		out.AppendRaw(relation.CopyRow(row))
 	}
 	if err := it.Close(); err != nil {
 		t.Fatal(err)

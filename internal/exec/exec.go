@@ -124,6 +124,22 @@ func (c *Counters) IncRows() {
 	}
 }
 
+// AddTuples counts n base-table tuple retrievals — the per-batch
+// variant of IncTuples.
+func (c *Counters) AddTuples(n int64) {
+	if c != nil && n > 0 {
+		c.tuplesRetrieved.Add(n)
+	}
+}
+
+// AddRows counts n rows emitted by the plan root — the per-batch
+// variant of IncRows.
+func (c *Counters) AddRows(n int64) {
+	if c != nil && n > 0 {
+		c.rowsProduced.Add(n)
+	}
+}
+
 // Iterator is the Volcano operator interface. Next returns the next row
 // and true, or false at end of stream. Rows must be treated as immutable
 // by consumers. Open accepts a nil ExecContext (ungoverned execution).
@@ -163,12 +179,55 @@ func (h *hold) charge(ec *ExecContext, op string, row []relation.Value) error {
 	return nil
 }
 
+// chargeN reserves rows/bytes in one governor call — the per-batch
+// variant of charge that amortizes the accounting over a whole batch.
+func (h *hold) chargeN(ec *ExecContext, op string, rows, bytes int64) error {
+	if rows == 0 && bytes == 0 {
+		return nil
+	}
+	if err := ec.Reserve(op, rows, bytes); err != nil {
+		return err
+	}
+	h.rows += rows
+	h.bytes += bytes
+	return nil
+}
+
 // release returns the entire outstanding reservation.
 func (h *hold) release(ec *ExecContext) {
 	if h.rows != 0 || h.bytes != 0 {
 		ec.Release(h.rows, h.bytes)
 		h.rows, h.bytes = 0, 0
 	}
+}
+
+// arenaChunkRows is how many row copies share one rowArena slab.
+const arenaChunkRows = 1024
+
+// rowArena amortizes retained-row copies. Under the ownership contract
+// every buffered row must be a copy (the producer may reuse its
+// storage), and a per-row make puts one allocation on every build-side
+// row; the arena carves copies out of chunked slabs instead — one
+// allocation per arenaChunkRows rows. A chunk stays alive as long as
+// any row sliced from it does, so at most one chunk of slack outlives
+// the buffer that retained it.
+type rowArena struct {
+	free []relation.Value
+}
+
+// copyRow returns a stable copy of row carved from the arena.
+func (a *rowArena) copyRow(row []relation.Value) []relation.Value {
+	w := len(row)
+	if w == 0 {
+		return []relation.Value{}
+	}
+	if len(a.free) < w {
+		a.free = make([]relation.Value, arenaChunkRows*w)
+	}
+	dst := a.free[:w:w]
+	copy(dst, row)
+	a.free = a.free[w:]
+	return dst
 }
 
 // Collect drains an iterator into a relation, updating RowsProduced.
@@ -210,18 +269,37 @@ func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, 
 		}
 	}()
 	out := relation.New(it.Scheme())
-	for {
-		row, ok, err := it.Next()
-		if err != nil {
-			closed = true
-			it.Close()
-			return nil, err
+	if bi, ok := it.(BatchIterator); ok {
+		// Batch drain: one NextBatch call and one slab copy per batch.
+		for {
+			b, ok, err := bi.NextBatch()
+			if err != nil {
+				closed = true
+				it.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			b.appendToRelation(out)
+			c.AddRows(int64(b.Len()))
 		}
-		if !ok {
-			break
+	} else {
+		var arena rowArena
+		for {
+			row, ok, err := it.Next()
+			if err != nil {
+				closed = true
+				it.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			// The row is only valid until the next Next; keep a copy.
+			out.AppendRaw(arena.copyRow(row))
+			c.IncRows()
 		}
-		out.AppendRaw(row)
-		c.IncRows()
 	}
 	closed = true
 	if err := it.Close(); err != nil {
@@ -230,12 +308,16 @@ func CollectCtx(ec *ExecContext, it Iterator, c *Counters) (*relation.Relation, 
 	return out, nil
 }
 
-// Scan reads every row of a table.
+// Scan reads every row of a table. Rows are served from a reused
+// per-iterator buffer: handing out base-table storage directly would let
+// a caller exercising its ownership right to mutate the row corrupt the
+// table.
 type Scan struct {
 	table    *storage.Table
 	counters *Counters
 	ec       *ExecContext
 	pos      int
+	buf      []relation.Value
 }
 
 // NewScan returns a full-table scan.
@@ -261,12 +343,15 @@ func (s *Scan) Next() ([]relation.Value, bool, error) {
 	if s.pos >= s.table.Relation().Len() {
 		return nil, false, nil
 	}
-	row := s.table.Relation().RawRow(s.pos)
+	if s.buf == nil {
+		s.buf = make([]relation.Value, s.table.Scheme().Len())
+	}
+	copy(s.buf, s.table.Relation().RawRow(s.pos))
 	s.pos++
 	if s.counters != nil {
 		s.counters.IncTuples()
 	}
-	return row, true, nil
+	return s.buf, true, nil
 }
 
 // Close implements Iterator.
@@ -284,6 +369,7 @@ type IndexScan struct {
 	ec       *ExecContext
 	rows     []int
 	pos      int
+	buf      []relation.Value
 }
 
 // NewIndexScan builds an index scan on the table's hash index over col.
@@ -317,12 +403,15 @@ func (s *IndexScan) Next() ([]relation.Value, bool, error) {
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
-	row := s.table.Relation().RawRow(s.rows[s.pos])
+	if s.buf == nil {
+		s.buf = make([]relation.Value, s.table.Scheme().Len())
+	}
+	copy(s.buf, s.table.Relation().RawRow(s.rows[s.pos]))
 	s.pos++
 	if s.counters != nil {
 		s.counters.IncTuples()
 	}
-	return row, true, nil
+	return s.buf, true, nil
 }
 
 // Close implements Iterator.
@@ -335,6 +424,7 @@ type RelationScan struct {
 	rel *relation.Relation
 	ec  *ExecContext
 	pos int
+	buf []relation.Value
 }
 
 // NewRelationScan wraps a relation as an iterator.
@@ -360,9 +450,12 @@ func (s *RelationScan) Next() ([]relation.Value, bool, error) {
 	if s.pos >= s.rel.Len() {
 		return nil, false, nil
 	}
-	row := s.rel.RawRow(s.pos)
+	if s.buf == nil {
+		s.buf = make([]relation.Value, s.rel.Scheme().Len())
+	}
+	copy(s.buf, s.rel.RawRow(s.pos))
 	s.pos++
-	return row, true, nil
+	return s.buf, true, nil
 }
 
 // Close implements Iterator.
@@ -502,6 +595,7 @@ type Sort struct {
 	ec    *ExecContext
 	held  hold
 	rows  [][]relation.Value
+	arena rowArena
 	pos   int
 
 	runs  []*spill.Run
@@ -566,7 +660,7 @@ func (s *Sort) Open(ec *ExecContext) error {
 				return s.abort(ec, cerr)
 			}
 		}
-		s.rows = append(s.rows, row)
+		s.rows = append(s.rows, s.arena.copyRow(row))
 	}
 	if err := s.child.Close(); err != nil {
 		return s.fail(ec, err)
@@ -850,6 +944,7 @@ func materialize(it Iterator, ec *ExecContext, op string, h *hold) ([][]relation
 		return nil, err
 	}
 	var rows [][]relation.Value
+	var arena rowArena
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
@@ -865,7 +960,7 @@ func materialize(it Iterator, ec *ExecContext, op string, h *hold) ([][]relation
 				return nil, err
 			}
 		}
-		rows = append(rows, row)
+		rows = append(rows, arena.copyRow(row))
 	}
 	if err := it.Close(); err != nil {
 		return nil, err

@@ -77,6 +77,7 @@ type HashJoin struct {
 
 	ec        *ExecContext
 	held      hold
+	arena     rowArena
 	table     map[string][][]relation.Value
 	tableRows int
 	pending   [][]relation.Value
@@ -186,7 +187,8 @@ func (h *HashJoin) Open(ec *ExecContext) error {
 			h.held.release(ec)
 			return h.degradeOrFail(ec, cerr)
 		}
-		rows = append(rows, row)
+		// The build side buffers past the child's next Next: copy.
+		rows = append(rows, h.arena.copyRow(row))
 	}
 	if err := h.right.Close(); err != nil {
 		h.held.release(ec)
@@ -884,6 +886,7 @@ type NestedLoopJoin struct {
 
 	ec      *ExecContext
 	held    hold
+	arena   rowArena
 	rrows   [][]relation.Value
 	rwidth  int
 	pending [][]relation.Value
@@ -954,7 +957,7 @@ func (n *NestedLoopJoin) Open(ec *ExecContext) error {
 			}
 			break
 		}
-		n.rrows = append(n.rrows, row)
+		n.rrows = append(n.rrows, n.arena.copyRow(row))
 	}
 	if err := n.right.Close(); err != nil {
 		n.rrows = nil
@@ -1294,6 +1297,7 @@ type MergeJoin struct {
 
 	ec      *ExecContext
 	held    hold
+	arena   rowArena
 	group   [][]relation.Value // current right equal-key group (charged)
 	gkey    relation.Value     // group key, valid while hasGroup()
 	grun    *spill.Run         // group on disk after a budget trip
@@ -1396,7 +1400,8 @@ func (m *MergeJoin) advanceGroup() error {
 		if len(m.group) == 0 {
 			m.gkey = rv
 		} else if m.gkey.Compare(rv) != 0 {
-			m.rnext = row
+			// The lookahead row outlives the child's next Next: copy.
+			m.rnext = m.arena.copyRow(row)
 			return nil
 		}
 		if err := m.held.charge(m.ec, "mergejoin", row); err != nil {
@@ -1405,7 +1410,7 @@ func (m *MergeJoin) advanceGroup() error {
 			}
 			return m.spillGroup(row)
 		}
-		m.group = append(m.group, row)
+		m.group = append(m.group, m.arena.copyRow(row))
 	}
 }
 
@@ -1453,7 +1458,7 @@ func (m *MergeJoin) spillGroup(tripRow []relation.Value) error {
 			continue
 		}
 		if m.gkey.Compare(rv) != 0 {
-			m.rnext = row
+			m.rnext = m.arena.copyRow(row)
 			break
 		}
 		if werr := w.Append(row); werr != nil {

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"freejoin/internal/relation"
+	"freejoin/internal/storage"
+)
+
+// The row-ownership contract, exercised to its legal extremes across
+// the whole operator registry:
+//
+//   - A producer's row is valid only until the caller's next
+//     Next/Close on that producer. poisonIterator scribbles over every
+//     row it handed out the moment the caller advances, so a parent
+//     that retained the row by reference instead of copying surfaces
+//     the sentinel in its output bag.
+//   - A caller MAY mutate a row it was handed (filters compact in
+//     place). drainScribbled overwrites every received row after
+//     copying it, so a producer that re-reads rows it already emitted
+//     computes garbage and fails the bag comparison.
+
+const poisonMark = "__POISON__"
+
+// poisonIterator wraps a child and scribbles over the row it handed out
+// as soon as the caller advances or closes. The child's own row is
+// copied first (scribbling the child's storage directly would corrupt
+// the base table, not test the parent).
+type poisonIterator struct {
+	child Iterator
+	last  []relation.Value
+}
+
+func (p *poisonIterator) Scheme() *relation.Scheme { return p.child.Scheme() }
+
+func (p *poisonIterator) Open(ec *ExecContext) error {
+	p.last = nil
+	return p.child.Open(ec)
+}
+
+func (p *poisonIterator) scribble() {
+	for i := range p.last {
+		p.last[i] = relation.Str(poisonMark)
+	}
+	p.last = nil
+}
+
+func (p *poisonIterator) Next() ([]relation.Value, bool, error) {
+	p.scribble()
+	row, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	p.last = relation.CopyRow(row)
+	return p.last, true, nil
+}
+
+func (p *poisonIterator) Close() error {
+	p.scribble()
+	return p.child.Close()
+}
+
+// drainScribbled drains it, copying each row for the result bag and then
+// overwriting the producer's copy in place — the mutation a compacting
+// caller is allowed to make.
+func drainScribbled(t *testing.T, it Iterator) *relation.Relation {
+	t.Helper()
+	if err := it.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	out := relation.New(it.Scheme())
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out.AppendRaw(relation.CopyRow(row))
+		for i := range row {
+			row[i] = relation.Str(poisonMark)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// assertUnpoisoned fails if any value in the bag carries the sentinel —
+// direct evidence an operator aliased a child row it did not own.
+func assertUnpoisoned(t *testing.T, bag *relation.Relation) {
+	t.Helper()
+	for i := 0; i < bag.Len(); i++ {
+		for _, v := range bag.RawRow(i) {
+			if v.Kind() == relation.KindString && strings.Contains(v.AsString(), poisonMark) {
+				t.Fatalf("output row %d aliases a child row the operator did not own:\n%v", i, bag.RawRow(i))
+			}
+		}
+	}
+}
+
+// TestOwnershipRegistry runs every registered operator against both
+// ownership probes and compares each bag against the clean reference.
+func TestOwnershipRegistry(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	for name, oc := range operatorRegistry(t, rt, st, &c) {
+		oc := oc
+		t.Run(name, func(t *testing.T) {
+			chRef, _ := buildChildren(rt, st, oc.children, -1, storage.Fault{})
+			ref := drainBag(t, oc.build(t, chRef))
+
+			// Probe 1: poisoned children. The wrapped fault iterators keep
+			// auditing the lifecycle underneath.
+			chP, _ := buildChildren(rt, st, oc.children, -1, storage.Fault{})
+			for i := range chP {
+				chP[i] = &poisonIterator{child: chP[i]}
+			}
+			poisoned := drainBag(t, oc.build(t, chP))
+			assertUnpoisoned(t, poisoned)
+			if !ref.EqualBag(poisoned) {
+				t.Errorf("bag changed under poisoned children (operator retained rows it did not own):\nwant %d rows:\n%vgot %d rows:\n%v",
+					ref.Len(), ref, poisoned.Len(), poisoned)
+			}
+
+			// Probe 2: a scribbling caller. Producers must never re-read
+			// rows they have already emitted.
+			chS, _ := buildChildren(rt, st, oc.children, -1, storage.Fault{})
+			scribbled := drainScribbled(t, oc.build(t, chS))
+			if !ref.EqualBag(scribbled) {
+				t.Errorf("bag changed under a scribbling caller (operator re-read emitted rows):\nwant %d rows:\n%vgot %d rows:\n%v",
+					ref.Len(), ref, scribbled.Len(), scribbled)
+			}
+		})
+	}
+}

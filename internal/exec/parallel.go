@@ -287,4 +287,3 @@ func (p *ParallelHashJoin) Close() error {
 	p.held.release(p.ec)
 	return nil
 }
-

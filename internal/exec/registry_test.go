@@ -105,6 +105,48 @@ func operatorRegistry(t *testing.T, rt, st *storage.Table, c *Counters) map[stri
 			return must(NewHashJoin(ch[0], ch[1], []relation.Attr{rk}, []relation.Attr{sk}, nil, mode))
 		}}
 	}
+	// The batch evaluators run through the same contract/fault/ownership
+	// suites via their Iterator side (Next over the batch cursor). A tiny
+	// batch size forces multiple refills over the 5-row inputs.
+	const bsz = 2
+	cases["batchscan"] = opCase{0, func(t *testing.T, ch []Iterator) Iterator { return NewBatchScan(rt, c, bsz) }}
+	cases["batchrelationscan"] = opCase{0, func(t *testing.T, ch []Iterator) Iterator {
+		return NewBatchRelationScan(rt.Relation(), bsz)
+	}}
+	cases["batchfilter"] = opCase{1, func(t *testing.T, ch []Iterator) Iterator {
+		return must(NewBatchFilter(ch[0],
+			predicate.Cmp(predicate.GtOp, predicate.Col(rk), predicate.Const(relation.Int(1))), bsz))
+	}}
+	cases["batchproject"] = opCase{1, func(t *testing.T, ch []Iterator) Iterator {
+		return must(NewBatchProject(ch[0], []relation.Attr{rk}, false, bsz))
+	}}
+	cases["batchproject-dedup"] = opCase{1, func(t *testing.T, ch []Iterator) Iterator {
+		return must(NewBatchProject(ch[0], []relation.Attr{rk}, true, bsz))
+	}}
+	cases["batchsemireduce"] = opCase{2, func(t *testing.T, ch []Iterator) Iterator {
+		return must(NewBatchSemiReduce(ch[0], ch[1], key, bsz))
+	}}
+	cases["batchindexjoin"] = opCase{1, func(t *testing.T, ch []Iterator) Iterator {
+		return must(NewBatchIndexJoin(ch[0], st, "k", rk, nil, InnerMode, c, bsz))
+	}}
+	for name, mode := range map[string]JoinMode{
+		"batchhashjoin": InnerMode, "batchhashjoin-outer": LeftOuterMode,
+		"batchhashjoin-semi": SemiMode, "batchhashjoin-anti": AntiMode,
+	} {
+		mode := mode
+		cases[name] = opCase{2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewBatchHashJoin(ch[0], ch[1], []relation.Attr{rk}, []relation.Attr{sk}, nil, mode, bsz))
+		}}
+	}
+	for name, mode := range map[string]JoinMode{
+		"batchnestedloop": InnerMode, "batchnestedloop-outer": LeftOuterMode,
+		"batchnestedloop-semi": SemiMode, "batchnestedloop-anti": AntiMode,
+	} {
+		mode := mode
+		cases[name] = opCase{2, func(t *testing.T, ch []Iterator) Iterator {
+			return must(NewBatchNestedLoopJoin(ch[0], ch[1], key, mode, bsz))
+		}}
+	}
 	return cases
 }
 

@@ -35,6 +35,7 @@ type SemiReduce struct {
 
 	ec    *ExecContext
 	held  hold
+	arena rowArena
 	keys  map[string]struct{} // equi mode: distinct right-side join keys
 	rrows [][]relation.Value  // scan mode: materialized right input
 	kbuf  []byte
@@ -150,7 +151,7 @@ func (s *SemiReduce) Open(ec *ExecContext) error {
 			}
 			break
 		}
-		s.rrows = append(s.rrows, row)
+		s.rrows = append(s.rrows, s.arena.copyRow(row))
 	}
 	if err := s.right.Close(); err != nil {
 		s.keys, s.rrows = nil, nil

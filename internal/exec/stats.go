@@ -167,8 +167,14 @@ func (w *Instrumented) Node() *StatsNode { return w.node }
 // Scheme implements Iterator.
 func (w *Instrumented) Scheme() *relation.Scheme { return w.child.Scheme() }
 
-// Open implements Iterator.
+// Open implements Iterator. Re-opening resets the node's per-run
+// counters (and SpillStats) instead of accumulating into them: after a
+// governor trip re-runs a subtree, or a fallback re-opens a child, the
+// stats describe the cycle that actually produced the output, not the
+// sum of the aborted attempt and the retry. Opens itself stays
+// cumulative — it counts the cycles.
 func (w *Instrumented) Open(ec *ExecContext) error {
+	w.node.Stats = Stats{Opens: w.node.Stats.Opens}
 	start := time.Now()
 	var t0 int64
 	if w.counters != nil {
@@ -226,6 +232,50 @@ func (w *Instrumented) noteErr(err error) error {
 
 // Close implements Iterator.
 func (w *Instrumented) Close() error { return w.child.Close() }
+
+// BatchInstrumented is Instrumented over a batch-capable child: it
+// preserves the NextBatch fast path, recording per-batch stat deltas
+// (one NextCalls tick and one RowsOut += Len per batch) so
+// instrumentation does not reintroduce the per-row costs batching
+// removed.
+type BatchInstrumented struct {
+	*Instrumented
+	bchild BatchIterator
+}
+
+// NextBatch implements BatchIterator.
+func (w *BatchInstrumented) NextBatch() (*Batch, bool, error) {
+	start := time.Now()
+	var t0 int64
+	if w.counters != nil {
+		t0 = w.counters.TuplesRetrieved()
+	}
+	b, ok, err := w.bchild.NextBatch()
+	if w.counters != nil {
+		w.node.Stats.TuplesRetrieved += w.counters.TuplesRetrieved() - t0
+	}
+	w.node.Stats.WallTime += time.Since(start)
+	w.node.Stats.NextCalls++
+	if ok {
+		w.node.Stats.RowsOut += int64(b.Len())
+	}
+	if w.buffered != nil || w.spiller != nil {
+		w.observeBuffer()
+	}
+	return b, ok, w.noteErr(err)
+}
+
+// InstrumentIterator is Instrument preserving the child's batch
+// capability: a BatchIterator child comes back wrapped as a
+// BatchIterator, anything else as the plain row wrapper. The returned
+// StatsNode is the entry the wrapper records into.
+func InstrumentIterator(child Iterator, label string, c *Counters, children ...*StatsNode) (Iterator, *StatsNode) {
+	w := Instrument(child, label, c, children...)
+	if bc, ok := child.(BatchIterator); ok {
+		return &BatchInstrumented{Instrumented: w, bchild: bc}, w.Node()
+	}
+	return w, w.Node()
+}
 
 func (w *Instrumented) observeBuffer() {
 	if w.buffered != nil {

@@ -161,3 +161,66 @@ func BenchmarkProjectDedup(b *testing.B) {
 		}
 	}
 }
+
+// TestInstrumentStatsResetOnReopen drives an instrumented hash join
+// into the grace-hash degradation (a tiny byte budget with spill on)
+// and re-opens it: the second cycle's stats — NextCalls, RowsOut,
+// TuplesRetrieved, and SpillStats — must describe that cycle alone, not
+// accumulate onto the first. Opens stays cumulative: it counts cycles.
+func TestInstrumentStatsResetOnReopen(t *testing.T) {
+	rt, st := contractTables(t)
+	var c Counters
+	rk, sk := relation.A("R", "k"), relation.A("S", "k")
+	hj, err := NewHashJoin(NewScan(rt, &c), NewScan(st, &c), []relation.Attr{rk}, []relation.Attr{sk}, nil, InnerMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := Instrument(hj, "join", &c)
+	ec, gov, dir := spillCtx(t, 120)
+
+	drain := func() int {
+		t.Helper()
+		rows := 0
+		if err := root.Open(ec); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok, err := root.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			rows++
+		}
+		if err := root.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+
+	rows1 := drain()
+	first := root.Node().Stats
+	if rows1 == 0 {
+		t.Fatal("join produced no rows")
+	}
+	if !first.Spill.Spilled() {
+		t.Fatalf("budget of 120 bytes did not force the grace-hash path: %+v", first.Spill)
+	}
+	rows2 := drain()
+	second := root.Node().Stats
+	if rows2 != rows1 {
+		t.Fatalf("re-opened join changed its output: %d rows then %d", rows1, rows2)
+	}
+	if second.Opens != 2 {
+		t.Errorf("Opens = %d, want 2 (cumulative across cycles)", second.Opens)
+	}
+	// Everything else is per-cycle: equal to the first run, not doubled.
+	first.Opens, second.Opens = 0, 0
+	first.WallTime, second.WallTime = 0, 0
+	if first != second {
+		t.Errorf("re-Open accumulated stats instead of resetting:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	checkSpillDrained(t, gov, dir)
+}

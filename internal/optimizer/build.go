@@ -47,6 +47,8 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 			if it, err = exec.NewIndexScan(t, p.IndexCol, p.IndexVal, c); err != nil {
 				return nil, nil, err
 			}
+		} else if size, on := o.batchRows(); on {
+			it = exec.NewBatchScan(t, c, size)
 		} else {
 			it = exec.NewScan(t, c)
 		}
@@ -77,7 +79,12 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 		if !ok || len(lk) != 1 || rk[0].Name != p.IndexCol {
 			return nil, nil, fmt.Errorf("optimizer: index plan predicate mismatch: %v", p.Pred)
 		}
-		it, err := exec.NewIndexJoin(left, t, p.IndexCol, lk[0], nil, mode, c)
+		var it exec.Iterator
+		if size, on := o.batchRows(); on {
+			it, err = exec.NewBatchIndexJoin(left, t, p.IndexCol, lk[0], nil, mode, c, size)
+		} else {
+			it, err = exec.NewIndexJoin(left, t, p.IndexCol, lk[0], nil, mode, c)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -99,7 +106,12 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 		if !ok {
 			return nil, nil, fmt.Errorf("optimizer: hash plan predicate mismatch: %v", p.Pred)
 		}
-		it, err := exec.NewHashJoin(left, right, lk, rk, nil, mode)
+		var it hashJoinIterator
+		if size, on := o.batchRows(); on {
+			it, err = exec.NewBatchHashJoin(left, right, lk, rk, nil, mode, size)
+		} else {
+			it, err = exec.NewHashJoin(left, right, lk, rk, nil, mode)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -111,7 +123,12 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 		if err != nil {
 			return nil, nil, err
 		}
-		it, err := exec.NewNestedLoopJoin(left, right, p.Pred, mode)
+		var it exec.Iterator
+		if size, on := o.batchRows(); on {
+			it, err = exec.NewBatchNestedLoopJoin(left, right, p.Pred, mode, size)
+		} else {
+			it, err = exec.NewNestedLoopJoin(left, right, p.Pred, mode)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -125,7 +142,14 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 		if err != nil {
 			return nil, nil, err
 		}
-		it, err := exec.NewSemiReduce(left, right, p.Pred)
+		var it exec.Iterator
+		size, on := o.batchRows()
+		_, _, equi := predicate.EquiParts(p.Pred, p.Left.Scheme, p.Right.Scheme)
+		if on && equi {
+			it, err = exec.NewBatchSemiReduce(left, right, p.Pred, size)
+		} else {
+			it, err = exec.NewSemiReduce(left, right, p.Pred)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -182,7 +206,7 @@ func (o *Optimizer) build(p *Plan, c *exec.Counters, ins bool, tr *Trace) (exec.
 // trip time. The index fallback is still wired as the path for
 // spill-disabled contexts; the trace records whichever path this
 // session would actually take.
-func (o *Optimizer) attachFallback(it *exec.HashJoin, p *Plan, lk, rk []relation.Attr, mode exec.JoinMode, c *exec.Counters, tr *Trace) {
+func (o *Optimizer) attachFallback(it hashJoinIterator, p *Plan, lk, rk []relation.Attr, mode exec.JoinMode, c *exec.Counters, tr *Trace) {
 	if o.Spill && tr != nil && tr.Degradation == "" {
 		tr.Degradation = "grace-hash spill"
 	}
@@ -204,13 +228,21 @@ func (o *Optimizer) attachFallback(it *exec.HashJoin, p *Plan, lk, rk []relation
 	})
 }
 
-// wrapNode instruments it as the physical realization of plan node p.
+// hashJoinIterator is the common surface of the row and batch hash
+// joins the lowering wires degradation paths onto.
+type hashJoinIterator interface {
+	exec.Iterator
+	SetFallback(mk func(left exec.Iterator) (exec.Iterator, error))
+	DegradedTo() exec.Iterator
+}
+
+// wrapNode instruments it as the physical realization of plan node p,
+// preserving the operator's batch capability.
 func wrapNode(it exec.Iterator, p *Plan, c *exec.Counters, ins bool, kids ...*exec.StatsNode) (exec.Iterator, *exec.StatsNode) {
 	if !ins {
 		return it, nil
 	}
-	w := exec.Instrument(it, nodeLabel(p), c, kids...)
-	n := w.Node()
+	w, n := exec.InstrumentIterator(it, nodeLabel(p), c, kids...)
 	n.EstRows = p.EstRows
 	n.EstCost = p.Cost
 	return w, n

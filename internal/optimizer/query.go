@@ -321,7 +321,12 @@ func (o *Optimizer) buildFilter(p *Plan, c *exec.Counters, ins bool, tr *Trace) 
 	if err != nil {
 		return nil, nil, err
 	}
-	it, err := exec.NewFilter(child, p.Pred)
+	var it exec.Iterator
+	if size, on := o.batchRows(); on {
+		it, err = exec.NewBatchFilter(child, p.Pred, size)
+	} else {
+		it, err = exec.NewFilter(child, p.Pred)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -32,6 +32,17 @@ func (r *Relation) Row(i int) Tuple { return Tuple{scheme: r.scheme, vals: r.row
 // RawRow returns the i-th row's value slice; callers must not modify it.
 func (r *Relation) RawRow(i int) []Value { return r.rows[i] }
 
+// CopyRow returns a fresh copy of a row. Operators use it to retain a
+// row past the producer's next Next/NextBatch call: under the ownership
+// contract a row handed up by an iterator is only valid until then, so
+// anything buffered (a hash-join build side, a sort buffer, a merge-join
+// group) must be copied first.
+func CopyRow(row []Value) []Value {
+	out := make([]Value, len(row))
+	copy(out, row)
+	return out
+}
+
 // Append adds a row; the arity must match the scheme.
 func (r *Relation) Append(vals ...Value) error {
 	if len(vals) != r.scheme.Len() {

@@ -343,6 +343,11 @@ type ExecContext struct {
 	gov   *Governor
 	spill *SpillConfig
 
+	// batchRows, when positive, overrides the batch size of every batch
+	// operator opened under this context (the session's `set batch_size`).
+	// Zero means "use the operator's configured size".
+	batchRows int
+
 	// tripNoted dedupes the metrics hook: a cancelled or expired context
 	// surfaces through every operator the abort unwinds past, and each
 	// Err call mints a fresh ResourceError; the process-wide trip counter
@@ -392,6 +397,26 @@ func (ec *ExecContext) Spill() *SpillConfig {
 		return nil
 	}
 	return ec.spill
+}
+
+// SetBatchRows sets the per-execution batch size override; n <= 0
+// clears it. Call before execution starts.
+func (ec *ExecContext) SetBatchRows(n int) {
+	if ec != nil {
+		if n < 0 {
+			n = 0
+		}
+		ec.batchRows = n
+	}
+}
+
+// BatchRows returns the execution's batch-size override, or 0 when none
+// is set (including on a nil context).
+func (ec *ExecContext) BatchRows() int {
+	if ec == nil {
+		return 0
+	}
+	return ec.batchRows
 }
 
 // Err reports whether the context has been cancelled or its deadline has

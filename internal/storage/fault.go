@@ -167,6 +167,7 @@ type tableIter struct {
 	rel *relation.Relation
 	ec  *resource.ExecContext
 	pos int
+	buf []relation.Value
 }
 
 func (ti *tableIter) Scheme() *relation.Scheme { return ti.rel.Scheme() }
@@ -184,9 +185,14 @@ func (ti *tableIter) Next() ([]relation.Value, bool, error) {
 	if ti.pos >= ti.rel.Len() {
 		return nil, false, nil
 	}
-	row := ti.rel.RawRow(ti.pos)
+	if ti.buf == nil {
+		ti.buf = make([]relation.Value, ti.rel.Scheme().Len())
+	}
+	// Serve a copy from a reused buffer: callers own the row until their
+	// next Next and may mutate it; base storage must not alias it.
+	copy(ti.buf, ti.rel.RawRow(ti.pos))
 	ti.pos++
-	return row, true, nil
+	return ti.buf, true, nil
 }
 
 func (ti *tableIter) Close() error { return nil }

@@ -7,6 +7,7 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -101,13 +102,20 @@ func (t *Table) BuildHashIndex(col string) (*HashIndex, error) {
 	}
 	idx := &HashIndex{table: t, col: col, pos: pos, buckets: make(map[string][]int, t.rel.Len())}
 	var buf []byte
+	intOnly := true
 	for i := 0; i < t.rel.Len(); i++ {
 		v := t.rel.RawRow(i)[pos]
 		if v.IsNull() {
 			continue
 		}
+		if v.Kind() != relation.KindInt {
+			intOnly = false
+		}
 		buf = relation.AppendJoinKey(buf[:0], v)
 		idx.buckets[string(buf)] = append(idx.buckets[string(buf)], i)
+	}
+	if intOnly && len(idx.buckets) > 0 {
+		idx.buildIntTable()
 	}
 	t.mu.Lock()
 	t.hash[col] = idx
@@ -153,24 +161,218 @@ func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
 	return idx, ok
 }
 
-// HashIndex maps join-key encodings to row positions.
+// HashIndex maps join-key encodings to row positions. When every
+// indexed key is an integer, a flat open-addressed probe table serves
+// lookups without encoding (or allocating) a key, and usually off a
+// single cache line.
 type HashIndex struct {
 	table   *Table
 	col     string
 	pos     int
 	buckets map[string][]int
+	// Int probe table, built iff every indexed key is an integer:
+	// islots resolves a key to an (off, n) window of ipos, the flat row
+	// positions grouped per key in ascending row order.
+	islots []intSlot
+	ipos   []int
+	ishift uint
+	imask  uint64
+}
+
+// intSlot is one probe-table slot; n == 0 marks an empty slot.
+type intSlot struct {
+	key    int64
+	off, n int32
+}
+
+// intHashMult is the fibonacci multiply-shift constant (2^64 / phi).
+const intHashMult = 0x9E3779B97F4A7C15
+
+// buildIntTable lays the int keys out open-addressed with linear
+// probing: a generic map probe costs a hashed bucket walk plus pointer
+// chases per lookup, while a flat slot array resolves most probes from
+// the one cache line the hash lands on. Sized to stay under 50% load.
+func (ix *HashIndex) buildIntTable() {
+	t := ix.table
+	bits := 4
+	for 1<<bits < 2*len(ix.buckets) {
+		bits++
+	}
+	ix.islots = make([]intSlot, 1<<bits)
+	ix.ishift = uint(64 - bits)
+	ix.imask = uint64(len(ix.islots) - 1)
+	for i := 0; i < t.rel.Len(); i++ {
+		v := t.rel.RawRow(i)[ix.pos]
+		if v.IsNull() {
+			continue
+		}
+		ix.claimIntSlot(v.AsInt()).n++
+	}
+	var off int32
+	for i := range ix.islots {
+		if ix.islots[i].n > 0 {
+			ix.islots[i].off = off
+			off += ix.islots[i].n
+		}
+	}
+	ix.ipos = make([]int, off)
+	fill := make([]int32, len(ix.islots))
+	for i := 0; i < t.rel.Len(); i++ {
+		v := t.rel.RawRow(i)[ix.pos]
+		if v.IsNull() {
+			continue
+		}
+		si := ix.intSlotIdx(v.AsInt())
+		s := &ix.islots[si]
+		ix.ipos[int(s.off)+int(fill[si])] = i
+		fill[si]++
+	}
+}
+
+// claimIntSlot returns the slot for k, claiming an empty one on a miss
+// (build-time only; every claim is followed by an n++ so empties stay
+// distinguishable).
+func (ix *HashIndex) claimIntSlot(k int64) *intSlot {
+	i := (uint64(k) * intHashMult) >> ix.ishift
+	for {
+		s := &ix.islots[i]
+		if s.n == 0 {
+			s.key = k
+			return s
+		}
+		if s.key == k {
+			return s
+		}
+		i = (i + 1) & ix.imask
+	}
+}
+
+// intSlotIdx returns the slot index holding k, or -1.
+func (ix *HashIndex) intSlotIdx(k int64) int {
+	i := (uint64(k) * intHashMult) >> ix.ishift
+	for {
+		s := &ix.islots[i]
+		if s.n == 0 {
+			return -1
+		}
+		if s.key == k {
+			return int(i)
+		}
+		i = (i + 1) & ix.imask
+	}
+}
+
+// lookupInt is the probe-table lookup for an int64 join key.
+func (ix *HashIndex) lookupInt(k int64) []int {
+	if si := ix.intSlotIdx(k); si >= 0 {
+		s := &ix.islots[si]
+		e := int(s.off) + int(s.n)
+		return ix.ipos[s.off:e:e]
+	}
+	return nil
+}
+
+// IntSpan is a resolved probe: N matching rows starting at Off in the
+// index's flat positions array (N == 0 means no match).
+type IntSpan struct {
+	Off, N int32
+}
+
+// LookupIntSpans resolves one probe per span slot — the key of row i is
+// vals[i*stride+col] — against the int probe table, or reports false if
+// the index has none. Batching the probes into one tight loop matters
+// more than it looks: each probe is a cache miss on a table far larger
+// than L2, and a load-only loop keeps many line fills in flight where
+// one probe per emitted row serializes them (the reorder window fills
+// with emission work between loads). It also pays the non-inlinable
+// call overhead once per batch instead of once per row.
+func (ix *HashIndex) LookupIntSpans(vals []relation.Value, stride, col int, spans []IntSpan) bool {
+	if ix.islots == nil {
+		return false
+	}
+	islots, shift, mask := ix.islots, ix.ishift, ix.imask
+	for i := range spans {
+		v := vals[i*stride+col]
+		var k int64
+		if v.Kind() == relation.KindInt {
+			k = v.AsInt()
+		} else if kk, ok := intJoinKey(v); ok {
+			k = kk
+		} else {
+			spans[i] = IntSpan{}
+			continue
+		}
+		si := (uint64(k) * intHashMult) >> shift
+		for {
+			s := &islots[si]
+			if s.n == 0 {
+				spans[i] = IntSpan{}
+				break
+			}
+			if s.key == k {
+				spans[i] = IntSpan{Off: s.off, N: s.n}
+				break
+			}
+			si = (si + 1) & mask
+		}
+	}
+	return true
+}
+
+// SpanRows returns the row positions a span resolved to.
+func (ix *HashIndex) SpanRows(sp IntSpan) []int {
+	e := int(sp.Off) + int(sp.N)
+	return ix.ipos[sp.Off:e:e]
 }
 
 // Col returns the indexed column name.
 func (ix *HashIndex) Col() string { return ix.col }
 
 // Lookup returns the positions of rows whose key equals v (never matches
-// null).
+// null). Integer keys on an all-int index probe without allocating.
 func (ix *HashIndex) Lookup(v relation.Value) []int {
 	if v.IsNull() {
 		return nil
 	}
+	if ix.islots != nil {
+		if k, ok := intJoinKey(v); ok {
+			return ix.lookupInt(k)
+		}
+		return nil // an all-int index holds no non-numeric keys
+	}
 	return ix.buckets[string(relation.AppendJoinKey(nil, v))]
+}
+
+// intJoinKey maps v to the int64 it equi-matches under the join-key
+// encoding (an integral float matches the equal int), if any.
+func intJoinKey(v relation.Value) (int64, bool) {
+	switch v.Kind() {
+	case relation.KindInt:
+		return v.AsInt(), true
+	case relation.KindFloat:
+		f := v.AsFloat()
+		if f == math.Trunc(f) && f >= -9.2e18 && f <= 9.2e18 {
+			return int64(f), true
+		}
+	}
+	return 0, false
+}
+
+// LookupKey is Lookup reusing buf as key-encoding scratch, for probe
+// loops that cannot afford the per-call allocation; it returns the
+// positions and the (possibly grown) buffer.
+func (ix *HashIndex) LookupKey(buf []byte, v relation.Value) ([]int, []byte) {
+	if v.IsNull() {
+		return nil, buf
+	}
+	if ix.islots != nil {
+		if k, ok := intJoinKey(v); ok {
+			return ix.lookupInt(k), buf
+		}
+		return nil, buf
+	}
+	buf = relation.AppendJoinKey(buf[:0], v)
+	return ix.buckets[string(buf)], buf
 }
 
 // Buckets returns the number of distinct keys.
